@@ -1,0 +1,114 @@
+// Microbenchmarks of the functional kernels: int8 GEMV, quantization,
+// softmax, LayerNorm, GELU — the host-side cost of the arithmetic the
+// accelerator model executes.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "model/ops.hpp"
+#include "model/tensor.hpp"
+#include "quant/quant.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace looplynx;
+
+void BM_Int8Gemv(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(1);
+  model::Tensor w(n, n);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    w[i] = static_cast<float>(rng.normal(0.0, 0.1));
+  }
+  std::vector<float> bias(n, 0.1f);
+  const quant::QuantizedLinear ql =
+      quant::QuantizedLinear::from_float(w, bias, 0.05f);
+  std::vector<std::int8_t> x(n);
+  for (auto& v : x) v = static_cast<std::int8_t>(rng.uniform_int(-127, 127));
+  std::vector<float> y(n);
+  for (auto _ : state) {
+    ql.forward(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_Int8Gemv)->Arg(256)->Arg(512)->Arg(1024);
+
+void BM_DotI8(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(2);
+  std::vector<std::int8_t> a(n), b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = static_cast<std::int8_t>(rng.uniform_int(-127, 127));
+    b[i] = static_cast<std::int8_t>(rng.uniform_int(-127, 127));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(quant::dot_i8(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_DotI8)->Arg(1024)->Arg(4096);
+
+void BM_Quantize(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(3);
+  std::vector<float> x(n);
+  for (auto& v : x) v = static_cast<float>(rng.normal());
+  std::vector<std::int8_t> q(n);
+  for (auto _ : state) {
+    quant::quantize(x, 0.05f, q);
+    benchmark::DoNotOptimize(q.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Quantize)->Arg(1024)->Arg(4096);
+
+void BM_Softmax(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(4);
+  std::vector<float> base(n);
+  for (auto& v : base) v = static_cast<float>(rng.normal());
+  std::vector<float> x = base;
+  for (auto _ : state) {
+    x = base;
+    model::softmax(x);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Softmax)->Arg(128)->Arg(1024);
+
+void BM_LayerNorm(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(5);
+  std::vector<float> base(n), gain(n, 1.0f), bias(n, 0.0f);
+  for (auto& v : base) v = static_cast<float>(rng.normal());
+  std::vector<float> x = base;
+  for (auto _ : state) {
+    x = base;
+    model::layer_norm(x, gain, bias);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_LayerNorm)->Arg(1024);
+
+void BM_Gelu(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(6);
+  std::vector<float> base(n);
+  for (auto& v : base) v = static_cast<float>(rng.normal());
+  std::vector<float> x = base;
+  for (auto _ : state) {
+    x = base;
+    model::gelu(x);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Gelu)->Arg(4096);
+
+}  // namespace
+
+

@@ -1,0 +1,69 @@
+// Microbenchmarks of the discrete-event simulation engine itself: event
+// throughput, FIFO hand-off cost, and full-token simulation rates. These
+// bound how long the table/figure harnesses take.
+#include <benchmark/benchmark.h>
+
+#include "core/arch_config.hpp"
+#include "core/system.hpp"
+#include "model/config.hpp"
+#include "sim/engine.hpp"
+#include "sim/fifo.hpp"
+#include "sim/task.hpp"
+
+namespace {
+
+using namespace looplynx;
+
+sim::Task delay_loop(sim::Engine& eng, std::uint64_t iterations) {
+  for (std::uint64_t i = 0; i < iterations; ++i) co_await eng.delay(1);
+}
+
+void BM_EngineEventThroughput(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine eng;
+    eng.spawn(delay_loop(eng, n));
+    eng.run();
+    benchmark::DoNotOptimize(eng.now());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EngineEventThroughput)->Arg(10'000)->Arg(100'000);
+
+sim::Task fifo_producer(sim::Fifo<int>& f, int n) {
+  for (int i = 0; i < n; ++i) co_await f.put(i);
+}
+sim::Task fifo_consumer(sim::Fifo<int>& f, int n, long& sum) {
+  for (int i = 0; i < n; ++i) sum += co_await f.get();
+}
+
+void BM_FifoHandoff(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine eng;
+    sim::Fifo<int> fifo(eng, 4);
+    long sum = 0;
+    eng.spawn(fifo_producer(fifo, n));
+    eng.spawn(fifo_consumer(fifo, n, sum));
+    eng.run();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_FifoHandoff)->Arg(10'000);
+
+void BM_TokenSimulation(benchmark::State& state) {
+  const auto nodes = static_cast<std::uint32_t>(state.range(0));
+  const core::System sys(core::ArchConfig::nodes(nodes),
+                         model::gpt2_medium());
+  for (auto _ : state) {
+    const auto r = sys.run(1, 0);
+    benchmark::DoNotOptimize(r.total_cycles);
+  }
+  state.SetLabel("GPT-2 345M, one token");
+}
+BENCHMARK(BM_TokenSimulation)->Arg(1)->Arg(2)->Arg(4);
+
+}  // namespace
+
+

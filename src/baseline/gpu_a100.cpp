@@ -1,0 +1,58 @@
+#include "baseline/gpu_a100.hpp"
+
+namespace looplynx::baseline {
+
+A100Model::A100Model(const model::ModelConfig& model, A100Config config)
+    : model_(model), config_(config) {
+  // Transformer linears (int8) + tied lm-head matvec (int8) per step.
+  weight_bytes_ =
+      static_cast<double>(model_.weight_bytes_per_token(1)) +
+      static_cast<double>(model_.vocab_size) * model_.d_model;
+}
+
+double A100Model::decode_token_seconds(std::uint32_t seq) const {
+  const double launch = config_.step_overhead_seconds +
+                        config_.launch_seconds_per_layer * model_.n_layer;
+  const double bw =
+      config_.memory_bandwidth_bps * config_.memory_efficiency;
+  const double weight_time = weight_bytes_ / bw;
+  // KV-cache reads: K and V, int8, all layers.
+  const double kv_bytes = 2.0 * static_cast<double>(seq) * model_.d_model *
+                          model_.n_layer;
+  const double kv_time = kv_bytes / bw;
+  return launch + weight_time + kv_time;
+}
+
+double A100Model::prefill_seconds(std::uint32_t prompt_len) const {
+  if (prompt_len == 0) return 0.0;
+  const double launch = config_.step_overhead_seconds +
+                        config_.launch_seconds_per_layer * model_.n_layer;
+  const double bw =
+      config_.memory_bandwidth_bps * config_.memory_efficiency;
+  // Weights stream once for the whole batched prompt.
+  const double weight_time = weight_bytes_ / bw;
+  // Batched compute: 2 ops per weight per token, int8 tensor cores.
+  const double flops = 2.0 * weight_bytes_ * prompt_len;
+  const double compute_time =
+      flops / (config_.int8_tops * config_.prefill_utilization);
+  // Attention compute grows quadratically but stays negligible at <=1K.
+  return launch + weight_time + compute_time;
+}
+
+double A100Model::request_seconds(std::uint32_t prefill_tokens,
+                                  std::uint32_t decode_tokens) const {
+  double total = prefill_seconds(prefill_tokens);
+  for (std::uint32_t i = 0; i < decode_tokens; ++i) {
+    total += decode_token_seconds(prefill_tokens + i);
+  }
+  return total;
+}
+
+double A100Model::avg_token_ms(std::uint32_t prefill_tokens,
+                               std::uint32_t decode_tokens) const {
+  const double total = request_seconds(prefill_tokens, decode_tokens);
+  return total * 1e3 /
+         static_cast<double>(prefill_tokens + decode_tokens);
+}
+
+}  // namespace looplynx::baseline

@@ -1,0 +1,72 @@
+#include "baseline/spatial_arch.hpp"
+
+#include <algorithm>
+
+namespace looplynx::baseline {
+
+SpatialModel::SpatialModel(const model::ModelConfig& model,
+                           SpatialConfig config)
+    : model_(model), config_(config) {}
+
+double SpatialModel::matrix_stage_ms(double rows, double cols) const {
+  // Each matrix kernel group owns 1/groups of the HBM ports and MAC lanes.
+  const double bw = config_.memory_bandwidth_bps *
+                    config_.memory_efficiency /
+                    config_.matrix_kernel_groups;
+  const double lanes = static_cast<double>(config_.total_mac_lanes) /
+                       config_.matrix_kernel_groups;
+  const double weight_bytes = rows * cols * config_.bytes_per_weight;
+  const double mem_ms = weight_bytes / bw * 1e3;
+  const double compute_ms =
+      rows * cols / lanes / config_.frequency_hz * 1e3;
+  // Within a kernel, streaming overlaps memory and compute.
+  return std::max(mem_ms, compute_ms);
+}
+
+double SpatialModel::decode_token_ms(std::uint32_t seq) const {
+  const double d = model_.d_model;
+  const double f = model_.d_ff;
+  const double freq = config_.frequency_hz;
+
+  double per_layer_ms = 0;
+  per_layer_ms += matrix_stage_ms(3 * d, d);  // QKV
+  per_layer_ms += matrix_stage_ms(d, d);      // proj
+  per_layer_ms += matrix_stage_ms(f, d);      // FC1
+  per_layer_ms += matrix_stage_ms(d, f);      // FC2
+
+  // Attention kernels and vector operators at their own fabric slices.
+  const double attn_elems =
+      model_.n_head * 2.0 * seq * model_.head_dim();
+  per_layer_ms += attn_elems / config_.attention_lanes / freq * 1e3;
+  const double vector_elems = 2 * d + model_.n_head * 2.0 * seq + f + 2 * d;
+  per_layer_ms += vector_elems / config_.vector_lanes / freq * 1e3;
+
+  // Stage-crossing buffers between ~8 chained kernels.
+  per_layer_ms += 8.0 * config_.stage_latency_cycles / freq * 1e3;
+
+  return per_layer_ms * model_.n_layer;
+}
+
+double SpatialModel::prefill_token_ms() const {
+  const double d = model_.d_model;
+  const double f = model_.d_ff;
+  // Pipeline full: per-token cost = the slowest matrix stage (FC1/FC2).
+  double bottleneck = 0;
+  bottleneck = std::max(bottleneck, matrix_stage_ms(3 * d, d));
+  bottleneck = std::max(bottleneck, matrix_stage_ms(f, d));
+  // All layers' instances of the bottleneck stage share the fabric slice,
+  // so the per-token service time scales with depth.
+  return bottleneck * model_.n_layer / config_.matrix_kernel_groups;
+}
+
+double SpatialModel::avg_token_ms(std::uint32_t prefill_tokens,
+                                  std::uint32_t decode_tokens) const {
+  double total = prefill_tokens * prefill_token_ms();
+  for (std::uint32_t i = 0; i < decode_tokens; ++i) {
+    total += decode_token_ms(prefill_tokens + i + 1);
+  }
+  const std::uint32_t n = prefill_tokens + decode_tokens;
+  return n > 0 ? total / n : 0;
+}
+
+}  // namespace looplynx::baseline

@@ -1,0 +1,66 @@
+// Spatial dataflow-architecture baseline (paper Table II; Chen et al.,
+// TRETS 2024, "Understanding the potential of FPGA-based spatial
+// acceleration for LLM inference").
+//
+// A spatial architecture instantiates *every* operator of the transformer
+// block as its own kernel and chains them into a task-level pipeline. In
+// the prefill phase many tokens occupy the pipeline simultaneously and
+// throughput is set by the slowest stage. In the decode phase only one
+// token exists, so the stages execute one after another — and because the
+// fabric's resources (DSPs, HBM ports) are statically divided among the
+// instantiated kernels, each stage runs at only a fraction of the chip's
+// aggregate capability. That is the under-utilization LoopLynx's hybrid
+// design removes (paper Fig. 3(b)).
+#pragma once
+
+#include <cstdint>
+
+#include "model/config.hpp"
+
+namespace looplynx::baseline {
+
+struct SpatialConfig {
+  double frequency_hz = 245e6;          // Table II
+  double memory_bandwidth_bps = 460e9;  // U280
+  double memory_efficiency = 0.62;  // short per-group bursts
+  std::uint32_t bytes_per_weight = 1;   // W8A8
+  /// Number of concurrently instantiated matrix kernels sharing the HBM
+  /// ports and DSP budget (QKV, proj, FC1, FC2 groups).
+  std::uint32_t matrix_kernel_groups = 4;
+  /// Total effective MAC lanes across the fabric (shared by the groups).
+  std::uint32_t total_mac_lanes = 4096;
+  /// Dedicated attention-kernel MAC lanes.
+  std::uint32_t attention_lanes = 256;
+  /// Vector stage throughput (LN/softmax/residual/GELU).
+  std::uint32_t vector_lanes = 32;
+  /// Inter-stage buffering overhead per stage crossing.
+  std::uint64_t stage_latency_cycles = 256;
+};
+
+class SpatialModel {
+ public:
+  SpatialModel(const model::ModelConfig& model, SpatialConfig config = {});
+
+  /// Decode-phase latency of one token at position `seq` (ms): stages
+  /// execute sequentially, each limited to its own resource slice.
+  double decode_token_ms(std::uint32_t seq) const;
+
+  /// Prefill-phase *throughput* per token (ms/token): the task pipeline is
+  /// full, so cost-per-token equals the slowest stage's service time.
+  double prefill_token_ms() const;
+
+  /// Weighted per-token latency over a request — the accounting the paper
+  /// applies to this baseline's separate prefill/decode implementations.
+  double avg_token_ms(std::uint32_t prefill_tokens,
+                      std::uint32_t decode_tokens) const;
+
+  const SpatialConfig& config() const { return config_; }
+
+ private:
+  double matrix_stage_ms(double rows, double cols) const;
+
+  model::ModelConfig model_;
+  SpatialConfig config_;
+};
+
+}  // namespace looplynx::baseline

@@ -1,0 +1,64 @@
+#include "baseline/temporal_dfx.hpp"
+
+namespace looplynx::baseline {
+
+TemporalModel::TemporalModel(const model::ModelConfig& model,
+                             TemporalConfig config)
+    : model_(model), config_(config) {}
+
+TemporalBreakdown TemporalModel::breakdown(std::uint32_t seq) const {
+  const double freq = config_.frequency_hz;
+  const double bw =
+      config_.memory_bandwidth_bps * config_.memory_efficiency;
+  const double d = model_.d_model;
+  const double f = model_.d_ff;
+  const double L = model_.n_layer;
+  const double heads = model_.n_head;
+  const double hd = model_.head_dim();
+
+  TemporalBreakdown b;
+
+  // --- Weight + KV reads (fp16), fully exposed. ---
+  const double weight_bytes =
+      L * (3 * d * d + d * d + 2 * d * f) * config_.bytes_per_weight;
+  const double kv_bytes =
+      L * 2.0 * seq * d * config_.bytes_per_weight;  // fp16 KV cache
+  b.memory_ms = (weight_bytes + kv_bytes) / bw * 1e3;
+
+  // --- Matrix compute on the shared PE array, not overlapped. ---
+  const double matmul_macs = L * (3 * d * d + d * d + 2 * d * f);
+  const double attn_macs = L * heads * 2.0 * seq * hd;
+  b.compute_ms =
+      (matmul_macs + attn_macs) / config_.pe_lanes / freq * 1e3;
+
+  // --- Vector operators (LN x2, softmax/head, residual x2, GELU). ---
+  const double vector_elems = L * (2 * d + heads * 2.0 * seq + 2 * d + f);
+  b.compute_ms += vector_elems / config_.vector_lanes / freq * 1e3;
+
+  // --- Instruction issue overhead: ~12 operator instructions per layer
+  //     (LN, QKV, score, softmax, mix, proj, res, LN, FC1, GELU, FC2, res).
+  const double instructions = L * 12.0;
+  b.overhead_ms =
+      instructions * config_.instruction_overhead_cycles / freq * 1e3;
+
+  // --- Activation write-backs between instructions (off-chip round trip).
+  const double act_bytes =
+      L * (3 * d + d + d + f + d + 2 * d) * config_.bytes_per_weight;
+  b.writeback_ms = act_bytes / bw * 1e3;
+
+  return b;
+}
+
+double TemporalModel::token_ms(std::uint32_t seq) const {
+  return breakdown(seq).total_ms();
+}
+
+double TemporalModel::avg_token_ms(std::uint32_t prefill_tokens,
+                                   std::uint32_t decode_tokens) const {
+  double total = 0;
+  const std::uint32_t n = prefill_tokens + decode_tokens;
+  for (std::uint32_t i = 0; i < n; ++i) total += token_ms(i + 1);
+  return n > 0 ? total / n : 0;
+}
+
+}  // namespace looplynx::baseline

@@ -1,0 +1,66 @@
+// DFX-style temporal (instruction-set) architecture baseline (paper
+// Table II; Hong et al., MICRO 2022).
+//
+// Temporal overlays execute one instruction at a time on shared processing
+// engines: every operator serializes an instruction-issue phase, an HBM read
+// of its operands (fp16 weights — DFX does not quantize), the compute phase,
+// and an activation write-back to off-chip memory. Nothing overlaps — the
+// exact inefficiency LoopLynx's Fig. 3(a) illustrates — which is why the
+// measured latency sits far above the pure bandwidth bound.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "model/config.hpp"
+
+namespace looplynx::baseline {
+
+struct TemporalConfig {
+  double frequency_hz = 200e6;       // DFX on U280
+  double memory_bandwidth_bps = 460e9;  // Table I
+  double memory_efficiency = 0.80;
+  std::uint32_t bytes_per_weight = 2;   // Float16 (Table II)
+  /// Effective parallel MAC lanes of the shared PE array.
+  std::uint32_t pe_lanes = 2048;
+  /// Instruction fetch/decode/issue + DMA descriptor setup per operator.
+  std::uint64_t instruction_overhead_cycles = 1900;
+  /// Vector-operator throughput (LN, softmax, residual, GELU).
+  std::uint32_t vector_lanes = 16;
+};
+
+/// Per-token latency decomposition of the temporal baseline.
+struct TemporalBreakdown {
+  double memory_ms = 0;
+  double compute_ms = 0;
+  double overhead_ms = 0;
+  double writeback_ms = 0;
+  double total_ms() const {
+    return memory_ms + compute_ms + overhead_ms + writeback_ms;
+  }
+};
+
+class TemporalModel {
+ public:
+  TemporalModel(const model::ModelConfig& model, TemporalConfig config = {});
+
+  /// Latency of one token at sequence position `seq` (ms). Temporal
+  /// overlays process prefill tokens through the same serialized
+  /// instruction stream, so prefill and decode cost the same.
+  double token_ms(std::uint32_t seq) const;
+
+  TemporalBreakdown breakdown(std::uint32_t seq) const;
+
+  /// Average per-token latency over a request (ms).
+  double avg_token_ms(std::uint32_t prefill_tokens,
+                      std::uint32_t decode_tokens) const;
+
+  const TemporalConfig& config() const { return config_; }
+
+ private:
+  model::ModelConfig model_;
+  TemporalConfig config_;
+};
+
+}  // namespace looplynx::baseline

@@ -1,0 +1,110 @@
+// LoopLynx architecture configuration (paper Sections III-A..III-D).
+//
+// Structural parameters mirror the HLS design: n_channel MP slices of
+// n_group MACs each, dedicated KV-cache HBM channels, a simplex ring, and
+// three latency-optimization switches corresponding to the paper's Fig. 5
+// ablation: Fused LN&Res, head-wise pipelining, and network-sync hiding.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "sim/engine.hpp"
+
+namespace looplynx::core {
+
+struct ArchConfig {
+  // ---- Topology ----
+  std::uint32_t num_nodes = 2;      // accelerator nodes on the ring
+  std::uint32_t nodes_per_fpga = 2;  // one node per SLR on an Alveo U50
+
+  // ---- Clock & bandwidth (paper Section III-E) ----
+  double frequency_hz = 285e6;
+  double hbm_channel_bps = 8.49e9;  // per pseudo-channel peak
+  double network_bps = 8.49e9;      // per ring link peak
+
+  // ---- Fused MP kernel ----
+  std::uint32_t n_channel = 8;   // MP slices == weight HBM channels per node
+  std::uint32_t n_group = 32;    // MACs per slice (32x8-bit datapacks)
+  std::uint32_t mp_block_rows = 128;  // rows per block matrix transaction
+  double hbm_efficiency = 0.90;  // sustained fraction of peak in burst mode
+  sim::Cycles dma_setup_cycles = 24;
+  sim::Cycles mac_pipeline_depth = 8;
+  sim::Cycles quant_fixed_cycles = 48;   // quant-unit per-block fill
+  std::uint32_t quant_lanes = 16;        // values quantized per cycle
+
+  // ---- Fused MHA kernel ----
+  std::uint32_t kv_channels = 2;      // KV-cache HBM channels per node
+  std::uint32_t score_lanes = 64;     // MAC lanes of the score unit
+  std::uint32_t mix_lanes = 64;       // MAC lanes of the token-mixing unit
+  sim::Cycles softmax_fixed_cycles = 64;
+  std::uint32_t softmax_lanes = 1;    // exp/normalize throughput (values/cyc)
+
+  // ---- Fused LN&Res kernel (critical-path operators) ----
+  std::uint32_t cp_lanes_base = 1;    // serialized CP ops before the Fig.5(b) opt
+  std::uint32_t cp_lanes_fused = 8;   // parallelism of the fused kernel
+  sim::Cycles cp_fixed_cycles = 96;   // per vector-op fill/drain
+
+  // ---- Ring / host ----
+  sim::Cycles intra_fpga_hop_cycles = 16;    // SLR-to-SLR crossing
+  sim::Cycles inter_fpga_hop_cycles = 192;   // Aurora-style FPGA-to-FPGA
+  sim::Cycles scheduler_overhead_cycles = 448;  // kernel switch + shared-buffer turnaround
+  sim::Cycles host_sync_cycles = 2850;  // PCIe output sync per token (~10us)
+
+  // ---- Optimization switches (Fig. 5 ablation) ----
+  bool fuse_ln_res = true;        // Fused LN&Res kernel
+  bool headwise_pipeline = true;  // hide softmax behind head i+1
+  bool hide_network_sync = true;  // overlap block sync with compute
+
+  // ---- Derived quantities ----
+  double hbm_bytes_per_cycle() const { return hbm_channel_bps / frequency_hz; }
+  double net_bytes_per_cycle() const { return network_bps / frequency_hz; }
+  std::uint32_t mpu_lanes() const { return n_channel * n_group; }
+  std::uint32_t num_fpgas() const {
+    return (num_nodes + nodes_per_fpga - 1) / nodes_per_fpga;
+  }
+  double cycles_to_ms(sim::Cycles c) const {
+    return static_cast<double>(c) / frequency_hz * 1e3;
+  }
+
+  /// Hop latency of the link leaving `node`: crossing an FPGA boundary is
+  /// much more expensive than an SLR crossing.
+  sim::Cycles hop_cycles(std::uint32_t node) const {
+    const std::uint32_t next = (node + 1) % num_nodes;
+    const bool crosses_fpga =
+        (node / nodes_per_fpga) != (next / nodes_per_fpga);
+    return crosses_fpga ? inter_fpga_hop_cycles : intra_fpga_hop_cycles;
+  }
+
+  void validate() const {
+    if (num_nodes == 0) throw std::invalid_argument("num_nodes must be >= 1");
+    if (n_channel == 0 || n_group == 0) {
+      throw std::invalid_argument("MP kernel must have channels and groups");
+    }
+    if (mp_block_rows == 0) {
+      throw std::invalid_argument("mp_block_rows must be >= 1");
+    }
+  }
+
+  /// Paper configurations: 1 node (one SLR), 2 nodes (one U50), 4 nodes
+  /// (two U50s).
+  static ArchConfig nodes(std::uint32_t n) {
+    ArchConfig cfg;
+    cfg.num_nodes = n;
+    return cfg;
+  }
+  static ArchConfig one_node() { return nodes(1); }
+  static ArchConfig two_node() { return nodes(2); }
+  static ArchConfig four_node() { return nodes(4); }
+
+  /// The pre-optimization configuration of Fig. 5(a).
+  ArchConfig without_optimizations() const {
+    ArchConfig cfg = *this;
+    cfg.fuse_ln_res = false;
+    cfg.headwise_pipeline = false;
+    cfg.hide_network_sync = false;
+    return cfg;
+  }
+};
+
+}  // namespace looplynx::core

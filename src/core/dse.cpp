@@ -1,0 +1,90 @@
+#include "core/dse.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "hw/resources.hpp"
+
+namespace looplynx::core {
+
+std::string DseCandidate::describe() const {
+  std::ostringstream os;
+  os << arch.n_channel << "ch x " << arch.n_group << "macs, kv"
+     << arch.kv_channels << ", score" << arch.score_lanes << ", block"
+     << arch.mp_block_rows;
+  return os.str();
+}
+
+DesignSpaceExplorer::DesignSpaceExplorer(model::ModelConfig model,
+                                         ArchConfig base, DseSpace space,
+                                         DseObjective objective)
+    : model_(model), base_(base), space_(std::move(space)),
+      objective_(objective) {}
+
+std::size_t DesignSpaceExplorer::space_size() const {
+  return space_.n_channel.size() * space_.kv_channels.size() *
+         space_.score_lanes.size() * space_.mp_block_rows.size();
+}
+
+DseCandidate DesignSpaceExplorer::evaluate(const ArchConfig& arch) const {
+  DseCandidate cand;
+  cand.arch = arch;
+  const ResourceModel rm(arch, model_);
+  cand.slr_utilization =
+      rm.per_node().max_utilization(hw::alveo_u50_slr_budget());
+  cand.fits = rm.fits_u50();
+  if (!cand.fits) {
+    cand.figure_of_merit = 1e30;
+    return cand;
+  }
+  System sys(arch, model_);
+  RunOptions opt;
+  opt.token_sample_stride = objective_.token_sample_stride;
+  const RunResult r = sys.run(objective_.prefill, objective_.decode, opt);
+  cand.avg_token_ms = r.avg_token_ms;
+  const PowerModel power;
+  const double watts = power.fpga_power_watts(arch);
+  cand.tokens_per_joule = 1e3 / (cand.avg_token_ms * watts);
+  const double energy_per_token_mj = cand.avg_token_ms * watts;  // mJ
+  cand.figure_of_merit =
+      (1.0 - objective_.energy_weight) * cand.avg_token_ms +
+      objective_.energy_weight * energy_per_token_mj / 50.0;  // comparable
+  return cand;
+}
+
+std::vector<DseCandidate> DesignSpaceExplorer::explore() const {
+  std::vector<DseCandidate> out;
+  out.reserve(space_size());
+  for (std::uint32_t ch : space_.n_channel) {
+    for (std::uint32_t kv : space_.kv_channels) {
+      for (std::uint32_t lanes : space_.score_lanes) {
+        for (std::uint32_t rows : space_.mp_block_rows) {
+          ArchConfig arch = base_;
+          arch.n_channel = ch;
+          arch.kv_channels = kv;
+          arch.score_lanes = lanes;
+          arch.mix_lanes = lanes;
+          arch.mp_block_rows = rows;
+          out.push_back(evaluate(arch));
+        }
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const DseCandidate& a, const DseCandidate& b) {
+              if (a.fits != b.fits) return a.fits;
+              return a.figure_of_merit < b.figure_of_merit;
+            });
+  return out;
+}
+
+DseCandidate DesignSpaceExplorer::best() const {
+  const auto all = explore();
+  if (all.empty() || !all.front().fits) {
+    throw std::runtime_error("no feasible design point in the space");
+  }
+  return all.front();
+}
+
+}  // namespace looplynx::core

@@ -1,0 +1,75 @@
+// Design-space exploration over LoopLynx architecture parameters.
+//
+// The paper fixes one operating point (8 channels x 32 MACs, 2 KV channels,
+// 2 nodes per U50). This module searches the surrounding space — channels,
+// attention lanes, KV channels, block granularity — subject to the SLR
+// resource budget, and ranks candidates by simulated latency or efficiency.
+// It automates the sizing argument implicit in the paper's Section III-D
+// and powers the `dse_explorer` example.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/arch_config.hpp"
+#include "core/energy.hpp"
+#include "core/resource_model.hpp"
+#include "core/system.hpp"
+#include "model/config.hpp"
+
+namespace looplynx::core {
+
+struct DseSpace {
+  std::vector<std::uint32_t> n_channel{4, 8, 12, 16};
+  std::vector<std::uint32_t> kv_channels{1, 2, 4};
+  std::vector<std::uint32_t> score_lanes{32, 64, 128};
+  std::vector<std::uint32_t> mp_block_rows{64, 128, 256};
+};
+
+struct DseObjective {
+  std::uint32_t prefill = 32;
+  std::uint32_t decode = 128;
+  std::uint32_t token_sample_stride = 16;
+  /// Weight of energy in the figure of merit: 0 = pure latency,
+  /// 1 = pure energy-per-token.
+  double energy_weight = 0.0;
+};
+
+struct DseCandidate {
+  ArchConfig arch;
+  double avg_token_ms = 0;
+  double tokens_per_joule = 0;
+  double slr_utilization = 0;  // worst-resource fraction of one SLR
+  bool fits = false;
+  double figure_of_merit = 0;  // lower is better
+
+  std::string describe() const;
+};
+
+class DesignSpaceExplorer {
+ public:
+  DesignSpaceExplorer(model::ModelConfig model, ArchConfig base,
+                      DseSpace space = {}, DseObjective objective = {});
+
+  /// Evaluates the full cross product; returns candidates sorted by figure
+  /// of merit (feasible first). Infeasible points carry fits == false and
+  /// are not simulated.
+  std::vector<DseCandidate> explore() const;
+
+  /// The best feasible candidate (throws if none fits).
+  DseCandidate best() const;
+
+  /// Number of points in the space.
+  std::size_t space_size() const;
+
+ private:
+  DseCandidate evaluate(const ArchConfig& arch) const;
+
+  model::ModelConfig model_;
+  ArchConfig base_;
+  DseSpace space_;
+  DseObjective objective_;
+};
+
+}  // namespace looplynx::core

@@ -1,0 +1,28 @@
+#include "core/energy.hpp"
+
+namespace looplynx::core {
+
+EnergyComparison compare_energy(const PowerModel& power,
+                                const ArchConfig& arch, double fpga_seconds,
+                                double gpu_seconds, std::uint64_t tokens) {
+  EnergyComparison cmp;
+  cmp.fpga_joules = power.fpga_energy_joules(arch, fpga_seconds);
+  cmp.gpu_joules = power.a100_energy_joules(gpu_seconds);
+  if (cmp.fpga_joules > 0) {
+    cmp.fpga_tokens_per_joule =
+        static_cast<double>(tokens) / cmp.fpga_joules;
+  }
+  if (cmp.gpu_joules > 0) {
+    cmp.gpu_tokens_per_joule = static_cast<double>(tokens) / cmp.gpu_joules;
+  }
+  if (cmp.gpu_tokens_per_joule > 0) {
+    cmp.efficiency_ratio =
+        cmp.fpga_tokens_per_joule / cmp.gpu_tokens_per_joule;
+  }
+  if (cmp.gpu_joules > 0) {
+    cmp.energy_fraction = cmp.fpga_joules / cmp.gpu_joules;
+  }
+  return cmp;
+}
+
+}  // namespace looplynx::core

@@ -1,0 +1,196 @@
+#include "core/functional_system.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "model/ops.hpp"
+#include "quant/quant.hpp"
+
+namespace looplynx::core {
+
+FunctionalSystem::FunctionalSystem(const quant::Gpt2Int8Weights& weights,
+                                   std::uint32_t num_nodes)
+    : weights_(&weights), num_nodes_(num_nodes) {
+  const model::ModelConfig& cfg = weights.config;
+  if (num_nodes_ == 0 || cfg.n_head % num_nodes_ != 0 ||
+      cfg.d_model % num_nodes_ != 0 || cfg.d_ff % num_nodes_ != 0) {
+    throw std::invalid_argument(
+        "num_nodes must evenly divide n_head, d_model and d_ff");
+  }
+  heads_per_node_ = cfg.n_head / num_nodes_;
+  kv_.reserve(num_nodes_);
+  for (std::uint32_t n = 0; n < num_nodes_; ++n) {
+    kv_.emplace_back(cfg, /*first_head=*/n * heads_per_node_,
+                     /*num_heads=*/heads_per_node_);
+  }
+}
+
+std::vector<float> FunctionalSystem::gather_f32(
+    std::vector<std::vector<float>> chunks) {
+  net::FunctionalRing<float> ring(num_nodes_);
+  net::RingStats stats;
+  auto buffers = ring.all_gather(chunks, &stats);
+  ring_packs_ += stats.packs_sent;
+  assert(net::FunctionalRing<float>::buffers_consistent(buffers));
+  return std::move(buffers.front());
+}
+
+std::vector<std::int8_t> FunctionalSystem::gather_i8(
+    std::vector<std::vector<std::int8_t>> chunks) {
+  net::FunctionalRing<std::int8_t> ring(num_nodes_);
+  net::RingStats stats;
+  auto buffers = ring.all_gather(chunks, &stats);
+  ring_packs_ += stats.packs_sent;
+  assert(net::FunctionalRing<std::int8_t>::buffers_consistent(buffers));
+  return std::move(buffers.front());
+}
+
+std::vector<float> FunctionalSystem::forward_token(std::uint32_t token_id) {
+  const model::ModelConfig& cfg = weights_->config;
+  assert(token_id < cfg.vocab_size);
+  assert(position_ < cfg.max_seq_len);
+  const std::uint32_t hd = cfg.head_dim();
+  const std::uint32_t d = cfg.d_model;
+  const std::uint32_t f = cfg.d_ff;
+  const std::uint32_t k = num_nodes_;
+
+  // The host distributes the same full embedding vector to all nodes
+  // (paper Fig. 2(c)); the residual stream is replicated, and all per-node
+  // copies evolve identically — we keep a single canonical copy.
+  std::vector<float> x(d);
+  const auto tok = weights_->wte.row(token_id);
+  const auto pos = weights_->wpe.row(position_);
+  for (std::uint32_t i = 0; i < d; ++i) x[i] = tok[i] + pos[i];
+
+  std::vector<float> norm(d);
+  std::vector<std::int8_t> x_q(d);
+  const std::uint32_t cur = position_;
+
+  for (std::uint32_t l = 0; l < cfg.n_layer; ++l) {
+    const quant::Int8Block& blk = weights_->blocks[l];
+
+    // ---- Stage 1: LN1 + quant (replicated on every node). ----
+    quant::stages::ln_quant(x, blk.ln1_gain, blk.ln1_bias, blk.ln1_out_scale,
+                            norm, x_q);
+
+    // ---- Stage 2+3: per-node QKV head slices, int8 attention. ----
+    std::vector<std::vector<std::int8_t>> attn_chunks(k);
+    for (std::uint32_t n = 0; n < k; ++n) {
+      const std::uint32_t h0 = n * heads_per_node_;
+      const std::uint32_t h1 = h0 + heads_per_node_;
+      // Column-parallel QKV: rows for this node's heads, in the q/k/v
+      // segments of the fused weight matrix.
+      std::vector<float> qkv_fp(3ULL * d);
+      blk.qkv.forward_rows(x_q, static_cast<std::size_t>(h0) * hd,
+                           static_cast<std::size_t>(h1) * hd,
+                           std::span<float>(qkv_fp)
+                               .subspan(static_cast<std::size_t>(h0) * hd,
+                                        static_cast<std::size_t>(h1 - h0) *
+                                            hd));
+      blk.qkv.forward_rows(
+          x_q, d + static_cast<std::size_t>(h0) * hd,
+          d + static_cast<std::size_t>(h1) * hd,
+          std::span<float>(qkv_fp).subspan(
+              d + static_cast<std::size_t>(h0) * hd,
+              static_cast<std::size_t>(h1 - h0) * hd));
+      blk.qkv.forward_rows(
+          x_q, 2ULL * d + static_cast<std::size_t>(h0) * hd,
+          2ULL * d + static_cast<std::size_t>(h1) * hd,
+          std::span<float>(qkv_fp).subspan(
+              2ULL * d + static_cast<std::size_t>(h0) * hd,
+              static_cast<std::size_t>(h1 - h0) * hd));
+
+      std::vector<std::int8_t> q_q(static_cast<std::size_t>(h1 - h0) * hd);
+      quant::stages::quantize_qkv_heads(cfg, blk, qkv_fp, l, h0, h1, kv_[n],
+                                        q_q);
+      std::vector<float> attn_local(static_cast<std::size_t>(h1 - h0) * hd);
+      quant::stages::attention_heads(cfg, blk, q_q, l, h0, h1, kv_[n], cur,
+                                     attn_local);
+      attn_chunks[n].resize(attn_local.size());
+      quant::quantize(attn_local, blk.attn_out_scale, attn_chunks[n]);
+    }
+    // Ring all-gather of the int8 attention sub-vectors.
+    const std::vector<std::int8_t> attn_q = gather_i8(std::move(attn_chunks));
+
+    // ---- Stage 4: column-parallel projection, fp32 partials gathered. ----
+    std::vector<std::vector<float>> proj_chunks(k);
+    for (std::uint32_t n = 0; n < k; ++n) {
+      proj_chunks[n].resize(d / k);
+      blk.proj.forward_rows(attn_q, static_cast<std::size_t>(n) * (d / k),
+                            static_cast<std::size_t>(n + 1) * (d / k),
+                            proj_chunks[n]);
+    }
+    const std::vector<float> proj = gather_f32(std::move(proj_chunks));
+    model::add_inplace(x, proj);
+
+    // ---- Stage 5: residual + LN2 + quant. ----
+    quant::stages::ln_quant(x, blk.ln2_gain, blk.ln2_bias, blk.ln2_out_scale,
+                            norm, x_q);
+
+    // ---- Stage 6: column-parallel FC1 + fused GELU, int8 gather. ----
+    std::vector<std::vector<std::int8_t>> ff1_chunks(k);
+    for (std::uint32_t n = 0; n < k; ++n) {
+      std::vector<float> ff1_local(f / k);
+      blk.fc1.forward_rows(x_q, static_cast<std::size_t>(n) * (f / k),
+                           static_cast<std::size_t>(n + 1) * (f / k),
+                           ff1_local);
+      ff1_chunks[n].resize(ff1_local.size());
+      quant::stages::gelu_quant(ff1_local, blk.gelu_scale, ff1_chunks[n]);
+    }
+    const std::vector<std::int8_t> ff1_q = gather_i8(std::move(ff1_chunks));
+
+    // ---- Stage 7: column-parallel FC2, fp32 partials gathered. ----
+    std::vector<std::vector<float>> ff2_chunks(k);
+    for (std::uint32_t n = 0; n < k; ++n) {
+      ff2_chunks[n].resize(d / k);
+      blk.fc2.forward_rows(ff1_q, static_cast<std::size_t>(n) * (d / k),
+                           static_cast<std::size_t>(n + 1) * (d / k),
+                           ff2_chunks[n]);
+    }
+    const std::vector<float> ff2 = gather_f32(std::move(ff2_chunks));
+    model::add_inplace(x, ff2);
+  }
+
+  for (auto& cache : kv_) cache.advance();
+  ++position_;
+  model::layer_norm(x, weights_->lnf_gain.flat(), weights_->lnf_bias.flat());
+  return x;
+}
+
+std::vector<float> FunctionalSystem::logits(
+    std::span<const float> hidden) const {
+  std::vector<float> out(weights_->config.vocab_size);
+  model::matvec(weights_->wte, hidden, out);
+  return out;
+}
+
+std::uint32_t FunctionalSystem::argmax_token(
+    std::span<const float> hidden) const {
+  const std::vector<float> lg = logits(hidden);
+  std::uint32_t best = 0;
+  for (std::uint32_t i = 1; i < lg.size(); ++i) {
+    if (lg[i] > lg[best]) best = i;
+  }
+  return best;
+}
+
+std::vector<std::uint32_t> FunctionalSystem::generate(
+    std::span<const std::uint32_t> prompt, std::uint32_t num_tokens) {
+  assert(!prompt.empty());
+  std::vector<float> hidden;
+  for (std::uint32_t t : prompt) hidden = forward_token(t);
+  std::vector<std::uint32_t> generated;
+  generated.reserve(num_tokens);
+  for (std::uint32_t i = 0; i < num_tokens; ++i) {
+    const std::uint32_t next = argmax_token(hidden);
+    generated.push_back(next);
+    if (i + 1 < num_tokens) hidden = forward_token(next);
+  }
+  return generated;
+}
+
+std::uint64_t FunctionalSystem::kv_bytes_per_node() const {
+  return kv_.empty() ? 0 : kv_.front().bytes_resident();
+}
+
+}  // namespace looplynx::core

@@ -1,0 +1,102 @@
+#include "core/resource_model.hpp"
+
+#include <algorithm>
+
+namespace looplynx::core {
+
+// Coefficient notes: the paper's Fig. 7 rows describe the *dual-node*
+// accelerator on one U50 (their sum, 1128 DSP, is twice Table II's per-node
+// 568). The estimates below are therefore per node — half of each Fig. 7
+// row at the default configuration — and fig7_rows() scales back up by the
+// number of nodes on the card. One int8 MAC maps to one DSP48 plus control.
+
+hw::ResourceVector ResourceModel::fused_mp_kernel() const {
+  const double macs = arch_.mpu_lanes();  // 256 at defaults (8 x 32)
+  return hw::ResourceVector{
+      .dsp = 1.0 * macs + 5,              // MAC array + quant multipliers
+      .lut = 45.0 * macs + 5.5e3,         // datapath + FIFO glue
+      .ff = 85.0 * macs + 6.2e3,
+      .bram = 0.4375 * macs + 8.5,        // per-slice datapack staging
+      .uram = 0,
+  };
+}
+
+hw::ResourceVector ResourceModel::fused_mha_kernel() const {
+  const double lanes = arch_.score_lanes + arch_.mix_lanes;  // 128 default
+  return hw::ResourceVector{
+      .dsp = 1.375 * lanes + 15,          // two MAC arrays + softmax exp/div
+      .lut = 125.0 * lanes + 3e3,
+      .ff = 150.0 * lanes + 3.3e3,
+      .bram = 8,                          // score/probability line buffers
+      .uram = 0,
+  };
+}
+
+hw::ResourceVector ResourceModel::fused_ln_kernel() const {
+  const double lanes = std::max(arch_.cp_lanes_fused, arch_.quant_lanes);
+  return hw::ResourceVector{
+      .dsp = 5.0 * lanes + 16,            // fp accumulate/normalize + quant
+      .lut = 600.0 * lanes + 1.9e3,
+      .ff = 750.0 * lanes + 3e3,
+      .bram = 112 + 0.5 * lanes,          // shared residual/activation buffer
+      .uram = 1,                          // KV write-combining
+  };
+}
+
+hw::ResourceVector ResourceModel::dma() const {
+  const double channels = arch_.n_channel + arch_.kv_channels;
+  return hw::ResourceVector{
+      .dsp = 0,
+      .lut = 750.0 * channels + 500,
+      .ff = 1325.0 * channels + 750,
+      .bram = 4.5 * channels + 3.5,
+      .uram = 0,
+  };
+}
+
+hw::ResourceVector ResourceModel::other_kernels() const {
+  return hw::ResourceVector{
+      .dsp = 16, .lut = 8.5e3, .ff = 13e3, .bram = 0.5, .uram = 1};
+}
+
+hw::ResourceVector ResourceModel::per_node() const {
+  return fused_mp_kernel() + fused_mha_kernel() + fused_ln_kernel() + dma() +
+         other_kernels();
+}
+
+hw::ResourceVector ResourceModel::accelerator_total() const {
+  return per_node() * static_cast<double>(arch_.num_nodes);
+}
+
+hw::ResourceVector ResourceModel::platform_shell() {
+  // XDMA shell + HBM memory subsystem on an Alveo card.
+  return hw::ResourceVector{
+      .dsp = 4, .lut = 184e3, .ff = 293e3, .bram = 330, .uram = 0};
+}
+
+std::uint32_t ResourceModel::nodes_on_card() const {
+  return std::min(arch_.num_nodes, arch_.nodes_per_fpga);
+}
+
+hw::ResourceVector ResourceModel::device_total() const {
+  return per_node() * static_cast<double>(nodes_on_card()) +
+         platform_shell();
+}
+
+std::vector<hw::ComponentUsage> ResourceModel::fig7_rows() const {
+  const double scale = nodes_on_card();
+  return {
+      {"Fused MP Kernel", fused_mp_kernel() * scale},
+      {"Fused MHA Kernel", fused_mha_kernel() * scale},
+      {"Fused LN Kernel", fused_ln_kernel() * scale},
+      {"DMA", dma() * scale},
+      {"Other Kernels/Buffer", other_kernels() * scale},
+  };
+}
+
+bool ResourceModel::fits_u50() const {
+  if (!per_node().fits_within(hw::alveo_u50_slr_budget())) return false;
+  return device_total().fits_within(hw::alveo_u50_budget());
+}
+
+}  // namespace looplynx::core

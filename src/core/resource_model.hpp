@@ -1,0 +1,59 @@
+// FPGA resource estimation for LoopLynx kernels (paper Fig. 7 / Table II).
+//
+// Per-kernel usage is computed from the architecture parameters with
+// coefficients calibrated so the default configuration reproduces the
+// paper's post-PnR numbers on the Alveo U50 (Fused MP: 522 DSP / 34K LUT /
+// 56K FF / 241 BRAM, etc.). Scaling the configuration (channels, lanes,
+// nodes) scales the estimate accordingly, which the ablation benches use.
+#pragma once
+
+#include <vector>
+
+#include "core/arch_config.hpp"
+#include "hw/resources.hpp"
+#include "model/config.hpp"
+
+namespace looplynx::core {
+
+class ResourceModel {
+ public:
+  ResourceModel(const ArchConfig& arch, const model::ModelConfig& model)
+      : arch_(arch), model_(model) {}
+
+  // Per-node kernel estimates (one SLR's accelerator).
+  hw::ResourceVector fused_mp_kernel() const;
+  hw::ResourceVector fused_mha_kernel() const;
+  hw::ResourceVector fused_ln_kernel() const;
+  hw::ResourceVector dma() const;
+  hw::ResourceVector other_kernels() const;  // router, scheduler, buffers
+
+  /// One accelerator node (sum of the five component rows).
+  hw::ResourceVector per_node() const;
+
+  /// Whole deployment across all nodes, platform shell excluded (the
+  /// Table II accounting).
+  hw::ResourceVector accelerator_total() const;
+
+  /// One device's total including the static shell (the Fig. 7 "Device
+  /// Total" row for a fully populated card).
+  hw::ResourceVector device_total() const;
+
+  /// Paper Fig. 7 component rows at device scale (the paper tabulates the
+  /// dual-node accelerator occupying one U50).
+  std::vector<hw::ComponentUsage> fig7_rows() const;
+
+  /// Number of accelerator nodes resident on one card.
+  std::uint32_t nodes_on_card() const;
+
+  /// True when every node fits its SLR and the per-card total fits the U50.
+  bool fits_u50() const;
+
+  /// Shell (XDMA + HBM controllers + clocking) — per card, node-independent.
+  static hw::ResourceVector platform_shell();
+
+ private:
+  ArchConfig arch_;
+  model::ModelConfig model_;
+};
+
+}  // namespace looplynx::core

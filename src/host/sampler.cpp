@@ -1,0 +1,55 @@
+#include "host/sampler.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace looplynx::host {
+
+Sampler::Sampler(SamplerConfig config)
+    : config_(config), rng_(config.seed) {}
+
+std::uint32_t Sampler::argmax(std::span<const float> logits) {
+  assert(!logits.empty());
+  std::uint32_t best = 0;
+  for (std::uint32_t i = 1; i < logits.size(); ++i) {
+    if (logits[i] > logits[best]) best = i;
+  }
+  return best;
+}
+
+std::uint32_t Sampler::sample(std::span<const float> logits) {
+  assert(!logits.empty());
+  if (config_.top_k == 0) return argmax(logits);
+
+  const std::uint32_t k = std::min<std::uint32_t>(
+      config_.top_k, static_cast<std::uint32_t>(logits.size()));
+  // Collect top-k indices by logit.
+  std::vector<std::uint32_t> idx(logits.size());
+  for (std::uint32_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  std::partial_sort(idx.begin(), idx.begin() + k, idx.end(),
+                    [&](std::uint32_t a, std::uint32_t b) {
+                      if (logits[a] != logits[b]) return logits[a] > logits[b];
+                      return a < b;  // deterministic tie-break
+                    });
+  idx.resize(k);
+
+  // Softmax over the k with temperature.
+  const float temp = std::max(config_.temperature, 1e-6f);
+  float max_l = logits[idx[0]];
+  std::vector<double> probs(k);
+  double sum = 0.0;
+  for (std::uint32_t i = 0; i < k; ++i) {
+    probs[i] = std::exp((logits[idx[i]] - max_l) / temp);
+    sum += probs[i];
+  }
+  double r = rng_.next_double() * sum;
+  for (std::uint32_t i = 0; i < k; ++i) {
+    r -= probs[i];
+    if (r <= 0.0) return idx[i];
+  }
+  return idx[k - 1];
+}
+
+}  // namespace looplynx::host

@@ -1,0 +1,35 @@
+// Token samplers for the host decode loop.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "util/rng.hpp"
+
+namespace looplynx::host {
+
+struct SamplerConfig {
+  /// 0 = greedy argmax. k > 0 samples from the k most likely tokens.
+  std::uint32_t top_k = 0;
+  /// Softmax temperature (>0); only used when sampling.
+  float temperature = 1.0f;
+  std::uint64_t seed = 0x5eedULL;
+};
+
+class Sampler {
+ public:
+  explicit Sampler(SamplerConfig config = {});
+
+  /// Picks the next token from raw logits.
+  std::uint32_t sample(std::span<const float> logits);
+
+  static std::uint32_t argmax(std::span<const float> logits);
+
+  const SamplerConfig& config() const { return config_; }
+
+ private:
+  SamplerConfig config_;
+  util::Rng rng_;
+};
+
+}  // namespace looplynx::host

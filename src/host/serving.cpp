@@ -1,0 +1,68 @@
+#include "host/serving.hpp"
+
+#include <stdexcept>
+
+namespace looplynx::host {
+
+Host::Host(const quant::Gpt2Int8Weights& weights, Tokenizer tokenizer,
+           core::ArchConfig arch)
+    : weights_(&weights), tokenizer_(std::move(tokenizer)), arch_(arch) {
+  if (tokenizer_.vocab_size() > weights.config.vocab_size) {
+    throw std::invalid_argument(
+        "tokenizer vocabulary exceeds the model's embedding table");
+  }
+}
+
+ServeResult Host::serve(const ServeRequest& request,
+                        const std::function<void(std::uint32_t)>& on_token) {
+  ServeResult result;
+  result.prompt_ids = tokenizer_.encode(request.prompt);
+  if (result.prompt_ids.empty()) {
+    result.prompt_ids.push_back(tokenizer_.eos_id());
+  }
+  const std::uint32_t budget_total = weights_->config.max_seq_len;
+  if (result.prompt_ids.size() >= budget_total) {
+    throw std::invalid_argument("prompt exceeds the model context window");
+  }
+
+  // ---- Functional pass: prefill then sampled decode until EOS. ----
+  core::FunctionalSystem accel(*weights_, arch_.num_nodes);
+  std::vector<float> hidden;
+  for (std::uint32_t id : result.prompt_ids) {
+    hidden = accel.forward_token(id);
+  }
+  Sampler sampler(request.sampling);
+  const std::uint32_t max_new = std::min<std::uint32_t>(
+      request.max_new_tokens,
+      budget_total - static_cast<std::uint32_t>(result.prompt_ids.size()));
+  for (std::uint32_t i = 0; i < max_new; ++i) {
+    const std::vector<float> logits = accel.logits(hidden);
+    const std::uint32_t next = sampler.sample(logits);
+    if (next == tokenizer_.eos_id()) {
+      result.hit_eos = true;
+      break;
+    }
+    result.output_ids.push_back(next);
+    if (on_token) on_token(next);
+    if (i + 1 < max_new) hidden = accel.forward_token(next);
+  }
+  result.text = tokenizer_.decode(result.output_ids);
+
+  // ---- Timing pass: the realized request shape on the timed system. ----
+  const auto prefill =
+      static_cast<std::uint32_t>(result.prompt_ids.size());
+  const auto decode =
+      static_cast<std::uint32_t>(std::max<std::size_t>(
+          result.output_ids.size() + (result.hit_eos ? 1 : 0), 1));
+  core::System timed(arch_, weights_->config);
+  core::RunOptions opt;
+  opt.token_sample_stride = 4;
+  const core::RunResult timing = timed.run(prefill, decode, opt);
+  result.prefill_ms = timing.prefill_ms;
+  result.decode_ms = timing.decode_ms;
+  result.total_ms = timing.total_ms;
+  result.decode_tokens_per_s = timing.decode_tokens_per_s;
+  return result;
+}
+
+}  // namespace looplynx::host

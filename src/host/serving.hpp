@@ -1,0 +1,66 @@
+// Host-side serving loop (paper Fig. 2(b)).
+//
+// The host owns tokenization and sampling; the accelerator owns the
+// transformer stack. serve() encodes the prompt, pushes it token by token
+// through the distributed functional accelerator (prefill), then generates
+// until EOS or the token budget — and reports the latency the same request
+// shape takes on the cycle-level timing model. Functionality and timing are
+// deliberately decoupled (DESIGN.md §3): data comes from
+// core::FunctionalSystem, cycles from core::System.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/arch_config.hpp"
+#include "core/functional_system.hpp"
+#include "core/system.hpp"
+#include "host/sampler.hpp"
+#include "host/tokenizer.hpp"
+#include "quant/int8_model.hpp"
+
+namespace looplynx::host {
+
+struct ServeRequest {
+  std::string prompt;
+  std::uint32_t max_new_tokens = 64;
+  SamplerConfig sampling;
+};
+
+struct ServeResult {
+  std::string text;  // decoded generation (without the prompt)
+  std::vector<std::uint32_t> prompt_ids;
+  std::vector<std::uint32_t> output_ids;
+  bool hit_eos = false;
+
+  // Timing estimate of this request shape on the configured deployment.
+  double prefill_ms = 0;
+  double decode_ms = 0;
+  double total_ms = 0;
+  double decode_tokens_per_s = 0;
+};
+
+class Host {
+ public:
+  /// `arch.num_nodes` selects the deployment; the functional system uses the
+  /// same partition. Throws if the tokenizer vocabulary exceeds the model's.
+  Host(const quant::Gpt2Int8Weights& weights, Tokenizer tokenizer,
+       core::ArchConfig arch);
+
+  /// Serves one request end to end. `on_token` (optional) is invoked with
+  /// each generated token id as it is produced (streaming callback).
+  ServeResult serve(const ServeRequest& request,
+                    const std::function<void(std::uint32_t)>& on_token = {});
+
+  const Tokenizer& tokenizer() const { return tokenizer_; }
+  std::uint32_t eos_id() const { return tokenizer_.eos_id(); }
+
+ private:
+  const quant::Gpt2Int8Weights* weights_;
+  Tokenizer tokenizer_;
+  core::ArchConfig arch_;
+};
+
+}  // namespace looplynx::host

@@ -1,0 +1,121 @@
+#include "host/tokenizer.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace looplynx::host {
+
+namespace {
+
+std::vector<std::string> byte_vocab() {
+  std::vector<std::string> vocab(256);
+  for (int b = 0; b < 256; ++b) {
+    vocab[b] = std::string(1, static_cast<char>(b));
+  }
+  return vocab;
+}
+
+std::vector<std::uint32_t> to_byte_ids(std::string_view text) {
+  std::vector<std::uint32_t> ids;
+  ids.reserve(text.size());
+  for (unsigned char c : text) ids.push_back(c);
+  return ids;
+}
+
+}  // namespace
+
+Tokenizer Tokenizer::byte_level() {
+  Tokenizer t;
+  t.vocab_ = byte_vocab();
+  t.vocab_.push_back("<eos>");
+  t.eos_id_ = 256;
+  return t;
+}
+
+Tokenizer Tokenizer::train(std::string_view corpus,
+                           std::uint32_t target_vocab) {
+  assert(target_vocab >= 257);
+  Tokenizer t;
+  t.vocab_ = byte_vocab();
+
+  std::vector<std::uint32_t> ids = to_byte_ids(corpus);
+  while (t.vocab_.size() + 1 < target_vocab && ids.size() >= 2) {
+    // Count adjacent pairs.
+    std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint32_t> counts;
+    for (std::size_t i = 0; i + 1 < ids.size(); ++i) {
+      ++counts[{ids[i], ids[i + 1]}];
+    }
+    // Most frequent pair (ties: lexicographically smallest, deterministic).
+    std::pair<std::uint32_t, std::uint32_t> best{};
+    std::uint32_t best_count = 0;
+    for (const auto& [pair, count] : counts) {
+      if (count > best_count) {
+        best = pair;
+        best_count = count;
+      }
+    }
+    if (best_count < 2) break;  // nothing repeats; stop merging
+
+    const auto merged_id = static_cast<std::uint32_t>(t.vocab_.size());
+    t.vocab_.push_back(t.vocab_[best.first] + t.vocab_[best.second]);
+    t.merges_.push_back({best, merged_id});
+    t.merge_lookup_[best] = merged_id;
+
+    // Apply the merge to the working sequence.
+    std::vector<std::uint32_t> next;
+    next.reserve(ids.size());
+    for (std::size_t i = 0; i < ids.size();) {
+      if (i + 1 < ids.size() && ids[i] == best.first &&
+          ids[i + 1] == best.second) {
+        next.push_back(merged_id);
+        i += 2;
+      } else {
+        next.push_back(ids[i]);
+        ++i;
+      }
+    }
+    ids = std::move(next);
+  }
+
+  t.eos_id_ = static_cast<std::uint32_t>(t.vocab_.size());
+  t.vocab_.push_back("<eos>");
+  return t;
+}
+
+std::vector<std::uint32_t> Tokenizer::encode(std::string_view text) const {
+  std::vector<std::uint32_t> ids = to_byte_ids(text);
+  // Apply merges in training order (BPE greedy-by-rank): repeatedly find the
+  // lowest-ranked applicable merge. Training order == merged-id order, so
+  // scanning merges_ in order is rank order.
+  for (const auto& [pair, merged_id] : merges_) {
+    if (ids.size() < 2) break;
+    std::vector<std::uint32_t> next;
+    next.reserve(ids.size());
+    bool applied = false;
+    for (std::size_t i = 0; i < ids.size();) {
+      if (i + 1 < ids.size() && ids[i] == pair.first &&
+          ids[i + 1] == pair.second) {
+        next.push_back(merged_id);
+        i += 2;
+        applied = true;
+      } else {
+        next.push_back(ids[i]);
+        ++i;
+      }
+    }
+    if (applied) ids = std::move(next);
+  }
+  return ids;
+}
+
+std::string Tokenizer::decode(const std::vector<std::uint32_t>& ids) const {
+  std::string out;
+  for (std::uint32_t id : ids) {
+    if (id == eos_id_) break;
+    assert(id < vocab_.size());
+    out += vocab_[id];
+  }
+  return out;
+}
+
+}  // namespace looplynx::host

@@ -1,0 +1,19 @@
+#include "hw/dma.hpp"
+
+namespace looplynx::hw {
+
+sim::Task DmaEngine::stream_blocks(std::uint64_t total_bytes,
+                                   std::uint32_t num_blocks,
+                                   sim::Fifo<DmaBlock>& out) {
+  if (total_bytes == 0 || num_blocks == 0) co_return;
+  const std::uint64_t base = total_bytes / num_blocks;
+  std::uint64_t remainder = total_bytes % num_blocks;
+  for (std::uint32_t b = 0; b < num_blocks; ++b) {
+    std::uint64_t bytes = base + (b < remainder ? 1 : 0);
+    co_await channel_->read(bytes);
+    total_bytes_ += bytes;
+    co_await out.put(DmaBlock{bytes, b, b + 1 == num_blocks});
+  }
+}
+
+}  // namespace looplynx::hw

@@ -1,0 +1,62 @@
+// DMA engine: streams weight datapacks from an HBM channel into on-chip
+// FIFOs in burst mode (paper Fig. 6(a)).
+//
+// The engine reads `pack_bytes` datapacks (n_group x 8-bit, 32 B for the
+// paper's configuration) and forwards a descriptor per block into the
+// attached stream, overlapping HBM bursts with downstream compute.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "hw/hbm.hpp"
+#include "sim/engine.hpp"
+#include "sim/fifo.hpp"
+#include "sim/task.hpp"
+
+namespace looplynx::hw {
+
+/// Descriptor of a streamed block of weight data (timing only; functional
+/// payloads travel in the functional accelerator, not the timing model).
+struct DmaBlock {
+  std::uint64_t bytes = 0;
+  std::uint32_t block_index = 0;
+  bool last = false;
+};
+
+struct DmaEngineConfig {
+  /// Datapack width streamed per cycle (paper: n_group x 8 bit = 32 B).
+  std::uint32_t pack_bytes = 32;
+  /// Minimum burst size the engine issues to HBM to keep efficiency high.
+  std::uint64_t min_burst_bytes = 4096;
+};
+
+class DmaEngine {
+ public:
+  DmaEngine(sim::Engine& engine, HbmChannel& channel, DmaEngineConfig config,
+            std::string name = "dma")
+      : engine_(&engine),
+        channel_(&channel),
+        config_(config),
+        name_(std::move(name)) {}
+
+  /// Streams `total_bytes` from HBM in `num_blocks` equal blocks, pushing a
+  /// DmaBlock descriptor into `out` as each block lands on chip. The HBM
+  /// burst for block i+1 overlaps the consumer of block i.
+  sim::Task stream_blocks(std::uint64_t total_bytes, std::uint32_t num_blocks,
+                          sim::Fifo<DmaBlock>& out);
+
+  std::uint64_t total_bytes() const noexcept { return total_bytes_; }
+  const DmaEngineConfig& config() const noexcept { return config_; }
+  HbmChannel& channel() noexcept { return *channel_; }
+  const std::string& name() const noexcept { return name_; }
+
+ private:
+  sim::Engine* engine_;
+  HbmChannel* channel_;
+  DmaEngineConfig config_;
+  std::string name_;
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace looplynx::hw

@@ -1,0 +1,45 @@
+#include "hw/platform.hpp"
+
+namespace looplynx::hw {
+
+PlatformSpec a100() {
+  return PlatformSpec{
+      .name = "Nvidia A100",
+      .process = "7nm",
+      .frequency_hz = 1065e6,
+      .compute_units = "432 Tensor Cores",
+      .memory_bandwidth_bps = 1935e9,
+      .tdp_watts = 300,
+      .compute_unit_count = 432,
+  };
+}
+
+PlatformSpec alveo_u280() {
+  return PlatformSpec{
+      .name = "Xilinx Alveo U280",
+      .process = "16nm",
+      .frequency_hz = 300e6,  // 200-300 MHz range; peak listed
+      .compute_units = "9024 DSPs",
+      .memory_bandwidth_bps = 460e9,
+      .tdp_watts = 215,
+      .compute_unit_count = 9024,
+  };
+}
+
+PlatformSpec alveo_u50() {
+  return PlatformSpec{
+      .name = "Xilinx Alveo U50",
+      .process = "16nm",
+      .frequency_hz = 300e6,
+      .compute_units = "5952 DSPs",
+      .memory_bandwidth_bps = 201e9,
+      .tdp_watts = 75,
+      .compute_unit_count = 5952,
+  };
+}
+
+std::vector<PlatformSpec> table1_platforms() {
+  return {a100(), alveo_u280(), alveo_u50()};
+}
+
+}  // namespace looplynx::hw

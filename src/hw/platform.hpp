@@ -1,0 +1,51 @@
+// Hardware platform database (paper Table I) and LoopLynx clock/bandwidth
+// parameters (paper Section III-E).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace looplynx::hw {
+
+/// Static platform description, one row of the paper's Table I.
+struct PlatformSpec {
+  std::string name;
+  std::string process;      // e.g. "7nm"
+  double frequency_hz = 0;  // nominal compute clock
+  std::string compute_units;
+  double memory_bandwidth_bps = 0;  // bytes/second, decimal units
+  double tdp_watts = 0;
+
+  /// Peak DSP count for FPGAs, tensor-core count for GPUs (informational).
+  int compute_unit_count = 0;
+};
+
+/// Nvidia A100 (paper Table I row 1).
+PlatformSpec a100();
+
+/// Xilinx Alveo U280 (paper Table I row 2) — platform for both baselines.
+PlatformSpec alveo_u280();
+
+/// Xilinx Alveo U50 (paper Table I row 3) — platform for LoopLynx.
+PlatformSpec alveo_u50();
+
+/// All Table I rows in paper order.
+std::vector<PlatformSpec> table1_platforms();
+
+/// Constants shared by the LoopLynx timing model. All bandwidths are in
+/// bytes/second (decimal); the paper quotes 8.49 GB/s per HBM pseudo-channel
+/// and the same figure for the inter-node network link.
+struct LoopLynxClocking {
+  /// Post-PnR clock of the decoupled dataflow design (paper: 285 MHz).
+  static constexpr double kFrequencyHz = 285e6;
+  /// Peak per-pseudo-channel HBM bandwidth (paper: 8.49 GB/s).
+  static constexpr double kHbmChannelBps = 8.49e9;
+  /// Peak ring-link bandwidth (paper: 8.49 GB/s).
+  static constexpr double kNetworkBps = 8.49e9;
+
+  static double hbm_bytes_per_cycle() { return kHbmChannelBps / kFrequencyHz; }
+  static double net_bytes_per_cycle() { return kNetworkBps / kFrequencyHz; }
+};
+
+}  // namespace looplynx::hw

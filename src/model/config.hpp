@@ -1,0 +1,120 @@
+// GPT-2 model hyperparameters and presets.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace looplynx::model {
+
+struct ModelConfig {
+  std::string name = "gpt2";
+  std::uint32_t n_layer = 24;
+  std::uint32_t d_model = 1024;  // l_embed in the paper
+  std::uint32_t n_head = 16;
+  std::uint32_t d_ff = 4096;
+  std::uint32_t vocab_size = 50257;
+  std::uint32_t max_seq_len = 1024;
+
+  std::uint32_t head_dim() const { return d_model / n_head; }
+
+  /// Parameter count of the transformer stack (embeddings included),
+  /// matching the usual "GPT-2 345M" accounting.
+  std::uint64_t param_count() const;
+
+  /// Bytes of weight traffic required to process one token through all
+  /// linear layers at the given bytes-per-weight (1 for int8, 2 for fp16).
+  std::uint64_t weight_bytes_per_token(std::uint32_t bytes_per_weight) const;
+
+  /// Throws std::invalid_argument when dimensions are inconsistent.
+  void validate() const;
+};
+
+/// GPT-2 medium, the paper's 345M evaluation model.
+inline ModelConfig gpt2_medium() {
+  return ModelConfig{.name = "gpt2-medium (345M)",
+                     .n_layer = 24,
+                     .d_model = 1024,
+                     .n_head = 16,
+                     .d_ff = 4096,
+                     .vocab_size = 50257,
+                     .max_seq_len = 1024};
+}
+
+/// GPT-2 small (124M) — used in scaling studies.
+inline ModelConfig gpt2_small() {
+  return ModelConfig{.name = "gpt2-small (124M)",
+                     .n_layer = 12,
+                     .d_model = 768,
+                     .n_head = 12,
+                     .d_ff = 3072,
+                     .vocab_size = 50257,
+                     .max_seq_len = 1024};
+}
+
+/// GPT-2 XL (1.5B) — used to explore multi-FPGA scaling headroom.
+inline ModelConfig gpt2_xl() {
+  return ModelConfig{.name = "gpt2-xl (1.5B)",
+                     .n_layer = 48,
+                     .d_model = 1600,
+                     .n_head = 25,
+                     .d_ff = 6400,
+                     .vocab_size = 50257,
+                     .max_seq_len = 1024};
+}
+
+/// Tiny config for functional tests: full architecture, toy dimensions.
+inline ModelConfig tiny_config() {
+  return ModelConfig{.name = "tiny",
+                     .n_layer = 2,
+                     .d_model = 32,
+                     .n_head = 4,
+                     .d_ff = 64,
+                     .vocab_size = 101,
+                     .max_seq_len = 64};
+}
+
+/// Small-but-nontrivial config for co-simulation tests.
+inline ModelConfig cosim_config() {
+  return ModelConfig{.name = "cosim",
+                     .n_layer = 3,
+                     .d_model = 64,
+                     .n_head = 8,
+                     .d_ff = 128,
+                     .vocab_size = 257,
+                     .max_seq_len = 96};
+}
+
+inline std::uint64_t ModelConfig::param_count() const {
+  const std::uint64_t d = d_model;
+  const std::uint64_t per_layer =
+      // qkv + proj
+      d * 3 * d + 3 * d + d * d + d +
+      // mlp
+      d * d_ff + d_ff + static_cast<std::uint64_t>(d_ff) * d + d +
+      // two layernorms
+      4 * d;
+  return n_layer * per_layer +
+         static_cast<std::uint64_t>(vocab_size) * d +  // wte
+         static_cast<std::uint64_t>(max_seq_len) * d +  // wpe
+         2 * d;  // final layernorm
+}
+
+inline std::uint64_t ModelConfig::weight_bytes_per_token(
+    std::uint32_t bytes_per_weight) const {
+  const std::uint64_t d = d_model;
+  const std::uint64_t per_layer = d * 3 * d + d * d +
+                                  2ULL * d * d_ff;  // qkv, proj, fc1, fc2
+  return n_layer * per_layer * bytes_per_weight;
+}
+
+inline void ModelConfig::validate() const {
+  if (d_model == 0 || n_head == 0 || n_layer == 0) {
+    throw std::invalid_argument("model dimensions must be positive");
+  }
+  if (d_model % n_head != 0) {
+    throw std::invalid_argument("d_model must be divisible by n_head");
+  }
+}
+
+}  // namespace looplynx::model

@@ -1,0 +1,127 @@
+#include "model/gpt2_ref.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "model/ops.hpp"
+
+namespace looplynx::model {
+
+Gpt2Reference::Gpt2Reference(const Gpt2Weights& weights)
+    : weights_(&weights), cache_(weights.config) {}
+
+std::vector<float> Gpt2Reference::forward_token(std::uint32_t token_id) {
+  const ModelConfig& cfg = weights_->config;
+  assert(token_id < cfg.vocab_size);
+  assert(cache_.seq_len() < cfg.max_seq_len);
+
+  // Token + positional embedding.
+  std::vector<float> x(cfg.d_model);
+  const auto tok = weights_->wte.row(token_id);
+  const auto pos = weights_->wpe.row(cache_.seq_len());
+  for (std::uint32_t i = 0; i < cfg.d_model; ++i) x[i] = tok[i] + pos[i];
+
+  std::vector<float> norm(cfg.d_model);
+  std::vector<float> qkv(3ULL * cfg.d_model);
+  std::vector<float> attn_out(cfg.d_model);
+  std::vector<float> proj(cfg.d_model);
+  std::vector<float> ff1(cfg.d_ff);
+  std::vector<float> ff2(cfg.d_model);
+
+  for (std::uint32_t l = 0; l < cfg.n_layer; ++l) {
+    const BlockWeights& b = weights_->blocks[l];
+
+    // Pre-LN attention.
+    norm.assign(x.begin(), x.end());
+    layer_norm(norm, b.ln1_gain.flat(), b.ln1_bias.flat());
+    observe("ln1_out", l, norm);
+    linear(b.w_qkv, b.b_qkv.flat(), norm, qkv);
+    observe("qkv_out", l, qkv);
+    attention(l, qkv, attn_out);
+    observe("attn_out", l, attn_out);
+    linear(b.w_proj, b.b_proj.flat(), attn_out, proj);
+    add_inplace(x, proj);
+
+    // Pre-LN MLP.
+    norm.assign(x.begin(), x.end());
+    layer_norm(norm, b.ln2_gain.flat(), b.ln2_bias.flat());
+    observe("ln2_out", l, norm);
+    linear(b.w_fc1, b.b_fc1.flat(), norm, ff1);
+    gelu(ff1);
+    observe("gelu_out", l, ff1);
+    linear(b.w_fc2, b.b_fc2.flat(), ff1, ff2);
+    add_inplace(x, ff2);
+  }
+
+  cache_.advance();
+  layer_norm(x, weights_->lnf_gain.flat(), weights_->lnf_bias.flat());
+  return x;
+}
+
+void Gpt2Reference::attention(std::uint32_t layer, std::span<const float> qkv,
+                              std::span<float> out) {
+  const ModelConfig& cfg = weights_->config;
+  const std::uint32_t hd = cfg.head_dim();
+  const float scale = 1.0f / std::sqrt(static_cast<float>(hd));
+  const std::uint32_t cur = cache_.seq_len();  // tokens already cached
+
+  // Cache this token's K/V first so attention covers positions [0, cur].
+  for (std::uint32_t h = 0; h < cfg.n_head; ++h) {
+    const std::span<const float> k = qkv.subspan(cfg.d_model + h * hd, hd);
+    const std::span<const float> v =
+        qkv.subspan(2ULL * cfg.d_model + h * hd, hd);
+    cache_.append(layer, h, k, v);
+  }
+
+  std::vector<float> scores(cur + 1);
+  for (std::uint32_t h = 0; h < cfg.n_head; ++h) {
+    const std::span<const float> q = qkv.subspan(h * hd, hd);
+    // Causal mask is implicit: only positions <= cur exist in the cache.
+    for (std::uint32_t p = 0; p <= cur; ++p) {
+      scores[p] = dot(q, cache_.key(layer, h, p)) * scale;
+    }
+    softmax(scores);
+    std::span<float> head_out = out.subspan(h * hd, hd);
+    for (std::uint32_t i = 0; i < hd; ++i) head_out[i] = 0.0f;
+    for (std::uint32_t p = 0; p <= cur; ++p) {
+      const std::span<const float> v = cache_.value(layer, h, p);
+      const float wgt = scores[p];
+      for (std::uint32_t i = 0; i < hd; ++i) head_out[i] += wgt * v[i];
+    }
+  }
+}
+
+std::vector<float> Gpt2Reference::logits(std::span<const float> hidden) const {
+  const ModelConfig& cfg = weights_->config;
+  std::vector<float> out(cfg.vocab_size);
+  matvec(weights_->wte, hidden, out);
+  return out;
+}
+
+std::uint32_t Gpt2Reference::argmax_token(
+    std::span<const float> hidden) const {
+  const std::vector<float> lg = logits(hidden);
+  std::uint32_t best = 0;
+  for (std::uint32_t i = 1; i < lg.size(); ++i) {
+    if (lg[i] > lg[best]) best = i;
+  }
+  return best;
+}
+
+std::vector<std::uint32_t> Gpt2Reference::generate(
+    std::span<const std::uint32_t> prompt, std::uint32_t num_tokens) {
+  assert(!prompt.empty());
+  std::vector<float> hidden;
+  for (std::uint32_t t : prompt) hidden = forward_token(t);
+
+  std::vector<std::uint32_t> generated;
+  generated.reserve(num_tokens);
+  for (std::uint32_t i = 0; i < num_tokens; ++i) {
+    const std::uint32_t next = argmax_token(hidden);
+    generated.push_back(next);
+    if (i + 1 < num_tokens) hidden = forward_token(next);
+  }
+  return generated;
+}
+
+}  // namespace looplynx::model

@@ -1,0 +1,66 @@
+// FP32 reference implementation of GPT-2 auto-regressive inference.
+//
+// This is the golden model: single device, KV-cached, token-by-token (both
+// prefill and decode push one token at a time, exactly like the LoopLynx
+// host loop in paper Fig. 2(b)). The quantized model and the functional
+// accelerator are validated against its outputs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "model/config.hpp"
+#include "model/kv_cache.hpp"
+#include "model/tensor.hpp"
+#include "model/weights.hpp"
+
+namespace looplynx::model {
+
+class Gpt2Reference {
+ public:
+  explicit Gpt2Reference(const Gpt2Weights& weights);
+
+  const ModelConfig& config() const { return weights_->config; }
+
+  /// Runs one token through the model, updating the KV cache; returns the
+  /// final hidden state (pre-logits) of that token.
+  std::vector<float> forward_token(std::uint32_t token_id);
+
+  /// Computes logits for a hidden state via the tied embedding.
+  std::vector<float> logits(std::span<const float> hidden) const;
+
+  /// Greedy argmax over logits.
+  std::uint32_t argmax_token(std::span<const float> hidden) const;
+
+  /// End-to-end generation: consumes `prompt`, then generates `num_tokens`
+  /// greedily. Returns all generated token ids.
+  std::vector<std::uint32_t> generate(std::span<const std::uint32_t> prompt,
+                                      std::uint32_t num_tokens);
+
+  std::uint32_t position() const { return cache_.seq_len(); }
+  void reset() { cache_.reset(); }
+
+  /// Activation-tap observer for quantization calibration. Called with a tap
+  /// name ("ln1_out", "qkv_out", "attn_out", "ln2_out", "gelu_out"), the
+  /// layer index and the activation vector at that point.
+  using TapObserver = std::function<void(
+      const char* tap, std::uint32_t layer, std::span<const float>)>;
+  void set_observer(TapObserver observer) { observer_ = std::move(observer); }
+
+ private:
+  void attention(std::uint32_t layer, std::span<const float> qkv,
+                 std::span<float> out);
+
+  void observe(const char* tap, std::uint32_t layer,
+               std::span<const float> x) const {
+    if (observer_) observer_(tap, layer, x);
+  }
+
+  const Gpt2Weights* weights_;
+  KvCache cache_;
+  TapObserver observer_;
+};
+
+}  // namespace looplynx::model

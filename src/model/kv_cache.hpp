@@ -1,0 +1,122 @@
+// Per-layer key/value cache for auto-regressive decoding (paper Fig. 1).
+//
+// Templated on the element type so the fp32 reference and the int8
+// accelerator paths share the container. Layout is head-major so a head-wise
+// partition across nodes (the paper's KV placement strategy) is a contiguous
+// slice.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "model/config.hpp"
+
+namespace looplynx::model {
+
+template <typename T>
+class KvCacheT {
+ public:
+  KvCacheT() = default;
+  KvCacheT(const ModelConfig& config, std::uint32_t first_head,
+           std::uint32_t num_heads)
+      : head_dim_(config.head_dim()),
+        first_head_(first_head),
+        num_heads_(num_heads),
+        max_seq_(config.max_seq_len),
+        n_layer_(config.n_layer),
+        keys_(static_cast<std::size_t>(n_layer_) * num_heads_ * max_seq_ *
+              head_dim_),
+        values_(keys_.size()) {}
+
+  /// Full-model cache (all heads resident, single device).
+  explicit KvCacheT(const ModelConfig& config)
+      : KvCacheT(config, 0, config.n_head) {}
+
+  std::uint32_t seq_len() const noexcept { return seq_len_; }
+  std::uint32_t num_heads() const noexcept { return num_heads_; }
+  std::uint32_t first_head() const noexcept { return first_head_; }
+  std::uint32_t head_dim() const noexcept { return head_dim_; }
+
+  bool owns_head(std::uint32_t head) const noexcept {
+    return head >= first_head_ && head < first_head_ + num_heads_;
+  }
+
+  /// Appends one token's K/V for (layer, global head). Must be called for
+  /// every owned head of every layer, then sealed with advance().
+  void append(std::uint32_t layer, std::uint32_t head, std::span<const T> k,
+              std::span<const T> v) {
+    assert(owns_head(head));
+    assert(k.size() == head_dim_ && v.size() == head_dim_);
+    assert(seq_len_ < max_seq_);
+    T* kd = key_ptr(layer, head, seq_len_);
+    T* vd = value_ptr(layer, head, seq_len_);
+    for (std::uint32_t i = 0; i < head_dim_; ++i) {
+      kd[i] = k[i];
+      vd[i] = v[i];
+    }
+  }
+
+  /// Marks the appended token as visible (call once per token step).
+  void advance() {
+    assert(seq_len_ < max_seq_);
+    ++seq_len_;
+  }
+
+  std::span<const T> key(std::uint32_t layer, std::uint32_t head,
+                         std::uint32_t pos) const {
+    assert(pos <= seq_len_);  // pos == seq_len_ reads the just-appended row
+    return {key_ptr(layer, head, pos), head_dim_};
+  }
+  std::span<const T> value(std::uint32_t layer, std::uint32_t head,
+                           std::uint32_t pos) const {
+    assert(pos <= seq_len_);
+    return {value_ptr(layer, head, pos), head_dim_};
+  }
+
+  /// Bytes resident on this device (both K and V).
+  std::uint64_t bytes_resident() const noexcept {
+    return 2ULL * keys_.size() * sizeof(T);
+  }
+
+  void reset() noexcept { seq_len_ = 0; }
+
+ private:
+  std::size_t index(std::uint32_t layer, std::uint32_t head,
+                    std::uint32_t pos) const {
+    assert(owns_head(head));
+    const std::size_t local_head = head - first_head_;
+    return ((static_cast<std::size_t>(layer) * num_heads_ + local_head) *
+                max_seq_ +
+            pos) *
+           head_dim_;
+  }
+  T* key_ptr(std::uint32_t l, std::uint32_t h, std::uint32_t p) {
+    return keys_.data() + index(l, h, p);
+  }
+  const T* key_ptr(std::uint32_t l, std::uint32_t h, std::uint32_t p) const {
+    return keys_.data() + index(l, h, p);
+  }
+  T* value_ptr(std::uint32_t l, std::uint32_t h, std::uint32_t p) {
+    return values_.data() + index(l, h, p);
+  }
+  const T* value_ptr(std::uint32_t l, std::uint32_t h,
+                     std::uint32_t p) const {
+    return values_.data() + index(l, h, p);
+  }
+
+  std::uint32_t head_dim_ = 0;
+  std::uint32_t first_head_ = 0;
+  std::uint32_t num_heads_ = 0;
+  std::uint32_t max_seq_ = 0;
+  std::uint32_t n_layer_ = 0;
+  std::uint32_t seq_len_ = 0;
+  std::vector<T> keys_;
+  std::vector<T> values_;
+};
+
+using KvCache = KvCacheT<float>;
+using KvCache8 = KvCacheT<std::int8_t>;
+
+}  // namespace looplynx::model

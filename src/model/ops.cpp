@@ -1,0 +1,87 @@
+#include "model/ops.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace looplynx::model {
+
+void linear(const Tensor& w, std::span<const float> bias,
+            std::span<const float> x, std::span<float> y) {
+  assert(w.cols() == x.size());
+  assert(w.rows() == y.size());
+  assert(bias.empty() || bias.size() == y.size());
+  for (std::size_t r = 0; r < w.rows(); ++r) {
+    const std::span<const float> row = w.row(r);
+    double acc = bias.empty() ? 0.0 : bias[r];
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      acc += static_cast<double>(row[c]) * static_cast<double>(x[c]);
+    }
+    y[r] = static_cast<float>(acc);
+  }
+}
+
+void matvec(const Tensor& w, std::span<const float> x, std::span<float> y) {
+  linear(w, {}, x, y);
+}
+
+void layer_norm(std::span<float> x, std::span<const float> gain,
+                std::span<const float> bias, float eps) {
+  assert(gain.size() == x.size());
+  assert(bias.size() == x.size());
+  double mean = 0.0;
+  for (float v : x) mean += v;
+  mean /= static_cast<double>(x.size());
+  double var = 0.0;
+  for (float v : x) {
+    const double d = v - mean;
+    var += d * d;
+  }
+  var /= static_cast<double>(x.size());
+  const double inv_std = 1.0 / std::sqrt(var + eps);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<float>((x[i] - mean) * inv_std) * gain[i] + bias[i];
+  }
+}
+
+void gelu(std::span<float> x) {
+  constexpr float kSqrt2OverPi = 0.7978845608028654f;
+  for (float& v : x) {
+    const float inner = kSqrt2OverPi * (v + 0.044715f * v * v * v);
+    v = 0.5f * v * (1.0f + std::tanh(inner));
+  }
+}
+
+void softmax(std::span<float> x) {
+  if (x.empty()) return;
+  float max_v = x[0];
+  for (float v : x) max_v = std::max(max_v, v);
+  double sum = 0.0;
+  for (float& v : x) {
+    v = std::exp(v - max_v);
+    sum += v;
+  }
+  const float inv = static_cast<float>(1.0 / sum);
+  for (float& v : x) v *= inv;
+}
+
+void add_inplace(std::span<float> x, std::span<const float> y) {
+  assert(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] += y[i];
+}
+
+float dot(std::span<const float> a, std::span<const float> b) {
+  assert(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+  }
+  return static_cast<float>(acc);
+}
+
+float abs_max(std::span<const float> x) {
+  float m = 0.0f;
+  for (float v : x) m = std::max(m, std::abs(v));
+  return m;
+}
+
+}  // namespace looplynx::model

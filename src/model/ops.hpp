@@ -1,0 +1,40 @@
+// Floating-point reference operators for the GPT-2 model.
+//
+// These are the golden implementations the quantized path and the functional
+// accelerator are verified against. Shapes follow the tensor convention:
+// weights are [out x in], activations are row vectors.
+#pragma once
+
+#include <span>
+
+#include "model/tensor.hpp"
+
+namespace looplynx::model {
+
+/// y = W x + b. W is [out x in], x has `in` elements, y gets `out`.
+void linear(const Tensor& w, std::span<const float> bias,
+            std::span<const float> x, std::span<float> y);
+
+/// y = W x (no bias).
+void matvec(const Tensor& w, std::span<const float> x, std::span<float> y);
+
+/// In-place LayerNorm with learned gain/bias; eps matches GPT-2 (1e-5).
+void layer_norm(std::span<float> x, std::span<const float> gain,
+                std::span<const float> bias, float eps = 1e-5f);
+
+/// In-place GELU (tanh approximation, as used by GPT-2).
+void gelu(std::span<float> x);
+
+/// In-place numerically-stable softmax.
+void softmax(std::span<float> x);
+
+/// x += y elementwise.
+void add_inplace(std::span<float> x, std::span<const float> y);
+
+/// Dot product.
+float dot(std::span<const float> a, std::span<const float> b);
+
+/// Max absolute value (0 for empty input).
+float abs_max(std::span<const float> x);
+
+}  // namespace looplynx::model

@@ -1,0 +1,141 @@
+#include "model/serialize.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <vector>
+
+namespace looplynx::model {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x58594C4C;  // "LLYX"
+constexpr std::uint32_t kVersion = 1;
+
+void write_u32(std::ostream& os, std::uint32_t v) {
+  unsigned char buf[4] = {static_cast<unsigned char>(v & 0xff),
+                          static_cast<unsigned char>((v >> 8) & 0xff),
+                          static_cast<unsigned char>((v >> 16) & 0xff),
+                          static_cast<unsigned char>((v >> 24) & 0xff)};
+  os.write(reinterpret_cast<const char*>(buf), 4);
+}
+
+std::uint32_t read_u32(std::istream& is) {
+  unsigned char buf[4];
+  is.read(reinterpret_cast<char*>(buf), 4);
+  if (!is) throw SerializationError("unexpected end of checkpoint");
+  return static_cast<std::uint32_t>(buf[0]) |
+         (static_cast<std::uint32_t>(buf[1]) << 8) |
+         (static_cast<std::uint32_t>(buf[2]) << 16) |
+         (static_cast<std::uint32_t>(buf[3]) << 24);
+}
+
+void write_tensor(std::ostream& os, const Tensor& t) {
+  write_u32(os, static_cast<std::uint32_t>(t.rows()));
+  write_u32(os, static_cast<std::uint32_t>(t.cols()));
+  os.write(reinterpret_cast<const char*>(t.data()),
+           static_cast<std::streamsize>(t.size() * sizeof(float)));
+}
+
+Tensor read_tensor(std::istream& is, std::size_t expect_rows,
+                   std::size_t expect_cols) {
+  const std::uint32_t rows = read_u32(is);
+  const std::uint32_t cols = read_u32(is);
+  if (rows != expect_rows || cols != expect_cols) {
+    throw SerializationError("tensor shape mismatch in checkpoint");
+  }
+  Tensor t(rows, cols);
+  is.read(reinterpret_cast<char*>(t.data()),
+          static_cast<std::streamsize>(t.size() * sizeof(float)));
+  if (!is) throw SerializationError("truncated tensor payload");
+  return t;
+}
+
+}  // namespace
+
+void save_weights(const Gpt2Weights& weights, std::ostream& os) {
+  const ModelConfig& cfg = weights.config;
+  write_u32(os, kMagic);
+  write_u32(os, kVersion);
+  write_u32(os, cfg.n_layer);
+  write_u32(os, cfg.d_model);
+  write_u32(os, cfg.n_head);
+  write_u32(os, cfg.d_ff);
+  write_u32(os, cfg.vocab_size);
+  write_u32(os, cfg.max_seq_len);
+  write_tensor(os, weights.wte);
+  write_tensor(os, weights.wpe);
+  for (const BlockWeights& b : weights.blocks) {
+    write_tensor(os, b.ln1_gain);
+    write_tensor(os, b.ln1_bias);
+    write_tensor(os, b.w_qkv);
+    write_tensor(os, b.b_qkv);
+    write_tensor(os, b.w_proj);
+    write_tensor(os, b.b_proj);
+    write_tensor(os, b.ln2_gain);
+    write_tensor(os, b.ln2_bias);
+    write_tensor(os, b.w_fc1);
+    write_tensor(os, b.b_fc1);
+    write_tensor(os, b.w_fc2);
+    write_tensor(os, b.b_fc2);
+  }
+  write_tensor(os, weights.lnf_gain);
+  write_tensor(os, weights.lnf_bias);
+  if (!os) throw SerializationError("checkpoint write failed");
+}
+
+Gpt2Weights load_weights(std::istream& is) {
+  if (read_u32(is) != kMagic) {
+    throw SerializationError("not a LoopLynx checkpoint (bad magic)");
+  }
+  if (read_u32(is) != kVersion) {
+    throw SerializationError("unsupported checkpoint version");
+  }
+  ModelConfig cfg;
+  cfg.name = "checkpoint";
+  cfg.n_layer = read_u32(is);
+  cfg.d_model = read_u32(is);
+  cfg.n_head = read_u32(is);
+  cfg.d_ff = read_u32(is);
+  cfg.vocab_size = read_u32(is);
+  cfg.max_seq_len = read_u32(is);
+  cfg.validate();
+
+  Gpt2Weights w;
+  w.config = cfg;
+  w.wte = read_tensor(is, cfg.vocab_size, cfg.d_model);
+  w.wpe = read_tensor(is, cfg.max_seq_len, cfg.d_model);
+  w.blocks.reserve(cfg.n_layer);
+  for (std::uint32_t l = 0; l < cfg.n_layer; ++l) {
+    BlockWeights b;
+    b.ln1_gain = read_tensor(is, 1, cfg.d_model);
+    b.ln1_bias = read_tensor(is, 1, cfg.d_model);
+    b.w_qkv = read_tensor(is, 3ULL * cfg.d_model, cfg.d_model);
+    b.b_qkv = read_tensor(is, 1, 3ULL * cfg.d_model);
+    b.w_proj = read_tensor(is, cfg.d_model, cfg.d_model);
+    b.b_proj = read_tensor(is, 1, cfg.d_model);
+    b.ln2_gain = read_tensor(is, 1, cfg.d_model);
+    b.ln2_bias = read_tensor(is, 1, cfg.d_model);
+    b.w_fc1 = read_tensor(is, cfg.d_ff, cfg.d_model);
+    b.b_fc1 = read_tensor(is, 1, cfg.d_ff);
+    b.w_fc2 = read_tensor(is, cfg.d_model, cfg.d_ff);
+    b.b_fc2 = read_tensor(is, 1, cfg.d_model);
+    w.blocks.push_back(std::move(b));
+  }
+  w.lnf_gain = read_tensor(is, 1, cfg.d_model);
+  w.lnf_bias = read_tensor(is, 1, cfg.d_model);
+  return w;
+}
+
+void save_weights_file(const Gpt2Weights& weights, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw SerializationError("cannot open for write: " + path);
+  save_weights(weights, os);
+}
+
+Gpt2Weights load_weights_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw SerializationError("cannot open for read: " + path);
+  return load_weights(is);
+}
+
+}  // namespace looplynx::model

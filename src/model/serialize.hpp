@@ -1,0 +1,30 @@
+// Binary serialization of model weights (checkpoint save/load).
+//
+// Format "LLYX" v1: little-endian header (magic, version, ModelConfig
+// fields) followed by raw fp32 tensor payloads in a fixed order. The loader
+// validates magic/version/shape so corrupted or mismatched files fail
+// loudly instead of producing garbage inferences.
+#pragma once
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "model/weights.hpp"
+
+namespace looplynx::model {
+
+class SerializationError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Writes a checkpoint to a stream / file.
+void save_weights(const Gpt2Weights& weights, std::ostream& os);
+void save_weights_file(const Gpt2Weights& weights, const std::string& path);
+
+/// Reads a checkpoint; throws SerializationError on malformed input.
+Gpt2Weights load_weights(std::istream& is);
+Gpt2Weights load_weights_file(const std::string& path);
+
+}  // namespace looplynx::model

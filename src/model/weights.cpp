@@ -1,0 +1,65 @@
+#include "model/weights.hpp"
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace looplynx::model {
+
+namespace {
+
+void init_normal(Tensor& t, util::Rng& rng, double sigma) {
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    t[i] = static_cast<float>(rng.normal(0.0, sigma));
+  }
+}
+
+Tensor ones(std::size_t n) { return Tensor(1, n, 1.0f); }
+
+}  // namespace
+
+Gpt2Weights Gpt2Weights::random(const ModelConfig& config,
+                                std::uint64_t seed) {
+  config.validate();
+  util::Rng rng(seed);
+  constexpr double kSigma = 0.02;
+  const double residual_sigma =
+      kSigma / std::sqrt(2.0 * static_cast<double>(config.n_layer));
+
+  Gpt2Weights w;
+  w.config = config;
+  w.wte = Tensor(config.vocab_size, config.d_model);
+  init_normal(w.wte, rng, kSigma);
+  w.wpe = Tensor(config.max_seq_len, config.d_model);
+  init_normal(w.wpe, rng, 0.01);
+
+  w.blocks.reserve(config.n_layer);
+  for (std::uint32_t l = 0; l < config.n_layer; ++l) {
+    BlockWeights b;
+    const auto d = config.d_model;
+    const auto f = config.d_ff;
+    b.ln1_gain = ones(d);
+    b.ln1_bias = Tensor(1, d, 0.0f);
+    b.w_qkv = Tensor(3ULL * d, d);
+    init_normal(b.w_qkv, rng, kSigma);
+    b.b_qkv = Tensor(1, 3ULL * d, 0.0f);
+    b.w_proj = Tensor(d, d);
+    init_normal(b.w_proj, rng, residual_sigma);
+    b.b_proj = Tensor(1, d, 0.0f);
+    b.ln2_gain = ones(d);
+    b.ln2_bias = Tensor(1, d, 0.0f);
+    b.w_fc1 = Tensor(f, d);
+    init_normal(b.w_fc1, rng, kSigma);
+    b.b_fc1 = Tensor(1, f, 0.0f);
+    b.w_fc2 = Tensor(d, f);
+    init_normal(b.w_fc2, rng, residual_sigma);
+    b.b_fc2 = Tensor(1, d, 0.0f);
+    w.blocks.push_back(std::move(b));
+  }
+
+  w.lnf_gain = ones(config.d_model);
+  w.lnf_bias = Tensor(1, config.d_model, 0.0f);
+  return w;
+}
+
+}  // namespace looplynx::model

@@ -1,0 +1,43 @@
+// GPT-2 weight container and deterministic random initialization.
+//
+// Pretrained checkpoints are unavailable offline; weights are initialized
+// with a seeded scheme matching GPT-2's published initialization (normal,
+// sigma 0.02, residual projections scaled by 1/sqrt(2*n_layer)). Timing is
+// data-independent, and functional tests verify arithmetic equivalence, so
+// random weights preserve everything the evaluation measures (DESIGN.md §2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/config.hpp"
+#include "model/tensor.hpp"
+
+namespace looplynx::model {
+
+/// One transformer block's parameters.
+struct BlockWeights {
+  Tensor ln1_gain, ln1_bias;      // [1 x d]
+  Tensor w_qkv;                   // [3d x d]
+  Tensor b_qkv;                   // [1 x 3d]
+  Tensor w_proj;                  // [d x d]
+  Tensor b_proj;                  // [1 x d]
+  Tensor ln2_gain, ln2_bias;      // [1 x d]
+  Tensor w_fc1;                   // [d_ff x d]
+  Tensor b_fc1;                   // [1 x d_ff]
+  Tensor w_fc2;                   // [d x d_ff]
+  Tensor b_fc2;                   // [1 x d]
+};
+
+struct Gpt2Weights {
+  ModelConfig config;
+  Tensor wte;  // [vocab x d] token embedding (tied with the output head)
+  Tensor wpe;  // [max_seq x d] positional embedding
+  std::vector<BlockWeights> blocks;
+  Tensor lnf_gain, lnf_bias;  // final layernorm
+
+  /// Deterministic random initialization from `seed`.
+  static Gpt2Weights random(const ModelConfig& config, std::uint64_t seed);
+};
+
+}  // namespace looplynx::model

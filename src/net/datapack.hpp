@@ -1,0 +1,21 @@
+// Datapack descriptor exchanged between accelerator nodes on the ring.
+//
+// The timing model moves descriptors (byte counts + routing metadata), not
+// payloads; the functional accelerator moves real values through the
+// functional ring (net/ring.hpp). Keeping the two separated mirrors the
+// paper's split between cycle simulation and HLS functionality.
+#pragma once
+
+#include <cstdint>
+
+namespace looplynx::net {
+
+struct Datapack {
+  std::uint64_t bytes = 0;
+  std::uint32_t src_node = 0;   // originating node id
+  std::uint32_t block = 0;      // block index within the current operation
+  std::uint32_t hops_left = 0;  // remaining forwards before retirement
+  bool last = false;            // last block of the operation
+};
+
+}  // namespace looplynx::net

@@ -1,0 +1,39 @@
+#include "net/fabric.hpp"
+
+#include <string>
+
+namespace looplynx::net {
+
+RingFabric::RingFabric(sim::Engine& engine, std::size_t num_nodes,
+                       hw::StreamLinkConfig link_config)
+    : RingFabric(engine, std::vector<hw::StreamLinkConfig>(num_nodes,
+                                                           link_config)) {}
+
+RingFabric::RingFabric(sim::Engine& engine,
+                       std::vector<hw::StreamLinkConfig> link_configs)
+    : engine_(&engine) {
+  const std::size_t num_nodes = link_configs.size();
+  links_.reserve(num_nodes);
+  rx_.reserve(num_nodes);
+  for (std::size_t n = 0; n < num_nodes; ++n) {
+    links_.push_back(std::make_unique<hw::StreamLink>(
+        engine, link_configs[n], "link" + std::to_string(n)));
+    // Router FIFOs are deep enough to absorb a round of in-flight packs.
+    rx_.push_back(std::make_unique<sim::Fifo<Datapack>>(
+        engine, 64, "rx" + std::to_string(n)));
+  }
+}
+
+sim::Task RingFabric::send(std::size_t from, Datapack pack) {
+  const std::size_t to = (from + 1) % num_nodes();
+  co_await links_[from]->send(pack.bytes);
+  co_await rx_[to]->put(pack);
+}
+
+std::uint64_t RingFabric::total_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& l : links_) total += l->total_bytes();
+  return total;
+}
+
+}  // namespace looplynx::net

@@ -1,0 +1,49 @@
+// Timed ring fabric: K simplex AXI-Stream links (node i -> node i+1 mod K)
+// with per-link serialization and hop latency, delivering Datapack
+// descriptors into per-node receive FIFOs.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "hw/link.hpp"
+#include "net/datapack.hpp"
+#include "sim/engine.hpp"
+#include "sim/fifo.hpp"
+#include "sim/task.hpp"
+
+namespace looplynx::net {
+
+class RingFabric {
+ public:
+  RingFabric(sim::Engine& engine, std::size_t num_nodes,
+             hw::StreamLinkConfig link_config);
+
+  /// Per-link configs (link i leaves node i): lets SLR-to-SLR hops and
+  /// FPGA-to-FPGA hops carry different latencies.
+  RingFabric(sim::Engine& engine,
+             std::vector<hw::StreamLinkConfig> link_configs);
+
+  std::size_t num_nodes() const noexcept { return links_.size(); }
+
+  /// The link leaving node `from` toward its successor.
+  hw::StreamLink& link(std::size_t from) { return *links_[from]; }
+
+  /// Receive FIFO of `node` (packs arriving from its predecessor).
+  sim::Fifo<Datapack>& rx(std::size_t node) { return *rx_[node]; }
+
+  /// Sends `pack` from `from` to its successor: serializes on the link,
+  /// then deposits the pack into the successor's receive FIFO.
+  sim::Task send(std::size_t from, Datapack pack);
+
+  /// Total bytes moved over all links.
+  std::uint64_t total_bytes() const;
+
+ private:
+  sim::Engine* engine_;
+  std::vector<std::unique_ptr<hw::StreamLink>> links_;
+  std::vector<std::unique_ptr<sim::Fifo<Datapack>>> rx_;
+};
+
+}  // namespace looplynx::net

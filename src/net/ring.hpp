@@ -1,0 +1,102 @@
+// Functional ring all-gather (paper Fig. 6(c)).
+//
+// Each node owns a chunk of the full embedding vector. The routing mechanism
+// proceeds in rounds: every node writes the chunk it most recently received
+// (initially its own) to its successor while reading one from its
+// predecessor, placing arrivals into its local buffer at the offset derived
+// from the chunk's source node id. After K-1 exchange rounds every node's
+// buffer holds the full vector, and all buffers are identical.
+//
+// This header-only implementation is the arithmetic-bearing path used by the
+// functional accelerator; the timed fabric lives in net/fabric.hpp.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace looplynx::net {
+
+/// Statistics of one all-gather execution.
+struct RingStats {
+  std::size_t rounds = 0;
+  std::size_t packs_sent = 0;  // total chunk transfers over all links
+};
+
+template <typename T>
+class FunctionalRing {
+ public:
+  explicit FunctionalRing(std::size_t num_nodes) : num_nodes_(num_nodes) {
+    assert(num_nodes_ >= 1);
+  }
+
+  std::size_t num_nodes() const noexcept { return num_nodes_; }
+
+  /// Performs the round-based all-gather. `chunks[i]` is node i's locally
+  /// computed sub-vector; all chunks must have equal length. Returns one
+  /// full buffer per node (all identical — verified by the caller/tests).
+  std::vector<std::vector<T>> all_gather(
+      const std::vector<std::vector<T>>& chunks, RingStats* stats = nullptr) {
+    assert(chunks.size() == num_nodes_);
+    const std::size_t chunk_len = chunks.empty() ? 0 : chunks[0].size();
+    for (const auto& c : chunks) {
+      assert(c.size() == chunk_len);
+      (void)c;
+    }
+
+    // Local buffers; each node first writes its own chunk at its offset.
+    std::vector<std::vector<T>> buffers(
+        num_nodes_, std::vector<T>(chunk_len * num_nodes_));
+    for (std::size_t n = 0; n < num_nodes_; ++n) {
+      write_chunk(buffers[n], n, chunks[n]);
+    }
+
+    // K-1 exchange rounds. in_flight[n] is the chunk node n forwards next,
+    // tagged with its source id (the router's offset bookkeeping).
+    std::vector<std::pair<std::size_t, std::vector<T>>> in_flight;
+    in_flight.reserve(num_nodes_);
+    for (std::size_t n = 0; n < num_nodes_; ++n) {
+      in_flight.emplace_back(n, chunks[n]);
+    }
+    RingStats local_stats;
+    for (std::size_t round = 1; round < num_nodes_; ++round) {
+      std::vector<std::pair<std::size_t, std::vector<T>>> next(num_nodes_);
+      for (std::size_t n = 0; n < num_nodes_; ++n) {
+        const std::size_t succ = (n + 1) % num_nodes_;
+        next[succ] = in_flight[n];
+        ++local_stats.packs_sent;
+      }
+      for (std::size_t n = 0; n < num_nodes_; ++n) {
+        write_chunk(buffers[n], next[n].first, next[n].second);
+      }
+      in_flight = std::move(next);
+      ++local_stats.rounds;
+    }
+    if (stats) *stats = local_stats;
+    return buffers;
+  }
+
+  /// True when every node's buffer is identical (post-gather invariant).
+  static bool buffers_consistent(const std::vector<std::vector<T>>& buffers) {
+    for (std::size_t n = 1; n < buffers.size(); ++n) {
+      if (buffers[n] != buffers[0]) return false;
+    }
+    return true;
+  }
+
+ private:
+  void write_chunk(std::vector<T>& buffer, std::size_t src,
+                   const std::vector<T>& chunk) const {
+    // Offset is derived from the source node id (paper: "each router
+    // maintains an offset based on the node ID").
+    const std::size_t offset = src * chunk.size();
+    for (std::size_t i = 0; i < chunk.size(); ++i) {
+      buffer[offset + i] = chunk[i];
+    }
+  }
+
+  std::size_t num_nodes_;
+};
+
+}  // namespace looplynx::net

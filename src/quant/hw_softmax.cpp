@@ -1,0 +1,81 @@
+#include "quant/hw_softmax.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace looplynx::quant {
+
+HwSoftmax::HwSoftmax(HwSoftmaxConfig config) : config_(config) {
+  const std::size_t entries = 1ULL << config_.lut_bits;
+  table_.resize(entries);
+  for (std::size_t i = 0; i < entries; ++i) {
+    const double f = static_cast<double>(i) / static_cast<double>(entries);
+    table_[i] = static_cast<float>(std::exp2(f));
+  }
+}
+
+float HwSoftmax::exp_lut(float x) const {
+  assert(x <= 0.0f);
+  if (x < -config_.clamp_range) return 0.0f;
+  // e^x = 2^(x * log2 e); split into integer shift + fractional lookup.
+  constexpr float kLog2e = 1.4426950408889634f;
+  const float y = x * kLog2e;  // <= 0
+  const float floor_y = std::floor(y);
+  const int shift = static_cast<int>(-floor_y);  // >= 0
+  const float frac = y - floor_y;                // in [0, 1)
+  const float scaled =
+      frac * static_cast<float>(table_.size());
+  const auto idx = static_cast<std::size_t>(scaled);
+  float mantissa;
+  if (config_.interpolate) {
+    const float t = scaled - static_cast<float>(idx);
+    const float lo = table_[idx];
+    const float hi =
+        idx + 1 < table_.size() ? table_[idx + 1] : 2.0f;  // 2^1
+    mantissa = lo + (hi - lo) * t;
+  } else {
+    mantissa = table_[idx];
+  }
+  return std::ldexp(mantissa, -shift);
+}
+
+void HwSoftmax::operator()(std::span<float> x) const {
+  if (x.empty()) return;
+  // Pass 0 (part of softmax.1 in hardware): running max for stability.
+  float max_v = x[0];
+  for (float v : x) max_v = std::max(max_v, v);
+  // Pass 1 (softmax.1): exponentiate via LUT and accumulate the global sum.
+  double sum = 0.0;
+  for (float& v : x) {
+    v = exp_lut(v - max_v);
+    sum += v;
+  }
+  // Pass 2 (softmax.2): normalize into weighted scores.
+  const float inv = sum > 0.0 ? static_cast<float>(1.0 / sum) : 0.0f;
+  for (float& v : x) v *= inv;
+}
+
+float HwSoftmax::max_probability_error(std::span<const float> scores,
+                                       const HwSoftmax& hw) {
+  std::vector<float> exact(scores.begin(), scores.end());
+  std::vector<float> approx(scores.begin(), scores.end());
+  // Exact softmax.
+  float max_v = exact.empty() ? 0.0f : exact[0];
+  for (float v : exact) max_v = std::max(max_v, v);
+  double sum = 0.0;
+  for (float& v : exact) {
+    v = std::exp(v - max_v);
+    sum += v;
+  }
+  for (float& v : exact) v = static_cast<float>(v / sum);
+  hw(approx);
+  float worst = 0.0f;
+  for (std::size_t i = 0; i < exact.size(); ++i) {
+    worst = std::max(worst, std::abs(exact[i] - approx[i]));
+  }
+  return worst;
+}
+
+}  // namespace looplynx::quant

@@ -1,0 +1,52 @@
+// Hardware softmax unit model (paper Fig. 6(b)'s softmax stage).
+//
+// FPGAs do not evaluate exp() in floating point: the unit computes
+// e^x = 2^(x * log2 e) by splitting the exponent into an integer part
+// (a barrel shift) and a fractional part looked up in a small BRAM table
+// with linear interpolation. This model reproduces that arithmetic so the
+// functional path can bound the accuracy cost of the hardware unit, and so
+// tests can verify the two-pass structure (sum of exponents, then
+// normalization) the head-wise pipeline hides.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace looplynx::quant {
+
+struct HwSoftmaxConfig {
+  /// log2(entries) of the fractional 2^f lookup table (BRAM depth).
+  std::uint32_t lut_bits = 8;
+  /// Enable linear interpolation between adjacent LUT entries.
+  bool interpolate = true;
+  /// Scores below (max - clamp_range) flush to zero probability, bounding
+  /// the shift range of the integer part.
+  float clamp_range = 16.0f;
+};
+
+class HwSoftmax {
+ public:
+  explicit HwSoftmax(HwSoftmaxConfig config = {});
+
+  /// In-place softmax using the LUT exponential (two passes, matching the
+  /// hardware's softmax.1 / softmax.2 split).
+  void operator()(std::span<float> x) const;
+
+  /// The LUT exponential itself: e^x for x <= 0.
+  float exp_lut(float x) const;
+
+  /// Max |hw - exact| probability error over a vector (diagnostic).
+  static float max_probability_error(std::span<const float> scores,
+                                     const HwSoftmax& hw);
+
+  const HwSoftmaxConfig& config() const { return config_; }
+  std::size_t lut_entries() const { return table_.size(); }
+
+ private:
+  HwSoftmaxConfig config_;
+  std::vector<float> table_;  // 2^f for f in [0, 1)
+};
+
+}  // namespace looplynx::quant

@@ -1,0 +1,287 @@
+#include "quant/int8_model.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "model/ops.hpp"
+
+namespace looplynx::quant {
+
+namespace {
+
+/// Tensor absmax of a tap after per-channel smoothing division.
+float smoothed_tensor_absmax(std::span<const float> channel_absmax,
+                             std::span<const float> factors) {
+  assert(channel_absmax.size() == factors.size());
+  float m = 0.0f;
+  for (std::size_t j = 0; j < channel_absmax.size(); ++j) {
+    m = std::max(m, channel_absmax[j] / factors[j]);
+  }
+  return m;
+}
+
+/// Max over a segment [begin, end) of per-channel maxima.
+float segment_absmax(std::span<const float> channel_absmax, std::size_t begin,
+                     std::size_t end) {
+  float m = 0.0f;
+  for (std::size_t j = begin; j < end && j < channel_absmax.size(); ++j) {
+    m = std::max(m, channel_absmax[j]);
+  }
+  return m;
+}
+
+}  // namespace
+
+Gpt2Int8Weights Gpt2Int8Weights::build(const model::Gpt2Weights& weights,
+                                       const CalibrationStats& stats,
+                                       float alpha) {
+  const model::ModelConfig& cfg = weights.config;
+  Gpt2Int8Weights out;
+  out.config = cfg;
+  out.wte = weights.wte;
+  out.wpe = weights.wpe;
+  out.lnf_gain = weights.lnf_gain;
+  out.lnf_bias = weights.lnf_bias;
+  out.blocks.reserve(cfg.n_layer);
+
+  for (std::uint32_t l = 0; l < cfg.n_layer; ++l) {
+    const model::BlockWeights& src = weights.blocks[l];
+    Int8Block blk;
+    blk.ln1_gain = src.ln1_gain;
+    blk.ln1_bias = src.ln1_bias;
+    blk.ln2_gain = src.ln2_gain;
+    blk.ln2_bias = src.ln2_bias;
+
+    // --- qkv: SmoothQuant-fold into ln1. ---
+    model::Tensor w_qkv = src.w_qkv;
+    const auto ln1_absmax = stats.channel_absmax("ln1_out", l);
+    std::vector<float> qkv_factors(cfg.d_model, 1.0f);
+    if (!ln1_absmax.empty()) {
+      qkv_factors = smoothing_factors(ln1_absmax,
+                                      weight_column_absmax(w_qkv), alpha);
+      apply_smoothing(w_qkv, blk.ln1_gain.flat(), blk.ln1_bias.flat(),
+                      qkv_factors);
+      blk.ln1_out_scale =
+          scale_for_absmax(smoothed_tensor_absmax(ln1_absmax, qkv_factors));
+    }
+    blk.qkv = QuantizedLinear::from_float(w_qkv, src.b_qkv.flat(),
+                                          blk.ln1_out_scale);
+
+    // --- q/k/v activation scales from the qkv_out tap. ---
+    const auto qkv_absmax = stats.channel_absmax("qkv_out", l);
+    if (!qkv_absmax.empty()) {
+      blk.q_scale =
+          scale_for_absmax(segment_absmax(qkv_absmax, 0, cfg.d_model));
+      blk.k_scale = scale_for_absmax(
+          segment_absmax(qkv_absmax, cfg.d_model, 2ULL * cfg.d_model));
+      blk.v_scale = scale_for_absmax(segment_absmax(
+          qkv_absmax, 2ULL * cfg.d_model, 3ULL * cfg.d_model));
+    }
+
+    // --- proj: plain static quantization on the attention output. ---
+    blk.attn_out_scale =
+        scale_for_absmax(stats.tensor_absmax("attn_out", l));
+    blk.proj = QuantizedLinear::from_float(src.w_proj, src.b_proj.flat(),
+                                           blk.attn_out_scale);
+
+    // --- fc1: SmoothQuant-fold into ln2. ---
+    model::Tensor w_fc1 = src.w_fc1;
+    const auto ln2_absmax = stats.channel_absmax("ln2_out", l);
+    if (!ln2_absmax.empty()) {
+      const auto fc1_factors = smoothing_factors(
+          ln2_absmax, weight_column_absmax(w_fc1), alpha);
+      apply_smoothing(w_fc1, blk.ln2_gain.flat(), blk.ln2_bias.flat(),
+                      fc1_factors);
+      blk.ln2_out_scale =
+          scale_for_absmax(smoothed_tensor_absmax(ln2_absmax, fc1_factors));
+    }
+    blk.fc1 = QuantizedLinear::from_float(w_fc1, src.b_fc1.flat(),
+                                          blk.ln2_out_scale);
+
+    // --- fc2: plain static quantization on the GELU output. ---
+    blk.gelu_scale = scale_for_absmax(stats.tensor_absmax("gelu_out", l));
+    blk.fc2 = QuantizedLinear::from_float(src.w_fc2, src.b_fc2.flat(),
+                                          blk.gelu_scale);
+
+    out.blocks.push_back(std::move(blk));
+  }
+  return out;
+}
+
+Gpt2Int8Weights Gpt2Int8Weights::build_with_calibration(
+    const model::Gpt2Weights& weights,
+    std::span<const std::uint32_t> calibration_tokens, float alpha) {
+  const CalibrationStats stats = calibrate(weights, calibration_tokens);
+  return build(weights, stats, alpha);
+}
+
+std::uint64_t Gpt2Int8Weights::weight_bytes_per_token() const {
+  std::uint64_t bytes = 0;
+  for (const Int8Block& b : blocks) {
+    bytes += b.qkv.weight_bytes() + b.proj.weight_bytes() +
+             b.fc1.weight_bytes() + b.fc2.weight_bytes();
+  }
+  return bytes;
+}
+
+namespace stages {
+
+void ln_quant(std::span<const float> x, const model::Tensor& gain,
+              const model::Tensor& bias, float scale,
+              std::span<float> norm_tmp, std::span<std::int8_t> x_q) {
+  assert(norm_tmp.size() == x.size());
+  std::copy(x.begin(), x.end(), norm_tmp.begin());
+  model::layer_norm(norm_tmp, gain.flat(), bias.flat());
+  quantize(norm_tmp, scale, x_q);
+}
+
+void quantize_qkv_heads(const model::ModelConfig& cfg, const Int8Block& blk,
+                        std::span<const float> qkv_fp, std::uint32_t layer,
+                        std::uint32_t head_begin, std::uint32_t head_end,
+                        model::KvCache8& cache, std::span<std::int8_t> q_q) {
+  const std::uint32_t hd = cfg.head_dim();
+  std::vector<std::int8_t> k_q(hd), v_q(hd);
+  for (std::uint32_t h = head_begin; h < head_end; ++h) {
+    const auto q = qkv_fp.subspan(static_cast<std::size_t>(h) * hd, hd);
+    const auto k =
+        qkv_fp.subspan(cfg.d_model + static_cast<std::size_t>(h) * hd, hd);
+    const auto v = qkv_fp.subspan(
+        2ULL * cfg.d_model + static_cast<std::size_t>(h) * hd, hd);
+    quantize(q, blk.q_scale,
+             q_q.subspan(static_cast<std::size_t>(h - head_begin) * hd, hd));
+    quantize(k, blk.k_scale, k_q);
+    quantize(v, blk.v_scale, v_q);
+    cache.append(layer, h, k_q, v_q);
+  }
+}
+
+void attention_heads(const model::ModelConfig& cfg, const Int8Block& blk,
+                     std::span<const std::int8_t> q_q, std::uint32_t layer,
+                     std::uint32_t head_begin, std::uint32_t head_end,
+                     const model::KvCache8& cache, std::uint32_t cur_pos,
+                     std::span<float> out) {
+  const std::uint32_t hd = cfg.head_dim();
+  const float score_scale = blk.q_scale * blk.k_scale /
+                            std::sqrt(static_cast<float>(hd));
+  std::vector<float> scores(cur_pos + 1);
+  std::vector<std::int8_t> probs_q(cur_pos + 1);
+
+  for (std::uint32_t h = head_begin; h < head_end; ++h) {
+    const std::uint32_t local = h - head_begin;
+    const auto q = q_q.subspan(static_cast<std::size_t>(local) * hd, hd);
+    // Scores over cached positions [0, cur_pos] (mask unit: only forward
+    // attention exists in the cache).
+    for (std::uint32_t p = 0; p <= cur_pos; ++p) {
+      scores[p] =
+          static_cast<float>(dot_i8(q, cache.key(layer, h, p))) * score_scale;
+    }
+    model::softmax(scores);
+    for (std::uint32_t p = 0; p <= cur_pos; ++p) {
+      probs_q[p] = quantize_value(scores[p], kProbScale);
+    }
+    // Token mixing on int8 probabilities and int8 cached values.
+    std::span<float> head_out =
+        out.subspan(static_cast<std::size_t>(local) * hd, hd);
+    for (std::uint32_t i = 0; i < hd; ++i) {
+      std::int32_t acc = 0;
+      for (std::uint32_t p = 0; p <= cur_pos; ++p) {
+        acc += static_cast<std::int32_t>(probs_q[p]) *
+               static_cast<std::int32_t>(cache.value(layer, h, p)[i]);
+      }
+      head_out[i] = static_cast<float>(acc) * kProbScale * blk.v_scale;
+    }
+  }
+}
+
+void gelu_quant(std::span<float> x, float scale,
+                std::span<std::int8_t> x_q) {
+  model::gelu(x);
+  quantize(x, scale, x_q);
+}
+
+}  // namespace stages
+
+Gpt2Int8::Gpt2Int8(const Gpt2Int8Weights& weights)
+    : weights_(&weights), cache_(weights.config) {}
+
+std::vector<float> Gpt2Int8::forward_token(std::uint32_t token_id) {
+  const model::ModelConfig& cfg = weights_->config;
+  assert(token_id < cfg.vocab_size);
+  assert(cache_.seq_len() < cfg.max_seq_len);
+
+  std::vector<float> x(cfg.d_model);
+  const auto tok = weights_->wte.row(token_id);
+  const auto pos = weights_->wpe.row(cache_.seq_len());
+  for (std::uint32_t i = 0; i < cfg.d_model; ++i) x[i] = tok[i] + pos[i];
+
+  std::vector<float> norm(cfg.d_model);
+  std::vector<std::int8_t> x_q(cfg.d_model);
+  std::vector<float> qkv_fp(3ULL * cfg.d_model);
+  std::vector<std::int8_t> q_q(cfg.d_model);
+  std::vector<float> attn_out(cfg.d_model);
+  std::vector<std::int8_t> attn_q(cfg.d_model);
+  std::vector<float> proj(cfg.d_model);
+  std::vector<float> ff1(cfg.d_ff);
+  std::vector<std::int8_t> ff1_q(cfg.d_ff);
+  std::vector<float> ff2(cfg.d_model);
+
+  const std::uint32_t cur = cache_.seq_len();
+  for (std::uint32_t l = 0; l < cfg.n_layer; ++l) {
+    const Int8Block& blk = weights_->blocks[l];
+
+    stages::ln_quant(x, blk.ln1_gain, blk.ln1_bias, blk.ln1_out_scale, norm,
+                     x_q);
+    blk.qkv.forward(x_q, qkv_fp);
+    stages::quantize_qkv_heads(cfg, blk, qkv_fp, l, 0, cfg.n_head, cache_,
+                               q_q);
+    stages::attention_heads(cfg, blk, q_q, l, 0, cfg.n_head, cache_, cur,
+                            attn_out);
+    quantize(attn_out, blk.attn_out_scale, attn_q);
+    blk.proj.forward(attn_q, proj);
+    model::add_inplace(x, proj);
+
+    stages::ln_quant(x, blk.ln2_gain, blk.ln2_bias, blk.ln2_out_scale, norm,
+                     x_q);
+    blk.fc1.forward(x_q, ff1);
+    stages::gelu_quant(ff1, blk.gelu_scale, ff1_q);
+    blk.fc2.forward(ff1_q, ff2);
+    model::add_inplace(x, ff2);
+  }
+
+  cache_.advance();
+  model::layer_norm(x, weights_->lnf_gain.flat(), weights_->lnf_bias.flat());
+  return x;
+}
+
+std::vector<float> Gpt2Int8::logits(std::span<const float> hidden) const {
+  std::vector<float> out(weights_->config.vocab_size);
+  model::matvec(weights_->wte, hidden, out);
+  return out;
+}
+
+std::uint32_t Gpt2Int8::argmax_token(std::span<const float> hidden) const {
+  const std::vector<float> lg = logits(hidden);
+  std::uint32_t best = 0;
+  for (std::uint32_t i = 1; i < lg.size(); ++i) {
+    if (lg[i] > lg[best]) best = i;
+  }
+  return best;
+}
+
+std::vector<std::uint32_t> Gpt2Int8::generate(
+    std::span<const std::uint32_t> prompt, std::uint32_t num_tokens) {
+  assert(!prompt.empty());
+  std::vector<float> hidden;
+  for (std::uint32_t t : prompt) hidden = forward_token(t);
+  std::vector<std::uint32_t> generated;
+  generated.reserve(num_tokens);
+  for (std::uint32_t i = 0; i < num_tokens; ++i) {
+    const std::uint32_t next = argmax_token(hidden);
+    generated.push_back(next);
+    if (i + 1 < num_tokens) hidden = forward_token(next);
+  }
+  return generated;
+}
+
+}  // namespace looplynx::quant

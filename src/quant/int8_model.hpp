@@ -1,0 +1,127 @@
+// W8A8 (SmoothQuant) GPT-2 model — the exact arithmetic LoopLynx executes.
+//
+// All four linears per block run as int8 x int8 -> int32 with static
+// per-tensor input scales and per-channel weight scales; attention runs on
+// int8 Q/K/V with an int8 KV cache (the paper stores the KV cache in HBM as
+// int8 datapacks); softmax probabilities are quantized to int8 at scale
+// 1/127 before token mixing. LayerNorm, GELU, residuals and the final head
+// stay in fp32, matching the torch-int W8A8 GPU flow the paper compares
+// against.
+//
+// The stage helpers are deliberately exposed: the functional multi-node
+// accelerator (core/functional_node) calls the same code on row/head
+// sub-ranges, which is what makes the "distributed == single-device"
+// equivalence test meaningful.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "model/config.hpp"
+#include "model/kv_cache.hpp"
+#include "model/tensor.hpp"
+#include "model/weights.hpp"
+#include "quant/quant.hpp"
+#include "quant/smoothquant.hpp"
+
+namespace looplynx::quant {
+
+/// Fixed scale for quantized softmax probabilities (range [0, 1]).
+inline constexpr float kProbScale = 1.0f / 127.0f;
+
+/// One transformer block's quantized parameters + static activation scales.
+struct Int8Block {
+  model::Tensor ln1_gain, ln1_bias;  // smoothing-folded
+  model::Tensor ln2_gain, ln2_bias;  // smoothing-folded
+  QuantizedLinear qkv;
+  QuantizedLinear proj;
+  QuantizedLinear fc1;
+  QuantizedLinear fc2;
+
+  // Static activation scales from calibration.
+  float ln1_out_scale = 1.0f;   // input scale of qkv
+  float q_scale = 1.0f;
+  float k_scale = 1.0f;
+  float v_scale = 1.0f;
+  float attn_out_scale = 1.0f;  // input scale of proj
+  float ln2_out_scale = 1.0f;   // input scale of fc1
+  float gelu_scale = 1.0f;      // input scale of fc2
+};
+
+struct Gpt2Int8Weights {
+  model::ModelConfig config;
+  model::Tensor wte, wpe;            // fp32 embeddings
+  model::Tensor lnf_gain, lnf_bias;  // fp32 final LN
+  std::vector<Int8Block> blocks;
+
+  /// Quantizes fp32 weights using calibration statistics. `alpha` is the
+  /// SmoothQuant migration strength (paper default 0.5).
+  static Gpt2Int8Weights build(const model::Gpt2Weights& weights,
+                               const CalibrationStats& stats,
+                               float alpha = 0.5f);
+
+  /// Convenience: calibrate on `calibration_tokens` then build.
+  static Gpt2Int8Weights build_with_calibration(
+      const model::Gpt2Weights& weights,
+      std::span<const std::uint32_t> calibration_tokens, float alpha = 0.5f);
+
+  /// Total int8 weight bytes streamed per token (all blocks' linears).
+  std::uint64_t weight_bytes_per_token() const;
+};
+
+/// Stage helpers shared by the single-device model and the distributed
+/// functional accelerator. All are pure functions of their arguments.
+namespace stages {
+
+/// LN + quantize: norm = LN(x); x_q = quant(norm, scale).
+void ln_quant(std::span<const float> x, const model::Tensor& gain,
+              const model::Tensor& bias, float scale,
+              std::span<float> norm_tmp, std::span<std::int8_t> x_q);
+
+/// Quantize q/k/v segments of a block's qkv output for heads
+/// [head_begin, head_end) and append K/V to the cache.
+void quantize_qkv_heads(const model::ModelConfig& cfg, const Int8Block& blk,
+                        std::span<const float> qkv_fp, std::uint32_t layer,
+                        std::uint32_t head_begin, std::uint32_t head_end,
+                        model::KvCache8& cache, std::span<std::int8_t> q_q);
+
+/// Head-wise int8 attention for heads [head_begin, head_end): writes fp32
+/// attention output into out[h*head_dim ...] using *global* head indexing
+/// offsets relative to head_begin.
+void attention_heads(const model::ModelConfig& cfg, const Int8Block& blk,
+                     std::span<const std::int8_t> q_q, std::uint32_t layer,
+                     std::uint32_t head_begin, std::uint32_t head_end,
+                     const model::KvCache8& cache, std::uint32_t cur_pos,
+                     std::span<float> out);
+
+/// GELU + quantize.
+void gelu_quant(std::span<float> x, float scale, std::span<std::int8_t> x_q);
+
+}  // namespace stages
+
+/// Single-device int8 GPT-2 (reference for the distributed accelerator).
+class Gpt2Int8 {
+ public:
+  explicit Gpt2Int8(const Gpt2Int8Weights& weights);
+
+  const model::ModelConfig& config() const { return weights_->config; }
+  const Gpt2Int8Weights& weights() const { return *weights_; }
+
+  /// One token through the quantized model; returns the final hidden state.
+  std::vector<float> forward_token(std::uint32_t token_id);
+
+  std::vector<float> logits(std::span<const float> hidden) const;
+  std::uint32_t argmax_token(std::span<const float> hidden) const;
+  std::vector<std::uint32_t> generate(std::span<const std::uint32_t> prompt,
+                                      std::uint32_t num_tokens);
+
+  std::uint32_t position() const { return cache_.seq_len(); }
+  void reset() { cache_.reset(); }
+
+ private:
+  const Gpt2Int8Weights* weights_;
+  model::KvCache8 cache_;
+};
+
+}  // namespace looplynx::quant

@@ -1,0 +1,101 @@
+#include "quant/quant.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "model/ops.hpp"
+
+namespace looplynx::quant {
+
+std::int8_t quantize_value(float v, float scale) {
+  const float scaled = v / scale;
+  const long r = std::lroundf(scaled);
+  const long clamped = std::clamp(r, -127L, 127L);
+  return static_cast<std::int8_t>(clamped);
+}
+
+void quantize(std::span<const float> x, float scale,
+              std::span<std::int8_t> q) {
+  assert(x.size() == q.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    q[i] = quantize_value(x[i], scale);
+  }
+}
+
+void dequantize(std::span<const std::int8_t> q, float scale,
+                std::span<float> x) {
+  assert(x.size() == q.size());
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    x[i] = static_cast<float>(q[i]) * scale;
+  }
+}
+
+std::int32_t dot_i8(std::span<const std::int8_t> a,
+                    std::span<const std::int8_t> b) {
+  assert(a.size() == b.size());
+  std::int32_t acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += static_cast<std::int32_t>(a[i]) * static_cast<std::int32_t>(b[i]);
+  }
+  return acc;
+}
+
+QuantizedLinear QuantizedLinear::from_float(const model::Tensor& w,
+                                            std::span<const float> bias,
+                                            float input_scale) {
+  QuantizedLinear q;
+  q.weight = model::Tensor8(w.rows(), w.cols());
+  q.weight_scales.resize(w.rows());
+  q.bias.assign(bias.begin(), bias.end());
+  q.input_scale = input_scale;
+  for (std::size_t r = 0; r < w.rows(); ++r) {
+    const auto row = w.row(r);
+    const float scale = scale_for_absmax(model::abs_max(row));
+    q.weight_scales[r] = scale;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      q.weight.at(r, c) = quantize_value(row[c], scale);
+    }
+  }
+  return q;
+}
+
+void QuantizedLinear::forward(std::span<const std::int8_t> x_q,
+                              std::span<float> y) const {
+  forward_rows(x_q, 0, weight.rows(), y);
+}
+
+void QuantizedLinear::forward_rows(std::span<const std::int8_t> x_q,
+                                   std::size_t row_begin, std::size_t row_end,
+                                   std::span<float> y) const {
+  assert(x_q.size() == weight.cols());
+  assert(row_end <= weight.rows());
+  assert(y.size() == row_end - row_begin);
+  for (std::size_t r = row_begin; r < row_end; ++r) {
+    const std::int32_t acc = dot_i8(weight.row(r), x_q);
+    const float deq =
+        static_cast<float>(acc) * input_scale * weight_scales[r];
+    y[r - row_begin] = deq + (bias.empty() ? 0.0f : bias[r]);
+  }
+}
+
+ErrorStats compare(std::span<const float> reference,
+                   std::span<const float> test) {
+  assert(reference.size() == test.size());
+  ErrorStats stats;
+  double err_sq = 0.0, ref_sq = 0.0, abs_sum = 0.0;
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    const double d = static_cast<double>(reference[i]) - test[i];
+    stats.max_abs = std::max(stats.max_abs, std::abs(d));
+    abs_sum += std::abs(d);
+    err_sq += d * d;
+    ref_sq += static_cast<double>(reference[i]) * reference[i];
+  }
+  if (!reference.empty()) {
+    stats.mean_abs = abs_sum / static_cast<double>(reference.size());
+    stats.rel_l2 = ref_sq > 0 ? std::sqrt(err_sq / ref_sq) : std::sqrt(err_sq);
+  }
+  return stats;
+}
+
+}  // namespace looplynx::quant

@@ -1,0 +1,96 @@
+#include "quant/smoothquant.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace looplynx::quant {
+
+CalibrationStats::CalibrationStats(const model::ModelConfig& config)
+    : config_(config) {}
+
+void CalibrationStats::observe(const char* tap, std::uint32_t layer,
+                               std::span<const float> x) {
+  auto& per_layer = channel_max_[tap];
+  if (per_layer.empty()) per_layer.resize(config_.n_layer);
+  auto& maxima = per_layer[layer];
+  if (maxima.empty()) maxima.assign(x.size(), 0.0f);
+  assert(maxima.size() == x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    maxima[i] = std::max(maxima[i], std::abs(x[i]));
+  }
+  ++samples_;
+}
+
+std::span<const float> CalibrationStats::channel_absmax(
+    const std::string& tap, std::uint32_t layer) const {
+  const auto it = channel_max_.find(tap);
+  if (it == channel_max_.end() || layer >= it->second.size()) return {};
+  return it->second[layer];
+}
+
+float CalibrationStats::tensor_absmax(const std::string& tap,
+                                      std::uint32_t layer) const {
+  float m = 0.0f;
+  for (float v : channel_absmax(tap, layer)) m = std::max(m, v);
+  return m;
+}
+
+CalibrationStats calibrate(
+    const model::Gpt2Weights& weights,
+    std::span<const std::uint32_t> calibration_tokens) {
+  CalibrationStats stats(weights.config);
+  model::Gpt2Reference ref(weights);
+  ref.set_observer([&stats](const char* tap, std::uint32_t layer,
+                            std::span<const float> x) {
+    stats.observe(tap, layer, x);
+  });
+  for (std::uint32_t token : calibration_tokens) {
+    (void)ref.forward_token(token);
+  }
+  return stats;
+}
+
+std::vector<float> smoothing_factors(std::span<const float> act_absmax,
+                                     std::span<const float> weight_col_absmax,
+                                     float alpha) {
+  assert(act_absmax.size() == weight_col_absmax.size());
+  std::vector<float> s(act_absmax.size(), 1.0f);
+  for (std::size_t j = 0; j < s.size(); ++j) {
+    const float a = std::max(act_absmax[j], 1e-5f);
+    const float w = std::max(weight_col_absmax[j], 1e-5f);
+    const float factor =
+        std::pow(a, alpha) / std::pow(w, 1.0f - alpha);
+    s[j] = std::clamp(factor, 1e-2f, 1e2f);
+  }
+  return s;
+}
+
+std::vector<float> weight_column_absmax(const model::Tensor& w) {
+  std::vector<float> maxima(w.cols(), 0.0f);
+  for (std::size_t r = 0; r < w.rows(); ++r) {
+    const auto row = w.row(r);
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      maxima[c] = std::max(maxima[c], std::abs(row[c]));
+    }
+  }
+  return maxima;
+}
+
+void apply_smoothing(model::Tensor& w, std::span<float> ln_gain,
+                     std::span<float> ln_bias,
+                     std::span<const float> factors) {
+  assert(w.cols() == factors.size());
+  assert(ln_gain.size() == factors.size());
+  assert(ln_bias.size() == factors.size());
+  for (std::size_t r = 0; r < w.rows(); ++r) {
+    auto row = w.row(r);
+    for (std::size_t c = 0; c < row.size(); ++c) row[c] *= factors[c];
+  }
+  for (std::size_t j = 0; j < factors.size(); ++j) {
+    ln_gain[j] /= factors[j];
+    ln_bias[j] /= factors[j];
+  }
+}
+
+}  // namespace looplynx::quant

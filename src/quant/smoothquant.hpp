@@ -1,0 +1,71 @@
+// SmoothQuant calibration and scale migration (Xiao et al., ICML 2023).
+//
+// Activation outliers make per-tensor int8 activation quantization lossy.
+// SmoothQuant migrates difficulty from activations to weights: for a linear
+// with input x and weight W, pick per-input-channel factors
+//     s_j = max|x_j|^alpha / max|W_:,j|^(1-alpha)
+// and rewrite  y = (x / s) (W * s) — numerically identical in fp32, but
+// x/s is much friendlier to quantize. For LN-fed linears (qkv, fc1) the
+// division folds into the preceding LayerNorm's affine parameters, exactly
+// as torch-int does on the GPU baseline.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "model/config.hpp"
+#include "model/gpt2_ref.hpp"
+#include "model/weights.hpp"
+
+namespace looplynx::quant {
+
+/// Per-tap, per-layer activation statistics gathered on a calibration run.
+class CalibrationStats {
+ public:
+  explicit CalibrationStats(const model::ModelConfig& config);
+
+  /// Observes one activation vector (used as a Gpt2Reference tap observer).
+  void observe(const char* tap, std::uint32_t layer,
+               std::span<const float> x);
+
+  /// Per-element (channel) absolute maxima for a tap/layer. Empty if the tap
+  /// was never observed.
+  std::span<const float> channel_absmax(const std::string& tap,
+                                        std::uint32_t layer) const;
+
+  /// Per-tensor absolute maximum for a tap/layer (0 if never observed).
+  float tensor_absmax(const std::string& tap, std::uint32_t layer) const;
+
+  std::uint64_t samples() const { return samples_; }
+
+ private:
+  model::ModelConfig config_;
+  // key: tap name; value: [n_layer][channels] running absmax.
+  std::map<std::string, std::vector<std::vector<float>>> channel_max_;
+  std::uint64_t samples_ = 0;
+};
+
+/// Runs `calibration_tokens` through a reference model instance and collects
+/// activation stats.
+CalibrationStats calibrate(const model::Gpt2Weights& weights,
+                           std::span<const std::uint32_t> calibration_tokens);
+
+/// SmoothQuant migration factors for one linear layer.
+/// `act_absmax` and `weight_col_absmax` are per-input-channel maxima.
+std::vector<float> smoothing_factors(std::span<const float> act_absmax,
+                                     std::span<const float> weight_col_absmax,
+                                     float alpha = 0.5f);
+
+/// Per-input-channel |W| column maxima of a [out x in] weight matrix.
+std::vector<float> weight_column_absmax(const model::Tensor& w);
+
+/// Applies migration in place: W[:,j] *= s_j; ln_gain[j] /= s_j;
+/// ln_bias[j] /= s_j. After this, the LN output (the linear's input) is
+/// divided by s while the product W x is unchanged in exact arithmetic.
+void apply_smoothing(model::Tensor& w, std::span<float> ln_gain,
+                     std::span<float> ln_bias, std::span<const float> factors);
+
+}  // namespace looplynx::quant

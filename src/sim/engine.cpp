@@ -1,0 +1,75 @@
+#include "sim/engine.hpp"
+
+namespace looplynx::sim {
+
+Engine::~Engine() {
+  // Drop scheduled handles without resuming them; the frames they reference
+  // are owned by roots_ (directly or through nested child tasks) and are
+  // destroyed when roots_ is cleared below.
+  while (!queue_.empty()) queue_.pop();
+  roots_.clear();
+}
+
+void Engine::schedule_at(Cycles time, std::coroutine_handle<> h) {
+  if (time < now_) time = now_;  // never schedule into the past
+  queue_.push(Item{time, seq_++, h});
+}
+
+Engine::RootId Engine::spawn(Task task) {
+  if (++spawns_since_sweep_ >= 4096) {
+    spawns_since_sweep_ = 0;
+    sweep_finished_roots();
+  }
+  const RootId id = roots_.size();
+  schedule(0, task.handle());
+  roots_.push_back(std::move(task));
+  return id;
+}
+
+void Engine::sweep_finished_roots() {
+  for (Task& root : roots_) {
+    if (root.valid() && root.done()) {
+      root.rethrow_if_failed();
+      root = Task{};  // free the frame; done() stays true for this id
+    }
+  }
+}
+
+bool Engine::root_done(RootId id) const {
+  return id < roots_.size() && roots_[id].done();
+}
+
+std::uint64_t Engine::run(std::uint64_t max_events) {
+  std::uint64_t processed = 0;
+  while (!queue_.empty() && processed < max_events) {
+    Item item = queue_.top();
+    queue_.pop();
+    now_ = item.time;
+    item.handle.resume();
+    ++processed;
+    ++events_;
+  }
+  check_root_failures();
+  return processed;
+}
+
+bool Engine::run_until(Cycles time) {
+  while (!queue_.empty() && queue_.top().time <= time) {
+    Item item = queue_.top();
+    queue_.pop();
+    now_ = item.time;
+    item.handle.resume();
+    ++events_;
+  }
+  now_ = time;
+  check_root_failures();
+  return queue_.empty();
+}
+
+void Engine::check_root_failures() {
+  for (const Task& root : roots_) {
+    if (root.done()) root.rethrow_if_failed();
+  }
+}
+
+}  // namespace looplynx::sim

@@ -1,0 +1,106 @@
+// Coroutine task type for dataflow processes in the cycle-level simulator.
+//
+// A sim::Task is a lazily-started coroutine. Tasks compose: a parent process
+// `co_await`s a child task, which runs inline in simulated time and resumes
+// the parent when it completes (symmetric transfer, no extra event). Root
+// tasks are handed to sim::Engine::spawn, which owns their frames.
+//
+// This mirrors how Vitis HLS dataflow "processes" are written: straight-line
+// code with blocking FIFO reads/writes, scheduled by the surrounding runtime.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+namespace looplynx::sim {
+
+class [[nodiscard]] Task {
+ public:
+  struct promise_type;
+  using Handle = std::coroutine_handle<promise_type>;
+
+  struct promise_type {
+    std::coroutine_handle<> continuation = std::noop_coroutine();
+    std::exception_ptr exception;
+
+    Task get_return_object() noexcept {
+      return Task{Handle::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() noexcept { return false; }
+      std::coroutine_handle<> await_suspend(Handle h) noexcept {
+        // Resume whoever awaited this task; noop_coroutine for roots.
+        return h.promise().continuation;
+      }
+      void await_resume() noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void return_void() noexcept {}
+    void unhandled_exception() noexcept {
+      exception = std::current_exception();
+    }
+  };
+
+  Task() noexcept = default;
+  explicit Task(Handle h) noexcept : handle_(h) {}
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  ~Task() { destroy(); }
+
+  bool valid() const noexcept { return static_cast<bool>(handle_); }
+  bool done() const noexcept { return !handle_ || handle_.done(); }
+  Handle handle() const noexcept { return handle_; }
+
+  /// Releases ownership of the coroutine frame to the caller.
+  Handle release() noexcept { return std::exchange(handle_, {}); }
+
+  /// Rethrows the task's stored exception, if any. Only meaningful once the
+  /// task is done.
+  void rethrow_if_failed() const {
+    if (handle_ && handle_.promise().exception) {
+      std::rethrow_exception(handle_.promise().exception);
+    }
+  }
+
+  struct Awaiter {
+    Handle handle;
+    bool await_ready() const noexcept { return !handle || handle.done(); }
+    std::coroutine_handle<> await_suspend(
+        std::coroutine_handle<> parent) noexcept {
+      handle.promise().continuation = parent;
+      return handle;  // Start the child immediately (symmetric transfer).
+    }
+    void await_resume() const {
+      if (handle && handle.promise().exception) {
+        std::rethrow_exception(handle.promise().exception);
+      }
+    }
+  };
+
+  /// Awaiting a task starts it inline and suspends the parent until done.
+  Awaiter operator co_await() const& noexcept { return Awaiter{handle_}; }
+
+ private:
+  void destroy() noexcept {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+
+  Handle handle_{};
+};
+
+}  // namespace looplynx::sim

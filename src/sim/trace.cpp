@@ -1,0 +1,79 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+
+namespace looplynx::sim {
+
+void Trace::add(const std::string& category, Cycles begin, Cycles end) {
+  if (end < begin) end = begin;
+  totals_[category] += end - begin;
+  if (keep_spans_) spans_.push_back(Span{category, begin, end});
+}
+
+void Trace::add_cycles(const std::string& category, Cycles cycles) {
+  totals_[category] += cycles;
+}
+
+Cycles Trace::total(const std::string& category) const {
+  const auto it = totals_.find(category);
+  return it == totals_.end() ? 0 : it->second;
+}
+
+Cycles Trace::grand_total() const {
+  Cycles sum = 0;
+  for (const auto& [_, cycles] : totals_) sum += cycles;
+  return sum;
+}
+
+double Trace::fraction(const std::string& category) const {
+  const Cycles all = grand_total();
+  if (all == 0) return 0.0;
+  return static_cast<double>(total(category)) / static_cast<double>(all);
+}
+
+void Trace::clear() {
+  totals_.clear();
+  spans_.clear();
+}
+
+void Trace::merge(const Trace& other) {
+  for (const auto& [category, cycles] : other.totals_) {
+    totals_[category] += cycles;
+  }
+  if (keep_spans_) {
+    spans_.insert(spans_.end(), other.spans_.begin(), other.spans_.end());
+  }
+}
+
+void Trace::print_summary(std::ostream& os) const {
+  std::vector<std::pair<std::string, Cycles>> sorted(totals_.begin(),
+                                                     totals_.end());
+  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  const double all = static_cast<double>(grand_total());
+  for (const auto& [category, cycles] : sorted) {
+    const double pct = all > 0 ? 100.0 * static_cast<double>(cycles) / all : 0;
+    os << "  " << category << ": " << cycles << " cycles (" << pct << "%)\n";
+  }
+}
+
+void Trace::export_chrome_trace(std::ostream& os,
+                                double frequency_hz) const {
+  const double us_per_cycle = 1e6 / frequency_hz;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const Span& span : spans_) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":\"" << span.category
+       << "\",\"cat\":\"mdk\",\"ph\":\"X\",\"pid\":0,\"tid\":0"
+       << ",\"ts\":" << static_cast<double>(span.begin) * us_per_cycle
+       << ",\"dur\":"
+       << static_cast<double>(span.end - span.begin) * us_per_cycle << "}";
+  }
+  os << "]}";
+}
+
+}  // namespace looplynx::sim

@@ -1,0 +1,99 @@
+// Span accounting for latency-breakdown reports (paper Fig. 5).
+//
+// The stage scheduler wraps each MDK invocation in a span; the accumulator
+// sums wall-clock cycles per category. Because LoopLynx reuses kernels
+// *temporally*, top-level stage spans tile the timeline and the per-category
+// totals are exactly the paper's breakdown. Optionally retains the full span
+// list for debugging / chrome-trace export.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace looplynx::sim {
+
+class Trace {
+ public:
+  struct Span {
+    std::string category;
+    Cycles begin = 0;
+    Cycles end = 0;
+  };
+
+  /// If `keep_spans` is false only per-category totals are retained (cheap
+  /// enough for full-sequence simulations).
+  explicit Trace(bool keep_spans = false) : keep_spans_(keep_spans) {}
+
+  void add(const std::string& category, Cycles begin, Cycles end);
+
+  /// Adds `cycles` to a category without span bookkeeping.
+  void add_cycles(const std::string& category, Cycles cycles);
+
+  /// Total cycles attributed to `category` (0 if unknown).
+  Cycles total(const std::string& category) const;
+
+  /// Sum over all categories.
+  Cycles grand_total() const;
+
+  /// Fraction of the grand total in `category` (0 if empty).
+  double fraction(const std::string& category) const;
+
+  const std::map<std::string, Cycles>& totals() const { return totals_; }
+  const std::vector<Span>& spans() const { return spans_; }
+
+  void clear();
+
+  /// Merges another trace's totals into this one.
+  void merge(const Trace& other);
+
+  /// Writes a "category: cycles (pct%)" summary, descending by cycles.
+  void print_summary(std::ostream& os) const;
+
+  /// Exports retained spans as a Chrome-tracing (chrome://tracing /
+  /// Perfetto) JSON document. Cycle timestamps are converted to
+  /// microseconds at `frequency_hz`. Requires keep_spans.
+  void export_chrome_trace(std::ostream& os, double frequency_hz) const;
+
+ private:
+  bool keep_spans_;
+  std::map<std::string, Cycles> totals_;
+  std::vector<Span> spans_;
+};
+
+/// RAII helper: measures engine.now() at construction and attributes the
+/// elapsed cycles to `category` on finish().
+class ScopedSpan {
+ public:
+  ScopedSpan(Trace& trace, Engine& engine, std::string category)
+      : trace_(&trace),
+        engine_(&engine),
+        category_(std::move(category)),
+        begin_(engine.now()) {}
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Records the span now (idempotent).
+  void finish() {
+    if (!finished_) {
+      trace_->add(category_, begin_, engine_->now());
+      finished_ = true;
+    }
+  }
+
+  ~ScopedSpan() { finish(); }
+
+ private:
+  Trace* trace_;
+  Engine* engine_;
+  std::string category_;
+  Cycles begin_;
+  bool finished_ = false;
+};
+
+}  // namespace looplynx::sim

@@ -1,0 +1,30 @@
+#include "util/csv.hpp"
+
+namespace looplynx::util {
+
+std::string CsvWriter::escape(const std::string& cell) {
+  const bool needs_quotes =
+      cell.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += "\"\"";
+    else out.push_back(ch);
+  }
+  out.push_back('"');
+  return out;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) os_ << ',';
+    os_ << escape(cells[i]);
+  }
+  os_ << '\n';
+}
+
+void CsvWriter::write_row(std::initializer_list<std::string> cells) {
+  write_row(std::vector<std::string>(cells));
+}
+
+}  // namespace looplynx::util

@@ -1,0 +1,26 @@
+// CSV emission for benchmark harnesses (series behind the paper's figures).
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace looplynx::util {
+
+/// Streams rows of comma-separated values with RFC-4180-style quoting.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& os) : os_(os) {}
+
+  void write_row(const std::vector<std::string>& cells);
+  void write_row(std::initializer_list<std::string> cells);
+
+  /// Quotes a cell if it contains a comma, quote or newline.
+  static std::string escape(const std::string& cell);
+
+ private:
+  std::ostream& os_;
+};
+
+}  // namespace looplynx::util

@@ -1,0 +1,53 @@
+#include "util/log.hpp"
+
+namespace looplynx::util {
+
+LogLevel& global_log_level() {
+  static LogLevel level = LogLevel::kInfo;
+  return level;
+}
+
+LogLevel parse_log_level(std::string_view name) {
+  if (name == "trace") return LogLevel::kTrace;
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  if (name == "off") return LogLevel::kOff;
+  return LogLevel::kInfo;
+}
+
+std::string_view log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+namespace detail {
+
+LogLine::LogLine(LogLevel level, std::string_view component)
+    : enabled_(level >= global_log_level() && level != LogLevel::kOff),
+      level_(level) {
+  if (enabled_) {
+    stream_ << '[' << log_level_name(level_) << ']';
+    if (!component.empty()) stream_ << '[' << component << ']';
+    stream_ << ' ';
+  }
+}
+
+LogLine::~LogLine() {
+  if (enabled_) {
+    stream_ << '\n';
+    std::cerr << stream_.str();
+  }
+}
+
+}  // namespace detail
+
+}  // namespace looplynx::util

@@ -1,0 +1,75 @@
+// Minimal leveled logger for the LoopLynx simulator.
+//
+// Output is deterministic (no timestamps by default) so that simulation logs
+// can be diffed between runs; verbosity is controlled globally per process.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace looplynx::util {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+/// Returns the mutable process-wide log level (default: kInfo).
+LogLevel& global_log_level();
+
+/// Parses "trace"/"debug"/"info"/"warn"/"error"/"off"; returns kInfo on
+/// unknown input.
+LogLevel parse_log_level(std::string_view name);
+
+/// Short uppercase tag for a level ("TRACE", "INFO", ...).
+std::string_view log_level_name(LogLevel level);
+
+namespace detail {
+
+/// RAII line builder: accumulates one log line and flushes it (with a level
+/// tag) on destruction. Streams to stderr so benchmark tables on stdout stay
+/// machine-readable.
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string_view component);
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine();
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+inline detail::LogLine log_trace(std::string_view component = "") {
+  return {LogLevel::kTrace, component};
+}
+inline detail::LogLine log_debug(std::string_view component = "") {
+  return {LogLevel::kDebug, component};
+}
+inline detail::LogLine log_info(std::string_view component = "") {
+  return {LogLevel::kInfo, component};
+}
+inline detail::LogLine log_warn(std::string_view component = "") {
+  return {LogLevel::kWarn, component};
+}
+inline detail::LogLine log_error(std::string_view component = "") {
+  return {LogLevel::kError, component};
+}
+
+}  // namespace looplynx::util

@@ -1,0 +1,48 @@
+// Small statistics helpers shared by benchmarks and reports.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace looplynx::util {
+
+/// Arithmetic mean; returns 0 for an empty span.
+double mean(std::span<const double> values);
+
+/// Geometric mean; values must be positive. Returns 0 for an empty span.
+/// The paper's "average speed-up" claims are ratio averages, for which the
+/// geometric mean is the correct aggregate.
+double geomean(std::span<const double> values);
+
+/// Population standard deviation; returns 0 for fewer than two values.
+double stddev(std::span<const double> values);
+
+double min_of(std::span<const double> values);
+double max_of(std::span<const double> values);
+
+/// Linear-interpolated percentile, p in [0, 100].
+double percentile(std::vector<double> values, double p);
+
+/// Streaming accumulator (Welford) for mean/variance plus min/max.
+class RunningStat {
+ public:
+  void add(double value);
+  std::size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace looplynx::util

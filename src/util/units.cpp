@@ -1,0 +1,63 @@
+#include "util/units.hpp"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace looplynx::util {
+
+double cycles_to_ms(std::uint64_t cycles, double freq_hz) {
+  return static_cast<double>(cycles) / freq_hz * 1e3;
+}
+
+double cycles_to_us(std::uint64_t cycles, double freq_hz) {
+  return static_cast<double>(cycles) / freq_hz * 1e6;
+}
+
+std::uint64_t seconds_to_cycles(double seconds, double freq_hz) {
+  return static_cast<std::uint64_t>(std::ceil(seconds * freq_hz));
+}
+
+namespace {
+
+std::string fmt_scaled(double value, const char* const* units, int count,
+                       double base) {
+  int idx = 0;
+  while (idx + 1 < count && value >= base) {
+    value /= base;
+    ++idx;
+  }
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(value < 10 ? 2 : 1) << value << ' '
+     << units[idx];
+  return os.str();
+}
+
+}  // namespace
+
+std::string fmt_bytes(std::uint64_t bytes) {
+  static const char* kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  return fmt_scaled(static_cast<double>(bytes), kUnits, 5, 1024.0);
+}
+
+std::string fmt_rate(double bytes_per_second) {
+  static const char* kUnits[] = {"B/s", "KB/s", "MB/s", "GB/s", "TB/s"};
+  return fmt_scaled(bytes_per_second, kUnits, 5, 1000.0);
+}
+
+std::string fmt_duration(double seconds) {
+  std::ostringstream os;
+  os << std::fixed;
+  if (seconds >= 1.0) {
+    os << std::setprecision(3) << seconds << " s";
+  } else if (seconds >= 1e-3) {
+    os << std::setprecision(3) << seconds * 1e3 << " ms";
+  } else if (seconds >= 1e-6) {
+    os << std::setprecision(3) << seconds * 1e6 << " us";
+  } else {
+    os << std::setprecision(1) << seconds * 1e9 << " ns";
+  }
+  return os.str();
+}
+
+}  // namespace looplynx::util

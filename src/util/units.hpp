@@ -1,0 +1,28 @@
+// Unit conversion and pretty-printing helpers (cycles, time, bytes, rates).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace looplynx::util {
+
+/// Converts a cycle count at `freq_hz` into milliseconds.
+double cycles_to_ms(std::uint64_t cycles, double freq_hz);
+
+/// Converts a cycle count at `freq_hz` into microseconds.
+double cycles_to_us(std::uint64_t cycles, double freq_hz);
+
+/// Converts seconds to a cycle count at `freq_hz` (rounded up).
+std::uint64_t seconds_to_cycles(double seconds, double freq_hz);
+
+/// Pretty prints a byte count ("12.0 MiB").
+std::string fmt_bytes(std::uint64_t bytes);
+
+/// Pretty prints a rate in bytes/second ("8.49 GB/s", decimal units as used
+/// by the paper for HBM bandwidth).
+std::string fmt_rate(double bytes_per_second);
+
+/// Pretty prints a duration in seconds ("3.85 ms").
+std::string fmt_duration(double seconds);
+
+}  // namespace looplynx::util

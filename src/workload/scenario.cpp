@@ -1,0 +1,25 @@
+#include "workload/scenario.hpp"
+
+namespace looplynx::workload {
+
+Scenario make_scenario(std::uint32_t prefill, std::uint32_t decode) {
+  return Scenario{"[" + std::to_string(prefill) + ":" +
+                      std::to_string(decode) + "]",
+                  prefill, decode};
+}
+
+std::vector<Scenario> fig8_scenarios() {
+  std::vector<Scenario> out;
+  for (std::uint32_t prefill : {32u, 64u, 128u}) {
+    for (std::uint32_t decode : {32u, 128u, 512u}) {
+      out.push_back(make_scenario(prefill, decode));
+    }
+  }
+  return out;
+}
+
+Scenario chatbot() { return make_scenario(32, 512); }
+Scenario code_generation() { return make_scenario(64, 512); }
+Scenario summarization() { return make_scenario(128, 32); }
+
+}  // namespace looplynx::workload

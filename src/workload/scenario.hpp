@@ -1,0 +1,32 @@
+// [prefill : decode] workload scenarios used throughout the evaluation
+// (paper Fig. 8's x-axis).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace looplynx::workload {
+
+struct Scenario {
+  std::string name;          // e.g. "[64:512]"
+  std::uint32_t prefill = 0;
+  std::uint32_t decode = 0;
+
+  std::uint32_t total() const { return prefill + decode; }
+};
+
+/// Builds the "[p:d]" display name.
+Scenario make_scenario(std::uint32_t prefill, std::uint32_t decode);
+
+/// The Fig. 8 sweep: prefill in {32, 64, 128} x decode in {32, 128, 512}.
+/// Long-decode columns model chatbots/code generation; short-decode columns
+/// model classification-style usage where the GPU's batched prefill wins.
+std::vector<Scenario> fig8_scenarios();
+
+/// Named application workloads referenced in the paper's introduction.
+Scenario chatbot();          // short prompt, long generation
+Scenario code_generation();  // medium prompt, long generation
+Scenario summarization();    // long prompt, short generation
+
+}  // namespace looplynx::workload

@@ -1,0 +1,158 @@
+// Tests for the comparison baselines: A100 analytic model, DFX-style
+// temporal simulator, spatial-architecture simulator — including the
+// paper-shape relations (who wins where, by roughly what factor).
+#include <gtest/gtest.h>
+
+#include "baseline/gpu_a100.hpp"
+#include "baseline/spatial_arch.hpp"
+#include "baseline/temporal_dfx.hpp"
+#include "core/arch_config.hpp"
+#include "core/system.hpp"
+#include "model/config.hpp"
+#include "workload/scenario.hpp"
+
+namespace looplynx::baseline {
+namespace {
+
+TEST(A100ModelTest, DecodeIsLaunchBoundNotBandwidthBound) {
+  const A100Model gpu(model::gpt2_medium());
+  const double t = gpu.decode_token_seconds(256);
+  // Pure weight streaming would take ~0.3 ms; measured small-batch decode
+  // sits far above it.
+  EXPECT_GT(t, 3e-3);
+  EXPECT_LT(t, 10e-3);
+}
+
+TEST(A100ModelTest, PrefillBatchesEfficiently) {
+  const A100Model gpu(model::gpt2_medium());
+  // 128 prompt tokens cost barely more than one decode step.
+  const double prefill = gpu.prefill_seconds(128);
+  const double decode128 = 128 * gpu.decode_token_seconds(64);
+  EXPECT_LT(prefill, decode128 / 20);
+}
+
+TEST(A100ModelTest, DecodeLatencyGrowsWithSequence) {
+  const A100Model gpu(model::gpt2_medium());
+  EXPECT_GT(gpu.decode_token_seconds(1000), gpu.decode_token_seconds(1));
+}
+
+TEST(A100ModelTest, RequestComposition) {
+  const A100Model gpu(model::gpt2_medium());
+  const double total = gpu.request_seconds(32, 2);
+  const double expect = gpu.prefill_seconds(32) +
+                        gpu.decode_token_seconds(32) +
+                        gpu.decode_token_seconds(33);
+  EXPECT_DOUBLE_EQ(total, expect);
+}
+
+TEST(TemporalModelTest, MatchesPublishedDfxLatency) {
+  const TemporalModel dfx(model::gpt2_medium());
+  // Paper Table II: 5.37 ms per token on one U280.
+  EXPECT_NEAR(dfx.avg_token_ms(64, 512), 5.37, 0.30);
+}
+
+TEST(TemporalModelTest, OverheadDominatesBandwidth) {
+  const TemporalModel dfx(model::gpt2_medium());
+  const TemporalBreakdown b = dfx.breakdown(256);
+  // The serialized instruction stream wastes more time than the raw fp16
+  // weight streaming — the motivation for LoopLynx's dataflow design.
+  EXPECT_GT(b.overhead_ms + b.compute_ms, b.memory_ms);
+  EXPECT_GT(b.memory_ms, 0.0);
+}
+
+TEST(TemporalModelTest, Fp16DoublesWeightTraffic) {
+  TemporalConfig int8_cfg;
+  int8_cfg.bytes_per_weight = 1;
+  const TemporalModel fp16(model::gpt2_medium());
+  const TemporalModel int8(model::gpt2_medium(), int8_cfg);
+  EXPECT_NEAR(fp16.breakdown(128).memory_ms,
+              2.0 * int8.breakdown(128).memory_ms, 1e-9);
+}
+
+TEST(SpatialModelTest, MatchesPublishedLatency) {
+  const SpatialModel spatial(model::gpt2_medium());
+  // Paper Table II: 4.17 ms weighted per-token latency.
+  EXPECT_NEAR(spatial.avg_token_ms(64, 512), 4.17, 0.30);
+}
+
+TEST(SpatialModelTest, PrefillPipelinesDecodeDoesNot) {
+  const SpatialModel spatial(model::gpt2_medium());
+  // Task-level pipelining makes prefill an order of magnitude cheaper per
+  // token than serialized decode (paper Fig. 3(b)).
+  EXPECT_LT(spatial.prefill_token_ms() * 5, spatial.decode_token_ms(128));
+}
+
+TEST(SpatialModelTest, ResourcePartitioningCostsDecodeLatency) {
+  SpatialConfig merged;
+  merged.matrix_kernel_groups = 1;  // hypothetical: all ports to one kernel
+  const SpatialModel split(model::gpt2_medium());
+  const SpatialModel one_kernel(model::gpt2_medium(), merged);
+  EXPECT_GT(split.decode_token_ms(128), one_kernel.decode_token_ms(128));
+}
+
+// --- Cross-system paper-shape checks (Table II + Fig. 8 headlines). ---
+
+class PaperShapeTest : public ::testing::Test {
+ protected:
+  static double looplynx_ms(std::uint32_t nodes) {
+    core::System sys(core::ArchConfig::nodes(nodes), model::gpt2_medium());
+    core::RunOptions opt;
+    opt.token_sample_stride = 32;
+    return sys.run(64, 512, opt).avg_token_ms;
+  }
+};
+
+TEST_F(PaperShapeTest, TwoNodeBeatsBothFpgaBaselines) {
+  const double ours = looplynx_ms(2);
+  const TemporalModel dfx(model::gpt2_medium());
+  const SpatialModel spatial(model::gpt2_medium());
+  const double vs_dfx = dfx.avg_token_ms(64, 512) / ours;
+  const double vs_spatial = spatial.avg_token_ms(64, 512) / ours;
+  // Paper: 1.39x and 1.08x.
+  EXPECT_NEAR(vs_dfx, 1.39, 0.20);
+  EXPECT_NEAR(vs_spatial, 1.08, 0.15);
+}
+
+TEST_F(PaperShapeTest, FourNodeExtendsTheLead) {
+  const double ours = looplynx_ms(4);
+  const TemporalModel dfx(model::gpt2_medium());
+  const SpatialModel spatial(model::gpt2_medium());
+  // Paper: 2.11x and 1.64x.
+  EXPECT_NEAR(dfx.avg_token_ms(64, 512) / ours, 2.11, 0.30);
+  EXPECT_NEAR(spatial.avg_token_ms(64, 512) / ours, 1.64, 0.25);
+}
+
+TEST_F(PaperShapeTest, SingleNodeIsSlowerButResourceLean) {
+  const double ours = looplynx_ms(1);
+  const TemporalModel dfx(model::gpt2_medium());
+  const SpatialModel spatial(model::gpt2_medium());
+  // Paper: 1-node LoopLynx is slightly slower than both baselines.
+  EXPECT_GT(ours, dfx.avg_token_ms(64, 512));
+  EXPECT_GT(ours, spatial.avg_token_ms(64, 512));
+}
+
+TEST_F(PaperShapeTest, GpuWinsShortDecodeLosesLongDecode) {
+  const A100Model gpu(model::gpt2_medium());
+  const model::ModelConfig m = model::gpt2_medium();
+  core::System two(core::ArchConfig::two_node(), m);
+  core::RunOptions opt;
+  opt.token_sample_stride = 16;
+
+  // [128:32]: prefill-heavy — A100 wins (paper Fig. 8(a)).
+  const auto sum128 = workload::summarization();
+  const double fpga_short =
+      two.run(sum128.prefill, sum128.decode, opt).total_ms;
+  const double gpu_short =
+      gpu.request_seconds(sum128.prefill, sum128.decode) * 1e3;
+  EXPECT_LT(gpu_short, fpga_short);
+
+  // [32:512]: long generation — LoopLynx wins by ~1.7x.
+  const auto chat = workload::chatbot();
+  const double fpga_long = two.run(chat.prefill, chat.decode, opt).total_ms;
+  const double gpu_long =
+      gpu.request_seconds(chat.prefill, chat.decode) * 1e3;
+  EXPECT_NEAR(gpu_long / fpga_long, 1.67, 0.25);
+}
+
+}  // namespace
+}  // namespace looplynx::baseline

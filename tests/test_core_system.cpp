@@ -1,0 +1,254 @@
+// Tests for the timed LoopLynx system: stage schedule invariants, scaling
+// behaviour, optimization ablations, and paper-shape checks.
+#include <gtest/gtest.h>
+
+#include "core/arch_config.hpp"
+#include "core/node.hpp"
+#include "core/system.hpp"
+#include "model/config.hpp"
+
+namespace looplynx::core {
+namespace {
+
+model::ModelConfig small_model() {
+  // Full architecture at reduced depth so tests stay fast.
+  model::ModelConfig cfg = model::gpt2_medium();
+  cfg.n_layer = 4;
+  return cfg;
+}
+
+TEST(ArchConfigTest, DerivedQuantities) {
+  const ArchConfig cfg = ArchConfig::two_node();
+  EXPECT_NEAR(cfg.hbm_bytes_per_cycle(), 29.79, 0.05);
+  EXPECT_EQ(cfg.mpu_lanes(), 256u);
+  EXPECT_EQ(cfg.num_fpgas(), 1u);
+  EXPECT_EQ(ArchConfig::four_node().num_fpgas(), 2u);
+  EXPECT_EQ(ArchConfig::one_node().num_fpgas(), 1u);
+}
+
+TEST(ArchConfigTest, HopLatencyDependsOnFpgaBoundary) {
+  const ArchConfig four = ArchConfig::four_node();
+  // Nodes 0,1 on FPGA 0; nodes 2,3 on FPGA 1.
+  EXPECT_EQ(four.hop_cycles(0), four.intra_fpga_hop_cycles);
+  EXPECT_EQ(four.hop_cycles(1), four.inter_fpga_hop_cycles);
+  EXPECT_EQ(four.hop_cycles(2), four.intra_fpga_hop_cycles);
+  EXPECT_EQ(four.hop_cycles(3), four.inter_fpga_hop_cycles);
+}
+
+TEST(ArchConfigTest, ValidateRejectsZeroNodes) {
+  ArchConfig cfg;
+  cfg.num_nodes = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(SystemTest, RejectsIndivisiblePartition) {
+  ArchConfig cfg = ArchConfig::nodes(3);  // 16 heads % 3 != 0
+  EXPECT_THROW(System(cfg, model::gpt2_medium()), std::invalid_argument);
+}
+
+TEST(SystemTest, SingleTokenRunProducesPositiveLatency) {
+  System sys(ArchConfig::one_node(), small_model());
+  const RunResult r = sys.run(1, 0);
+  EXPECT_GT(r.total_cycles, 0u);
+  EXPECT_EQ(r.prefill_tokens, 1u);
+  EXPECT_EQ(r.decode_tokens, 0u);
+  EXPECT_DOUBLE_EQ(r.total_ms, r.prefill_ms);
+}
+
+TEST(SystemTest, LatencyGrowsWithSequencePosition) {
+  System sys(ArchConfig::one_node(), small_model());
+  RunOptions opt;
+  opt.keep_token_timings = true;
+  const RunResult r = sys.run(1, 16, opt);
+  ASSERT_EQ(r.tokens.size(), 17u);
+  // KV reads grow with position: later tokens cannot be cheaper.
+  EXPECT_GE(r.tokens.back().cycles, r.tokens.front().cycles);
+  EXPECT_GT(r.tokens.back().cycles, 0u);
+}
+
+TEST(SystemTest, MoreNodesAreFasterButSubLinear) {
+  const model::ModelConfig m = small_model();
+  const double t1 = System(ArchConfig::one_node(), m)
+                        .run(4, 12).avg_token_ms;
+  const double t2 = System(ArchConfig::two_node(), m)
+                        .run(4, 12).avg_token_ms;
+  const double t4 = System(ArchConfig::four_node(), m)
+                        .run(4, 12).avg_token_ms;
+  EXPECT_LT(t2, t1);
+  EXPECT_LT(t4, t2);
+  // Sub-linear speed-up (paper Table III): strictly below ideal 2x.
+  EXPECT_LT(t1 / t2, 2.0);
+  EXPECT_LT(t2 / t4, 2.0);
+  // But still substantial: above 1.2x per doubling.
+  EXPECT_GT(t1 / t2, 1.2);
+  EXPECT_GT(t2 / t4, 1.2);
+}
+
+TEST(SystemTest, SampledRunApproximatesExactRun) {
+  System sys(ArchConfig::two_node(), small_model());
+  RunOptions exact;
+  RunOptions sampled;
+  sampled.token_sample_stride = 8;
+  const double t_exact = sys.run(8, 48, exact).total_ms;
+  const double t_sampled = sys.run(8, 48, sampled).total_ms;
+  EXPECT_NEAR(t_sampled, t_exact, 0.02 * t_exact)
+      << "stride interpolation deviates >2%";
+}
+
+TEST(SystemTest, OptimizationsReduceLatency) {
+  const model::ModelConfig m = small_model();
+  const ArchConfig opt = ArchConfig::one_node();
+  const ArchConfig base = opt.without_optimizations();
+  const double t_opt = System(opt, m).run(2, 14).avg_token_ms;
+  const double t_base = System(base, m).run(2, 14).avg_token_ms;
+  EXPECT_LT(t_opt, t_base);
+  // Combined improvement in the paper's ballpark (>10%, <40%).
+  const double gain = 1.0 - t_opt / t_base;
+  EXPECT_GT(gain, 0.10);
+  EXPECT_LT(gain, 0.40);
+}
+
+TEST(SystemTest, HeadwisePipelineHidesSoftmax) {
+  const model::ModelConfig m = small_model();
+  ArchConfig serial = ArchConfig::one_node();
+  serial.headwise_pipeline = false;
+  ArchConfig pipelined = ArchConfig::one_node();
+  pipelined.headwise_pipeline = true;
+
+  const RunResult r_serial = System(serial, m).run(1, 7);
+  const RunResult r_pipe = System(pipelined, m).run(1, 7);
+  EXPECT_GT(r_serial.trace.total(category::kSoftmax), 0u);
+  EXPECT_EQ(r_pipe.trace.total(category::kSoftmax), 0u);
+  EXPECT_LT(r_pipe.total_cycles, r_serial.total_cycles);
+}
+
+TEST(SystemTest, FusedLnResShrinksCriticalPath) {
+  const model::ModelConfig m = small_model();
+  ArchConfig fused = ArchConfig::one_node();
+  ArchConfig unfused = ArchConfig::one_node();
+  unfused.fuse_ln_res = false;
+  const RunResult r_fused = System(fused, m).run(1, 7);
+  const RunResult r_unfused = System(unfused, m).run(1, 7);
+  EXPECT_LT(r_fused.trace.total(category::kCriticalPath),
+            r_unfused.trace.total(category::kCriticalPath));
+}
+
+TEST(SystemTest, SyncHidingReducesExposedSync) {
+  const model::ModelConfig m = small_model();
+  ArchConfig hidden = ArchConfig::two_node();
+  ArchConfig exposed = ArchConfig::two_node();
+  exposed.hide_network_sync = false;
+  const RunResult r_hidden = System(hidden, m).run(1, 7);
+  const RunResult r_exposed = System(exposed, m).run(1, 7);
+  EXPECT_LT(r_hidden.trace.total(category::kSync),
+            r_exposed.trace.total(category::kSync));
+  EXPECT_LE(r_hidden.total_cycles, r_exposed.total_cycles);
+}
+
+TEST(SystemTest, SingleNodeHasNoExposedSync) {
+  const RunResult r =
+      System(ArchConfig::one_node(), small_model()).run(1, 7);
+  EXPECT_EQ(r.trace.total(category::kSync), 0u);
+  EXPECT_EQ(r.net_bytes, 0u);
+}
+
+TEST(SystemTest, MultiNodeMovesRingTraffic) {
+  const RunResult r =
+      System(ArchConfig::two_node(), small_model()).run(1, 3);
+  EXPECT_GT(r.net_bytes, 0u);
+}
+
+TEST(SystemTest, HbmTrafficMatchesWeightFootprint) {
+  const model::ModelConfig m = small_model();
+  System sys(ArchConfig::one_node(), m);
+  const RunResult r = sys.run(1, 0);
+  // One token streams all linear weights once (int8), plus KV traffic.
+  const std::uint64_t weights = m.weight_bytes_per_token(1);
+  EXPECT_GE(r.hbm_bytes, weights);
+  EXPECT_LT(r.hbm_bytes, weights + weights / 4);
+}
+
+TEST(SystemTest, WeightTrafficSplitsAcrossNodes) {
+  const model::ModelConfig m = small_model();
+  const RunResult r1 = System(ArchConfig::one_node(), m).run(1, 0);
+  const RunResult r2 = System(ArchConfig::two_node(), m).run(1, 0);
+  // Total traffic across all nodes is conserved (each node reads its rows).
+  EXPECT_NEAR(static_cast<double>(r2.hbm_bytes),
+              static_cast<double>(r1.hbm_bytes),
+              0.05 * static_cast<double>(r1.hbm_bytes));
+}
+
+TEST(SystemTest, BreakdownCoversTimeline) {
+  const RunResult r =
+      System(ArchConfig::one_node(), small_model()).run(1, 3);
+  // Stage spans tile each token's timeline; totals must roughly equal the
+  // request duration (host sync is added separately per token).
+  const double covered = static_cast<double>(r.trace.grand_total());
+  EXPECT_NEAR(covered, static_cast<double>(r.total_cycles),
+              0.02 * static_cast<double>(r.total_cycles));
+}
+
+// Property sweep: latency is monotone in each capacity knob.
+struct Knob {
+  const char* name;
+  void (*apply)(ArchConfig&);
+};
+
+class KnobMonotonicityTest : public ::testing::TestWithParam<Knob> {};
+
+TEST_P(KnobMonotonicityTest, MoreHardwareIsNotSlower) {
+  const model::ModelConfig m = small_model();
+  ArchConfig base = ArchConfig::one_node();
+  ArchConfig better = base;
+  GetParam().apply(better);
+  const double t_base = System(base, m).run(1, 7).avg_token_ms;
+  const double t_better = System(better, m).run(1, 7).avg_token_ms;
+  EXPECT_LE(t_better, t_base * 1.001) << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Knobs, KnobMonotonicityTest,
+    ::testing::Values(
+        Knob{"double_channels", [](ArchConfig& c) { c.n_channel *= 2; }},
+        Knob{"double_kv_channels", [](ArchConfig& c) { c.kv_channels *= 2; }},
+        Knob{"double_score_lanes",
+             [](ArchConfig& c) { c.score_lanes *= 2; }},
+        Knob{"double_cp_lanes",
+             [](ArchConfig& c) { c.cp_lanes_fused *= 2; }},
+        Knob{"faster_softmax", [](ArchConfig& c) { c.softmax_lanes = 4; }},
+        Knob{"higher_hbm_eff",
+             [](ArchConfig& c) { c.hbm_efficiency = 0.99; }}),
+    [](const ::testing::TestParamInfo<Knob>& info) {
+      return info.param.name;
+    });
+
+// Paper-shape regression: the full GPT-2 345M configuration reproduces the
+// published per-token latencies within tolerance. Uses stride sampling to
+// stay fast; bands are deliberately wide (±12%) — this guards the shape,
+// not the decimals.
+struct PaperPoint {
+  std::uint32_t nodes;
+  double expected_ms;  // paper Table II
+};
+
+class PaperLatencyTest : public ::testing::TestWithParam<PaperPoint> {};
+
+TEST_P(PaperLatencyTest, TableIITokenLatencyWithinBand) {
+  const PaperPoint p = GetParam();
+  System sys(ArchConfig::nodes(p.nodes), model::gpt2_medium());
+  RunOptions opt;
+  opt.token_sample_stride = 32;
+  const double ms = sys.run(64, 512, opt).avg_token_ms;
+  EXPECT_NEAR(ms, p.expected_ms, 0.12 * p.expected_ms);
+}
+
+INSTANTIATE_TEST_SUITE_P(TableII, PaperLatencyTest,
+                         ::testing::Values(PaperPoint{1, 6.59},
+                                           PaperPoint{2, 3.85},
+                                           PaperPoint{4, 2.55}),
+                         [](const ::testing::TestParamInfo<PaperPoint>& i) {
+                           return "nodes" + std::to_string(i.param.nodes);
+                         });
+
+}  // namespace
+}  // namespace looplynx::core

@@ -1,0 +1,129 @@
+// Tests for the power/energy model and the FPGA resource model, including
+// the Fig. 7 calibration checks.
+#include <gtest/gtest.h>
+
+#include "core/energy.hpp"
+#include "core/resource_model.hpp"
+#include "hw/resources.hpp"
+#include "model/config.hpp"
+
+namespace looplynx::core {
+namespace {
+
+TEST(PowerModelTest, CalibratedDeploymentPower) {
+  const PowerModel p;
+  // Back-solved from the paper's energy ratios (DESIGN.md §2): ~43 W for
+  // one node, ~62 W for one full U50, ~124 W for the dual-FPGA setup.
+  EXPECT_NEAR(p.fpga_power_watts(ArchConfig::one_node()), 43.0, 0.5);
+  EXPECT_NEAR(p.fpga_power_watts(ArchConfig::two_node()), 62.0, 0.5);
+  EXPECT_NEAR(p.fpga_power_watts(ArchConfig::four_node()), 124.0, 1.0);
+}
+
+TEST(PowerModelTest, PowerStaysUnderBoardTdp) {
+  const PowerModel p;
+  // One U50 (2 nodes) must stay under the 75 W card budget (Table I).
+  EXPECT_LT(p.fpga_power_watts(ArchConfig::two_node()), 75.0);
+}
+
+TEST(EnergyComparisonTest, RatiosAreConsistent) {
+  const PowerModel p;
+  const ArchConfig arch = ArchConfig::two_node();
+  // FPGA finishes in 2 s, GPU in 3.34 s (1.67x speed-up), 576 tokens.
+  const EnergyComparison cmp = compare_energy(p, arch, 2.0, 3.34, 576);
+  EXPECT_NEAR(cmp.fpga_joules, 62.0 * 2.0, 1.0);
+  EXPECT_NEAR(cmp.gpu_joules, 100.0 * 3.34, 1.0);
+  // Paper-shape: ~37% of the GPU energy, ~2.7x token/J.
+  EXPECT_NEAR(cmp.energy_fraction, 0.373, 0.02);
+  EXPECT_NEAR(cmp.efficiency_ratio, 2.69, 0.15);
+  EXPECT_GT(cmp.fpga_tokens_per_joule, cmp.gpu_tokens_per_joule);
+}
+
+TEST(EnergyComparisonTest, ZeroDurationsAreSafe) {
+  const PowerModel p;
+  const EnergyComparison cmp =
+      compare_energy(p, ArchConfig::one_node(), 0.0, 0.0, 0);
+  EXPECT_EQ(cmp.efficiency_ratio, 0.0);
+  EXPECT_EQ(cmp.energy_fraction, 0.0);
+}
+
+TEST(ResourceModelTest, Fig7RowsMatchPaper) {
+  const ResourceModel rm(ArchConfig::two_node(), model::gpt2_medium());
+  const auto rows = rm.fig7_rows();
+  ASSERT_EQ(rows.size(), 5u);
+
+  // Paper Fig. 7 table (dual-node accelerator on one U50).
+  EXPECT_NEAR(rows[0].usage.dsp, 522, 2);    // Fused MP
+  EXPECT_NEAR(rows[0].usage.lut, 34e3, 1e3);
+  EXPECT_NEAR(rows[0].usage.ff, 56e3, 1e3);
+  EXPECT_NEAR(rows[0].usage.bram, 241, 2);
+
+  EXPECT_NEAR(rows[1].usage.dsp, 382, 2);    // Fused MHA
+  EXPECT_NEAR(rows[1].usage.lut, 38e3, 1e3);
+  EXPECT_NEAR(rows[1].usage.ff, 45e3, 1e3);
+  EXPECT_NEAR(rows[1].usage.bram, 16, 1);
+
+  EXPECT_NEAR(rows[2].usage.dsp, 192, 2);    // Fused LN
+  EXPECT_NEAR(rows[2].usage.lut, 23e3, 1e3);
+  EXPECT_NEAR(rows[2].usage.ff, 30e3, 1e3);
+  EXPECT_NEAR(rows[2].usage.bram, 240, 2);
+
+  EXPECT_NEAR(rows[3].usage.dsp, 0, 0.1);    // DMA
+  EXPECT_NEAR(rows[3].usage.lut, 16e3, 1e3);
+  EXPECT_NEAR(rows[3].usage.ff, 28e3, 1e3);
+  EXPECT_NEAR(rows[3].usage.bram, 97, 2);
+
+  EXPECT_NEAR(rows[4].usage.dsp, 32, 1);     // Other
+}
+
+TEST(ResourceModelTest, DeviceTotalMatchesPaper) {
+  const ResourceModel rm(ArchConfig::two_node(), model::gpt2_medium());
+  const auto total = rm.device_total();
+  EXPECT_NEAR(total.dsp, 1132, 5);
+  EXPECT_NEAR(total.lut, 312e3, 5e3);
+  EXPECT_NEAR(total.ff, 478e3, 5e3);
+  EXPECT_NEAR(total.bram, 924.5, 5);
+}
+
+TEST(ResourceModelTest, TableIIScalingAcrossNodes) {
+  const model::ModelConfig m = model::gpt2_medium();
+  const auto one = ResourceModel(ArchConfig::one_node(), m);
+  const auto two = ResourceModel(ArchConfig::two_node(), m);
+  const auto four = ResourceModel(ArchConfig::four_node(), m);
+  // Paper Table II: 568 / 1132 / 2264 DSP (accelerator logic scales
+  // linearly in nodes).
+  EXPECT_NEAR(one.accelerator_total().dsp, 568, 8);
+  EXPECT_NEAR(two.accelerator_total().dsp, 1132, 10);
+  EXPECT_NEAR(four.accelerator_total().dsp, 2264, 20);
+}
+
+TEST(ResourceModelTest, DefaultConfigFitsU50) {
+  const ResourceModel rm(ArchConfig::two_node(), model::gpt2_medium());
+  EXPECT_TRUE(rm.fits_u50());
+  const auto node = rm.per_node();
+  EXPECT_TRUE(node.fits_within(hw::alveo_u50_slr_budget()));
+}
+
+TEST(ResourceModelTest, OversizedConfigDoesNotFit) {
+  ArchConfig big = ArchConfig::two_node();
+  big.n_channel = 64;  // 2048 MACs per node
+  big.score_lanes = 1024;
+  big.mix_lanes = 1024;
+  const ResourceModel rm(big, model::gpt2_medium());
+  EXPECT_FALSE(rm.fits_u50());
+}
+
+TEST(ResourceModelTest, ResourcesScaleWithChannels) {
+  const model::ModelConfig m = model::gpt2_medium();
+  ArchConfig narrow = ArchConfig::one_node();
+  ArchConfig wide = ArchConfig::one_node();
+  wide.n_channel = 16;
+  const auto r_narrow =
+      ResourceModel(narrow, m).fused_mp_kernel();
+  const auto r_wide = ResourceModel(wide, m).fused_mp_kernel();
+  EXPECT_GT(r_wide.dsp, r_narrow.dsp);
+  EXPECT_GT(r_wide.lut, r_narrow.lut);
+  EXPECT_GT(r_wide.bram, r_narrow.bram);
+}
+
+}  // namespace
+}  // namespace looplynx::core

@@ -1,0 +1,274 @@
+// Tests for the fp32 GPT-2 reference substrate: ops, weights, KV cache and
+// end-to-end autoregressive behaviour.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "model/config.hpp"
+#include "model/gpt2_ref.hpp"
+#include "model/kv_cache.hpp"
+#include "model/ops.hpp"
+#include "model/tensor.hpp"
+#include "model/weights.hpp"
+
+namespace looplynx::model {
+namespace {
+
+TEST(ConfigTest, Gpt2MediumIs345M) {
+  const ModelConfig cfg = gpt2_medium();
+  // 345M-class: embeddings + 24 layers of d=1024.
+  EXPECT_NEAR(static_cast<double>(cfg.param_count()), 355e6, 10e6);
+  EXPECT_EQ(cfg.head_dim(), 64u);
+}
+
+TEST(ConfigTest, WeightBytesPerTokenInt8) {
+  const ModelConfig cfg = gpt2_medium();
+  // Per layer: qkv (3d*d) + proj (d*d) + fc1/fc2 (2*d*d_ff) = 12.58 MB int8.
+  const std::uint64_t expected_per_layer =
+      3ULL * 1024 * 1024 + 1024ULL * 1024 + 2ULL * 1024 * 4096;
+  EXPECT_EQ(cfg.weight_bytes_per_token(1), 24ULL * expected_per_layer);
+  EXPECT_EQ(cfg.weight_bytes_per_token(2), 48ULL * expected_per_layer);
+}
+
+TEST(ConfigTest, ValidateRejectsBadHeadSplit) {
+  ModelConfig cfg = tiny_config();
+  cfg.n_head = 5;  // 32 % 5 != 0
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(TensorTest, ShapeAndAccess) {
+  Tensor t(3, 4, 1.5f);
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 4u);
+  EXPECT_EQ(t.size(), 12u);
+  t.at(2, 3) = 7.0f;
+  EXPECT_FLOAT_EQ(t.row(2)[3], 7.0f);
+  EXPECT_FLOAT_EQ(t[11], 7.0f);
+  t.fill(0.0f);
+  EXPECT_FLOAT_EQ(t.at(2, 3), 0.0f);
+}
+
+TEST(OpsTest, LinearMatchesManualComputation) {
+  Tensor w(2, 3);
+  // w = [[1,2,3],[4,5,6]]
+  for (int i = 0; i < 6; ++i) w[i] = static_cast<float>(i + 1);
+  const std::vector<float> x{1.0f, 0.5f, -1.0f};
+  const std::vector<float> b{10.0f, 20.0f};
+  std::vector<float> y(2);
+  linear(w, b, x, y);
+  EXPECT_FLOAT_EQ(y[0], 10.0f + 1.0f + 1.0f - 3.0f);
+  EXPECT_FLOAT_EQ(y[1], 20.0f + 4.0f + 2.5f - 6.0f);
+}
+
+TEST(OpsTest, LayerNormProducesZeroMeanUnitVar) {
+  std::vector<float> x{1.0f, 2.0f, 3.0f, 4.0f, 5.0f, 6.0f, 7.0f, 8.0f};
+  const std::vector<float> gain(x.size(), 1.0f), bias(x.size(), 0.0f);
+  layer_norm(x, gain, bias);
+  double mean = std::accumulate(x.begin(), x.end(), 0.0) /
+                static_cast<double>(x.size());
+  double var = 0;
+  for (float v : x) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(x.size());
+  EXPECT_NEAR(mean, 0.0, 1e-6);
+  EXPECT_NEAR(var, 1.0, 1e-4);
+}
+
+TEST(OpsTest, LayerNormAppliesGainAndBias) {
+  std::vector<float> x{-1.0f, 1.0f};
+  const std::vector<float> gain{2.0f, 2.0f}, bias{5.0f, 5.0f};
+  layer_norm(x, gain, bias);
+  EXPECT_NEAR(x[0], 5.0f - 2.0f, 1e-4);
+  EXPECT_NEAR(x[1], 5.0f + 2.0f, 1e-4);
+}
+
+TEST(OpsTest, SoftmaxSumsToOneAndOrders) {
+  std::vector<float> x{1.0f, 3.0f, 2.0f};
+  softmax(x);
+  EXPECT_NEAR(x[0] + x[1] + x[2], 1.0f, 1e-6);
+  EXPECT_GT(x[1], x[2]);
+  EXPECT_GT(x[2], x[0]);
+}
+
+TEST(OpsTest, SoftmaxIsShiftInvariantAndStable) {
+  std::vector<float> a{1000.0f, 1001.0f, 1002.0f};
+  std::vector<float> b{0.0f, 1.0f, 2.0f};
+  softmax(a);
+  softmax(b);
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(a[i], b[i], 1e-6);
+}
+
+TEST(OpsTest, GeluMatchesKnownValues) {
+  std::vector<float> x{0.0f, 1.0f, -1.0f, 3.0f};
+  gelu(x);
+  EXPECT_NEAR(x[0], 0.0f, 1e-6);
+  EXPECT_NEAR(x[1], 0.8412f, 1e-3);
+  EXPECT_NEAR(x[2], -0.1588f, 1e-3);
+  EXPECT_NEAR(x[3], 2.9964f, 1e-3);
+}
+
+TEST(WeightsTest, RandomInitIsDeterministic) {
+  const ModelConfig cfg = tiny_config();
+  const Gpt2Weights a = Gpt2Weights::random(cfg, 7);
+  const Gpt2Weights b = Gpt2Weights::random(cfg, 7);
+  ASSERT_EQ(a.blocks.size(), b.blocks.size());
+  for (std::size_t i = 0; i < a.wte.size(); ++i) {
+    ASSERT_FLOAT_EQ(a.wte[i], b.wte[i]);
+  }
+  for (std::size_t i = 0; i < a.blocks[0].w_qkv.size(); ++i) {
+    ASSERT_FLOAT_EQ(a.blocks[0].w_qkv[i], b.blocks[0].w_qkv[i]);
+  }
+}
+
+TEST(WeightsTest, DifferentSeedsDiffer) {
+  const ModelConfig cfg = tiny_config();
+  const Gpt2Weights a = Gpt2Weights::random(cfg, 1);
+  const Gpt2Weights b = Gpt2Weights::random(cfg, 2);
+  int same = 0;
+  for (std::size_t i = 0; i < 100; ++i) same += (a.wte[i] == b.wte[i]);
+  EXPECT_LT(same, 5);
+}
+
+TEST(WeightsTest, ShapesMatchConfig) {
+  const ModelConfig cfg = tiny_config();
+  const Gpt2Weights w = Gpt2Weights::random(cfg, 3);
+  EXPECT_EQ(w.wte.rows(), cfg.vocab_size);
+  EXPECT_EQ(w.wte.cols(), cfg.d_model);
+  ASSERT_EQ(w.blocks.size(), cfg.n_layer);
+  EXPECT_EQ(w.blocks[0].w_qkv.rows(), 3u * cfg.d_model);
+  EXPECT_EQ(w.blocks[0].w_fc1.rows(), cfg.d_ff);
+  EXPECT_EQ(w.blocks[0].w_fc2.cols(), cfg.d_ff);
+}
+
+TEST(KvCacheTest, AppendAdvanceRead) {
+  const ModelConfig cfg = tiny_config();
+  KvCache cache(cfg);
+  const std::uint32_t hd = cfg.head_dim();
+  std::vector<float> k(hd, 1.0f), v(hd, 2.0f);
+  cache.append(0, 0, k, v);
+  EXPECT_EQ(cache.seq_len(), 0u);  // not visible until advance
+  cache.advance();
+  EXPECT_EQ(cache.seq_len(), 1u);
+  EXPECT_FLOAT_EQ(cache.key(0, 0, 0)[0], 1.0f);
+  EXPECT_FLOAT_EQ(cache.value(0, 0, 0)[0], 2.0f);
+}
+
+TEST(KvCacheTest, HeadPartitionOwnsOnlyItsSlice) {
+  const ModelConfig cfg = tiny_config();  // 4 heads
+  KvCache part(cfg, /*first_head=*/2, /*num_heads=*/2);
+  EXPECT_FALSE(part.owns_head(0));
+  EXPECT_FALSE(part.owns_head(1));
+  EXPECT_TRUE(part.owns_head(2));
+  EXPECT_TRUE(part.owns_head(3));
+  // Partition holds half the bytes of the full cache.
+  KvCache full(cfg);
+  EXPECT_EQ(part.bytes_resident() * 2, full.bytes_resident());
+}
+
+TEST(KvCacheTest, Int8VariantStoresBytes) {
+  const ModelConfig cfg = tiny_config();
+  KvCache8 cache(cfg);
+  std::vector<std::int8_t> k(cfg.head_dim(), -7), v(cfg.head_dim(), 42);
+  cache.append(0, 1, k, v);
+  cache.advance();
+  EXPECT_EQ(cache.key(0, 1, 0)[0], -7);
+  EXPECT_EQ(cache.value(0, 1, 0)[0], 42);
+}
+
+TEST(Gpt2ReferenceTest, ForwardTokenAdvancesPosition) {
+  const ModelConfig cfg = tiny_config();
+  const Gpt2Weights w = Gpt2Weights::random(cfg, 11);
+  Gpt2Reference ref(w);
+  EXPECT_EQ(ref.position(), 0u);
+  const auto h = ref.forward_token(5);
+  EXPECT_EQ(ref.position(), 1u);
+  EXPECT_EQ(h.size(), cfg.d_model);
+}
+
+TEST(Gpt2ReferenceTest, DeterministicAcrossInstances) {
+  const ModelConfig cfg = tiny_config();
+  const Gpt2Weights w = Gpt2Weights::random(cfg, 13);
+  Gpt2Reference a(w), b(w);
+  const std::vector<std::uint32_t> prompt{1, 2, 3, 4};
+  const auto ga = a.generate(prompt, 8);
+  const auto gb = b.generate(prompt, 8);
+  EXPECT_EQ(ga, gb);
+}
+
+TEST(Gpt2ReferenceTest, OutputDependsOnPrompt) {
+  const ModelConfig cfg = tiny_config();
+  const Gpt2Weights w = Gpt2Weights::random(cfg, 13);
+  Gpt2Reference a(w), b(w);
+  const auto ga = a.generate(std::vector<std::uint32_t>{1, 2, 3}, 6);
+  const auto gb = b.generate(std::vector<std::uint32_t>{4, 5, 6}, 6);
+  EXPECT_NE(ga, gb);
+}
+
+TEST(Gpt2ReferenceTest, GeneratedTokensAreInVocab) {
+  const ModelConfig cfg = tiny_config();
+  const Gpt2Weights w = Gpt2Weights::random(cfg, 17);
+  Gpt2Reference ref(w);
+  const auto out = ref.generate(std::vector<std::uint32_t>{9, 8, 7}, 10);
+  ASSERT_EQ(out.size(), 10u);
+  for (auto t : out) EXPECT_LT(t, cfg.vocab_size);
+}
+
+// KV-cache equivalence: processing tokens incrementally with the cache must
+// give the same final hidden state as replaying the same tokens into a fresh
+// model (the cache only memoizes, never changes semantics).
+TEST(Gpt2ReferenceTest, KvCacheMatchesReplay) {
+  const ModelConfig cfg = tiny_config();
+  const Gpt2Weights w = Gpt2Weights::random(cfg, 19);
+  const std::vector<std::uint32_t> tokens{3, 1, 4, 1, 5, 9, 2, 6};
+
+  Gpt2Reference incremental(w);
+  std::vector<float> h_inc;
+  for (auto t : tokens) h_inc = incremental.forward_token(t);
+
+  Gpt2Reference replay(w);
+  std::vector<float> h_rep;
+  for (auto t : tokens) h_rep = replay.forward_token(t);
+
+  ASSERT_EQ(h_inc.size(), h_rep.size());
+  for (std::size_t i = 0; i < h_inc.size(); ++i) {
+    EXPECT_FLOAT_EQ(h_inc[i], h_rep[i]);
+  }
+}
+
+// Property sweep over configurations: the reference must run and produce
+// finite hidden states for assorted architectures.
+struct CfgParam {
+  std::uint32_t layers, d_model, heads, d_ff;
+};
+
+class ReferencePropertyTest : public ::testing::TestWithParam<CfgParam> {};
+
+TEST_P(ReferencePropertyTest, HiddenStatesAreFinite) {
+  const CfgParam p = GetParam();
+  ModelConfig cfg = tiny_config();
+  cfg.n_layer = p.layers;
+  cfg.d_model = p.d_model;
+  cfg.n_head = p.heads;
+  cfg.d_ff = p.d_ff;
+  const Gpt2Weights w = Gpt2Weights::random(cfg, 23);
+  Gpt2Reference ref(w);
+  std::vector<float> h;
+  for (std::uint32_t t = 0; t < 5; ++t) h = ref.forward_token(t % cfg.vocab_size);
+  for (float v : h) EXPECT_TRUE(std::isfinite(v));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ArchSweep, ReferencePropertyTest,
+    ::testing::Values(CfgParam{1, 16, 2, 32}, CfgParam{2, 32, 4, 64},
+                      CfgParam{3, 48, 6, 96}, CfgParam{4, 64, 8, 256},
+                      CfgParam{2, 64, 4, 64}, CfgParam{1, 128, 16, 512}),
+    [](const ::testing::TestParamInfo<CfgParam>& info) {
+      return "L" + std::to_string(info.param.layers) + "_d" +
+             std::to_string(info.param.d_model) + "_h" +
+             std::to_string(info.param.heads) + "_f" +
+             std::to_string(info.param.d_ff);
+    });
+
+}  // namespace
+}  // namespace looplynx::model

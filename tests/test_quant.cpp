@@ -1,0 +1,306 @@
+// Tests for the quantization substrate: primitives, SmoothQuant migration,
+// and the end-to-end W8A8 GPT-2 model vs the fp32 reference.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "model/config.hpp"
+#include "model/gpt2_ref.hpp"
+#include "model/ops.hpp"
+#include "quant/int8_model.hpp"
+#include "quant/quant.hpp"
+#include "quant/smoothquant.hpp"
+#include "util/rng.hpp"
+
+namespace looplynx::quant {
+namespace {
+
+std::vector<std::uint32_t> calib_tokens(const model::ModelConfig& cfg,
+                                        std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::uint32_t> toks(n);
+  for (auto& t : toks) {
+    t = static_cast<std::uint32_t>(rng.next_below(cfg.vocab_size));
+  }
+  return toks;
+}
+
+TEST(QuantPrimitiveTest, RoundTripWithinHalfStep) {
+  util::Rng rng(1);
+  const float absmax = 4.0f;
+  const float scale = scale_for_absmax(absmax);
+  for (int i = 0; i < 1000; ++i) {
+    const float v = static_cast<float>(rng.uniform(-absmax, absmax));
+    const std::int8_t q = quantize_value(v, scale);
+    const float back = static_cast<float>(q) * scale;
+    EXPECT_NEAR(back, v, scale * 0.5f + 1e-6f);
+  }
+}
+
+TEST(QuantPrimitiveTest, SaturatesAtClip) {
+  const float scale = scale_for_absmax(1.0f);
+  EXPECT_EQ(quantize_value(10.0f, scale), 127);
+  EXPECT_EQ(quantize_value(-10.0f, scale), -127);
+  EXPECT_EQ(quantize_value(0.0f, scale), 0);
+}
+
+TEST(QuantPrimitiveTest, DotI8MatchesInt32Reference) {
+  util::Rng rng(2);
+  std::vector<std::int8_t> a(257), b(257);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<std::int8_t>(rng.uniform_int(-127, 127));
+    b[i] = static_cast<std::int8_t>(rng.uniform_int(-127, 127));
+  }
+  std::int64_t expect = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    expect += static_cast<std::int64_t>(a[i]) * b[i];
+  }
+  EXPECT_EQ(dot_i8(a, b), expect);
+}
+
+TEST(QuantPrimitiveTest, ZeroAbsmaxDoesNotDivideByZero) {
+  const float scale = scale_for_absmax(0.0f);
+  EXPECT_GT(scale, 0.0f);
+  EXPECT_EQ(quantize_value(0.0f, scale), 0);
+}
+
+TEST(QuantizedLinearTest, MatchesFp32WithinQuantError) {
+  util::Rng rng(3);
+  const std::size_t out = 24, in = 48;
+  model::Tensor w(out, in);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    w[i] = static_cast<float>(rng.normal(0.0, 0.1));
+  }
+  std::vector<float> bias(out);
+  for (auto& b : bias) b = static_cast<float>(rng.normal(0.0, 0.5));
+  std::vector<float> x(in);
+  for (auto& v : x) v = static_cast<float>(rng.normal(0.0, 1.0));
+
+  const float x_scale = scale_for_absmax(model::abs_max(x));
+  const QuantizedLinear ql = QuantizedLinear::from_float(w, bias, x_scale);
+  std::vector<std::int8_t> x_q(in);
+  quantize(x, x_scale, x_q);
+
+  std::vector<float> y_ref(out), y_q(out);
+  model::linear(w, bias, x, y_ref);
+  ql.forward(x_q, y_q);
+
+  const ErrorStats err = compare(y_ref, y_q);
+  EXPECT_LT(err.rel_l2, 0.03) << "int8 linear deviates too much from fp32";
+}
+
+TEST(QuantizedLinearTest, RowRangeMatchesFullForward) {
+  util::Rng rng(4);
+  const std::size_t out = 16, in = 32;
+  model::Tensor w(out, in);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    w[i] = static_cast<float>(rng.normal(0.0, 0.2));
+  }
+  std::vector<float> bias(out, 0.25f);
+  const QuantizedLinear ql = QuantizedLinear::from_float(w, bias, 0.05f);
+  std::vector<std::int8_t> x_q(in);
+  for (auto& v : x_q) v = static_cast<std::int8_t>(rng.uniform_int(-127, 127));
+
+  std::vector<float> full(out);
+  ql.forward(x_q, full);
+  // Column-parallel split: 4 nodes of 4 rows each must tile the output.
+  for (std::size_t node = 0; node < 4; ++node) {
+    std::vector<float> part(4);
+    ql.forward_rows(x_q, node * 4, node * 4 + 4, part);
+    for (std::size_t i = 0; i < 4; ++i) {
+      EXPECT_FLOAT_EQ(part[i], full[node * 4 + i]);
+    }
+  }
+}
+
+TEST(SmoothQuantTest, FactorsBalanceActivationAndWeight) {
+  // Channel 0: huge activation, small weight => s >> 1 shifts difficulty to
+  // the weight. Channel 1: the reverse => s << 1.
+  const std::vector<float> act{100.0f, 0.1f};
+  const std::vector<float> wgt{0.1f, 10.0f};
+  const auto s = smoothing_factors(act, wgt, 0.5f);
+  EXPECT_GT(s[0], 1.0f);
+  EXPECT_LT(s[1], 1.0f);
+}
+
+TEST(SmoothQuantTest, AlphaZeroAndOneAreDegenerate) {
+  const std::vector<float> act{8.0f};
+  const std::vector<float> wgt{2.0f};
+  // alpha=1: s = max|x| (full migration); alpha=0: s = 1/max|W|.
+  EXPECT_NEAR(smoothing_factors(act, wgt, 1.0f)[0], 8.0f, 1e-5f);
+  EXPECT_NEAR(smoothing_factors(act, wgt, 0.0f)[0], 0.5f, 1e-5f);
+}
+
+TEST(SmoothQuantTest, MigrationPreservesFp32Product) {
+  util::Rng rng(5);
+  const std::size_t out = 8, in = 12;
+  model::Tensor w(out, in);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    w[i] = static_cast<float>(rng.normal(0.0, 0.3));
+  }
+  std::vector<float> gain(in, 1.0f), bias_ln(in, 0.0f);
+  std::vector<float> x(in);
+  for (auto& v : x) v = static_cast<float>(rng.normal(0.0, 2.0));
+
+  // Reference product with unsmoothed weights on raw x.
+  std::vector<float> y_ref(out);
+  model::matvec(w, x, y_ref);
+
+  std::vector<float> act_max(in);
+  for (std::size_t j = 0; j < in; ++j) act_max[j] = std::abs(x[j]) + 0.1f;
+  const auto s = smoothing_factors(act_max, weight_column_absmax(w), 0.5f);
+  model::Tensor w2 = w;
+  apply_smoothing(w2, gain, bias_ln, s);
+
+  // After folding, the linear sees x/s (here applied manually since there is
+  // no LN in this micro-test).
+  std::vector<float> x_div(in);
+  for (std::size_t j = 0; j < in; ++j) x_div[j] = x[j] / s[j];
+  std::vector<float> y_smooth(out);
+  model::matvec(w2, x_div, y_smooth);
+
+  const ErrorStats err = compare(y_ref, y_smooth);
+  EXPECT_LT(err.max_abs, 1e-4);
+  // And the LN fold is consistent: gain[j] = 1/s[j].
+  for (std::size_t j = 0; j < in; ++j) EXPECT_FLOAT_EQ(gain[j], 1.0f / s[j]);
+}
+
+TEST(CalibrationTest, CollectsAllTaps) {
+  const model::ModelConfig cfg = model::tiny_config();
+  const auto w = model::Gpt2Weights::random(cfg, 7);
+  const auto toks = calib_tokens(cfg, 16, 77);
+  const CalibrationStats stats = calibrate(w, toks);
+  for (const char* tap :
+       {"ln1_out", "qkv_out", "attn_out", "ln2_out", "gelu_out"}) {
+    for (std::uint32_t l = 0; l < cfg.n_layer; ++l) {
+      EXPECT_FALSE(stats.channel_absmax(tap, l).empty())
+          << tap << " layer " << l;
+      EXPECT_GT(stats.tensor_absmax(tap, l), 0.0f) << tap;
+    }
+  }
+  EXPECT_GT(stats.samples(), 0u);
+}
+
+TEST(Int8ModelTest, BuildProducesSaneScales) {
+  const model::ModelConfig cfg = model::tiny_config();
+  const auto w = model::Gpt2Weights::random(cfg, 7);
+  const auto wq = Gpt2Int8Weights::build_with_calibration(
+      w, calib_tokens(cfg, 16, 77));
+  ASSERT_EQ(wq.blocks.size(), cfg.n_layer);
+  for (const Int8Block& b : wq.blocks) {
+    EXPECT_GT(b.ln1_out_scale, 0.0f);
+    EXPECT_GT(b.q_scale, 0.0f);
+    EXPECT_GT(b.k_scale, 0.0f);
+    EXPECT_GT(b.v_scale, 0.0f);
+    EXPECT_GT(b.attn_out_scale, 0.0f);
+    EXPECT_GT(b.gelu_scale, 0.0f);
+    EXPECT_EQ(b.qkv.out_features(), 3u * cfg.d_model);
+    EXPECT_EQ(b.fc1.out_features(), cfg.d_ff);
+  }
+  EXPECT_EQ(wq.weight_bytes_per_token(),
+            cfg.weight_bytes_per_token(/*bytes_per_weight=*/1));
+}
+
+TEST(Int8ModelTest, HiddenStateTracksFp32Reference) {
+  const model::ModelConfig cfg = model::tiny_config();
+  const auto w = model::Gpt2Weights::random(cfg, 21);
+  const auto wq = Gpt2Int8Weights::build_with_calibration(
+      w, calib_tokens(cfg, 32, 99));
+
+  model::Gpt2Reference ref(w);
+  Gpt2Int8 q(wq);
+  std::vector<float> h_ref, h_q;
+  for (std::uint32_t t : {5u, 17u, 3u, 44u, 8u}) {
+    h_ref = ref.forward_token(t);
+    h_q = q.forward_token(t);
+  }
+  const ErrorStats err = compare(h_ref, h_q);
+  EXPECT_LT(err.rel_l2, 0.15) << "W8A8 drifted too far from fp32";
+  for (float v : h_q) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(Int8ModelTest, GreedyTokensMostlyMatchFp32) {
+  const model::ModelConfig cfg = model::cosim_config();
+  const auto w = model::Gpt2Weights::random(cfg, 31);
+  const auto wq = Gpt2Int8Weights::build_with_calibration(
+      w, calib_tokens(cfg, 32, 131));
+  model::Gpt2Reference ref(w);
+  Gpt2Int8 q(wq);
+  const std::vector<std::uint32_t> prompt{10, 20, 30, 40};
+  const auto out_ref = ref.generate(prompt, 12);
+  const auto out_q = q.generate(prompt, 12);
+  ASSERT_EQ(out_ref.size(), out_q.size());
+  int agree = 0;
+  for (std::size_t i = 0; i < out_ref.size(); ++i) {
+    agree += (out_ref[i] == out_q[i]);
+  }
+  // Random-weight logits are diffuse, so demand agreement on a majority
+  // rather than every position.
+  EXPECT_GE(agree, static_cast<int>(out_ref.size()) / 2)
+      << "quantized generation diverged immediately";
+}
+
+TEST(Int8ModelTest, DeterministicAcrossRuns) {
+  const model::ModelConfig cfg = model::tiny_config();
+  const auto w = model::Gpt2Weights::random(cfg, 41);
+  const auto toks = calib_tokens(cfg, 16, 7);
+  const auto wq1 = Gpt2Int8Weights::build_with_calibration(w, toks);
+  const auto wq2 = Gpt2Int8Weights::build_with_calibration(w, toks);
+  Gpt2Int8 a(wq1), b(wq2);
+  const std::vector<std::uint32_t> prompt{1, 2, 3};
+  EXPECT_EQ(a.generate(prompt, 10), b.generate(prompt, 10));
+}
+
+// Property: quantization error of the int8 linear decreases (or at least
+// does not explode) as SmoothQuant alpha moves difficulty away from
+// activation outliers, on a synthetic outlier-heavy input.
+class SmoothAlphaTest : public ::testing::TestWithParam<float> {};
+
+TEST_P(SmoothAlphaTest, OutlierInputStaysBounded) {
+  const float alpha = GetParam();
+  util::Rng rng(6);
+  const std::size_t out = 32, in = 64;
+  model::Tensor w(out, in);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    w[i] = static_cast<float>(rng.normal(0.0, 0.1));
+  }
+  // Input with a violent outlier channel (the SmoothQuant motivation).
+  std::vector<float> x(in);
+  for (auto& v : x) v = static_cast<float>(rng.normal(0.0, 0.5));
+  x[3] = 40.0f;
+
+  std::vector<float> act_max(in);
+  for (std::size_t j = 0; j < in; ++j) {
+    act_max[j] = std::max(std::abs(x[j]), 0.5f);
+  }
+  model::Tensor w2 = w;
+  std::vector<float> gain(in, 1.0f), bias_ln(in, 0.0f);
+  const auto s = smoothing_factors(act_max, weight_column_absmax(w), alpha);
+  apply_smoothing(w2, gain, bias_ln, s);
+
+  std::vector<float> x_div(in);
+  for (std::size_t j = 0; j < in; ++j) x_div[j] = x[j] / s[j];
+  const float x_scale = scale_for_absmax(model::abs_max(x_div));
+  const QuantizedLinear ql = QuantizedLinear::from_float(w2, {}, x_scale);
+  std::vector<std::int8_t> x_q(in);
+  quantize(x_div, x_scale, x_q);
+
+  std::vector<float> y_ref(out), y_q(out);
+  model::matvec(w, x, y_ref);
+  ql.forward(x_q, y_q);
+  const ErrorStats err = compare(y_ref, y_q);
+  EXPECT_LT(err.rel_l2, 0.25) << "alpha=" << alpha;
+}
+
+INSTANTIATE_TEST_SUITE_P(AlphaSweep, SmoothAlphaTest,
+                         ::testing::Values(0.0f, 0.25f, 0.5f, 0.75f, 1.0f),
+                         [](const ::testing::TestParamInfo<float>& info) {
+                           return "alpha" +
+                                  std::to_string(static_cast<int>(
+                                      info.param * 100));
+                         });
+
+}  // namespace
+}  // namespace looplynx::quant

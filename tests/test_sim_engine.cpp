@@ -1,0 +1,230 @@
+// Unit tests for the discrete-event engine and coroutine Task plumbing.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+
+namespace looplynx::sim {
+namespace {
+
+Task delay_then_record(Engine& eng, Cycles d, std::vector<Cycles>& log) {
+  co_await eng.delay(d);
+  log.push_back(eng.now());
+}
+
+TEST(EngineTest, StartsAtTimeZero) {
+  Engine eng;
+  EXPECT_EQ(eng.now(), 0u);
+  EXPECT_EQ(eng.events_processed(), 0u);
+}
+
+TEST(EngineTest, SingleDelayAdvancesClock) {
+  Engine eng;
+  std::vector<Cycles> log;
+  eng.spawn(delay_then_record(eng, 42, log));
+  eng.run();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0], 42u);
+  EXPECT_EQ(eng.now(), 42u);
+}
+
+TEST(EngineTest, EventsFireInTimeOrder) {
+  Engine eng;
+  std::vector<Cycles> log;
+  eng.spawn(delay_then_record(eng, 30, log));
+  eng.spawn(delay_then_record(eng, 10, log));
+  eng.spawn(delay_then_record(eng, 20, log));
+  eng.run();
+  EXPECT_EQ(log, (std::vector<Cycles>{10, 20, 30}));
+}
+
+Task record_id(Engine& eng, int id, std::vector<int>& order) {
+  co_await eng.delay(5);
+  order.push_back(id);
+}
+
+TEST(EngineTest, SameTimeEventsFireInSpawnOrder) {
+  Engine eng;
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) eng.spawn(record_id(eng, i, order));
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+Task sequential_delays(Engine& eng, std::vector<Cycles>& log) {
+  co_await eng.delay(10);
+  log.push_back(eng.now());
+  co_await eng.delay(0);  // yield: same cycle
+  log.push_back(eng.now());
+  co_await eng.delay(7);
+  log.push_back(eng.now());
+}
+
+TEST(EngineTest, DelaysAccumulate) {
+  Engine eng;
+  std::vector<Cycles> log;
+  eng.spawn(sequential_delays(eng, log));
+  eng.run();
+  EXPECT_EQ(log, (std::vector<Cycles>{10, 10, 17}));
+}
+
+Task child_task(Engine& eng, std::vector<std::string>& log) {
+  log.push_back("child-start");
+  co_await eng.delay(3);
+  log.push_back("child-end");
+}
+
+Task parent_task(Engine& eng, std::vector<std::string>& log) {
+  log.push_back("parent-start");
+  co_await child_task(eng, log);
+  log.push_back("parent-after-child");
+  co_await eng.delay(2);
+  log.push_back("parent-end");
+}
+
+TEST(EngineTest, NestedTaskRunsInlineAndResumesParent) {
+  Engine eng;
+  std::vector<std::string> log;
+  const auto id = eng.spawn(parent_task(eng, log));
+  eng.run();
+  EXPECT_TRUE(eng.root_done(id));
+  EXPECT_EQ(log, (std::vector<std::string>{"parent-start", "child-start",
+                                           "child-end", "parent-after-child",
+                                           "parent-end"}));
+  EXPECT_EQ(eng.now(), 5u);
+}
+
+Task deep_nest(Engine& eng, int depth, Cycles each) {
+  if (depth == 0) {
+    co_await eng.delay(each);
+    co_return;
+  }
+  co_await deep_nest(eng, depth - 1, each);
+}
+
+TEST(EngineTest, DeeplyNestedTasksComplete) {
+  Engine eng;
+  const auto id = eng.spawn(deep_nest(eng, 64, 9));
+  eng.run();
+  EXPECT_TRUE(eng.root_done(id));
+  EXPECT_EQ(eng.now(), 9u);
+}
+
+Task throwing_task(Engine& eng) {
+  co_await eng.delay(1);
+  throw std::runtime_error("kernel fault");
+}
+
+TEST(EngineTest, RootExceptionPropagatesFromRun) {
+  Engine eng;
+  eng.spawn(throwing_task(eng));
+  EXPECT_THROW(eng.run(), std::runtime_error);
+}
+
+Task throwing_child(Engine& eng) {
+  co_await eng.delay(1);
+  throw std::logic_error("child fault");
+}
+
+Task catching_parent(Engine& eng, bool& caught) {
+  try {
+    co_await throwing_child(eng);
+  } catch (const std::logic_error&) {
+    caught = true;
+  }
+}
+
+TEST(EngineTest, ChildExceptionCatchableInParent) {
+  Engine eng;
+  bool caught = false;
+  eng.spawn(catching_parent(eng, caught));
+  eng.run();
+  EXPECT_TRUE(caught);
+}
+
+TEST(EngineTest, RunUntilStopsAtRequestedTime) {
+  Engine eng;
+  std::vector<Cycles> log;
+  eng.spawn(delay_then_record(eng, 10, log));
+  eng.spawn(delay_then_record(eng, 100, log));
+  const bool empty = eng.run_until(50);
+  EXPECT_FALSE(empty);
+  EXPECT_EQ(eng.now(), 50u);
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0], 10u);
+  eng.run();
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_EQ(eng.now(), 100u);
+}
+
+TEST(EngineTest, MaxEventsBoundsRunawayProcesses) {
+  Engine eng;
+  struct Looper {
+    static Task run(Engine& eng) {
+      for (;;) co_await eng.delay(1);
+    }
+  };
+  eng.spawn(Looper::run(eng));
+  const auto processed = eng.run(/*max_events=*/1000);
+  EXPECT_EQ(processed, 1000u);
+}
+
+Task spawner(Engine& eng, std::vector<Cycles>& log) {
+  co_await eng.delay(5);
+  eng.spawn(delay_then_record(eng, 3, log));
+  co_await eng.delay(10);
+  log.push_back(eng.now());
+}
+
+TEST(EngineTest, SpawnDuringRunSchedulesAtCurrentTime) {
+  Engine eng;
+  std::vector<Cycles> log;
+  eng.spawn(spawner(eng, log));
+  eng.run();
+  // Spawned child starts at t=5 and finishes its 3-cycle delay at t=8; the
+  // parent records at t=15.
+  EXPECT_EQ(log, (std::vector<Cycles>{8, 15}));
+}
+
+TEST(EngineTest, DestructionWithSuspendedProcessesIsClean) {
+  // Processes still blocked at engine teardown must not leak or crash
+  // (checked by ASAN builds; here we just exercise the path).
+  Engine eng;
+  struct Blocked {
+    static Task run(Engine& eng) {
+      co_await eng.delay(1'000'000);  // never reached by run_until below
+    }
+  };
+  eng.spawn(Blocked::run(eng));
+  eng.run_until(10);
+  SUCCEED();
+}
+
+TEST(TaskTest, MoveTransfersOwnership) {
+  Engine eng;
+  std::vector<Cycles> log;
+  Task t = delay_then_record(eng, 1, log);
+  EXPECT_TRUE(t.valid());
+  Task u = std::move(t);
+  EXPECT_FALSE(t.valid());  // NOLINT(bugprone-use-after-move): intentional
+  EXPECT_TRUE(u.valid());
+  eng.spawn(std::move(u));
+  eng.run();
+  EXPECT_EQ(log.size(), 1u);
+}
+
+TEST(EngineTest, EventCountsAreTracked) {
+  Engine eng;
+  std::vector<Cycles> log;
+  eng.spawn(delay_then_record(eng, 1, log));
+  eng.spawn(delay_then_record(eng, 2, log));
+  eng.run();
+  // Each root: one start event + one delay-resume event.
+  EXPECT_EQ(eng.events_processed(), 4u);
+}
+
+}  // namespace
+}  // namespace looplynx::sim

@@ -1,0 +1,213 @@
+// Tests for Mutex / Semaphore / Barrier / Signal primitives.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+
+namespace looplynx::sim {
+namespace {
+
+Task hold_mutex(Engine& eng, Mutex& mu, int id, Cycles hold,
+                std::vector<std::pair<int, Cycles>>& log) {
+  co_await mu.lock();
+  log.emplace_back(id, eng.now());
+  co_await eng.delay(hold);
+  mu.unlock();
+}
+
+TEST(MutexTest, ProvidesExclusionAndFifoOrder) {
+  Engine eng;
+  Mutex mu(eng);
+  std::vector<std::pair<int, Cycles>> log;
+  for (int i = 0; i < 4; ++i) eng.spawn(hold_mutex(eng, mu, i, 10, log));
+  eng.run();
+  ASSERT_EQ(log.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(log[i].first, i);  // arrival order preserved
+    EXPECT_EQ(log[i].second, static_cast<Cycles>(10 * i));
+  }
+  EXPECT_FALSE(mu.locked());
+}
+
+TEST(MutexTest, UncontendedLockIsImmediate) {
+  Engine eng;
+  Mutex mu(eng);
+  Cycles acquired_at = 99;
+  struct P {
+    static Task run(Engine& eng, Mutex& mu, Cycles& at) {
+      co_await eng.delay(5);
+      co_await mu.lock();
+      at = eng.now();
+      mu.unlock();
+    }
+  };
+  eng.spawn(P::run(eng, mu, acquired_at));
+  eng.run();
+  EXPECT_EQ(acquired_at, 5u);
+}
+
+TEST(MutexTest, HandoffPreventsBarging) {
+  Engine eng;
+  Mutex mu(eng);
+  std::vector<int> order;
+  // P0 takes the lock; P1 queues at t=1; P2 tries at t=10 right when P0
+  // releases. P1 must win (direct hand-off), then P2.
+  struct Holder {
+    static Task run(Engine& eng, Mutex& mu, std::vector<int>& order) {
+      co_await mu.lock();
+      order.push_back(0);
+      co_await eng.delay(10);
+      mu.unlock();
+    }
+  };
+  struct Waiter {
+    static Task run(Engine& eng, Mutex& mu, int id, Cycles arrive,
+                    std::vector<int>& order) {
+      co_await eng.delay(arrive);
+      co_await mu.lock();
+      order.push_back(id);
+      mu.unlock();
+    }
+  };
+  eng.spawn(Holder::run(eng, mu, order));
+  eng.spawn(Waiter::run(eng, mu, 1, 1, order));
+  eng.spawn(Waiter::run(eng, mu, 2, 10, order));
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+Task acquire_release(Engine& eng, Semaphore& sem, Cycles hold, int& peak,
+                     int& active) {
+  co_await sem.acquire();
+  ++active;
+  peak = std::max(peak, active);
+  co_await eng.delay(hold);
+  --active;
+  sem.release();
+}
+
+TEST(SemaphoreTest, LimitsConcurrency) {
+  Engine eng;
+  Semaphore sem(eng, 3);
+  int peak = 0;
+  int active = 0;
+  for (int i = 0; i < 12; ++i) {
+    eng.spawn(acquire_release(eng, sem, 10, peak, active));
+  }
+  eng.run();
+  EXPECT_EQ(peak, 3);
+  EXPECT_EQ(active, 0);
+  EXPECT_EQ(sem.available(), 3u);
+  // 12 jobs, 3 at a time, 10 cycles each => 40 cycles.
+  EXPECT_EQ(eng.now(), 40u);
+}
+
+TEST(SemaphoreTest, ReleaseWithoutWaitersIncrementsCount) {
+  Engine eng;
+  Semaphore sem(eng, 0);
+  sem.release();
+  sem.release();
+  EXPECT_EQ(sem.available(), 2u);
+}
+
+Task barrier_participant(Engine& eng, Barrier& barrier, Cycles arrive,
+                         std::vector<Cycles>& release_times) {
+  co_await eng.delay(arrive);
+  co_await barrier.arrive_and_wait();
+  release_times.push_back(eng.now());
+}
+
+TEST(BarrierTest, ReleasesAllAtLastArrival) {
+  Engine eng;
+  Barrier barrier(eng, 3);
+  std::vector<Cycles> times;
+  eng.spawn(barrier_participant(eng, barrier, 5, times));
+  eng.spawn(barrier_participant(eng, barrier, 20, times));
+  eng.spawn(barrier_participant(eng, barrier, 11, times));
+  eng.run();
+  ASSERT_EQ(times.size(), 3u);
+  for (Cycles t : times) EXPECT_EQ(t, 20u);
+  EXPECT_EQ(barrier.generation(), 1u);
+}
+
+Task barrier_loop(Engine& eng, Barrier& barrier, int rounds, Cycles step,
+                  std::vector<Cycles>& times) {
+  for (int r = 0; r < rounds; ++r) {
+    co_await eng.delay(step);
+    co_await barrier.arrive_and_wait();
+    times.push_back(eng.now());
+  }
+}
+
+TEST(BarrierTest, IsReusableAcrossRounds) {
+  Engine eng;
+  Barrier barrier(eng, 2);
+  std::vector<Cycles> times;
+  eng.spawn(barrier_loop(eng, barrier, 3, 5, times));   // fast participant
+  eng.spawn(barrier_loop(eng, barrier, 3, 12, times));  // slow participant
+  eng.run();
+  ASSERT_EQ(times.size(), 6u);
+  // Every round completes at the slow participant's schedule.
+  for (std::size_t r = 0; r < 3; ++r) {
+    EXPECT_EQ(times[2 * r], 12u * (r + 1));
+    EXPECT_EQ(times[2 * r + 1], 12u * (r + 1));
+  }
+  EXPECT_EQ(barrier.generation(), 3u);
+}
+
+TEST(SignalTest, WaitersReleaseOnSet) {
+  Engine eng;
+  Signal sig(eng);
+  std::vector<Cycles> times;
+  struct Waiter {
+    static Task run(Engine& eng, Signal& sig, std::vector<Cycles>& times) {
+      co_await sig.wait();
+      times.push_back(eng.now());
+    }
+  };
+  struct Setter {
+    static Task run(Engine& eng, Signal& sig) {
+      co_await eng.delay(33);
+      sig.set();
+    }
+  };
+  eng.spawn(Waiter::run(eng, sig, times));
+  eng.spawn(Waiter::run(eng, sig, times));
+  eng.spawn(Setter::run(eng, sig));
+  eng.run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_EQ(times[0], 33u);
+  EXPECT_EQ(times[1], 33u);
+}
+
+TEST(SignalTest, WaitAfterSetCompletesImmediately) {
+  Engine eng;
+  Signal sig(eng);
+  sig.set();
+  Cycles at = 99;
+  struct Waiter {
+    static Task run(Engine& eng, Signal& sig, Cycles& at) {
+      co_await eng.delay(7);
+      co_await sig.wait();
+      at = eng.now();
+    }
+  };
+  eng.spawn(Waiter::run(eng, sig, at));
+  eng.run();
+  EXPECT_EQ(at, 7u);
+}
+
+TEST(SignalTest, ResetReArms) {
+  Engine eng;
+  Signal sig(eng);
+  sig.set();
+  EXPECT_TRUE(sig.is_set());
+  sig.reset();
+  EXPECT_FALSE(sig.is_set());
+}
+
+}  // namespace
+}  // namespace looplynx::sim

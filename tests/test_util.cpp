@@ -1,0 +1,183 @@
+// Tests for util: tables, stats, rng, cli, units, csv.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace looplynx::util {
+namespace {
+
+TEST(TableTest, RendersAlignedAscii) {
+  Table t("Demo");
+  t.set_header({"Arch", "Latency"});
+  t.add_row({"LoopLynx", "2.55"});
+  t.add_row({"DFX", "5.37"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("== Demo =="), std::string::npos);
+  EXPECT_NE(s.find("| Arch     |"), std::string::npos);
+  EXPECT_NE(s.find("| LoopLynx |"), std::string::npos);
+  EXPECT_NE(s.find("|    2.55 |"), std::string::npos);  // right aligned
+}
+
+TEST(TableTest, MarkdownOutputHasAlignmentRow) {
+  Table t;
+  t.set_header({"a", "b"});
+  t.add_row({"x", "1"});
+  std::ostringstream os;
+  t.render_markdown(os);
+  EXPECT_NE(os.str().find("| --- | ---: |"), std::string::npos);
+}
+
+TEST(TableTest, ShortRowsArePadded) {
+  Table t;
+  t.set_header({"a", "b", "c"});
+  t.add_row({"only"});
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_NO_THROW(t.to_string());
+}
+
+TEST(FormatTest, Fixed) { EXPECT_EQ(fmt_fixed(3.14159, 2), "3.14"); }
+TEST(FormatTest, Speedup) { EXPECT_EQ(fmt_speedup(2.5248, 2), "2.52x"); }
+TEST(FormatTest, Percent) { EXPECT_EQ(fmt_percent(0.481, 1), "48.1%"); }
+TEST(FormatTest, Int) {
+  EXPECT_EQ(fmt_int(12288), "12,288");
+  EXPECT_EQ(fmt_int(-1234567), "-1,234,567");
+  EXPECT_EQ(fmt_int(0), "0");
+  EXPECT_EQ(fmt_int(999), "999");
+}
+TEST(FormatTest, Kilo) {
+  EXPECT_EQ(fmt_kilo(312000), "312K");
+  EXPECT_EQ(fmt_kilo(1234567), "1.2M");
+  EXPECT_EQ(fmt_kilo(42), "42");
+}
+
+TEST(StatsTest, MeanAndGeomean) {
+  const double vals[] = {1.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(vals), 7.0 / 3.0);
+  EXPECT_NEAR(geomean(vals), 2.0, 1e-12);
+}
+
+TEST(StatsTest, EmptyInputsAreZero) {
+  EXPECT_EQ(mean({}), 0.0);
+  EXPECT_EQ(geomean({}), 0.0);
+  EXPECT_EQ(stddev({}), 0.0);
+}
+
+TEST(StatsTest, Percentile) {
+  std::vector<double> v{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 25), 2.0);
+}
+
+TEST(StatsTest, RunningStatMatchesBatch) {
+  RunningStat rs;
+  const double vals[] = {3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0};
+  for (double v : vals) rs.add(v);
+  EXPECT_EQ(rs.count(), 8u);
+  EXPECT_NEAR(rs.mean(), mean(vals), 1e-12);
+  EXPECT_NEAR(rs.stddev(), stddev(vals), 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), 1.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformDoubleInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, NormalHasRoughlyUnitMoments) {
+  Rng r(123);
+  RunningStat rs;
+  for (int i = 0; i < 20000; ++i) rs.add(r.normal());
+  EXPECT_NEAR(rs.mean(), 0.0, 0.05);
+  EXPECT_NEAR(rs.stddev(), 1.0, 0.05);
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusive) {
+  Rng r(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= (v == -2);
+    saw_hi |= (v == 2);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(CliTest, ParsesKeyValueForms) {
+  const char* argv[] = {"prog", "--nodes=4", "--freq=285", "--verbose",
+                        "positional"};
+  Cli cli(5, argv);
+  EXPECT_EQ(cli.get_int_or("nodes", 0), 4);
+  EXPECT_EQ(cli.get_int_or("freq", 0), 285);
+  EXPECT_TRUE(cli.has("verbose"));
+  EXPECT_TRUE(cli.get_bool_or("verbose", false));
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "positional");
+  EXPECT_EQ(cli.get_int_or("missing", -1), -1);
+  EXPECT_EQ(cli.get_or("missing", "dflt"), "dflt");
+}
+
+TEST(CliTest, DoubleAndBool) {
+  const char* argv[] = {"prog", "--alpha=0.5", "--flag=false"};
+  Cli cli(3, argv);
+  EXPECT_DOUBLE_EQ(cli.get_double_or("alpha", 0), 0.5);
+  EXPECT_FALSE(cli.get_bool_or("flag", true));
+}
+
+TEST(CsvTest, EscapesSpecials) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvTest, WritesRows) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.write_row({"a", "b,c"});
+  w.write_row({"1", "2"});
+  EXPECT_EQ(os.str(), "a,\"b,c\"\n1,2\n");
+}
+
+TEST(UnitsTest, CycleConversions) {
+  EXPECT_DOUBLE_EQ(cycles_to_ms(285'000, 285e6), 1.0);
+  EXPECT_DOUBLE_EQ(cycles_to_us(285, 285e6), 1.0);
+  EXPECT_EQ(seconds_to_cycles(1e-3, 285e6), 285'000u);
+}
+
+TEST(UnitsTest, ByteAndRateFormatting) {
+  EXPECT_EQ(fmt_bytes(12ull * 1024 * 1024), "12.0 MiB");
+  EXPECT_EQ(fmt_rate(8.49e9), "8.49 GB/s");
+  EXPECT_EQ(fmt_duration(3.85e-3), "3.850 ms");
+}
+
+}  // namespace
+}  // namespace looplynx::util
