@@ -1,0 +1,96 @@
+// Latency under load: sweeps arrival rate x max batch size for several
+// traffic mixes on the continuous-batching serving engine, reporting
+// throughput, goodput and tail latency. This is the scenario family the
+// paper's Fig. 8 single-request sweep cannot express: an open arrival
+// process, interleaved prefill/decode, KV-slot backpressure.
+//
+//   ./serve_load [--nodes=2] [--model=gpt2-medium] [--requests=64]
+//                [--seed=1] [--stride=64] [--policy=prefill|decode]
+//
+// Output is deterministic: two runs with identical flags produce
+// byte-identical tables (seeded traffic + deterministic engine).
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "core/arch_config.hpp"
+#include "core/step_cost.hpp"
+#include "serve/serving_sim.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "workload/mix.hpp"
+
+int main(int argc, char** argv) {
+  using namespace looplynx;
+  const util::Cli cli(argc, argv);
+  const auto nodes = static_cast<std::uint32_t>(cli.get_int_or("nodes", 2));
+  const auto requests =
+      static_cast<std::uint32_t>(cli.get_int_or("requests", 64));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int_or("seed", 1));
+  const auto stride =
+      static_cast<std::uint32_t>(cli.get_int_or("stride", 64));
+  const serve::BatchPolicy policy =
+      cli.get_or("policy", "prefill") == "decode"
+          ? serve::BatchPolicy::kDecodePriority
+          : serve::BatchPolicy::kPrefillPriority;
+
+  const core::ArchConfig arch = core::ArchConfig::nodes(nodes);
+  const model::ModelConfig model = bench::model_from_cli(cli);
+
+  // One cost probe shared by every sweep point (same arch + model).
+  const core::StepCostModel costs(arch, model, stride);
+
+  const std::vector<workload::Mix> mixes = {workload::chatbot_mix(),
+                                            workload::codegen_mix(),
+                                            workload::summarization_mix(),
+                                            workload::mixed_fleet()};
+  const std::vector<double> rates = {1.0, 2.0, 4.0, 8.0};
+  const std::vector<std::uint32_t> batches = {1, 4, 8, 16};
+
+  util::Table t("Serving under load: " + model.name + ", " +
+                std::to_string(nodes) + "-node, " + std::to_string(requests) +
+                " requests/point, " +
+                (policy == serve::BatchPolicy::kPrefillPriority
+                     ? "prefill-priority"
+                     : "decode-priority"));
+  t.set_header({"mix", "req/s in", "batch", "done/shed", "tok/s",
+                "goodput", "TTFT p50", "TTFT p99", "tok p50", "tok p99"});
+
+  for (const workload::Mix& mix : mixes) {
+    for (double rate : rates) {
+      for (std::uint32_t batch : batches) {
+        serve::ServingConfig cfg;
+        cfg.arch = arch;
+        cfg.model = model;
+        cfg.traffic.mix = mix;
+        cfg.traffic.num_requests = requests;
+        cfg.traffic.arrival_rate_per_s = rate;
+        cfg.traffic.seed = seed;
+        cfg.scheduler.max_batch = batch;
+        cfg.scheduler.policy = policy;
+        const serve::FleetMetrics m =
+            serve::ServingSim(cfg, costs).run();
+        t.add_row({mix.name, util::fmt_fixed(rate, 0),
+                   util::fmt_int(batch),
+                   util::fmt_int(static_cast<long long>(m.completed)) + "/" +
+                       util::fmt_int(static_cast<long long>(m.rejected)),
+                   util::fmt_fixed(m.decode_tok_s, 1),
+                   util::fmt_fixed(m.goodput_req_s, 2),
+                   util::fmt_fixed(m.ttft_ms.p50, 1),
+                   util::fmt_fixed(m.ttft_ms.p99, 1),
+                   util::fmt_fixed(m.token_ms.p50, 2),
+                   util::fmt_fixed(m.token_ms.p99, 2)});
+      }
+      t.add_separator();
+    }
+  }
+  t.render(std::cout);
+
+  std::cout << "\nReading guide: raising max batch amortizes the per-token\n"
+               "host sync across the batch, lifting tok/s at some cost in\n"
+               "p99 per-token latency; past the saturation rate TTFT blows\n"
+               "up first (queueing), which is why goodput — not raw\n"
+               "throughput — is the capacity metric.\n";
+  return 0;
+}

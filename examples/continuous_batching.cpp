@@ -1,0 +1,61 @@
+// Continuous-batching walkthrough: a 12-request burst arrives at a
+// 2-node LoopLynx deployment whose KV budget only fits a handful of
+// requests at once, so the KV-slot manager backpressures admissions and
+// the scheduler interleaves prefill and decode steps across the fleet.
+//
+//   ./continuous_batching [--requests=12] [--batch=4] [--rate=12]
+//                         [--policy=prefill|decode] [--seed=7]
+#include <iostream>
+
+#include "core/arch_config.hpp"
+#include "model/config.hpp"
+#include "serve/kv_slot.hpp"
+#include "serve/serving_sim.hpp"
+#include "util/cli.hpp"
+#include "workload/mix.hpp"
+
+int main(int argc, char** argv) {
+  using namespace looplynx;
+  const util::Cli cli(argc, argv);
+
+  serve::ServingConfig cfg;
+  cfg.arch = core::ArchConfig::two_node();
+  cfg.model = model::gpt2_medium();
+  cfg.traffic.process = serve::ArrivalProcess::kPoisson;
+  cfg.traffic.mix = workload::mixed_fleet();
+  cfg.traffic.num_requests =
+      static_cast<std::uint32_t>(cli.get_int_or("requests", 12));
+  cfg.traffic.arrival_rate_per_s = cli.get_double_or("rate", 12.0);
+  cfg.traffic.seed = static_cast<std::uint64_t>(cli.get_int_or("seed", 7));
+  cfg.scheduler.max_batch =
+      static_cast<std::uint32_t>(cli.get_int_or("batch", 8));
+  cfg.scheduler.policy = cli.get_or("policy", "prefill") == "decode"
+                             ? serve::BatchPolicy::kDecodePriority
+                             : serve::BatchPolicy::kPrefillPriority;
+  // Shrink the KV budget so roughly 8 average requests fit at once: the
+  // scheduler demonstrably interleaves 8+ concurrent streams, while the
+  // stragglers beyond that back up in the queue on KV slots — the
+  // pressure a production fleet must survive.
+  const auto mean_tokens = cfg.traffic.mix.mean_tokens_per_request();
+  serve::KvSlotManager probe(cfg.arch, cfg.model, 1);  // bytes-per-token probe
+  cfg.kv_budget_bytes_per_node = static_cast<std::uint64_t>(
+      8.5 * mean_tokens * static_cast<double>(probe.bytes_per_token_per_node()));
+
+  const serve::ServingSim sim(cfg);
+  const serve::FleetMetrics m = sim.run();
+  m.to_table("Continuous batching, " + cfg.traffic.mix.name + " mix, batch " +
+             std::to_string(cfg.scheduler.max_batch))
+      .render(std::cout);
+
+  std::cout << "\n" << m.peak_in_flight
+            << " requests were in flight concurrently; KV backpressure "
+               "stalled admission "
+            << m.kv_stall_events << " time(s) (peak queue depth "
+            << m.peak_queue_depth << ").\n";
+  if (m.kv_stall_events == 0) {
+    std::cout << "(increase --rate or --requests to exercise backpressure)\n";
+  }
+  const bool ok = m.completed == m.offered - m.rejected &&
+                  m.peak_in_flight >= 8 && m.kv_stall_events > 0;
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,83 @@
+// Per-token step-cost model for the serving scheduler.
+//
+// The continuous-batching scheduler (src/serve/) prices every iteration in
+// accelerator cycles before it runs, so it cannot afford to re-simulate the
+// dataflow pipeline per token. Token cost depends on sequence position only
+// through the KV length and is piecewise-linear in it (the MHA kernel's
+// score/mix loops grow linearly; block quantization rounds to mp_block_rows
+// granularity), so this model probes core::System::token_cycles at a
+// configurable stride of positions and interpolates between probes. With
+// probe_stride == 1 the table is exact.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/arch_config.hpp"
+#include "core/system.hpp"
+#include "model/config.hpp"
+#include "sim/engine.hpp"
+
+namespace looplynx::core {
+
+class StepCostModel {
+ public:
+  /// Probes `system.token_cycles` at positions {0, stride, 2*stride, ...,
+  /// max_seq_len - 1} and fills the in-between positions by linear
+  /// interpolation.
+  explicit StepCostModel(const System& system, std::uint32_t probe_stride = 64);
+
+  /// Convenience: constructs the System internally.
+  StepCostModel(const ArchConfig& arch, const model::ModelConfig& model,
+                std::uint32_t probe_stride = 64)
+      : StepCostModel(System(arch, model), probe_stride) {}
+
+  /// Cycles to process one token with `pos` tokens already cached
+  /// (host sync excluded).
+  sim::Cycles step_cycles(std::uint32_t pos) const { return step_.at(pos); }
+
+  /// Cycles to process an L-token prompt back to back, i.e. the sum of
+  /// step_cycles over positions [0, L). O(1) via a prefix-sum table.
+  sim::Cycles prefill_cycles(std::uint32_t prompt_len) const {
+    return prefix_.at(prompt_len);
+  }
+
+  /// PCIe turnaround the host pays once per scheduler iteration (the cost
+  /// continuous batching amortizes across the batch).
+  sim::Cycles host_sync_cycles() const { return arch_.host_sync_cycles; }
+
+  /// Analytic single-token Fused-MP bounds, per node: cycles to stream one
+  /// token's weights from HBM, and cycles for the MAC array to consume
+  /// them. The pipeline overlaps the two, so a lone decode step runs at
+  /// max(stream, mac) — stream-bound for the paper's configuration.
+  sim::Cycles weight_stream_cycles() const { return weight_stream_cycles_; }
+  sim::Cycles weight_mac_cycles() const { return weight_mac_cycles_; }
+
+  /// Pipeline occupancy of `positions.size()` decode steps that share one
+  /// weight-stream pass (the continuous-batching fast path): each streamed
+  /// weight block is applied to every batch member's vector, so the MP
+  /// kernel pays max(stream, B x mac) once instead of B x max(stream, mac),
+  /// while the KV-length-dependent portions (MHA, critical path) remain
+  /// per-token. Equals step_cycles(pos) for a single-element batch.
+  sim::Cycles decode_batch_cycles(
+      const std::vector<std::uint32_t>& positions) const;
+
+  /// Number of modeled positions (== model max_seq_len).
+  std::uint32_t max_positions() const {
+    return static_cast<std::uint32_t>(step_.size());
+  }
+
+  const ArchConfig& arch() const { return arch_; }
+  const model::ModelConfig& model() const { return model_; }
+  double cycles_to_ms(sim::Cycles c) const { return arch_.cycles_to_ms(c); }
+
+ private:
+  ArchConfig arch_;
+  model::ModelConfig model_;
+  std::vector<sim::Cycles> step_;    // step_[pos], pos in [0, max_seq)
+  std::vector<sim::Cycles> prefix_;  // prefix_[p] = sum of step_[0..p)
+  sim::Cycles weight_stream_cycles_ = 0;
+  sim::Cycles weight_mac_cycles_ = 0;
+};
+
+}  // namespace looplynx::core

@@ -25,6 +25,33 @@ sim::Task token_step(sim::Engine& engine,
   co_await latch.wait();
 }
 
+/// The ring fabric plus the per-node accelerators of one deployment.
+struct Deployment {
+  std::unique_ptr<net::RingFabric> fabric;
+  std::vector<std::unique_ptr<Node>> nodes;
+};
+
+Deployment build_deployment(sim::Engine& engine, const ArchConfig& arch,
+                            const model::ModelConfig& model) {
+  Deployment d;
+  if (arch.num_nodes > 1) {
+    std::vector<hw::StreamLinkConfig> link_cfgs;
+    link_cfgs.reserve(arch.num_nodes);
+    for (std::uint32_t n = 0; n < arch.num_nodes; ++n) {
+      link_cfgs.push_back(
+          hw::StreamLinkConfig{.bytes_per_cycle = arch.net_bytes_per_cycle(),
+                               .hop_latency_cycles = arch.hop_cycles(n)});
+    }
+    d.fabric = std::make_unique<net::RingFabric>(engine, std::move(link_cfgs));
+  }
+  d.nodes.reserve(arch.num_nodes);
+  for (std::uint32_t n = 0; n < arch.num_nodes; ++n) {
+    d.nodes.push_back(
+        std::make_unique<Node>(engine, arch, model, n, d.fabric.get()));
+  }
+  return d;
+}
+
 }  // namespace
 
 System::System(ArchConfig arch, model::ModelConfig model)
@@ -50,23 +77,9 @@ RunResult System::run(std::uint32_t prefill_tokens,
       1, options.token_sample_stride);
 
   sim::Engine engine;
-  std::unique_ptr<net::RingFabric> fabric;
-  if (arch_.num_nodes > 1) {
-    std::vector<hw::StreamLinkConfig> link_cfgs;
-    link_cfgs.reserve(arch_.num_nodes);
-    for (std::uint32_t n = 0; n < arch_.num_nodes; ++n) {
-      link_cfgs.push_back(hw::StreamLinkConfig{
-          .bytes_per_cycle = arch_.net_bytes_per_cycle(),
-          .hop_latency_cycles = arch_.hop_cycles(n)});
-    }
-    fabric = std::make_unique<net::RingFabric>(engine, std::move(link_cfgs));
-  }
-  std::vector<std::unique_ptr<Node>> nodes;
-  nodes.reserve(arch_.num_nodes);
-  for (std::uint32_t n = 0; n < arch_.num_nodes; ++n) {
-    nodes.push_back(
-        std::make_unique<Node>(engine, arch_, model_, n, fabric.get()));
-  }
+  Deployment deploy = build_deployment(engine, arch_, model_);
+  std::unique_ptr<net::RingFabric>& fabric = deploy.fabric;
+  std::vector<std::unique_ptr<Node>>& nodes = deploy.nodes;
 
   // Simulate sampled positions; every position's cost is a function of the
   // KV length only, so intermediate positions interpolate linearly.
@@ -141,6 +154,15 @@ RunResult System::run(std::uint32_t prefill_tokens,
   result.mpu_utilization = nodes[0]->mpu_utilization();
   if (options.keep_token_timings) result.tokens = std::move(timings);
   return result;
+}
+
+sim::Cycles System::token_cycles(std::uint32_t pos) const {
+  assert(pos < model_.max_seq_len);
+  sim::Engine engine;
+  Deployment deploy = build_deployment(engine, arch_, model_);
+  engine.spawn(token_step(engine, deploy.nodes, pos));
+  engine.run();
+  return engine.now();
 }
 
 double System::avg_token_latency_ms(std::uint32_t prefill_tokens,

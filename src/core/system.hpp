@@ -66,6 +66,12 @@ class System {
   RunResult run(std::uint32_t prefill_tokens, std::uint32_t decode_tokens,
                 const RunOptions& options = {}) const;
 
+  /// Cycles one token step takes with `pos` tokens already cached, host
+  /// sync excluded. This is the primitive the serve layer's StepCostModel
+  /// probes to price scheduler iterations without re-simulating whole
+  /// requests.
+  sim::Cycles token_cycles(std::uint32_t pos) const;
+
   /// Convenience: average per-token latency (ms) of a request.
   double avg_token_latency_ms(std::uint32_t prefill_tokens,
                               std::uint32_t decode_tokens,

@@ -1,6 +1,11 @@
 #include "host/serving.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+#include <utility>
+
+#include "serve/serving_sim.hpp"
+#include "workload/scenario.hpp"
 
 namespace looplynx::host {
 
@@ -13,8 +18,9 @@ Host::Host(const quant::Gpt2Int8Weights& weights, Tokenizer tokenizer,
   }
 }
 
-ServeResult Host::serve(const ServeRequest& request,
-                        const std::function<void(std::uint32_t)>& on_token) {
+ServeResult Host::generate(
+    const ServeRequest& request,
+    const std::function<void(std::uint32_t)>& on_token) {
   ServeResult result;
   result.prompt_ids = tokenizer_.encode(request.prompt);
   if (result.prompt_ids.empty()) {
@@ -25,7 +31,6 @@ ServeResult Host::serve(const ServeRequest& request,
     throw std::invalid_argument("prompt exceeds the model context window");
   }
 
-  // ---- Functional pass: prefill then sampled decode until EOS. ----
   core::FunctionalSystem accel(*weights_, arch_.num_nodes);
   std::vector<float> hidden;
   for (std::uint32_t id : result.prompt_ids) {
@@ -47,22 +52,78 @@ ServeResult Host::serve(const ServeRequest& request,
     if (i + 1 < max_new) hidden = accel.forward_token(next);
   }
   result.text = tokenizer_.decode(result.output_ids);
-
-  // ---- Timing pass: the realized request shape on the timed system. ----
-  const auto prefill =
-      static_cast<std::uint32_t>(result.prompt_ids.size());
-  const auto decode =
-      static_cast<std::uint32_t>(std::max<std::size_t>(
-          result.output_ids.size() + (result.hit_eos ? 1 : 0), 1));
-  core::System timed(arch_, weights_->config);
-  core::RunOptions opt;
-  opt.token_sample_stride = 4;
-  const core::RunResult timing = timed.run(prefill, decode, opt);
-  result.prefill_ms = timing.prefill_ms;
-  result.decode_ms = timing.decode_ms;
-  result.total_ms = timing.total_ms;
-  result.decode_tokens_per_s = timing.decode_tokens_per_s;
   return result;
+}
+
+std::uint32_t Host::decode_steps(const ServeResult& result) {
+  return static_cast<std::uint32_t>(std::max<std::size_t>(
+      result.output_ids.size() + (result.hit_eos ? 1 : 0), 1));
+}
+
+const core::StepCostModel& Host::costs() {
+  if (!costs_) {
+    costs_.emplace(arch_, weights_->config, /*probe_stride=*/32);
+  }
+  return *costs_;
+}
+
+std::size_t Host::submit(
+    const ServeRequest& request,
+    const std::function<void(std::uint32_t)>& on_token) {
+  pending_.push_back(generate(request, on_token));
+  return pending_.size() - 1;
+}
+
+std::vector<ServeResult> Host::flush(
+    const serve::SchedulerConfig& scheduler) {
+  std::vector<ServeResult> results = std::move(pending_);
+  pending_.clear();
+  if (results.empty()) return results;
+
+  // All submitted requests arrive at cycle 0 and share one
+  // continuous-batching fleet, so their timings reflect scheduler
+  // interleaving and KV pressure, not isolated runs.
+  serve::ServingConfig cfg;
+  cfg.arch = arch_;
+  cfg.model = weights_->config;
+  cfg.scheduler = scheduler;
+  cfg.keep_request_records = true;
+  for (const ServeResult& r : results) {
+    cfg.traffic.explicit_arrivals.push_back(serve::Arrival{
+        0, workload::make_scenario(
+               static_cast<std::uint32_t>(r.prompt_ids.size()),
+               decode_steps(r))});
+  }
+  const serve::ServingSim sim(cfg, costs());
+  const serve::FleetMetrics metrics = sim.run();
+  if (metrics.requests.size() != results.size()) {
+    throw std::logic_error("serve layer lost request records");
+  }
+
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const serve::RequestRecord& rec = metrics.requests[i];
+    ServeResult& out = results[i];
+    if (rec.rejected) {
+      out.rejected = true;  // generation is valid, timing fields stay zero
+      continue;
+    }
+    out.queue_ms = rec.queue_wait_ms;
+    out.prefill_ms = rec.ttft_ms - rec.queue_wait_ms;
+    out.decode_ms = rec.e2e_ms - rec.ttft_ms;
+    out.total_ms = out.prefill_ms + out.decode_ms;
+    if (rec.decode_tokens > 0 && out.decode_ms > 0) {
+      out.decode_tokens_per_s =
+          1e3 * static_cast<double>(rec.decode_tokens) / out.decode_ms;
+    }
+  }
+  return results;
+}
+
+ServeResult Host::serve(const ServeRequest& request,
+                        const std::function<void(std::uint32_t)>& on_token) {
+  submit(request, on_token);
+  std::vector<ServeResult> results = flush();
+  return std::move(results.front());
 }
 
 }  // namespace looplynx::host

@@ -1,25 +1,34 @@
-// Host-side serving loop (paper Fig. 2(b)).
+// Host-side serving runtime (paper Fig. 2(b)).
 //
 // The host owns tokenization and sampling; the accelerator owns the
-// transformer stack. serve() encodes the prompt, pushes it token by token
-// through the distributed functional accelerator (prefill), then generates
-// until EOS or the token budget — and reports the latency the same request
-// shape takes on the cycle-level timing model. Functionality and timing are
-// deliberately decoupled (DESIGN.md §3): data comes from
-// core::FunctionalSystem, cycles from core::System.
+// transformer stack. Functionality and timing are deliberately decoupled
+// (DESIGN.md §3): token *data* comes from core::FunctionalSystem, request
+// *timing* comes from the serve-layer engine. The host no longer owns a
+// private timing loop — it submits realized request shapes into the
+// continuous-batching serve::ServingSim (DESIGN.md §4), so a batch of
+// submitted requests shares the fleet's scheduler, KV-slot accounting and
+// host-sync amortization exactly like open traffic would.
+//
+// Two usage patterns:
+//   serve(req)              — one request, generation + timing, blocking.
+//   submit(req)... flush()  — enqueue several requests, then run them
+//                             through one continuous-batching fleet; each
+//                             result carries its own TTFT / latency split.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/arch_config.hpp"
 #include "core/functional_system.hpp"
-#include "core/system.hpp"
+#include "core/step_cost.hpp"
 #include "host/sampler.hpp"
 #include "host/tokenizer.hpp"
 #include "quant/int8_model.hpp"
+#include "serve/scheduler.hpp"
 
 namespace looplynx::host {
 
@@ -35,11 +44,16 @@ struct ServeResult {
   std::vector<std::uint32_t> output_ids;
   bool hit_eos = false;
 
-  // Timing estimate of this request shape on the configured deployment.
-  double prefill_ms = 0;
+  // Timing of this request's realized shape on the configured deployment,
+  // as scheduled by the continuous-batching serve layer.
+  double prefill_ms = 0;   // admission -> first token (queueing excluded)
   double decode_ms = 0;
-  double total_ms = 0;
+  double total_ms = 0;     // prefill + decode
+  double queue_ms = 0;     // arrival -> admission (0 for lone requests)
   double decode_tokens_per_s = 0;
+  /// True when fleet admission control shed this request: the generation
+  /// above is still valid, but every timing field is zero/meaningless.
+  bool rejected = false;
 };
 
 class Host {
@@ -54,13 +68,37 @@ class Host {
   ServeResult serve(const ServeRequest& request,
                     const std::function<void(std::uint32_t)>& on_token = {});
 
+  /// Runs the functional pass now (the generation is available in the
+  /// returned index's result after flush()) and queues the realized shape
+  /// for batched timing. Returns the request's position in flush() output.
+  std::size_t submit(const ServeRequest& request,
+                     const std::function<void(std::uint32_t)>& on_token = {});
+
+  /// Times all submitted requests through one continuous-batching fleet
+  /// (all arriving at cycle 0) and returns their results in submit order.
+  std::vector<ServeResult> flush(
+      const serve::SchedulerConfig& scheduler = {});
+
   const Tokenizer& tokenizer() const { return tokenizer_; }
   std::uint32_t eos_id() const { return tokenizer_.eos_id(); }
+  std::size_t pending() const { return pending_.size(); }
 
  private:
+  /// Functional pass: tokenize, prefill, sampled decode until EOS/budget.
+  ServeResult generate(const ServeRequest& request,
+                       const std::function<void(std::uint32_t)>& on_token);
+
+  /// Realized decode-step count of a generation (>= 1; EOS counts).
+  static std::uint32_t decode_steps(const ServeResult& result);
+
+  const core::StepCostModel& costs();
+
   const quant::Gpt2Int8Weights* weights_;
   Tokenizer tokenizer_;
   core::ArchConfig arch_;
+  /// Lazily probed on first timing use, then shared by every serve/flush.
+  std::optional<core::StepCostModel> costs_;
+  std::vector<ServeResult> pending_;
 };
 
 }  // namespace looplynx::host

@@ -1,0 +1,42 @@
+#include "serve/kv_slot.hpp"
+
+#include <algorithm>
+
+namespace looplynx::serve {
+
+namespace {
+/// HBM2 pseudo-channel capacity on the Alveo U50 (8 GiB / 32 channels).
+constexpr std::uint64_t kBytesPerPseudoChannel = 256ULL << 20;
+}  // namespace
+
+KvSlotManager::KvSlotManager(const core::ArchConfig& arch,
+                             const model::ModelConfig& model,
+                             std::uint64_t budget_bytes_per_node) {
+  const std::uint32_t heads_per_node =
+      std::max<std::uint32_t>(1, model.n_head / arch.num_nodes);
+  // K and V, int8, every layer, this node's heads.
+  bytes_per_token_ = 2ULL * model.n_layer * heads_per_node * model.head_dim();
+  const std::uint64_t budget =
+      budget_bytes_per_node != 0
+          ? budget_bytes_per_node
+          : static_cast<std::uint64_t>(arch.kv_channels) *
+                kBytesPerPseudoChannel;
+  capacity_tokens_ = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(budget / bytes_per_token_, UINT32_MAX));
+}
+
+bool KvSlotManager::try_reserve(std::uint32_t tokens) {
+  if (tokens > free_tokens()) {
+    ++stall_events_;
+    return false;
+  }
+  used_tokens_ += tokens;
+  peak_used_tokens_ = std::max(peak_used_tokens_, used_tokens_);
+  return true;
+}
+
+void KvSlotManager::release(std::uint32_t tokens) {
+  used_tokens_ -= std::min(tokens, used_tokens_);
+}
+
+}  // namespace looplynx::serve

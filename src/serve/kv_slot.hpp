@@ -1,0 +1,70 @@
+// KV-cache slot accounting for the serving fleet.
+//
+// Each admitted request reserves its whole KV footprint (prefill + decode
+// tokens) up front, so a running request can never be evicted mid-flight —
+// the same reservation discipline the paper's static head-wise KV placement
+// implies. Capacity derives from the HBM pseudo-channels the architecture
+// dedicates to the KV cache (arch.kv_channels per node, 256 MiB per HBM2
+// pseudo-channel on the Alveo U50); the int8 per-token footprint comes from
+// model::KvCacheT's layout. When a reservation fails the scheduler leaves
+// the request queued — that backpressure, not an allocation failure, is the
+// mechanism that bounds fleet memory.
+#pragma once
+
+#include <cstdint>
+
+#include "core/arch_config.hpp"
+#include "model/config.hpp"
+
+namespace looplynx::serve {
+
+class KvSlotManager {
+ public:
+  /// `budget_bytes_per_node` == 0 selects the architecture default:
+  /// kv_channels x 256 MiB of HBM per node.
+  KvSlotManager(const core::ArchConfig& arch, const model::ModelConfig& model,
+                std::uint64_t budget_bytes_per_node = 0);
+
+  /// K + V bytes one token occupies on one node (int8, the node's share of
+  /// the heads).
+  std::uint64_t bytes_per_token_per_node() const { return bytes_per_token_; }
+
+  /// Total tokens the fleet can keep resident (per node — the head-wise
+  /// partition makes every node's occupancy identical).
+  std::uint32_t capacity_tokens() const { return capacity_tokens_; }
+  std::uint32_t used_tokens() const { return used_tokens_; }
+  std::uint32_t free_tokens() const { return capacity_tokens_ - used_tokens_; }
+
+  /// Reserves `tokens` slots; false (and a recorded stall) when they do not
+  /// fit. A request whose footprint exceeds the total capacity can never be
+  /// admitted — callers should reject it instead of retrying.
+  bool try_reserve(std::uint32_t tokens);
+  void release(std::uint32_t tokens);
+
+  bool can_ever_fit(std::uint32_t tokens) const {
+    return tokens <= capacity_tokens_;
+  }
+
+  // ---- Statistics for FleetMetrics ----
+  std::uint32_t peak_used_tokens() const { return peak_used_tokens_; }
+  std::uint64_t stall_events() const { return stall_events_; }
+  double occupancy() const {
+    return capacity_tokens_ == 0
+               ? 0.0
+               : static_cast<double>(used_tokens_) / capacity_tokens_;
+  }
+  double peak_occupancy() const {
+    return capacity_tokens_ == 0
+               ? 0.0
+               : static_cast<double>(peak_used_tokens_) / capacity_tokens_;
+  }
+
+ private:
+  std::uint64_t bytes_per_token_ = 0;
+  std::uint32_t capacity_tokens_ = 0;
+  std::uint32_t used_tokens_ = 0;
+  std::uint32_t peak_used_tokens_ = 0;
+  std::uint64_t stall_events_ = 0;
+};
+
+}  // namespace looplynx::serve

@@ -1,0 +1,40 @@
+#include "serve/metrics.hpp"
+
+namespace looplynx::serve {
+
+util::Table FleetMetrics::to_table(const std::string& title) const {
+  util::Table t(title);
+  t.set_header({"metric", "value"});
+  t.add_row({"offered / completed / rejected",
+             util::fmt_int(static_cast<long long>(offered)) + " / " +
+                 util::fmt_int(static_cast<long long>(completed)) + " / " +
+                 util::fmt_int(static_cast<long long>(rejected))});
+  t.add_row({"makespan", util::fmt_fixed(duration_s, 2) + " s"});
+  t.add_row({"throughput", util::fmt_fixed(throughput_req_s, 2) + " req/s, " +
+                               util::fmt_fixed(decode_tok_s, 1) + " tok/s"});
+  t.add_row({"goodput", util::fmt_fixed(goodput_req_s, 2) + " req/s"});
+  t.add_row({"TTFT p50/p95/p99",
+             util::fmt_fixed(ttft_ms.p50, 1) + " / " +
+                 util::fmt_fixed(ttft_ms.p95, 1) + " / " +
+                 util::fmt_fixed(ttft_ms.p99, 1) + " ms"});
+  t.add_row({"token latency p50/p99",
+             util::fmt_fixed(token_ms.p50, 2) + " / " +
+                 util::fmt_fixed(token_ms.p99, 2) + " ms"});
+  t.add_row({"queue wait p99",
+             util::fmt_fixed(queue_wait_ms.p99, 1) + " ms (peak depth " +
+                 util::fmt_int(static_cast<long long>(peak_queue_depth)) +
+                 ")"});
+  t.add_row({"iterations / mean batch",
+             util::fmt_int(static_cast<long long>(iterations)) + " / " +
+                 util::fmt_fixed(mean_batch_size, 2)});
+  t.add_row({"peak in flight",
+             util::fmt_int(static_cast<long long>(peak_in_flight))});
+  t.add_row({"pipeline busy", util::fmt_percent(busy_fraction, 1)});
+  t.add_row({"KV peak occupancy",
+             util::fmt_percent(kv_peak_occupancy, 1) + " (" +
+                 util::fmt_int(static_cast<long long>(kv_stall_events)) +
+                 " stalls)"});
+  return t;
+}
+
+}  // namespace looplynx::serve

@@ -1,0 +1,73 @@
+// Fleet-level serving metrics: what the load benches sweep and the tests
+// assert on. All latencies are reported in milliseconds of accelerator
+// wall-clock (cycles / frequency); percentiles use util::percentile_summary.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace looplynx::serve {
+
+/// Per-request outcome, kept when ServingConfig::keep_request_records is
+/// set (host::Host batch submission needs to map fleet timing back onto
+/// individual callers). Ordered by request id == injection order.
+struct RequestRecord {
+  std::uint32_t id = 0;
+  std::uint32_t prefill_tokens = 0;
+  std::uint32_t decode_tokens = 0;
+  bool rejected = false;
+  double queue_wait_ms = 0;
+  double ttft_ms = 0;  // arrival -> prefill egress
+  double e2e_ms = 0;   // arrival -> completion
+};
+
+struct SloConfig {
+  double ttft_ms = 500.0;   // time to first token
+  double token_ms = 100.0;  // mean per-decode-token latency
+};
+
+struct FleetMetrics {
+  // ---- Counts ----
+  std::uint64_t offered = 0;    // requests injected by the traffic process
+  std::uint64_t completed = 0;
+  std::uint64_t rejected = 0;   // shed by admission control
+  std::uint64_t decode_tokens = 0;  // produced across completed requests
+  std::uint64_t total_tokens = 0;   // prefill + decode processed
+
+  // ---- Rates (over the makespan) ----
+  double duration_s = 0;
+  double throughput_req_s = 0;
+  double throughput_tok_s = 0;   // total tokens processed per second
+  double decode_tok_s = 0;       // generated tokens per second
+  /// Completed requests per second that met both SLOs — the metric that
+  /// actually prices a fleet.
+  double goodput_req_s = 0;
+  SloConfig slo;
+
+  // ---- Latency distributions (per completed request, ms) ----
+  util::PercentileSummary ttft_ms;        // arrival -> prefill egress
+  util::PercentileSummary token_ms;       // mean decode-token latency
+  util::PercentileSummary e2e_ms;         // arrival -> completion
+  util::PercentileSummary queue_wait_ms;  // arrival -> admission
+
+  // ---- Scheduler / resource occupancy ----
+  std::uint64_t iterations = 0;
+  double mean_batch_size = 0;
+  std::uint32_t peak_in_flight = 0;  // most requests admitted at once
+  std::size_t peak_queue_depth = 0;
+  double busy_fraction = 0;       // pipeline-occupied cycles / makespan
+  double kv_peak_occupancy = 0;   // peak KV slots used / capacity
+  std::uint64_t kv_stall_events = 0;  // admissions deferred by KV pressure
+
+  /// Per-request outcomes; empty unless requested via the ServingConfig.
+  std::vector<RequestRecord> requests;
+
+  /// Two-column summary table for examples and reports.
+  util::Table to_table(const std::string& title) const;
+};
+
+}  // namespace looplynx::serve

@@ -1,0 +1,40 @@
+// Bounded FIFO admission queue in front of the continuous-batching
+// scheduler. push() fails when the queue is at capacity — that is the
+// fleet's first line of admission control (load shedding); the second is
+// the KV-slot check at pop time. Tracks depth statistics for FleetMetrics.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+#include "serve/request.hpp"
+
+namespace looplynx::serve {
+
+class RequestQueue {
+ public:
+  explicit RequestQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  /// False when the queue is full (request must be rejected).
+  bool push(Request* request) {
+    if (queue_.size() >= capacity_) return false;
+    queue_.push_back(request);
+    if (queue_.size() > peak_depth_) peak_depth_ = queue_.size();
+    return true;
+  }
+
+  Request* front() const { return queue_.empty() ? nullptr : queue_.front(); }
+  void pop() { queue_.pop_front(); }
+
+  bool empty() const { return queue_.empty(); }
+  std::size_t depth() const { return queue_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  std::size_t peak_depth() const { return peak_depth_; }
+
+ private:
+  std::size_t capacity_;
+  std::deque<Request*> queue_;
+  std::size_t peak_depth_ = 0;
+};
+
+}  // namespace looplynx::serve

@@ -1,0 +1,68 @@
+// One in-flight serving request: its [prefill : decode] shape, lifecycle
+// timestamps (all in accelerator cycles) and the coroutine plumbing that
+// connects its root process to the continuous-batching scheduler.
+//
+// Lifecycle: Queued -> Running -> Finished, or Queued -> Rejected when
+// admission control drops it. The request's root process (ServingSim) parks
+// on `grant`; every grant is one scheduler iteration turn, and `latch` is
+// that iteration's batch barrier.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "sim/engine.hpp"
+#include "sim/sync.hpp"
+#include "workload/scenario.hpp"
+
+namespace looplynx::serve {
+
+enum class RequestState : std::uint8_t {
+  kQueued,    // waiting for admission (KV slots + in-flight budget)
+  kRunning,   // admitted; participates in scheduler iterations
+  kFinished,  // all decode tokens produced
+  kRejected,  // dropped by admission control (queue full / oversized)
+};
+
+struct Request {
+  Request(sim::Engine& engine, std::uint32_t id_, workload::Scenario shape_)
+      : id(id_), shape(shape_), grant(engine), done(engine) {}
+  Request(const Request&) = delete;
+  Request& operator=(const Request&) = delete;
+
+  std::uint32_t id = 0;
+  workload::Scenario shape;
+  RequestState state = RequestState::kQueued;
+
+  // ---- Lifecycle timestamps (engine cycles) ----
+  sim::Cycles arrival = 0;
+  sim::Cycles admitted = 0;     // popped from the queue, KV reserved
+  sim::Cycles first_token = 0;  // prefill step egress (TTFT reference)
+  sim::Cycles completed = 0;
+
+  // ---- Progress ----
+  bool prefilled = false;
+  std::uint32_t decoded = 0;       // decode steps completed
+  std::uint32_t kv_tokens = 0;     // slots reserved at admission
+
+  /// KV length the next step runs against.
+  std::uint32_t kv_len() const {
+    return prefilled ? shape.prefill + decoded : 0;
+  }
+  bool finished() const { return prefilled && decoded >= shape.decode; }
+
+  // ---- Per-iteration slot, filled by the scheduler before grant.set() ----
+  sim::Cycles step_offset = 0;  // pipeline turn within the iteration
+  sim::Cycles step_cycles = 0;  // pipeline occupancy of this step
+  /// Cycles from this member's pipeline egress to the host-visible batch
+  /// egress: the rest of the batch draining, plus the PCIe sync the
+  /// iteration pays once. Timestamps (TTFT, completion) are taken after
+  /// this wait — the token does not exist for the host until then.
+  sim::Cycles post_step_cycles = 0;
+  sim::CountdownLatch* latch = nullptr;  // batch barrier of the iteration
+
+  sim::Signal grant;  // one set() == one iteration turn
+  sim::Signal done;   // completion/rejection broadcast (closed-loop clients)
+};
+
+}  // namespace looplynx::serve

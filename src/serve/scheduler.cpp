@@ -1,0 +1,37 @@
+#include "serve/scheduler.hpp"
+
+#include <algorithm>
+
+namespace looplynx::serve {
+
+std::vector<Request*> Scheduler::select(
+    std::vector<Request*>& runnable) const {
+  std::vector<Request*> batch;
+  if (runnable.empty()) return batch;
+  batch.reserve(std::min<std::size_t>(runnable.size(), config_.max_batch));
+
+  const bool prefill_first = config_.policy == BatchPolicy::kPrefillPriority;
+  // Two passes over the FIFO-ordered runnable list: the priority class
+  // first, then the other class into the remaining slots.
+  for (const int pass : {0, 1}) {
+    const bool want_prefill = (pass == 0) == prefill_first;
+    for (Request* r : runnable) {
+      if (batch.size() >= config_.max_batch) break;
+      if (!r->prefilled == want_prefill) batch.push_back(r);
+    }
+  }
+
+  std::erase_if(runnable, [&](Request* r) {
+    return std::find(batch.begin(), batch.end(), r) != batch.end();
+  });
+  return batch;
+}
+
+double Scheduler::mean_batch_size() const {
+  if (iterations_.empty()) return 0.0;
+  double acc = 0.0;
+  for (const IterationRecord& it : iterations_) acc += it.batch_size();
+  return acc / static_cast<double>(iterations_.size());
+}
+
+}  // namespace looplynx::serve

@@ -1,0 +1,350 @@
+#include "serve/serving_sim.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "serve/kv_slot.hpp"
+#include "serve/queue.hpp"
+#include "serve/request.hpp"
+#include "sim/task.hpp"
+
+namespace looplynx::serve {
+
+namespace {
+
+/// Everything one fleet run owns. Lives on ServingSim::run's stack; all
+/// coroutines hold references into it and complete before it is destroyed
+/// (Engine is the first member, so it is destroyed last).
+struct Fleet {
+  Fleet(const ServingConfig& cfg_, const core::StepCostModel& costs_)
+      : cfg(cfg_),
+        costs(costs_),
+        queue(cfg_.scheduler.queue_capacity),
+        kv(cfg_.arch, cfg_.model, cfg_.kv_budget_bytes_per_node),
+        sched(cfg_.scheduler),
+        traffic(cfg_.traffic, cfg_.arch.frequency_hz),
+        work(engine) {}
+
+  const ServingConfig& cfg;
+  const core::StepCostModel& costs;
+  sim::Engine engine;
+  RequestQueue queue;
+  KvSlotManager kv;
+  Scheduler sched;
+  TrafficGen traffic;
+  sim::Signal work;  // arrivals and completions nudge the scheduler
+
+  std::vector<std::unique_ptr<Request>> requests;
+  std::vector<Request*> runnable;  // admitted, awaiting an iteration turn
+
+  // ---- Progress counters ----
+  std::uint32_t injected = 0;   // requests created so far
+  std::uint32_t active = 0;     // admitted and not yet finished
+  std::uint32_t peak_active = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t good = 0;       // completed within both SLOs
+  std::uint64_t decode_tokens = 0;
+  std::uint64_t total_tokens = 0;
+  sim::Cycles busy_cycles = 0;  // summed iteration spans
+
+  // ---- Latency samples (ms, one per completed request) ----
+  std::vector<double> ttft_ms, token_ms, e2e_ms, queue_wait_ms;
+
+  bool arrivals_done() const { return injected >= cfg.traffic.num_requests; }
+
+  double ms(sim::Cycles c) const { return cfg.arch.cycles_to_ms(c); }
+
+  Request& make_request(workload::Scenario shape) {
+    if (shape.total() > cfg.model.max_seq_len) {
+      throw std::invalid_argument("traffic shape " + shape.name +
+                                  " exceeds the model context window");
+    }
+    requests.push_back(
+        std::make_unique<Request>(engine, injected++, std::move(shape)));
+    return *requests.back();
+  }
+
+  void record_completion(Request& r) {
+    r.state = RequestState::kFinished;
+    r.completed = engine.now();
+    kv.release(r.kv_tokens);
+    --active;
+    ++completed;
+    decode_tokens += r.decoded;
+    total_tokens += r.decoded;
+    const double ttft = ms(r.first_token - r.arrival);
+    const double token =
+        r.decoded > 0 ? ms(r.completed - r.first_token) /
+                            static_cast<double>(r.decoded)
+                      : 0.0;
+    ttft_ms.push_back(ttft);
+    token_ms.push_back(token);
+    e2e_ms.push_back(ms(r.completed - r.arrival));
+    queue_wait_ms.push_back(ms(r.admitted - r.arrival));
+    if (ttft <= cfg.slo.ttft_ms && token <= cfg.slo.token_ms) ++good;
+  }
+};
+
+/// Root process of one request. Parks on its grant signal; every grant is
+/// one scheduler iteration turn, executed at the request's pipeline slot
+/// within the iteration, with the iteration's CountdownLatch as batch
+/// barrier.
+sim::Task request_proc(Fleet& f, Request& r) {
+  r.arrival = f.engine.now();
+  if (!f.queue.push(&r)) {
+    r.state = RequestState::kRejected;
+    ++f.rejected;
+    r.done.set();
+    co_return;
+  }
+  f.work.set();
+  while (true) {
+    co_await r.grant.wait();
+    r.grant.reset();
+    if (r.state == RequestState::kRejected) {
+      // Popped by the scheduler but impossible to admit (footprint larger
+      // than the whole KV budget).
+      ++f.rejected;
+      r.done.set();
+      co_return;
+    }
+    // Wait for this request's turn through the time-shared pipeline, then
+    // occupy it for the step.
+    co_await f.engine.delay(r.step_offset + r.step_cycles);
+    if (!r.prefilled) {
+      r.prefilled = true;
+      f.total_tokens += r.shape.prefill;
+    } else {
+      ++r.decoded;
+    }
+    // The token reaches the host only at batch egress + PCIe sync.
+    co_await f.engine.delay(r.post_step_cycles);
+    if (r.decoded == 0) r.first_token = f.engine.now();
+    const bool finished = r.finished();
+    r.latch->count_down();  // batch barrier: everyone reaches egress together
+    if (finished) break;
+  }
+  f.record_completion(r);
+  f.work.set();  // freed KV slots may unblock the queue head
+  r.done.set();
+}
+
+/// Open-loop injector: replays the pre-generated arrival schedule.
+sim::Task arrivals_proc(Fleet& f) {
+  const std::vector<Arrival> schedule = f.traffic.open_loop_schedule();
+  for (const Arrival& a : schedule) {
+    if (a.at > f.engine.now()) co_await f.engine.delay(a.at - f.engine.now());
+    Request& r = f.make_request(a.shape);
+    f.engine.spawn(request_proc(f, r));
+  }
+}
+
+/// Closed-loop client: submit, await completion, think, repeat. The global
+/// request budget is shared across clients.
+sim::Task client_proc(Fleet& f) {
+  while (!f.arrivals_done()) {
+    Request& r = f.make_request(f.traffic.next_shape());
+    f.engine.spawn(request_proc(f, r));
+    co_await r.done.wait();
+    if (f.arrivals_done()) break;
+    co_await f.engine.delay(
+        f.traffic.exponential_cycles(f.cfg.traffic.think_time_s));
+  }
+}
+
+/// Admits queued requests in FIFO order while the KV manager and the
+/// in-flight budget have room. A head request that can never fit is
+/// rejected so it cannot wedge the queue.
+void admit_from_queue(Fleet& f) {
+  while (!f.queue.empty() && f.active < f.cfg.scheduler.max_in_flight) {
+    Request* r = f.queue.front();
+    if (!f.kv.can_ever_fit(r->shape.total())) {
+      f.queue.pop();
+      r->state = RequestState::kRejected;
+      r->grant.set();  // resumes the root process, which records the drop
+      continue;
+    }
+    if (!f.kv.try_reserve(r->shape.total())) break;  // KV backpressure
+    f.queue.pop();
+    r->kv_tokens = r->shape.total();
+    r->admitted = f.engine.now();
+    r->state = RequestState::kRunning;
+    ++f.active;
+    f.peak_active = std::max(f.peak_active, f.active);
+    f.runnable.push_back(r);
+  }
+}
+
+/// The continuous-batching loop: admit, select a batch, let the members
+/// stream through the pipeline back to back, pay host sync once, repeat.
+sim::Task scheduler_proc(Fleet& f) {
+  while (true) {
+    admit_from_queue(f);
+    std::vector<Request*> batch = f.sched.select(f.runnable);
+    if (batch.empty()) {
+      if (f.arrivals_done() && f.queue.empty() && f.runnable.empty()) break;
+      co_await f.work.wait();
+      f.work.reset();
+      continue;
+    }
+
+    IterationRecord rec;
+    rec.start = f.engine.now();
+    sim::CountdownLatch latch(f.engine, batch.size());
+
+    // Decode members share one weight-stream pass (each streamed block is
+    // applied to every member's vector), so they occupy the pipeline as a
+    // group; prefills run their prompts back to back. The priority class
+    // also goes first through the pipeline within the iteration.
+    std::vector<Request*> prefills, decodes;
+    std::vector<std::uint32_t> decode_positions;
+    for (Request* r : batch) {
+      if (r->prefilled) {
+        decodes.push_back(r);
+        decode_positions.push_back(
+            std::min(r->kv_len(), f.costs.max_positions() - 1));
+      } else {
+        prefills.push_back(r);
+      }
+    }
+    const sim::Cycles decode_group =
+        f.costs.decode_batch_cycles(decode_positions);
+
+    sim::Cycles offset = f.cfg.scheduler.iteration_overhead_cycles;
+    const bool decodes_first =
+        f.cfg.scheduler.policy == BatchPolicy::kDecodePriority;
+    auto place_decodes = [&] {
+      for (Request* r : decodes) {
+        r->step_offset = offset;
+        r->step_cycles = decode_group;
+      }
+      if (!decodes.empty()) offset += decode_group;
+    };
+    auto place_prefills = [&] {
+      for (Request* r : prefills) {
+        r->step_offset = offset;
+        r->step_cycles = f.costs.prefill_cycles(r->shape.prefill);
+        offset += r->step_cycles;
+      }
+    };
+    if (decodes_first) {
+      place_decodes();
+      place_prefills();
+    } else {
+      place_prefills();
+      place_decodes();
+    }
+
+    rec.prefills = static_cast<std::uint32_t>(prefills.size());
+    rec.decodes = static_cast<std::uint32_t>(decodes.size());
+    // Tokens become host-visible at batch egress + one PCIe sync; members
+    // wait out the tail of the batch so the latch fires at that instant.
+    const sim::Cycles egress = offset + f.costs.host_sync_cycles();
+    for (Request* r : batch) {
+      r->post_step_cycles = egress - (r->step_offset + r->step_cycles);
+      r->latch = &latch;
+      r->grant.set();
+    }
+    co_await latch.wait();
+    rec.span = f.engine.now() - rec.start;
+    f.busy_cycles += rec.span;
+    f.sched.record(rec);
+
+    // Unfinished members rejoin the runnable pool in batch order, keeping
+    // the FIFO discipline deterministic.
+    for (Request* r : batch) {
+      if (r->state == RequestState::kRunning && !r->finished()) {
+        f.runnable.push_back(r);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+ServingSim::ServingSim(const ServingConfig& config)
+    : ServingSim(config,
+                 core::StepCostModel(config.arch, config.model,
+                                     config.cost_probe_stride)) {}
+
+ServingSim::ServingSim(const ServingConfig& config, core::StepCostModel costs)
+    : config_(config), costs_(std::move(costs)) {
+  if (config_.scheduler.max_batch == 0) {
+    throw std::invalid_argument("scheduler max_batch must be >= 1");
+  }
+  if (config_.scheduler.max_in_flight == 0) {
+    throw std::invalid_argument("scheduler max_in_flight must be >= 1");
+  }
+  if (!config_.traffic.explicit_arrivals.empty()) {
+    config_.traffic.num_requests = static_cast<std::uint32_t>(
+        config_.traffic.explicit_arrivals.size());
+  }
+}
+
+FleetMetrics ServingSim::run() const {
+  Fleet fleet(config_, costs_);
+  fleet.requests.reserve(config_.traffic.num_requests);
+
+  fleet.engine.spawn(scheduler_proc(fleet));
+  if (config_.traffic.process == ArrivalProcess::kClosedLoop) {
+    const std::uint32_t clients =
+        std::max<std::uint32_t>(1, config_.traffic.clients);
+    for (std::uint32_t c = 0; c < clients; ++c) {
+      fleet.engine.spawn(client_proc(fleet));
+    }
+  } else {
+    fleet.engine.spawn(arrivals_proc(fleet));
+  }
+  fleet.engine.run();
+
+  FleetMetrics m;
+  m.offered = fleet.injected;
+  m.completed = fleet.completed;
+  m.rejected = fleet.rejected;
+  m.decode_tokens = fleet.decode_tokens;
+  m.total_tokens = fleet.total_tokens;
+  m.slo = config_.slo;
+  const double duration_s =
+      static_cast<double>(fleet.engine.now()) / config_.arch.frequency_hz;
+  m.duration_s = duration_s;
+  if (duration_s > 0) {
+    m.throughput_req_s = static_cast<double>(m.completed) / duration_s;
+    m.throughput_tok_s = static_cast<double>(m.total_tokens) / duration_s;
+    m.decode_tok_s = static_cast<double>(m.decode_tokens) / duration_s;
+    m.goodput_req_s = static_cast<double>(fleet.good) / duration_s;
+    m.busy_fraction = static_cast<double>(fleet.busy_cycles) /
+                      static_cast<double>(fleet.engine.now());
+  }
+  m.ttft_ms = util::percentile_summary(std::move(fleet.ttft_ms));
+  m.token_ms = util::percentile_summary(std::move(fleet.token_ms));
+  m.e2e_ms = util::percentile_summary(std::move(fleet.e2e_ms));
+  m.queue_wait_ms = util::percentile_summary(std::move(fleet.queue_wait_ms));
+  m.iterations = fleet.sched.iterations().size();
+  m.mean_batch_size = fleet.sched.mean_batch_size();
+  m.peak_in_flight = fleet.peak_active;
+  m.peak_queue_depth = fleet.queue.peak_depth();
+  m.kv_peak_occupancy = fleet.kv.peak_occupancy();
+  m.kv_stall_events = fleet.kv.stall_events();
+  if (config_.keep_request_records) {
+    m.requests.reserve(fleet.requests.size());
+    for (const auto& r : fleet.requests) {
+      RequestRecord rec;
+      rec.id = r->id;
+      rec.prefill_tokens = r->shape.prefill;
+      rec.decode_tokens = r->decoded;
+      rec.rejected = r->state == RequestState::kRejected;
+      if (!rec.rejected) {
+        rec.queue_wait_ms = fleet.ms(r->admitted - r->arrival);
+        rec.ttft_ms = fleet.ms(r->first_token - r->arrival);
+        rec.e2e_ms = fleet.ms(r->completed - r->arrival);
+      }
+      m.requests.push_back(rec);
+    }
+  }
+  return m;
+}
+
+}  // namespace looplynx::serve

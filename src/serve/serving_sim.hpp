@@ -1,0 +1,60 @@
+// Continuous-batching serving fleet on the sim::Engine event loop.
+//
+// ServingSim wires the serve-layer components together: a TrafficGen
+// injects requests (each request is its own root coroutine), a
+// RequestQueue holds them until the KvSlotManager has room, and the
+// Scheduler runs iteration-level continuous batching over the admitted
+// set. Batch members occupy the time-shared pipeline back to back inside
+// an iteration — each priced by core::StepCostModel rather than
+// re-simulated — and a CountdownLatch forms the iteration's batch barrier;
+// the host PCIe sync is paid once per iteration. The run is fully
+// deterministic: same ServingConfig (including traffic seed) => identical
+// FleetMetrics, matching the engine's bit-reproducibility guarantee.
+//
+// Architecture notes: DESIGN.md §4.
+#pragma once
+
+#include "core/arch_config.hpp"
+#include "core/step_cost.hpp"
+#include "model/config.hpp"
+#include "serve/metrics.hpp"
+#include "serve/scheduler.hpp"
+#include "serve/traffic.hpp"
+
+namespace looplynx::serve {
+
+struct ServingConfig {
+  core::ArchConfig arch = core::ArchConfig::two_node();
+  model::ModelConfig model = model::gpt2_medium();
+  SchedulerConfig scheduler;
+  TrafficConfig traffic;
+  /// 0 selects the architecture default (kv_channels x 256 MiB per node).
+  std::uint64_t kv_budget_bytes_per_node = 0;
+  /// Probe stride for the StepCostModel (1 = exact per-position costs).
+  std::uint32_t cost_probe_stride = 64;
+  SloConfig slo;
+  /// Fill FleetMetrics::requests with per-request outcomes.
+  bool keep_request_records = false;
+};
+
+class ServingSim {
+ public:
+  /// Builds the step-cost model internally (probes the timed system).
+  explicit ServingSim(const ServingConfig& config);
+
+  /// Reuses an existing cost model — sweep harnesses that vary only the
+  /// traffic or scheduler knobs should share one across points.
+  ServingSim(const ServingConfig& config, core::StepCostModel costs);
+
+  const ServingConfig& config() const { return config_; }
+  const core::StepCostModel& costs() const { return costs_; }
+
+  /// Simulates the whole fleet to completion and returns its metrics.
+  FleetMetrics run() const;
+
+ private:
+  ServingConfig config_;
+  core::StepCostModel costs_;
+};
+
+}  // namespace looplynx::serve

@@ -1,0 +1,99 @@
+#include "serve/traffic.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace looplynx::serve {
+
+TrafficGen::TrafficGen(TrafficConfig config, double frequency_hz)
+    : config_(std::move(config)),
+      frequency_hz_(frequency_hz),
+      rng_(config_.seed) {
+  if (config_.mix.entries.empty()) {
+    throw std::invalid_argument("traffic mix has no scenarios");
+  }
+  if (config_.process != ArrivalProcess::kClosedLoop &&
+      config_.arrival_rate_per_s <= 0) {
+    throw std::invalid_argument("open-loop arrival rate must be positive");
+  }
+  if (config_.process == ArrivalProcess::kBursty) {
+    if (config_.burst_period_s <= 0 || config_.burst_factor <= 0 ||
+        config_.burst_fraction <= 0 || config_.burst_fraction >= 1) {
+      throw std::invalid_argument(
+          "bursty traffic needs burst_period_s > 0, burst_factor > 0 and "
+          "burst_fraction in (0, 1)");
+    }
+  }
+}
+
+double TrafficGen::exponential_s(double rate_per_s) {
+  // Inverse-CDF; next_double() < 1 so the log argument is positive.
+  return -std::log(1.0 - rng_.next_double()) / rate_per_s;
+}
+
+sim::Cycles TrafficGen::exponential_cycles(double mean_s) {
+  if (mean_s <= 0) return 0;
+  return static_cast<sim::Cycles>(exponential_s(1.0 / mean_s) *
+                                  frequency_hz_);
+}
+
+workload::Scenario TrafficGen::next_shape() {
+  return config_.mix.sample(rng_.next_double());
+}
+
+std::vector<Arrival> TrafficGen::open_loop_schedule() {
+  if (!config_.explicit_arrivals.empty()) return config_.explicit_arrivals;
+  assert(config_.process != ArrivalProcess::kClosedLoop);
+  std::vector<Arrival> schedule;
+  schedule.reserve(config_.num_requests);
+
+  if (config_.process == ArrivalProcess::kPoisson) {
+    double t = 0.0;
+    for (std::uint32_t i = 0; i < config_.num_requests; ++i) {
+      t += exponential_s(config_.arrival_rate_per_s);
+      schedule.push_back(Arrival{
+          static_cast<sim::Cycles>(t * frequency_hz_), next_shape()});
+    }
+    return schedule;
+  }
+
+  // Bursty: alternate on/off phases of fixed length. The off-phase rate is
+  // chosen so the long-run mean stays at arrival_rate_per_s when possible;
+  // when burst_factor * burst_fraction >= 1 the off phase is silent and the
+  // realized mean rate is lower than nominal.
+  const double on_len = config_.burst_period_s * config_.burst_fraction;
+  const double off_len = config_.burst_period_s - on_len;
+  const double on_rate = config_.arrival_rate_per_s * config_.burst_factor;
+  const double off_weight =
+      1.0 - config_.burst_factor * config_.burst_fraction;
+  const double off_rate =
+      off_len > 0 && off_weight > 0
+          ? config_.arrival_rate_per_s * off_weight / (1.0 - config_.burst_fraction)
+          : 0.0;
+
+  double t = 0.0;
+  while (schedule.size() < config_.num_requests) {
+    const double phase_pos = std::fmod(t, config_.burst_period_s);
+    const bool on = phase_pos < on_len;
+    const double rate = on ? on_rate : off_rate;
+    const double phase_end = t - phase_pos + (on ? on_len : config_.burst_period_s);
+    if (rate <= 0) {
+      t = phase_end;
+      continue;
+    }
+    const double next = t + exponential_s(rate);
+    if (next >= phase_end) {
+      // Crossed into the next phase: the exponential is memoryless, so
+      // restart the draw at the boundary under the new phase's rate.
+      t = phase_end;
+      continue;
+    }
+    t = next;
+    schedule.push_back(
+        Arrival{static_cast<sim::Cycles>(t * frequency_hz_), next_shape()});
+  }
+  return schedule;
+}
+
+}  // namespace looplynx::serve

@@ -1,0 +1,92 @@
+// Deterministic traffic generation for the serving fleet.
+//
+// Three arrival processes over a workload::Mix of request shapes:
+//  - kPoisson:    open-loop, exponential inter-arrival times at a fixed
+//                 mean rate (the classic serving-benchmark arrival model).
+//  - kBursty:     open-loop Markov-modulated Poisson: the generator
+//                 alternates between an "on" phase at burst_factor x the
+//                 nominal rate and a quieter "off" phase, stressing queue
+//                 depth and tail latency the way diurnal traffic spikes do.
+//  - kClosedLoop: `clients` concurrent users, each submitting a request,
+//                 waiting for completion, thinking (exponential), and
+//                 resubmitting — throughput self-limits to the fleet speed.
+//
+// All randomness flows through util::Rng from a single seed, so a given
+// TrafficConfig reproduces the exact same request sequence on every run —
+// the property the determinism tests and byte-identical bench output rely
+// on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+#include "workload/mix.hpp"
+#include "workload/scenario.hpp"
+
+namespace looplynx::serve {
+
+enum class ArrivalProcess : std::uint8_t {
+  kPoisson,
+  kBursty,
+  kClosedLoop,
+};
+
+/// One open-loop arrival: when (engine cycles) and what shape.
+struct Arrival {
+  sim::Cycles at = 0;
+  workload::Scenario shape;
+};
+
+struct TrafficConfig {
+  ArrivalProcess process = ArrivalProcess::kPoisson;
+  workload::Mix mix = workload::mixed_fleet();
+  std::uint32_t num_requests = 64;  // total requests to inject
+  std::uint64_t seed = 1;
+
+  /// When non-empty, this exact schedule is replayed instead of sampling an
+  /// arrival process (host::Host batch submission, deterministic tests).
+  /// Must be sorted by time; overrides `process` and `num_requests`.
+  std::vector<Arrival> explicit_arrivals;
+
+  // ---- Open-loop (Poisson / bursty) ----
+  double arrival_rate_per_s = 4.0;  // nominal mean arrival rate
+
+  // ---- Bursty modulation ----
+  double burst_factor = 4.0;    // on-phase rate multiplier
+  double burst_fraction = 0.25; // fraction of each period spent "on"
+  double burst_period_s = 2.0;  // on + off period length
+
+  // ---- Closed loop ----
+  std::uint32_t clients = 8;
+  double think_time_s = 0.25;  // mean exponential think time
+};
+
+class TrafficGen {
+ public:
+  TrafficGen(TrafficConfig config, double frequency_hz);
+
+  const TrafficConfig& config() const { return config_; }
+
+  /// The full arrival schedule for the open-loop processes (Poisson or
+  /// bursty), sorted by time. Must not be called for kClosedLoop.
+  std::vector<Arrival> open_loop_schedule();
+
+  /// Draws the next request shape from the mix (used by closed-loop
+  /// clients, and internally by open_loop_schedule).
+  workload::Scenario next_shape();
+
+  /// Exponential sample with mean `mean_s`, in cycles (closed-loop think
+  /// times).
+  sim::Cycles exponential_cycles(double mean_s);
+
+ private:
+  double exponential_s(double rate_per_s);
+
+  TrafficConfig config_;
+  double frequency_hz_;
+  util::Rng rng_;
+};
+
+}  // namespace looplynx::serve

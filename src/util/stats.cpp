@@ -35,15 +35,36 @@ double max_of(std::span<const double> values) {
   return values.empty() ? 0.0 : *std::max_element(values.begin(), values.end());
 }
 
+namespace {
+
+/// Linear-interpolated percentile over an already-sorted, non-empty vector.
+double sorted_percentile(const std::vector<double>& sorted, double p) {
+  const double rank =
+      (p / 100.0) * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
 double percentile(std::vector<double> values, double p) {
   if (values.empty()) return 0.0;
   std::sort(values.begin(), values.end());
-  const double rank =
-      (p / 100.0) * static_cast<double>(values.size() - 1);
-  const auto lo = static_cast<std::size_t>(rank);
-  const auto hi = std::min(lo + 1, values.size() - 1);
-  const double frac = rank - static_cast<double>(lo);
-  return values[lo] * (1.0 - frac) + values[hi] * frac;
+  return sorted_percentile(values, p);
+}
+
+PercentileSummary percentile_summary(std::vector<double> values) {
+  PercentileSummary s;
+  if (values.empty()) return s;
+  std::sort(values.begin(), values.end());
+  s.count = values.size();
+  s.mean = mean(values);
+  s.p50 = sorted_percentile(values, 50.0);
+  s.p95 = sorted_percentile(values, 95.0);
+  s.p99 = sorted_percentile(values, 99.0);
+  return s;
 }
 
 void RunningStat::add(double value) {

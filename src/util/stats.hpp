@@ -24,6 +24,19 @@ double max_of(std::span<const double> values);
 /// Linear-interpolated percentile, p in [0, 100].
 double percentile(std::vector<double> values, double p);
 
+/// The latency percentiles every serving report needs (p50/p95/p99), plus
+/// mean and count, computed with a single sort. Empty input yields all
+/// zeros; a single sample yields that sample for every percentile.
+struct PercentileSummary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+PercentileSummary percentile_summary(std::vector<double> values);
+
 /// Streaming accumulator (Welford) for mean/variance plus min/max.
 class RunningStat {
  public:

@@ -1,0 +1,453 @@
+// Tests for the continuous-batching serve layer: step-cost model, KV-slot
+// accounting, traffic generation, scheduler policies, fleet determinism and
+// backpressure, and the Host submit/flush path.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/arch_config.hpp"
+#include "core/step_cost.hpp"
+#include "core/system.hpp"
+#include "host/serving.hpp"
+#include "host/tokenizer.hpp"
+#include "model/config.hpp"
+#include "model/weights.hpp"
+#include "quant/int8_model.hpp"
+#include "serve/kv_slot.hpp"
+#include "serve/queue.hpp"
+#include "serve/scheduler.hpp"
+#include "serve/serving_sim.hpp"
+#include "serve/traffic.hpp"
+#include "util/rng.hpp"
+#include "workload/mix.hpp"
+
+namespace looplynx::serve {
+namespace {
+
+core::ArchConfig test_arch() { return core::ArchConfig::one_node(); }
+
+/// Small shapes that fit the cosim model's 96-token context.
+workload::Mix test_mix() {
+  return workload::Mix{"test",
+                       {{workload::make_scenario(8, 16), 0.5},
+                        {workload::make_scenario(16, 8), 0.3},
+                        {workload::make_scenario(4, 32), 0.2}}};
+}
+
+ServingConfig base_config() {
+  ServingConfig cfg;
+  cfg.arch = test_arch();
+  cfg.model = model::cosim_config();
+  cfg.cost_probe_stride = 16;
+  cfg.traffic.mix = test_mix();
+  cfg.traffic.num_requests = 24;
+  cfg.traffic.arrival_rate_per_s = 200.0;
+  cfg.traffic.seed = 42;
+  cfg.scheduler.max_batch = 4;
+  return cfg;
+}
+
+// ---------------------------------------------------------------- StepCost
+
+TEST(StepCostModelTest, ExactStrideMatchesSystemTokenCycles) {
+  const model::ModelConfig m = model::cosim_config();
+  const core::System sys(test_arch(), m);
+  const core::StepCostModel costs(sys, /*probe_stride=*/1);
+  for (std::uint32_t pos : {0u, 1u, 7u, 40u, m.max_seq_len - 1}) {
+    EXPECT_EQ(costs.step_cycles(pos), sys.token_cycles(pos)) << pos;
+  }
+}
+
+TEST(StepCostModelTest, PrefillIsPrefixSumOfSteps) {
+  const core::StepCostModel costs(test_arch(), model::cosim_config(),
+                                  /*probe_stride=*/16);
+  EXPECT_EQ(costs.prefill_cycles(0), 0u);
+  sim::Cycles acc = 0;
+  for (std::uint32_t pos = 0; pos < 24; ++pos) acc += costs.step_cycles(pos);
+  EXPECT_EQ(costs.prefill_cycles(24), acc);
+}
+
+TEST(StepCostModelTest, CostGrowsWithKvLength) {
+  const core::StepCostModel costs(test_arch(), model::cosim_config(),
+                                  /*probe_stride=*/16);
+  EXPECT_GT(costs.step_cycles(costs.max_positions() - 1),
+            costs.step_cycles(0));
+  EXPECT_GT(costs.prefill_cycles(64), costs.prefill_cycles(8));
+}
+
+TEST(StepCostModelTest, DecodeBatchSharesWeightStream) {
+  const core::StepCostModel costs(test_arch(), model::cosim_config(),
+                                  /*probe_stride=*/16);
+  // Lone step: exact identity with the per-position table.
+  EXPECT_EQ(costs.decode_batch_cycles({10}), costs.step_cycles(10));
+  // A shared pass is cheaper than running the members back to back but
+  // can never beat the compute bound.
+  const std::vector<std::uint32_t> batch{10, 20, 30, 40};
+  sim::Cycles sequential = 0;
+  for (std::uint32_t pos : batch) sequential += costs.step_cycles(pos);
+  const sim::Cycles shared = costs.decode_batch_cycles(batch);
+  EXPECT_LT(shared, sequential);
+  EXPECT_GE(shared, static_cast<sim::Cycles>(batch.size()) *
+                        costs.weight_mac_cycles());
+}
+
+TEST(ServingSimTest, LargerBatchRaisesSaturatedThroughput) {
+  ServingConfig cfg = base_config();
+  cfg.traffic.arrival_rate_per_s = 50000.0;  // saturating burst
+  cfg.scheduler.max_batch = 1;
+  const FleetMetrics serial = ServingSim(cfg).run();
+  cfg.scheduler.max_batch = 8;
+  const FleetMetrics batched = ServingSim(cfg).run();
+  EXPECT_GT(batched.decode_tok_s, serial.decode_tok_s);
+  EXPECT_GT(batched.mean_batch_size, serial.mean_batch_size);
+}
+
+// ----------------------------------------------------------------- KvSlots
+
+TEST(KvSlotManagerTest, CapacityFollowsBudget) {
+  const model::ModelConfig m = model::cosim_config();  // 3 layers, 8 heads, 8 dim
+  const core::ArchConfig arch = test_arch();
+  // K+V int8: 2 * 3 * 8 * 8 = 384 bytes per token on the single node.
+  KvSlotManager kv(arch, m, /*budget=*/384 * 10);
+  EXPECT_EQ(kv.bytes_per_token_per_node(), 384u);
+  EXPECT_EQ(kv.capacity_tokens(), 10u);
+
+  EXPECT_TRUE(kv.try_reserve(6));
+  EXPECT_FALSE(kv.try_reserve(5));  // only 4 left
+  EXPECT_EQ(kv.stall_events(), 1u);
+  EXPECT_TRUE(kv.try_reserve(4));
+  EXPECT_EQ(kv.used_tokens(), 10u);
+  EXPECT_DOUBLE_EQ(kv.peak_occupancy(), 1.0);
+  kv.release(6);
+  EXPECT_EQ(kv.free_tokens(), 6u);
+  EXPECT_FALSE(kv.can_ever_fit(11));
+  EXPECT_TRUE(kv.can_ever_fit(10));
+}
+
+TEST(KvSlotManagerTest, DefaultBudgetUsesKvChannels) {
+  const core::ArchConfig arch = core::ArchConfig::two_node();  // kv_channels=2
+  KvSlotManager kv(arch, model::gpt2_medium());
+  // 2 channels x 256 MiB / (2 * 24 layers * 8 heads/node * 64 dim).
+  EXPECT_EQ(kv.bytes_per_token_per_node(), 24576u);
+  EXPECT_EQ(kv.capacity_tokens(), (512ull << 20) / 24576u);
+}
+
+// ----------------------------------------------------------------- Traffic
+
+TEST(TrafficGenTest, PoissonScheduleIsDeterministicAndSorted) {
+  TrafficConfig cfg;
+  cfg.mix = test_mix();
+  cfg.num_requests = 50;
+  cfg.arrival_rate_per_s = 100.0;
+  cfg.seed = 7;
+  TrafficGen a(cfg, 285e6), b(cfg, 285e6);
+  const auto sa = a.open_loop_schedule();
+  const auto sb = b.open_loop_schedule();
+  ASSERT_EQ(sa.size(), 50u);
+  EXPECT_TRUE(std::is_sorted(
+      sa.begin(), sa.end(),
+      [](const Arrival& x, const Arrival& y) { return x.at < y.at; }));
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    EXPECT_EQ(sa[i].at, sb[i].at);
+    EXPECT_EQ(sa[i].shape.name, sb[i].shape.name);
+  }
+}
+
+TEST(TrafficGenTest, BurstyScheduleClustersArrivals) {
+  TrafficConfig cfg;
+  cfg.process = ArrivalProcess::kBursty;
+  cfg.mix = test_mix();
+  cfg.num_requests = 200;
+  cfg.arrival_rate_per_s = 50.0;
+  cfg.burst_factor = 4.0;
+  cfg.burst_fraction = 0.25;
+  cfg.seed = 11;
+  TrafficGen gen(cfg, 285e6);
+  const auto schedule = gen.open_loop_schedule();
+  ASSERT_EQ(schedule.size(), 200u);
+  // Arrivals inside the on-phase (first quarter of each 2 s period) should
+  // be heavily over-represented relative to the 25% of time it covers.
+  std::size_t on_phase = 0;
+  for (const Arrival& a : schedule) {
+    const double t = static_cast<double>(a.at) / 285e6;
+    if (std::fmod(t, cfg.burst_period_s) < cfg.burst_period_s * 0.25) {
+      ++on_phase;
+    }
+  }
+  EXPECT_GT(on_phase, schedule.size() / 2);
+}
+
+TEST(TrafficGenTest, RejectsDegenerateBurstParameters) {
+  TrafficConfig cfg;
+  cfg.process = ArrivalProcess::kBursty;
+  cfg.mix = test_mix();
+  cfg.burst_period_s = 0.0;  // would otherwise loop forever on fmod(t, 0)
+  EXPECT_THROW(TrafficGen(cfg, 285e6), std::invalid_argument);
+  cfg.burst_period_s = 2.0;
+  cfg.burst_fraction = 1.0;
+  EXPECT_THROW(TrafficGen(cfg, 285e6), std::invalid_argument);
+}
+
+TEST(TrafficGenTest, ExplicitArrivalsOverrideProcess) {
+  TrafficConfig cfg;
+  cfg.mix = test_mix();
+  cfg.explicit_arrivals = {{0, workload::make_scenario(4, 4)},
+                           {100, workload::make_scenario(8, 8)}};
+  TrafficGen gen(cfg, 285e6);
+  const auto schedule = gen.open_loop_schedule();
+  ASSERT_EQ(schedule.size(), 2u);
+  EXPECT_EQ(schedule[1].at, 100u);
+}
+
+TEST(MixTest, SamplingCoversEntriesDeterministically) {
+  const workload::Mix mix = test_mix();
+  EXPECT_EQ(mix.sample(0.0).name, "[8:16]");
+  EXPECT_EQ(mix.sample(0.6).name, "[16:8]");
+  EXPECT_EQ(mix.sample(0.999).name, "[4:32]");
+  EXPECT_NEAR(mix.mean_tokens_per_request(),
+              0.5 * 24 + 0.3 * 24 + 0.2 * 36, 1e-12);
+}
+
+// --------------------------------------------------------------- Scheduler
+
+TEST(SchedulerTest, PrefillPriorityPicksPrefillsFirst) {
+  sim::Engine engine;
+  Request p1(engine, 0, workload::make_scenario(8, 8));
+  Request p2(engine, 1, workload::make_scenario(8, 8));
+  Request d1(engine, 2, workload::make_scenario(8, 8));
+  d1.prefilled = true;
+  SchedulerConfig cfg;
+  cfg.max_batch = 2;
+  cfg.policy = BatchPolicy::kPrefillPriority;
+  Scheduler sched(cfg);
+  std::vector<Request*> runnable{&d1, &p1, &p2};
+  const auto batch = sched.select(runnable);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0], &p1);
+  EXPECT_EQ(batch[1], &p2);
+  ASSERT_EQ(runnable.size(), 1u);
+  EXPECT_EQ(runnable[0], &d1);
+}
+
+TEST(SchedulerTest, DecodePriorityPicksDecodesFirst) {
+  sim::Engine engine;
+  Request p1(engine, 0, workload::make_scenario(8, 8));
+  Request d1(engine, 1, workload::make_scenario(8, 8));
+  Request d2(engine, 2, workload::make_scenario(8, 8));
+  d1.prefilled = d2.prefilled = true;
+  SchedulerConfig cfg;
+  cfg.max_batch = 3;
+  cfg.policy = BatchPolicy::kDecodePriority;
+  Scheduler sched(cfg);
+  std::vector<Request*> runnable{&p1, &d1, &d2};
+  const auto batch = sched.select(runnable);
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_EQ(batch[0], &d1);
+  EXPECT_EQ(batch[1], &d2);
+  EXPECT_EQ(batch[2], &p1);
+  EXPECT_TRUE(runnable.empty());
+}
+
+// ------------------------------------------------------------- Fleet runs
+
+void expect_identical(const FleetMetrics& a, const FleetMetrics& b) {
+  EXPECT_EQ(a.offered, b.offered);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.rejected, b.rejected);
+  EXPECT_EQ(a.decode_tokens, b.decode_tokens);
+  EXPECT_EQ(a.iterations, b.iterations);
+  // Bit-identical, not approximately equal: the engine guarantees
+  // reproducible event ordering and all arithmetic is deterministic.
+  EXPECT_EQ(a.duration_s, b.duration_s);
+  EXPECT_EQ(a.throughput_tok_s, b.throughput_tok_s);
+  EXPECT_EQ(a.ttft_ms.p50, b.ttft_ms.p50);
+  EXPECT_EQ(a.ttft_ms.p99, b.ttft_ms.p99);
+  EXPECT_EQ(a.token_ms.p50, b.token_ms.p50);
+  EXPECT_EQ(a.e2e_ms.p99, b.e2e_ms.p99);
+  EXPECT_EQ(a.mean_batch_size, b.mean_batch_size);
+  EXPECT_EQ(a.busy_fraction, b.busy_fraction);
+  EXPECT_EQ(a.kv_peak_occupancy, b.kv_peak_occupancy);
+  EXPECT_EQ(a.kv_stall_events, b.kv_stall_events);
+}
+
+TEST(ServingSimTest, SameSeedSameMetrics) {
+  const ServingConfig cfg = base_config();
+  const ServingSim sim(cfg);
+  const FleetMetrics a = sim.run();
+  const FleetMetrics b = sim.run();                  // same instance
+  const FleetMetrics c = ServingSim(cfg).run();      // fresh cost probe
+  expect_identical(a, b);
+  expect_identical(a, c);
+  EXPECT_EQ(a.completed, cfg.traffic.num_requests);
+  EXPECT_EQ(a.offered, a.completed + a.rejected);
+}
+
+TEST(ServingSimTest, DifferentSeedsDiverge) {
+  ServingConfig cfg = base_config();
+  const FleetMetrics a = ServingSim(cfg).run();
+  cfg.traffic.seed = 43;
+  const FleetMetrics b = ServingSim(cfg).run();
+  EXPECT_NE(a.duration_s, b.duration_s);
+}
+
+TEST(ServingSimTest, KvExhaustionBackpressuresButCompletes) {
+  ServingConfig cfg = base_config();
+  // Room for ~2 test-mix requests at a time; 24 arrive nearly at once.
+  cfg.traffic.arrival_rate_per_s = 50000.0;
+  KvSlotManager probe(cfg.arch, cfg.model, 1);
+  cfg.kv_budget_bytes_per_node = 64 * probe.bytes_per_token_per_node();
+  const FleetMetrics m = ServingSim(cfg).run();
+  EXPECT_EQ(m.completed, cfg.traffic.num_requests);
+  EXPECT_EQ(m.rejected, 0u);
+  EXPECT_GT(m.kv_stall_events, 0u);       // admission actually stalled
+  EXPECT_GT(m.peak_queue_depth, 4u);      // the queue visibly backed up
+  EXPECT_LE(m.kv_peak_occupancy, 1.0);    // never over-committed
+  EXPECT_GT(m.queue_wait_ms.p99, m.queue_wait_ms.p50);
+}
+
+TEST(ServingSimTest, OversizedRequestIsRejectedNotWedged) {
+  ServingConfig cfg = base_config();
+  cfg.traffic.explicit_arrivals = {
+      {0, workload::make_scenario(8, 8)},
+      {0, workload::make_scenario(30, 30)},  // > 32-token KV budget
+      {0, workload::make_scenario(8, 8)},
+  };
+  KvSlotManager probe(cfg.arch, cfg.model, 1);
+  cfg.kv_budget_bytes_per_node = 32 * probe.bytes_per_token_per_node();
+  const FleetMetrics m = ServingSim(cfg).run();
+  EXPECT_EQ(m.offered, 3u);
+  EXPECT_EQ(m.completed, 2u);
+  EXPECT_EQ(m.rejected, 1u);
+}
+
+TEST(ServingSimTest, QueueCapacityShedsLoad) {
+  ServingConfig cfg = base_config();
+  cfg.traffic.arrival_rate_per_s = 5000.0;  // everyone arrives at once
+  cfg.scheduler.queue_capacity = 4;
+  cfg.scheduler.max_in_flight = 2;
+  const FleetMetrics m = ServingSim(cfg).run();
+  EXPECT_GT(m.rejected, 0u);
+  EXPECT_EQ(m.offered, m.completed + m.rejected);
+  EXPECT_LE(m.peak_queue_depth, 4u);
+}
+
+TEST(ServingSimTest, BatchingRespectsMaxBatchAndInterleaves) {
+  for (const BatchPolicy policy :
+       {BatchPolicy::kPrefillPriority, BatchPolicy::kDecodePriority}) {
+    ServingConfig cfg = base_config();
+    cfg.scheduler.policy = policy;
+    cfg.keep_request_records = true;
+    const FleetMetrics m = ServingSim(cfg).run();
+    EXPECT_EQ(m.completed, cfg.traffic.num_requests);
+    EXPECT_LE(m.mean_batch_size,
+              static_cast<double>(cfg.scheduler.max_batch));
+    EXPECT_GT(m.mean_batch_size, 1.0);  // batching actually happened
+    EXPECT_GT(m.decode_tokens, 0u);
+  }
+}
+
+TEST(ServingSimTest, PolicyTradesTtftForTokenLatency) {
+  ServingConfig cfg = base_config();
+  cfg.traffic.arrival_rate_per_s = 2000.0;  // saturating burst
+  cfg.traffic.num_requests = 32;
+  cfg.scheduler.policy = BatchPolicy::kPrefillPriority;
+  const FleetMetrics prefill_first = ServingSim(cfg).run();
+  cfg.scheduler.policy = BatchPolicy::kDecodePriority;
+  const FleetMetrics decode_first = ServingSim(cfg).run();
+  // Prefill priority admits new requests sooner => lower median TTFT.
+  EXPECT_LT(prefill_first.ttft_ms.p50, decode_first.ttft_ms.p50);
+}
+
+TEST(ServingSimTest, ClosedLoopSelfLimits) {
+  ServingConfig cfg = base_config();
+  cfg.traffic.process = ArrivalProcess::kClosedLoop;
+  cfg.traffic.clients = 4;
+  cfg.traffic.think_time_s = 0.001;
+  cfg.traffic.num_requests = 16;
+  const FleetMetrics m = ServingSim(cfg).run();
+  EXPECT_EQ(m.offered, 16u);
+  EXPECT_EQ(m.completed, 16u);
+  // At most `clients` requests can ever be waiting.
+  EXPECT_LE(m.peak_queue_depth, 4u);
+  const FleetMetrics n = ServingSim(cfg).run();
+  expect_identical(m, n);
+}
+
+// ---------------------------------------------------------- RequestQueue
+
+TEST(RequestQueueTest, BoundedFifoWithPeakTracking) {
+  sim::Engine engine;
+  Request a(engine, 0, workload::make_scenario(1, 1));
+  Request b(engine, 1, workload::make_scenario(1, 1));
+  Request c(engine, 2, workload::make_scenario(1, 1));
+  RequestQueue q(2);
+  EXPECT_TRUE(q.push(&a));
+  EXPECT_TRUE(q.push(&b));
+  EXPECT_FALSE(q.push(&c));  // full
+  EXPECT_EQ(q.peak_depth(), 2u);
+  EXPECT_EQ(q.front(), &a);
+  q.pop();
+  EXPECT_EQ(q.front(), &b);
+  EXPECT_TRUE(q.push(&c));
+}
+
+// ------------------------------------------------------------- Host batch
+
+TEST(HostBatchTest, SubmitFlushTimesRequestsThroughOneFleet) {
+  model::ModelConfig cfg = model::cosim_config();
+  cfg.vocab_size = 512;
+  const auto w = model::Gpt2Weights::random(cfg, 77);
+  util::Rng rng(78);
+  std::vector<std::uint32_t> calib(24);
+  for (auto& t : calib) {
+    t = static_cast<std::uint32_t>(rng.next_below(cfg.vocab_size));
+  }
+  const auto weights = quant::Gpt2Int8Weights::build_with_calibration(w, calib);
+  host::Host h(weights, host::Tokenizer::byte_level(),
+               core::ArchConfig::two_node());
+
+  host::ServeRequest r1{.prompt = "loop", .max_new_tokens = 6, .sampling = {}};
+  host::ServeRequest r2{.prompt = "lynx fox", .max_new_tokens = 4,
+                        .sampling = {}};
+  EXPECT_EQ(h.submit(r1), 0u);
+  EXPECT_EQ(h.submit(r2), 1u);
+  EXPECT_EQ(h.pending(), 2u);
+  const auto results = h.flush();
+  EXPECT_EQ(h.pending(), 0u);
+  ASSERT_EQ(results.size(), 2u);
+  for (const auto& r : results) {
+    EXPECT_GT(r.total_ms, 0.0);
+    EXPECT_NEAR(r.total_ms, r.prefill_ms + r.decode_ms, 1e-9);
+    EXPECT_GE(r.queue_ms, 0.0);
+  }
+  // Single-request serve matches the documented invariants too.
+  const auto lone = h.serve(r1);
+  EXPECT_GT(lone.decode_tokens_per_s, 0.0);
+  EXPECT_DOUBLE_EQ(lone.queue_ms, 0.0);
+  EXPECT_FALSE(lone.rejected);
+
+  // A queue bound of 1 sheds the overflow; shed results are flagged so
+  // callers cannot mistake their zero timing for a measurement.
+  h.submit(r1);
+  h.submit(r2);
+  h.submit(r1);
+  serve::SchedulerConfig tight;
+  tight.queue_capacity = 1;
+  const auto shed = h.flush(tight);
+  ASSERT_EQ(shed.size(), 3u);
+  int rejected = 0;
+  for (const auto& r : shed) {
+    if (r.rejected) {
+      ++rejected;
+      EXPECT_DOUBLE_EQ(r.total_ms, 0.0);
+      EXPECT_FALSE(r.text.empty());  // generation still happened
+    } else {
+      EXPECT_GT(r.total_ms, 0.0);
+    }
+  }
+  EXPECT_EQ(rejected, 2);
+}
+
+}  // namespace
+}  // namespace looplynx::serve

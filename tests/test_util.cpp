@@ -78,6 +78,34 @@ TEST(StatsTest, Percentile) {
   EXPECT_DOUBLE_EQ(percentile(v, 25), 2.0);
 }
 
+TEST(StatsTest, PercentileSummaryMatchesPercentile) {
+  const std::vector<double> v{5, 1, 4, 2, 3, 9, 8, 7, 6, 10};
+  const PercentileSummary s = percentile_summary(v);
+  EXPECT_EQ(s.count, 10u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.5);
+  EXPECT_DOUBLE_EQ(s.p50, percentile(v, 50));
+  EXPECT_DOUBLE_EQ(s.p95, percentile(v, 95));
+  EXPECT_DOUBLE_EQ(s.p99, percentile(v, 99));
+}
+
+TEST(StatsTest, PercentileSummaryEmptyIsAllZero) {
+  const PercentileSummary s = percentile_summary({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.p50, 0.0);
+  EXPECT_EQ(s.p95, 0.0);
+  EXPECT_EQ(s.p99, 0.0);
+}
+
+TEST(StatsTest, PercentileSummarySingleElementIsThatElement) {
+  const PercentileSummary s = percentile_summary({7.5});
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 7.5);
+  EXPECT_DOUBLE_EQ(s.p50, 7.5);
+  EXPECT_DOUBLE_EQ(s.p95, 7.5);
+  EXPECT_DOUBLE_EQ(s.p99, 7.5);
+}
+
 TEST(StatsTest, RunningStatMatchesBatch) {
   RunningStat rs;
   const double vals[] = {3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0};
