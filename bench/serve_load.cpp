@@ -2,10 +2,17 @@
 // traffic mixes on the continuous-batching serving engine, reporting
 // throughput, goodput and tail latency. This is the scenario family the
 // paper's Fig. 8 single-request sweep cannot express: an open arrival
-// process, interleaved prefill/decode, KV-slot backpressure.
+// process, interleaved prefill/decode, KV-slot backpressure — and, with
+// --chunk-tokens, chunked prefill that bounds the decode stall a long
+// prompt can inflict.
 //
 //   ./serve_load [--nodes=2] [--model=gpt2-medium] [--requests=64]
-//                [--seed=1] [--stride=64] [--policy=prefill|decode]
+//                [--seed=1] [--stride=64]
+//                [--policy=prefill|decode|chunked] [--chunk-tokens=0]
+//
+// --chunk-tokens=N sets the per-iteration token budget
+// (SchedulerConfig::max_tokens_per_iter); --policy=chunked selects
+// kChunkedMixed and defaults the budget to 64 when none is given.
 //
 // Output is deterministic: two runs with identical flags produce
 // byte-identical tables (seeded traffic + deterministic engine).
@@ -31,9 +38,9 @@ int main(int argc, char** argv) {
   const auto stride =
       static_cast<std::uint32_t>(cli.get_int_or("stride", 64));
   const serve::BatchPolicy policy =
-      cli.get_or("policy", "prefill") == "decode"
-          ? serve::BatchPolicy::kDecodePriority
-          : serve::BatchPolicy::kPrefillPriority;
+      serve::parse_batch_policy(cli.get_or("policy", "prefill"));
+  const auto chunk_tokens = static_cast<std::uint32_t>(
+      cli.get_int_or("chunk-tokens", serve::default_chunk_tokens(policy)));
 
   const core::ArchConfig arch = core::ArchConfig::nodes(nodes);
   const model::ModelConfig model = bench::model_from_cli(cli);
@@ -50,12 +57,11 @@ int main(int argc, char** argv) {
 
   util::Table t("Serving under load: " + model.name + ", " +
                 std::to_string(nodes) + "-node, " + std::to_string(requests) +
-                " requests/point, " +
-                (policy == serve::BatchPolicy::kPrefillPriority
-                     ? "prefill-priority"
-                     : "decode-priority"));
+                " requests/point, " + serve::batch_policy_name(policy) +
+                ", chunk-tokens " + std::to_string(chunk_tokens));
   t.set_header({"mix", "req/s in", "batch", "done/shed", "tok/s",
-                "goodput", "TTFT p50", "TTFT p99", "tok p50", "tok p99"});
+                "goodput", "TTFT p50", "TTFT p99", "tok p50", "tok p99",
+                "gap p99", "chunks", "stall ms"});
 
   for (const workload::Mix& mix : mixes) {
     for (double rate : rates) {
@@ -68,6 +74,7 @@ int main(int argc, char** argv) {
         cfg.traffic.arrival_rate_per_s = rate;
         cfg.traffic.seed = seed;
         cfg.scheduler.max_batch = batch;
+        cfg.scheduler.max_tokens_per_iter = chunk_tokens;
         cfg.scheduler.policy = policy;
         const serve::FleetMetrics m =
             serve::ServingSim(cfg, costs).run();
@@ -80,7 +87,10 @@ int main(int argc, char** argv) {
                    util::fmt_fixed(m.ttft_ms.p50, 1),
                    util::fmt_fixed(m.ttft_ms.p99, 1),
                    util::fmt_fixed(m.token_ms.p50, 2),
-                   util::fmt_fixed(m.token_ms.p99, 2)});
+                   util::fmt_fixed(m.token_ms.p99, 2),
+                   util::fmt_fixed(m.inter_token_gap_ms.p99, 2),
+                   util::fmt_int(static_cast<long long>(m.prefill_chunk_steps)),
+                   util::fmt_fixed(m.decode_stall_ms, 1)});
       }
       t.add_separator();
     }
@@ -91,6 +101,11 @@ int main(int argc, char** argv) {
                "host sync across the batch, lifting tok/s at some cost in\n"
                "p99 per-token latency; past the saturation rate TTFT blows\n"
                "up first (queueing), which is why goodput — not raw\n"
-               "throughput — is the capacity metric.\n";
+               "throughput — is the capacity metric. With --policy=chunked\n"
+               "a long prompt is split into --chunk-tokens budgeted chunks\n"
+               "that co-schedule with running decodes, cutting gap p99 and\n"
+               "stall ms (the head-of-line blocking whole prompts inflict)\n"
+               "on long-prompt mixes at a small throughput cost from the\n"
+               "extra per-iteration host syncs.\n";
   return 0;
 }

@@ -3,8 +3,13 @@
 // requests at once, so the KV-slot manager backpressures admissions and
 // the scheduler interleaves prefill and decode steps across the fleet.
 //
+// With --policy=chunked (or any policy plus --chunk-tokens=N) the
+// scheduler runs on a per-iteration token budget: long prompts split into
+// chunks that co-schedule with running decodes instead of stalling them.
+//
 //   ./continuous_batching [--requests=12] [--batch=4] [--rate=12]
-//                         [--policy=prefill|decode] [--seed=7]
+//                         [--policy=prefill|decode|chunked]
+//                         [--chunk-tokens=0] [--seed=7]
 #include <iostream>
 
 #include "core/arch_config.hpp"
@@ -29,9 +34,10 @@ int main(int argc, char** argv) {
   cfg.traffic.seed = static_cast<std::uint64_t>(cli.get_int_or("seed", 7));
   cfg.scheduler.max_batch =
       static_cast<std::uint32_t>(cli.get_int_or("batch", 8));
-  cfg.scheduler.policy = cli.get_or("policy", "prefill") == "decode"
-                             ? serve::BatchPolicy::kDecodePriority
-                             : serve::BatchPolicy::kPrefillPriority;
+  cfg.scheduler.policy =
+      serve::parse_batch_policy(cli.get_or("policy", "prefill"));
+  cfg.scheduler.max_tokens_per_iter = static_cast<std::uint32_t>(cli.get_int_or(
+      "chunk-tokens", serve::default_chunk_tokens(cfg.scheduler.policy)));
   // Shrink the KV budget so roughly 8 average requests fit at once: the
   // scheduler demonstrably interleaves 8+ concurrent streams, while the
   // stragglers beyond that back up in the queue on KV slots — the
@@ -47,6 +53,12 @@ int main(int argc, char** argv) {
              std::to_string(cfg.scheduler.max_batch))
       .render(std::cout);
 
+  if (cfg.scheduler.max_tokens_per_iter > 0) {
+    std::cout << "\n" << m.chunked_prompts << " prompt(s) were split into "
+              << "chunks (" << m.prefill_chunk_steps
+              << " chunk steps; token budget "
+              << cfg.scheduler.max_tokens_per_iter << "/iteration).\n";
+  }
   std::cout << "\n" << m.peak_in_flight
             << " requests were in flight concurrently; KV backpressure "
                "stalled admission "

@@ -42,6 +42,20 @@ class StepCostModel {
     return prefix_.at(prompt_len);
   }
 
+  /// Pipeline occupancy of one prefill *chunk*: prompt positions
+  /// [start, start + tokens) pushed back to back. The first chunk
+  /// (start == 0) pays the full weight-stream ramp that prefill_cycles
+  /// includes; a continuation chunk resumes against the KV its earlier
+  /// chunks already cached, so every position is priced at its true KV
+  /// offset and, for any partition of [0, L),
+  ///   sum(prefill_chunk_cycles(start_i, n_i)) == prefill_cycles(L).
+  /// The real extra cost of chunking — one iteration overhead + host sync
+  /// per additional chunk — is charged by the scheduler, not here.
+  sim::Cycles prefill_chunk_cycles(std::uint32_t start,
+                                   std::uint32_t tokens) const {
+    return prefix_.at(start + tokens) - prefix_.at(start);
+  }
+
   /// PCIe turnaround the host pays once per scheduler iteration (the cost
   /// continuous batching amortizes across the batch).
   sim::Cycles host_sync_cycles() const { return arch_.host_sync_cycles; }

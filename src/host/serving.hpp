@@ -51,6 +51,12 @@ struct ServeResult {
   double total_ms = 0;     // prefill + decode
   double queue_ms = 0;     // arrival -> admission (0 for lone requests)
   double decode_tokens_per_s = 0;
+  /// Scheduler iterations the prompt took (> 1 when chunked prefill split
+  /// it; see serve::SchedulerConfig::max_tokens_per_iter).
+  std::uint32_t prefill_chunks = 0;
+  /// Worst gap between consecutive streamed tokens — the jitter chunked
+  /// prefill bounds when other requests' prompts land mid-generation.
+  double max_token_gap_ms = 0;
   /// True when fleet admission control shed this request: the generation
   /// above is still valid, but every timing field is zero/meaningless.
   bool rejected = false;

@@ -36,7 +36,15 @@ bool KvSlotManager::try_reserve(std::uint32_t tokens) {
 }
 
 void KvSlotManager::release(std::uint32_t tokens) {
-  used_tokens_ -= std::min(tokens, used_tokens_);
+  // Releasing more than is reserved would underflow used_tokens_ and make
+  // free_tokens() wrap to ~4 billion, silently disabling admission
+  // backpressure. Clamp to the reserved amount and count the event so the
+  // accounting bug is observable instead of corrupting the fleet.
+  if (tokens > used_tokens_) {
+    ++over_release_events_;
+    tokens = used_tokens_;
+  }
+  used_tokens_ -= tokens;
 }
 
 }  // namespace looplynx::serve

@@ -39,6 +39,9 @@ class KvSlotManager {
   /// fit. A request whose footprint exceeds the total capacity can never be
   /// admitted — callers should reject it instead of retrying.
   bool try_reserve(std::uint32_t tokens);
+  /// Returns `tokens` slots. Over-releasing is clamped to the reserved
+  /// amount (never underflows used_tokens_ / wraps free_tokens()) and
+  /// counted in over_release_events() — it always indicates a caller bug.
   void release(std::uint32_t tokens);
 
   bool can_ever_fit(std::uint32_t tokens) const {
@@ -48,6 +51,7 @@ class KvSlotManager {
   // ---- Statistics for FleetMetrics ----
   std::uint32_t peak_used_tokens() const { return peak_used_tokens_; }
   std::uint64_t stall_events() const { return stall_events_; }
+  std::uint64_t over_release_events() const { return over_release_events_; }
   double occupancy() const {
     return capacity_tokens_ == 0
                ? 0.0
@@ -65,6 +69,7 @@ class KvSlotManager {
   std::uint32_t used_tokens_ = 0;
   std::uint32_t peak_used_tokens_ = 0;
   std::uint64_t stall_events_ = 0;
+  std::uint64_t over_release_events_ = 0;
 };
 
 }  // namespace looplynx::serve

@@ -24,9 +24,21 @@ util::Table FleetMetrics::to_table(const std::string& title) const {
              util::fmt_fixed(queue_wait_ms.p99, 1) + " ms (peak depth " +
                  util::fmt_int(static_cast<long long>(peak_queue_depth)) +
                  ")"});
+  t.add_row({"token gap p50/p99",
+             util::fmt_fixed(inter_token_gap_ms.p50, 2) + " / " +
+                 util::fmt_fixed(inter_token_gap_ms.p99, 2) + " ms"});
   t.add_row({"iterations / mean batch",
              util::fmt_int(static_cast<long long>(iterations)) + " / " +
                  util::fmt_fixed(mean_batch_size, 2)});
+  t.add_row({"prefill chunks / chunked prompts",
+             util::fmt_int(static_cast<long long>(prefill_chunk_steps)) +
+                 " / " +
+                 util::fmt_int(static_cast<long long>(chunked_prompts))});
+  t.add_row({"decode stall",
+             util::fmt_fixed(decode_stall_ms, 1) + " ms over " +
+                 util::fmt_int(static_cast<long long>(
+                     decode_stall_iterations)) +
+                 " iteration(s)"});
   t.add_row({"peak in flight",
              util::fmt_int(static_cast<long long>(peak_in_flight))});
   t.add_row({"pipeline busy", util::fmt_percent(busy_fraction, 1)});
@@ -34,6 +46,11 @@ util::Table FleetMetrics::to_table(const std::string& title) const {
              util::fmt_percent(kv_peak_occupancy, 1) + " (" +
                  util::fmt_int(static_cast<long long>(kv_stall_events)) +
                  " stalls)"});
+  if (kv_over_release_events > 0) {
+    // Loud only when broken: a clamped over-release is an accounting bug.
+    t.add_row({"KV over-releases (BUG)",
+               util::fmt_int(static_cast<long long>(kv_over_release_events))});
+  }
   return t;
 }
 

@@ -19,10 +19,15 @@ struct RequestRecord {
   std::uint32_t id = 0;
   std::uint32_t prefill_tokens = 0;
   std::uint32_t decode_tokens = 0;
+  /// Scheduler iterations the prompt took (1 == unchunked prefill).
+  std::uint32_t prefill_chunks = 0;
   bool rejected = false;
   double queue_wait_ms = 0;
   double ttft_ms = 0;  // arrival -> prefill egress
   double e2e_ms = 0;   // arrival -> completion
+  /// Worst gap between consecutive host-visible tokens of this request —
+  /// the jitter a long prompt landing mid-stream inflicts on a decode.
+  double max_token_gap_ms = 0;
 };
 
 struct SloConfig {
@@ -53,15 +58,33 @@ struct FleetMetrics {
   util::PercentileSummary token_ms;       // mean decode-token latency
   util::PercentileSummary e2e_ms;         // arrival -> completion
   util::PercentileSummary queue_wait_ms;  // arrival -> admission
+  /// Gaps between consecutive host-visible tokens, pooled across all
+  /// completed requests — the inter-token *jitter* distribution. Chunked
+  /// prefill exists to bound its tail.
+  util::PercentileSummary inter_token_gap_ms;
 
   // ---- Scheduler / resource occupancy ----
   std::uint64_t iterations = 0;
   double mean_batch_size = 0;
+  /// Prefill chunk steps executed (== completed prompts when unchunked).
+  std::uint64_t prefill_chunk_steps = 0;
+  /// Completed requests whose prompt needed more than one chunk.
+  std::uint64_t chunked_prompts = 0;
+  /// Iterations where prompt work shared the pipeline with >= 1 running
+  /// decode — every such iteration delays those decodes' tokens by the
+  /// prompt span (they are host-visible only at batch egress).
+  std::uint64_t decode_stall_iterations = 0;
+  /// Total ms of prompt-work occupancy running decodes waited behind; the
+  /// head-of-line blocking chunked prefill bounds per iteration.
+  double decode_stall_ms = 0;
   std::uint32_t peak_in_flight = 0;  // most requests admitted at once
   std::size_t peak_queue_depth = 0;
   double busy_fraction = 0;       // pipeline-occupied cycles / makespan
   double kv_peak_occupancy = 0;   // peak KV slots used / capacity
   std::uint64_t kv_stall_events = 0;  // admissions deferred by KV pressure
+  /// Clamped KV over-releases — always a scheduler/accounting bug; 0 on a
+  /// healthy fleet (the slot manager clamps instead of wrapping).
+  std::uint64_t kv_over_release_events = 0;
 
   /// Per-request outcomes; empty unless requested via the ServingConfig.
   std::vector<RequestRecord> requests;

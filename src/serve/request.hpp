@@ -37,23 +37,33 @@ struct Request {
   // ---- Lifecycle timestamps (engine cycles) ----
   sim::Cycles arrival = 0;
   sim::Cycles admitted = 0;     // popped from the queue, KV reserved
-  sim::Cycles first_token = 0;  // prefill step egress (TTFT reference)
+  sim::Cycles first_token = 0;  // final prompt chunk egress (TTFT reference)
   sim::Cycles completed = 0;
+  sim::Cycles last_token = 0;     // previous host-visible token (jitter base)
+  sim::Cycles max_token_gap = 0;  // worst inter-token gap observed
+  bool emitted_token = false;     // last_token is valid
 
   // ---- Progress ----
-  bool prefilled = false;
+  std::uint32_t prompt_done = 0;   // prefill cursor: prompt tokens processed
   std::uint32_t decoded = 0;       // decode steps completed
+  std::uint32_t prefill_chunks = 0;  // prefill steps taken (1 == unchunked)
   std::uint32_t kv_tokens = 0;     // slots reserved at admission
 
-  /// KV length the next step runs against.
-  std::uint32_t kv_len() const {
-    return prefilled ? shape.prefill + decoded : 0;
-  }
-  bool finished() const { return prefilled && decoded >= shape.decode; }
+  /// True once the whole prompt has been pushed (possibly across several
+  /// chunked-prefill iterations); only then does the request decode.
+  bool prefilled() const { return prompt_done >= shape.prefill; }
+  /// Prompt tokens still to push — what the scheduler chunks.
+  std::uint32_t prompt_remaining() const { return shape.prefill - prompt_done; }
+
+  /// KV length already cached; a continuation chunk resumes from here.
+  std::uint32_t kv_len() const { return prompt_done + decoded; }
+  bool finished() const { return prefilled() && decoded >= shape.decode; }
 
   // ---- Per-iteration slot, filled by the scheduler before grant.set() ----
   sim::Cycles step_offset = 0;  // pipeline turn within the iteration
   sim::Cycles step_cycles = 0;  // pipeline occupancy of this step
+  /// Prompt tokens granted this turn (a prefill chunk); 0 == decode step.
+  std::uint32_t step_tokens = 0;
   /// Cycles from this member's pipeline egress to the host-visible batch
   /// egress: the rest of the batch draining, plus the PCIe sync the
   /// iteration pays once. Timestamps (TTFT, completion) are taken after

@@ -1,28 +1,110 @@
 #include "serve/scheduler.hpp"
 
 #include <algorithm>
+#include <limits>
+#include <stdexcept>
 
 namespace looplynx::serve {
 
-std::vector<Request*> Scheduler::select(
+BatchPolicy parse_batch_policy(const std::string& name) {
+  if (name == "prefill") return BatchPolicy::kPrefillPriority;
+  if (name == "decode") return BatchPolicy::kDecodePriority;
+  if (name == "chunked") return BatchPolicy::kChunkedMixed;
+  throw std::invalid_argument("unknown batch policy \"" + name +
+                              "\" (expected prefill|decode|chunked)");
+}
+
+const char* batch_policy_name(BatchPolicy policy) {
+  switch (policy) {
+    case BatchPolicy::kPrefillPriority:
+      return "prefill-priority";
+    case BatchPolicy::kDecodePriority:
+      return "decode-priority";
+    case BatchPolicy::kChunkedMixed:
+      return "chunked-mixed";
+  }
+  return "unknown";
+}
+
+std::vector<ScheduledStep> Scheduler::select(
     std::vector<Request*>& runnable) const {
-  std::vector<Request*> batch;
+  std::vector<ScheduledStep> batch;
   if (runnable.empty()) return batch;
   batch.reserve(std::min<std::size_t>(runnable.size(), config_.max_batch));
 
-  const bool prefill_first = config_.policy == BatchPolicy::kPrefillPriority;
-  // Two passes over the FIFO-ordered runnable list: the priority class
-  // first, then the other class into the remaining slots.
-  for (const int pass : {0, 1}) {
-    const bool want_prefill = (pass == 0) == prefill_first;
+  const std::uint32_t whole_budget =
+      config_.max_tokens_per_iter == 0
+          ? std::numeric_limits<std::uint32_t>::max()
+          : config_.max_tokens_per_iter;
+  std::uint32_t tokens_left = whole_budget;
+  const auto full = [&] { return batch.size() >= config_.max_batch; };
+
+  if (config_.policy == BatchPolicy::kChunkedMixed) {
+    // Decodes first, one budget token each; then prefill chunks split the
+    // leftover budget. A chunk never exceeds the remaining budget, so a
+    // long prompt spreads across iterations while decodes keep flowing
+    // every iteration. Among prefills, *partially prefilled* prompts go
+    // before fresh ones (FIFO within each subclass): a mid-chunk prompt
+    // re-queued at the back of runnable would otherwise be overtaken by
+    // younger prompts, interleaving chunks across all waiting prompts and
+    // ballooning every TTFT toward the sum of all prefills — while each
+    // mid-chunk prompt pins its full KV reservation the whole time.
     for (Request* r : runnable) {
-      if (batch.size() >= config_.max_batch) break;
-      if (!r->prefilled == want_prefill) batch.push_back(r);
+      if (full() || tokens_left == 0) break;
+      if (!r->prefilled()) continue;
+      batch.push_back({r, 0});
+      --tokens_left;
+    }
+    for (const bool want_started : {true, false}) {
+      for (Request* r : runnable) {
+        if (full() || tokens_left == 0) break;
+        if (r->prefilled() || (r->prompt_done > 0) != want_started) continue;
+        const std::uint32_t chunk =
+            std::min(tokens_left, r->prompt_remaining());
+        batch.push_back({r, chunk});
+        tokens_left -= chunk;
+      }
+    }
+  } else {
+    const bool prefill_first =
+        config_.policy == BatchPolicy::kPrefillPriority;
+    // Two passes over the FIFO-ordered runnable list: the priority class
+    // first, then the other class into the remaining slots. Prompts run
+    // whole under these policies; the token budget only bounds how many
+    // members fit.
+    bool prefill_selected = false;
+    for (const int pass : {0, 1}) {
+      const bool want_prefill = (pass == 0) == prefill_first;
+      for (Request* r : runnable) {
+        if (full()) break;
+        if (r->prefilled() == want_prefill) continue;
+        const std::uint32_t need = want_prefill ? r->prompt_remaining() : 1;
+        if (need > tokens_left) {
+          if (!want_prefill) break;  // every decode costs 1: none fit now
+          // The FIFO-head prompt doesn't fit this iteration. If it can
+          // *never* fit (larger than the whole budget), run it now — over
+          // budget, but without other prompt work — rather than starve
+          // it. Otherwise stop the prefill pass: blocked prefills admit
+          // no new decode streams, so running decodes drain until the
+          // prompt fits, and younger prompts must not overtake it.
+          if (need > whole_budget && !prefill_selected) {
+            batch.push_back({r, need});
+            tokens_left = 0;
+            prefill_selected = true;
+          }
+          break;
+        }
+        batch.push_back({r, want_prefill ? need : 0});
+        prefill_selected |= want_prefill;
+        tokens_left -= need;
+      }
     }
   }
 
   std::erase_if(runnable, [&](Request* r) {
-    return std::find(batch.begin(), batch.end(), r) != batch.end();
+    return std::any_of(batch.begin(), batch.end(), [&](const ScheduledStep& s) {
+      return s.request == r;
+    });
   });
   return batch;
 }

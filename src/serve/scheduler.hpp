@@ -1,24 +1,39 @@
 // Iteration-level continuous-batching scheduler (the vLLM scheduling model
 // adapted to a single time-shared LoopLynx pipeline).
 //
-// Every iteration the scheduler picks up to max_batch token-steps from the
-// admitted (runnable) requests. A prefill step pushes a request's whole
-// prompt through the pipeline; a decode step produces one token. Batch
+// Every iteration the scheduler picks a batch of token-steps from the
+// admitted (runnable) requests, bounded both by max_batch members and by a
+// per-iteration *token budget* (max_tokens_per_iter): a decode step costs
+// one budget token, a prefill chunk costs as many as it pushes. Batch
 // members occupy the pipeline back to back within the iteration, and the
 // per-token host synchronization (PCIe turnaround) is paid once per
 // iteration instead of once per token — that amortization is the throughput
 // win of batching on this architecture.
 //
 // Policies:
-//  - kPrefillPriority: new requests prefill before queued decodes run.
-//    Minimizes TTFT and drains the admission queue fast, at the cost of
-//    decode-latency jitter when a long prompt lands mid-stream.
-//  - kDecodePriority: in-flight decodes go first; prefills fill leftover
-//    batch slots. Smooths per-token latency for running streams, at the
-//    cost of TTFT under load.
+//  - kPrefillPriority: new requests prefill before queued decodes run, and
+//    a prompt always runs whole. Minimizes TTFT and drains the admission
+//    queue fast, at the cost of decode-latency jitter when a long prompt
+//    lands mid-stream.
+//  - kDecodePriority: in-flight decodes go first; whole-prompt prefills
+//    fill leftover batch slots. Smooths per-token latency for running
+//    streams, at the cost of TTFT under load.
+//  - kChunkedMixed: decodes go first, then the remaining token budget is
+//    spent on prefill *chunks* — a long prompt is split across iterations
+//    (Request::prompt_done is the cursor) so it co-schedules with running
+//    decodes instead of stalling them for a whole prompt. Partially
+//    prefilled prompts outrank fresh ones, so the head prompt finishes
+//    before the next starts (chunks do not round-robin across prompts).
+//    Requires a nonzero max_tokens_per_iter to actually chunk; with
+//    budget 0 it degenerates to decode-priority with whole prompts. Like
+//    decode
+//    priority it trades TTFT for smooth inter-token latency: when running
+//    decode streams fill max_batch or the budget, waiting prompts stall,
+//    so size max_batch above the expected concurrent-stream count.
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "serve/request.hpp"
@@ -29,10 +44,32 @@ namespace looplynx::serve {
 enum class BatchPolicy : std::uint8_t {
   kPrefillPriority,
   kDecodePriority,
+  kChunkedMixed,
 };
+
+/// CLI-facing policy names ("prefill" | "decode" | "chunked"), shared by
+/// the bench and example surfaces so their flags cannot drift. Throws
+/// std::invalid_argument on an unknown name.
+BatchPolicy parse_batch_policy(const std::string& name);
+const char* batch_policy_name(BatchPolicy policy);
+
+/// Default --chunk-tokens for the CLI surfaces: kChunkedMixed cannot chunk
+/// without a budget, so it gets a useful one; the whole-prompt policies
+/// stay unbounded (the pre-chunking behavior).
+inline std::uint32_t default_chunk_tokens(BatchPolicy policy) {
+  return policy == BatchPolicy::kChunkedMixed ? 64 : 0;
+}
 
 struct SchedulerConfig {
   std::uint32_t max_batch = 8;      // token-steps per iteration
+  /// Token budget per iteration: decode == 1 token, prefill chunk == its
+  /// token count. 0 == unbounded (whole prompts, pure step-count limit —
+  /// the pre-chunking behavior). Under the whole-prompt policies prompts
+  /// keep FIFO order against the budget: a prompt that fits the budget
+  /// but not this iteration's leftover waits (younger prompts cannot
+  /// overtake it), and one larger than the whole budget runs over budget
+  /// as the iteration's only prompt work, so neither can starve.
+  std::uint32_t max_tokens_per_iter = 0;
   std::uint32_t max_in_flight = 64; // admitted requests resident at once
   std::uint32_t queue_capacity = 256;  // admission queue bound (shedding)
   BatchPolicy policy = BatchPolicy::kPrefillPriority;
@@ -41,13 +78,23 @@ struct SchedulerConfig {
   sim::Cycles iteration_overhead_cycles = 0;
 };
 
+/// One selected token-step: a decode (prompt_tokens == 0) or a prefill
+/// chunk of prompt_tokens starting at the request's prefill cursor.
+struct ScheduledStep {
+  Request* request = nullptr;
+  std::uint32_t prompt_tokens = 0;
+
+  bool is_prefill() const { return prompt_tokens > 0; }
+};
+
 /// What one scheduler iteration did — the audit trail the interleaving
 /// tests and utilization metrics read.
 struct IterationRecord {
   sim::Cycles start = 0;
   sim::Cycles span = 0;  // overhead + batch pipeline occupancy + host sync
-  std::uint32_t prefills = 0;
+  std::uint32_t prefills = 0;       // prefill-chunk members
   std::uint32_t decodes = 0;
+  std::uint32_t prompt_tokens = 0;  // prompt tokens pushed this iteration
 
   std::uint32_t batch_size() const { return prefills + decodes; }
 };
@@ -59,10 +106,10 @@ class Scheduler {
   const SchedulerConfig& config() const { return config_; }
 
   /// Selects this iteration's batch from `runnable` (admitted requests not
-  /// currently mid-step), honoring the policy and max_batch. Selected
-  /// requests are removed from `runnable`; relative FIFO order within each
-  /// class is preserved.
-  std::vector<Request*> select(std::vector<Request*>& runnable) const;
+  /// currently mid-step), honoring the policy, max_batch and the token
+  /// budget. Selected requests are removed from `runnable`; relative FIFO
+  /// order within each class is preserved.
+  std::vector<ScheduledStep> select(std::vector<Request*>& runnable) const;
 
   void record(IterationRecord record) { iterations_.push_back(record); }
   const std::vector<IterationRecord>& iterations() const {

@@ -49,9 +49,15 @@ struct Fleet {
   std::uint64_t decode_tokens = 0;
   std::uint64_t total_tokens = 0;
   sim::Cycles busy_cycles = 0;  // summed iteration spans
+  std::uint64_t prefill_chunk_steps = 0;
+  std::uint64_t chunked_prompts = 0;
+  std::uint64_t decode_stall_iterations = 0;
+  sim::Cycles decode_stall_cycles = 0;
 
   // ---- Latency samples (ms, one per completed request) ----
   std::vector<double> ttft_ms, token_ms, e2e_ms, queue_wait_ms;
+  // Gaps between consecutive host-visible tokens, pooled fleet-wide.
+  std::vector<double> gap_ms;
 
   bool arrivals_done() const { return injected >= cfg.traffic.num_requests; }
 
@@ -75,6 +81,8 @@ struct Fleet {
     ++completed;
     decode_tokens += r.decoded;
     total_tokens += r.decoded;
+    prefill_chunk_steps += r.prefill_chunks;
+    if (r.prefill_chunks > 1) ++chunked_prompts;
     const double ttft = ms(r.first_token - r.arrival);
     const double token =
         r.decoded > 0 ? ms(r.completed - r.first_token) /
@@ -114,15 +122,28 @@ sim::Task request_proc(Fleet& f, Request& r) {
     // Wait for this request's turn through the time-shared pipeline, then
     // occupy it for the step.
     co_await f.engine.delay(r.step_offset + r.step_cycles);
-    if (!r.prefilled) {
-      r.prefilled = true;
-      f.total_tokens += r.shape.prefill;
+    if (r.step_tokens > 0) {
+      // Prefill chunk: advance the cursor. A partial chunk leaves the
+      // request in the prefill class; the final chunk emits token #1.
+      r.prompt_done += r.step_tokens;
+      ++r.prefill_chunks;
+      f.total_tokens += r.step_tokens;
     } else {
       ++r.decoded;
     }
     // The token reaches the host only at batch egress + PCIe sync.
     co_await f.engine.delay(r.post_step_cycles);
-    if (r.decoded == 0) r.first_token = f.engine.now();
+    if (r.prefilled()) {
+      const sim::Cycles now = f.engine.now();
+      if (r.decoded == 0) r.first_token = now;
+      if (r.emitted_token) {
+        const sim::Cycles gap = now - r.last_token;
+        r.max_token_gap = std::max(r.max_token_gap, gap);
+        f.gap_ms.push_back(f.ms(gap));
+      }
+      r.emitted_token = true;
+      r.last_token = now;
+    }
     const bool finished = r.finished();
     r.latch->count_down();  // batch barrier: everyone reaches egress together
     if (finished) break;
@@ -183,7 +204,7 @@ void admit_from_queue(Fleet& f) {
 sim::Task scheduler_proc(Fleet& f) {
   while (true) {
     admit_from_queue(f);
-    std::vector<Request*> batch = f.sched.select(f.runnable);
+    std::vector<ScheduledStep> batch = f.sched.select(f.runnable);
     if (batch.empty()) {
       if (f.arrivals_done() && f.queue.empty() && f.runnable.empty()) break;
       co_await f.work.wait();
@@ -197,37 +218,47 @@ sim::Task scheduler_proc(Fleet& f) {
 
     // Decode members share one weight-stream pass (each streamed block is
     // applied to every member's vector), so they occupy the pipeline as a
-    // group; prefills run their prompts back to back. The priority class
-    // also goes first through the pipeline within the iteration.
-    std::vector<Request*> prefills, decodes;
+    // group; prefill chunks run their prompt tokens back to back, each
+    // chunk resuming at its request's cursor against the KV already
+    // cached. The priority class also goes first through the pipeline
+    // within the iteration.
+    std::vector<ScheduledStep> prefills;
+    std::vector<Request*> decodes;
     std::vector<std::uint32_t> decode_positions;
-    for (Request* r : batch) {
-      if (r->prefilled) {
-        decodes.push_back(r);
-        decode_positions.push_back(
-            std::min(r->kv_len(), f.costs.max_positions() - 1));
+    for (const ScheduledStep& s : batch) {
+      if (s.is_prefill()) {
+        prefills.push_back(s);
+        rec.prompt_tokens += s.prompt_tokens;
       } else {
-        prefills.push_back(r);
+        decodes.push_back(s.request);
+        decode_positions.push_back(
+            std::min(s.request->kv_len(), f.costs.max_positions() - 1));
       }
     }
     const sim::Cycles decode_group =
         f.costs.decode_batch_cycles(decode_positions);
 
     sim::Cycles offset = f.cfg.scheduler.iteration_overhead_cycles;
+    sim::Cycles prefill_span = 0;
     const bool decodes_first =
-        f.cfg.scheduler.policy == BatchPolicy::kDecodePriority;
+        f.cfg.scheduler.policy != BatchPolicy::kPrefillPriority;
     auto place_decodes = [&] {
       for (Request* r : decodes) {
         r->step_offset = offset;
         r->step_cycles = decode_group;
+        r->step_tokens = 0;
       }
       if (!decodes.empty()) offset += decode_group;
     };
     auto place_prefills = [&] {
-      for (Request* r : prefills) {
+      for (const ScheduledStep& s : prefills) {
+        Request* r = s.request;
         r->step_offset = offset;
-        r->step_cycles = f.costs.prefill_cycles(r->shape.prefill);
+        r->step_cycles =
+            f.costs.prefill_chunk_cycles(r->prompt_done, s.prompt_tokens);
+        r->step_tokens = s.prompt_tokens;
         offset += r->step_cycles;
+        prefill_span += r->step_cycles;
       }
     };
     if (decodes_first) {
@@ -240,10 +271,19 @@ sim::Task scheduler_proc(Fleet& f) {
 
     rec.prefills = static_cast<std::uint32_t>(prefills.size());
     rec.decodes = static_cast<std::uint32_t>(decodes.size());
+    // Prompt work in an iteration delays every co-scheduled decode's token
+    // by its full span (tokens are host-visible only at batch egress,
+    // regardless of pipeline order) — the head-of-line blocking chunking
+    // bounds to one chunk.
+    if (!decodes.empty() && rec.prompt_tokens > 0) {
+      ++f.decode_stall_iterations;
+      f.decode_stall_cycles += prefill_span;
+    }
     // Tokens become host-visible at batch egress + one PCIe sync; members
     // wait out the tail of the batch so the latch fires at that instant.
     const sim::Cycles egress = offset + f.costs.host_sync_cycles();
-    for (Request* r : batch) {
+    for (const ScheduledStep& s : batch) {
+      Request* r = s.request;
       r->post_step_cycles = egress - (r->step_offset + r->step_cycles);
       r->latch = &latch;
       r->grant.set();
@@ -255,9 +295,10 @@ sim::Task scheduler_proc(Fleet& f) {
 
     // Unfinished members rejoin the runnable pool in batch order, keeping
     // the FIFO discipline deterministic.
-    for (Request* r : batch) {
-      if (r->state == RequestState::kRunning && !r->finished()) {
-        f.runnable.push_back(r);
+    for (const ScheduledStep& s : batch) {
+      if (s.request->state == RequestState::kRunning &&
+          !s.request->finished()) {
+        f.runnable.push_back(s.request);
       }
     }
   }
@@ -322,12 +363,18 @@ FleetMetrics ServingSim::run() const {
   m.token_ms = util::percentile_summary(std::move(fleet.token_ms));
   m.e2e_ms = util::percentile_summary(std::move(fleet.e2e_ms));
   m.queue_wait_ms = util::percentile_summary(std::move(fleet.queue_wait_ms));
+  m.inter_token_gap_ms = util::percentile_summary(std::move(fleet.gap_ms));
   m.iterations = fleet.sched.iterations().size();
   m.mean_batch_size = fleet.sched.mean_batch_size();
+  m.prefill_chunk_steps = fleet.prefill_chunk_steps;
+  m.chunked_prompts = fleet.chunked_prompts;
+  m.decode_stall_iterations = fleet.decode_stall_iterations;
+  m.decode_stall_ms = config_.arch.cycles_to_ms(fleet.decode_stall_cycles);
   m.peak_in_flight = fleet.peak_active;
   m.peak_queue_depth = fleet.queue.peak_depth();
   m.kv_peak_occupancy = fleet.kv.peak_occupancy();
   m.kv_stall_events = fleet.kv.stall_events();
+  m.kv_over_release_events = fleet.kv.over_release_events();
   if (config_.keep_request_records) {
     m.requests.reserve(fleet.requests.size());
     for (const auto& r : fleet.requests) {
@@ -335,11 +382,13 @@ FleetMetrics ServingSim::run() const {
       rec.id = r->id;
       rec.prefill_tokens = r->shape.prefill;
       rec.decode_tokens = r->decoded;
+      rec.prefill_chunks = r->prefill_chunks;
       rec.rejected = r->state == RequestState::kRejected;
       if (!rec.rejected) {
         rec.queue_wait_ms = fleet.ms(r->admitted - r->arrival);
         rec.ttft_ms = fleet.ms(r->first_token - r->arrival);
         rec.e2e_ms = fleet.ms(r->completed - r->arrival);
+        rec.max_token_gap_ms = fleet.ms(r->max_token_gap);
       }
       m.requests.push_back(rec);
     }

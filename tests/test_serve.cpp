@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
 #include <vector>
 
 #include "core/arch_config.hpp"
@@ -26,6 +27,18 @@ namespace looplynx::serve {
 namespace {
 
 core::ArchConfig test_arch() { return core::ArchConfig::one_node(); }
+
+/// Cosim dimensions with a context window wide enough for the [128:*]
+/// long-prompt chunking scenarios.
+model::ModelConfig chunk_model() {
+  model::ModelConfig m = model::cosim_config();
+  m.name = "cosim-256";
+  m.max_seq_len = 256;
+  return m;
+}
+
+/// Marks a request's whole prompt as pushed (decode-ready).
+void mark_prefilled(Request& r) { r.prompt_done = r.shape.prefill; }
 
 /// Small shapes that fit the cosim model's 96-token context.
 workload::Mix test_mix() {
@@ -76,6 +89,23 @@ TEST(StepCostModelTest, CostGrowsWithKvLength) {
   EXPECT_GT(costs.prefill_cycles(64), costs.prefill_cycles(8));
 }
 
+TEST(StepCostModelTest, ChunkCostsPartitionThePrefill) {
+  const core::StepCostModel costs(test_arch(), model::cosim_config(),
+                                  /*probe_stride=*/16);
+  // A chunk resumes against cached KV: positions are priced at their true
+  // offsets, so any partition of the prompt sums to the whole prefill.
+  EXPECT_EQ(costs.prefill_chunk_cycles(0, 64), costs.prefill_cycles(64));
+  EXPECT_EQ(costs.prefill_chunk_cycles(0, 16) +
+                costs.prefill_chunk_cycles(16, 16) +
+                costs.prefill_chunk_cycles(32, 32),
+            costs.prefill_cycles(64));
+  EXPECT_EQ(costs.prefill_chunk_cycles(24, 0), 0u);
+  // Continuation chunks run at deeper KV offsets, so the tail chunk of a
+  // prompt costs at least as much as its head chunk.
+  EXPECT_GE(costs.prefill_chunk_cycles(48, 16),
+            costs.prefill_chunk_cycles(0, 16));
+}
+
 TEST(StepCostModelTest, DecodeBatchSharesWeightStream) {
   const core::StepCostModel costs(test_arch(), model::cosim_config(),
                                   /*probe_stride=*/16);
@@ -123,6 +153,26 @@ TEST(KvSlotManagerTest, CapacityFollowsBudget) {
   EXPECT_EQ(kv.free_tokens(), 6u);
   EXPECT_FALSE(kv.can_ever_fit(11));
   EXPECT_TRUE(kv.can_ever_fit(10));
+}
+
+TEST(KvSlotManagerTest, OverReleaseClampsInsteadOfWrapping) {
+  const model::ModelConfig m = model::cosim_config();
+  KvSlotManager kv(test_arch(), m, /*budget=*/384 * 10);
+  ASSERT_TRUE(kv.try_reserve(4));
+  // An unclamped release would underflow used_tokens_ and wrap
+  // free_tokens() to ~4 billion, disabling admission backpressure forever
+  // after. Pin the clamp, and the counter that makes the caller bug
+  // observable instead of silently swallowed.
+  kv.release(7);
+  EXPECT_EQ(kv.used_tokens(), 0u);
+  EXPECT_EQ(kv.free_tokens(), kv.capacity_tokens());
+  EXPECT_LE(kv.free_tokens(), kv.capacity_tokens());  // no wrap
+  EXPECT_EQ(kv.over_release_events(), 1u);
+  // The manager still works after the bad release.
+  EXPECT_TRUE(kv.try_reserve(10));
+  EXPECT_FALSE(kv.try_reserve(1));
+  kv.release(10);
+  EXPECT_EQ(kv.over_release_events(), 1u);  // correct releases not counted
 }
 
 TEST(KvSlotManagerTest, DefaultBudgetUsesKvChannels) {
@@ -216,7 +266,7 @@ TEST(SchedulerTest, PrefillPriorityPicksPrefillsFirst) {
   Request p1(engine, 0, workload::make_scenario(8, 8));
   Request p2(engine, 1, workload::make_scenario(8, 8));
   Request d1(engine, 2, workload::make_scenario(8, 8));
-  d1.prefilled = true;
+  mark_prefilled(d1);
   SchedulerConfig cfg;
   cfg.max_batch = 2;
   cfg.policy = BatchPolicy::kPrefillPriority;
@@ -224,8 +274,9 @@ TEST(SchedulerTest, PrefillPriorityPicksPrefillsFirst) {
   std::vector<Request*> runnable{&d1, &p1, &p2};
   const auto batch = sched.select(runnable);
   ASSERT_EQ(batch.size(), 2u);
-  EXPECT_EQ(batch[0], &p1);
-  EXPECT_EQ(batch[1], &p2);
+  EXPECT_EQ(batch[0].request, &p1);
+  EXPECT_EQ(batch[0].prompt_tokens, 8u);  // whole prompt under this policy
+  EXPECT_EQ(batch[1].request, &p2);
   ASSERT_EQ(runnable.size(), 1u);
   EXPECT_EQ(runnable[0], &d1);
 }
@@ -235,7 +286,8 @@ TEST(SchedulerTest, DecodePriorityPicksDecodesFirst) {
   Request p1(engine, 0, workload::make_scenario(8, 8));
   Request d1(engine, 1, workload::make_scenario(8, 8));
   Request d2(engine, 2, workload::make_scenario(8, 8));
-  d1.prefilled = d2.prefilled = true;
+  mark_prefilled(d1);
+  mark_prefilled(d2);
   SchedulerConfig cfg;
   cfg.max_batch = 3;
   cfg.policy = BatchPolicy::kDecodePriority;
@@ -243,10 +295,209 @@ TEST(SchedulerTest, DecodePriorityPicksDecodesFirst) {
   std::vector<Request*> runnable{&p1, &d1, &d2};
   const auto batch = sched.select(runnable);
   ASSERT_EQ(batch.size(), 3u);
-  EXPECT_EQ(batch[0], &d1);
-  EXPECT_EQ(batch[1], &d2);
-  EXPECT_EQ(batch[2], &p1);
+  EXPECT_EQ(batch[0].request, &d1);
+  EXPECT_EQ(batch[0].prompt_tokens, 0u);
+  EXPECT_EQ(batch[1].request, &d2);
+  EXPECT_EQ(batch[2].request, &p1);
+  EXPECT_EQ(batch[2].prompt_tokens, 8u);
   EXPECT_TRUE(runnable.empty());
+}
+
+TEST(SchedulerTest, TokenBudgetBoundsWholePromptMembers) {
+  sim::Engine engine;
+  Request p1(engine, 0, workload::make_scenario(8, 8));
+  Request p2(engine, 1, workload::make_scenario(8, 8));
+  Request d1(engine, 2, workload::make_scenario(8, 8));
+  mark_prefilled(d1);
+  SchedulerConfig cfg;
+  cfg.max_batch = 8;
+  cfg.max_tokens_per_iter = 10;  // p1 (8) + d1 (1) fit; p2 (8) does not
+  cfg.policy = BatchPolicy::kPrefillPriority;
+  Scheduler sched(cfg);
+  std::vector<Request*> runnable{&p1, &p2, &d1};
+  const auto batch = sched.select(runnable);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0].request, &p1);
+  EXPECT_EQ(batch[1].request, &d1);
+  ASSERT_EQ(runnable.size(), 1u);
+  EXPECT_EQ(runnable[0], &p2);  // waits for the next iteration
+}
+
+TEST(SchedulerTest, OversizedPromptRunsAloneUnderBudget) {
+  sim::Engine engine;
+  Request big(engine, 0, workload::make_scenario(32, 4));
+  Request d1(engine, 1, workload::make_scenario(8, 8));
+  mark_prefilled(d1);
+  SchedulerConfig cfg;
+  cfg.max_batch = 8;
+  cfg.max_tokens_per_iter = 16;  // smaller than big's whole prompt
+  cfg.policy = BatchPolicy::kPrefillPriority;
+  Scheduler sched(cfg);
+  std::vector<Request*> runnable{&big, &d1};
+  const auto batch = sched.select(runnable);
+  // The unsplittable over-budget prompt cannot starve: it runs, alone.
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].request, &big);
+  EXPECT_EQ(batch[0].prompt_tokens, 32u);
+  ASSERT_EQ(runnable.size(), 1u);
+  EXPECT_EQ(runnable[0], &d1);
+}
+
+TEST(SchedulerTest, OversizedPromptCannotStarveUnderDecodePriority) {
+  sim::Engine engine;
+  Request d1(engine, 0, workload::make_scenario(8, 8));
+  Request big(engine, 1, workload::make_scenario(32, 4));
+  Request small(engine, 2, workload::make_scenario(4, 4));
+  mark_prefilled(d1);
+  SchedulerConfig cfg;
+  cfg.max_batch = 8;
+  cfg.max_tokens_per_iter = 16;  // big can never fit, even alone
+  cfg.policy = BatchPolicy::kDecodePriority;
+  Scheduler sched(cfg);
+  std::vector<Request*> runnable{&d1, &big, &small};
+  const auto batch = sched.select(runnable);
+  // Decode priority keeps the batch non-empty every iteration, so the
+  // over-budget prompt must be allowed to co-run with the decodes — and
+  // the younger small prompt must not overtake it.
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0].request, &d1);
+  EXPECT_EQ(batch[1].request, &big);
+  EXPECT_EQ(batch[1].prompt_tokens, 32u);
+  ASSERT_EQ(runnable.size(), 1u);
+  EXPECT_EQ(runnable[0], &small);
+}
+
+TEST(SchedulerTest, BudgetedPromptKeepsFifoOrderAgainstYoungerPrompts) {
+  sim::Engine engine;
+  std::vector<std::unique_ptr<Request>> pool;
+  std::vector<Request*> runnable;
+  for (std::uint32_t i = 0; i < 6; ++i) {  // six decode streams
+    pool.push_back(
+        std::make_unique<Request>(engine, i, workload::make_scenario(4, 8)));
+    mark_prefilled(*pool.back());
+    runnable.push_back(pool.back().get());
+  }
+  Request mid(engine, 6, workload::make_scenario(12, 4));
+  Request small(engine, 7, workload::make_scenario(4, 4));
+  runnable.push_back(&mid);
+  runnable.push_back(&small);
+  SchedulerConfig cfg;
+  cfg.max_batch = 16;
+  cfg.max_tokens_per_iter = 16;  // mid fits the budget, not this leftover
+  cfg.policy = BatchPolicy::kDecodePriority;
+  Scheduler sched(cfg);
+  const auto batch = sched.select(runnable);
+  // 6 decodes leave 10 budget tokens: mid (12) waits — and small (4),
+  // which would fit, must wait behind it rather than overtake. Blocked
+  // prefills admit no new streams, so the decode pool drains until mid
+  // fits: no starvation.
+  ASSERT_EQ(batch.size(), 6u);
+  for (const ScheduledStep& s : batch) EXPECT_FALSE(s.is_prefill());
+  ASSERT_EQ(runnable.size(), 2u);
+  EXPECT_EQ(runnable[0], &mid);
+  EXPECT_EQ(runnable[1], &small);
+}
+
+TEST(SchedulerTest, ChunkedMixedSplitsPromptsUnderBudget) {
+  sim::Engine engine;
+  Request d1(engine, 0, workload::make_scenario(8, 8));
+  Request d2(engine, 1, workload::make_scenario(8, 8));
+  Request p1(engine, 2, workload::make_scenario(30, 4));
+  mark_prefilled(d1);
+  mark_prefilled(d2);
+  SchedulerConfig cfg;
+  cfg.max_batch = 8;
+  cfg.max_tokens_per_iter = 12;
+  cfg.policy = BatchPolicy::kChunkedMixed;
+  Scheduler sched(cfg);
+
+  // Iteration 1: both decodes (1 token each), then a 10-token chunk.
+  std::vector<Request*> runnable{&p1, &d1, &d2};
+  auto batch = sched.select(runnable);
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_EQ(batch[0].request, &d1);
+  EXPECT_EQ(batch[1].request, &d2);
+  EXPECT_EQ(batch[2].request, &p1);
+  EXPECT_EQ(batch[2].prompt_tokens, 10u);
+  EXPECT_TRUE(runnable.empty());
+
+  // The sim advances the cursor at step execution; emulate it here.
+  p1.prompt_done += 10;
+  runnable = {&p1};
+  batch = sched.select(runnable);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].prompt_tokens, 12u);  // full budget, nothing else runs
+  p1.prompt_done += 12;
+
+  // Final chunk takes only what remains.
+  runnable = {&p1};
+  batch = sched.select(runnable);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].prompt_tokens, 8u);
+  p1.prompt_done += 8;
+  EXPECT_TRUE(p1.prefilled());
+}
+
+TEST(SchedulerTest, ChunkedMixedFinishesHeadPromptBeforeStartingNext) {
+  sim::Engine engine;
+  Request a(engine, 0, workload::make_scenario(40, 4));
+  Request b(engine, 1, workload::make_scenario(40, 4));
+  SchedulerConfig cfg;
+  cfg.max_batch = 8;
+  cfg.max_tokens_per_iter = 16;
+  cfg.policy = BatchPolicy::kChunkedMixed;
+  Scheduler sched(cfg);
+
+  std::vector<Request*> runnable{&a, &b};
+  auto batch = sched.select(runnable);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].request, &a);
+  a.prompt_done += batch[0].prompt_tokens;
+
+  // The sim re-queues a mid-chunk prompt at the *back* of runnable; a
+  // partially prefilled prompt must still outrank the fresh one, so
+  // chunks do not round-robin and b's KV wait stays one prompt deep.
+  runnable = {&b, &a};
+  batch = sched.select(runnable);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].request, &a);
+  a.prompt_done += batch[0].prompt_tokens;
+  EXPECT_EQ(a.prompt_done, 32u);
+  ASSERT_EQ(runnable.size(), 1u);
+  EXPECT_EQ(runnable[0], &b);
+
+  // Once a's final chunk (8 tokens) is taken, leftover budget starts b.
+  runnable = {&b, &a};
+  batch = sched.select(runnable);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0].request, &a);
+  EXPECT_EQ(batch[0].prompt_tokens, 8u);
+  EXPECT_EQ(batch[1].request, &b);
+  EXPECT_EQ(batch[1].prompt_tokens, 8u);
+}
+
+TEST(SchedulerTest, ChunkedMixedNeverExceedsTokenBudget) {
+  sim::Engine engine;
+  std::vector<std::unique_ptr<Request>> pool;
+  std::vector<Request*> runnable;
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    pool.push_back(std::make_unique<Request>(
+        engine, i, workload::make_scenario(16 + i, 8)));
+    if (i % 2 == 0) mark_prefilled(*pool.back());
+    runnable.push_back(pool.back().get());
+  }
+  SchedulerConfig cfg;
+  cfg.max_batch = 8;
+  cfg.max_tokens_per_iter = 7;
+  cfg.policy = BatchPolicy::kChunkedMixed;
+  Scheduler sched(cfg);
+  const auto batch = sched.select(runnable);
+  std::uint32_t tokens = 0;
+  for (const ScheduledStep& s : batch) {
+    tokens += s.is_prefill() ? s.prompt_tokens : 1;
+  }
+  EXPECT_LE(tokens, 7u);
+  EXPECT_FALSE(batch.empty());
 }
 
 // ------------------------------------------------------------- Fleet runs
@@ -269,6 +520,16 @@ void expect_identical(const FleetMetrics& a, const FleetMetrics& b) {
   EXPECT_EQ(a.busy_fraction, b.busy_fraction);
   EXPECT_EQ(a.kv_peak_occupancy, b.kv_peak_occupancy);
   EXPECT_EQ(a.kv_stall_events, b.kv_stall_events);
+  // A healthy fleet never over-releases; the field exists to make the
+  // accounting bug observable if one ever does.
+  EXPECT_EQ(a.kv_over_release_events, 0u);
+  EXPECT_EQ(b.kv_over_release_events, 0u);
+  EXPECT_EQ(a.prefill_chunk_steps, b.prefill_chunk_steps);
+  EXPECT_EQ(a.chunked_prompts, b.chunked_prompts);
+  EXPECT_EQ(a.decode_stall_iterations, b.decode_stall_iterations);
+  EXPECT_EQ(a.decode_stall_ms, b.decode_stall_ms);
+  EXPECT_EQ(a.inter_token_gap_ms.p50, b.inter_token_gap_ms.p50);
+  EXPECT_EQ(a.inter_token_gap_ms.p99, b.inter_token_gap_ms.p99);
 }
 
 TEST(ServingSimTest, SameSeedSameMetrics) {
@@ -359,6 +620,132 @@ TEST(ServingSimTest, PolicyTradesTtftForTokenLatency) {
   EXPECT_LT(prefill_first.ttft_ms.p50, decode_first.ttft_ms.p50);
 }
 
+TEST(ServingSimTest, ChunkedPolicyIsDeterministic) {
+  ServingConfig cfg = base_config();
+  cfg.scheduler.policy = BatchPolicy::kChunkedMixed;
+  cfg.scheduler.max_tokens_per_iter = 8;
+  const FleetMetrics a = ServingSim(cfg).run();
+  const FleetMetrics b = ServingSim(cfg).run();
+  expect_identical(a, b);
+  EXPECT_EQ(a.completed, cfg.traffic.num_requests);
+  EXPECT_GT(a.chunked_prompts, 0u);  // the 16-token prompts actually split
+}
+
+TEST(ServingSimTest, ChunkedWithSlackBudgetMatchesDecodePriority) {
+  // When the budget always covers whole prompts, kChunkedMixed degenerates
+  // to decode-priority scheduling — the two runs must be bit-identical.
+  ServingConfig cfg = base_config();
+  cfg.scheduler.policy = BatchPolicy::kDecodePriority;
+  const FleetMetrics decode = ServingSim(cfg).run();
+  cfg.scheduler.policy = BatchPolicy::kChunkedMixed;
+  cfg.scheduler.max_tokens_per_iter = 0;  // unbounded
+  const FleetMetrics chunked = ServingSim(cfg).run();
+  expect_identical(decode, chunked);
+  EXPECT_EQ(chunked.chunked_prompts, 0u);
+  EXPECT_EQ(chunked.prefill_chunk_steps, chunked.completed);
+}
+
+/// The head-of-line interleaving contract the tentpole exists for: a
+/// [128:*] long-prompt arrival mid-stream must not add more than one
+/// chunk's span to any running decode's inter-token gap.
+TEST(ServingSimTest, LongPromptArrivalMidStreamBoundsDecodeGap) {
+  ServingConfig cfg;
+  cfg.arch = test_arch();
+  cfg.model = chunk_model();
+  cfg.cost_probe_stride = 16;
+  cfg.keep_request_records = true;
+  cfg.scheduler.max_batch = 8;
+  const core::StepCostModel costs(cfg.arch, cfg.model,
+                                  cfg.cost_probe_stride);
+  // Request 0 decodes a long stream from cycle 0; the [128:8] prompt lands
+  // once ~10 of its tokens are out.
+  const sim::Cycles mid_stream =
+      costs.prefill_cycles(8) +
+      10 * (costs.step_cycles(40) + costs.host_sync_cycles());
+  cfg.traffic.explicit_arrivals = {
+      {0, workload::make_scenario(8, 64)},
+      {mid_stream, workload::make_scenario(128, 8)},
+  };
+
+  cfg.scheduler.policy = BatchPolicy::kPrefillPriority;
+  const FleetMetrics whole = ServingSim(cfg, costs).run();
+  cfg.scheduler.policy = BatchPolicy::kChunkedMixed;
+  const std::uint32_t budget = 16;
+  cfg.scheduler.max_tokens_per_iter = budget;
+  const FleetMetrics chunked = ServingSim(cfg, costs).run();
+  ASSERT_EQ(whole.requests.size(), 2u);
+  ASSERT_EQ(chunked.requests.size(), 2u);
+
+  // Unchunked, the decode's worst gap swallows the whole 128-token prompt.
+  EXPECT_GE(whole.requests[0].max_token_gap_ms,
+            costs.cycles_to_ms(costs.prefill_cycles(128)));
+  EXPECT_EQ(whole.requests[1].prefill_chunks, 1u);
+
+  // Chunked, every iteration carries at most one <= budget-token chunk, so
+  // the decode's gap is bounded by one iteration: the worst decode group
+  // (both streams at max KV depth), one chunk at the deepest prompt
+  // offsets, and the per-iteration host sync.
+  const std::uint32_t deepest = 128 - (budget - 1);
+  const sim::Cycles gap_bound =
+      costs.decode_batch_cycles({cfg.model.max_seq_len - 1,
+                                 cfg.model.max_seq_len - 1}) +
+      costs.prefill_chunk_cycles(deepest, budget - 1) +
+      costs.host_sync_cycles();
+  EXPECT_LE(chunked.requests[0].max_token_gap_ms,
+            costs.cycles_to_ms(gap_bound));
+  EXPECT_LT(chunked.requests[0].max_token_gap_ms,
+            whole.requests[0].max_token_gap_ms);
+  EXPECT_GT(chunked.requests[1].prefill_chunks, 1u);
+  EXPECT_GT(chunked.chunked_prompts, 0u);
+  // All 8 prompt tokens of the runner plus the long prompt complete.
+  EXPECT_EQ(chunked.completed, 2u);
+}
+
+/// The PR's acceptance criterion: on a long-prompt-heavy mix at a fixed
+/// seed, chunking strictly cuts p99 per-token latency versus unchunked
+/// prefill-priority while holding throughput within 5%.
+TEST(ServingSimTest, ChunkedPrefillCutsTokenTailOnLongPromptMix) {
+  ServingConfig cfg;
+  cfg.arch = test_arch();
+  cfg.model = chunk_model();
+  cfg.cost_probe_stride = 16;
+  cfg.traffic.mix =
+      workload::Mix{"long-prompt-heavy",
+                    {{workload::make_scenario(128, 8), 0.4},
+                     {workload::make_scenario(8, 48), 0.6}}};
+  cfg.traffic.num_requests = 48;
+  cfg.traffic.arrival_rate_per_s = 400.0;
+  cfg.traffic.seed = 42;
+  cfg.scheduler.max_batch = 8;
+  const core::StepCostModel costs(cfg.arch, cfg.model,
+                                  cfg.cost_probe_stride);
+
+  cfg.scheduler.policy = BatchPolicy::kPrefillPriority;
+  cfg.scheduler.max_tokens_per_iter = 0;
+  const FleetMetrics whole = ServingSim(cfg, costs).run();
+  cfg.scheduler.policy = BatchPolicy::kChunkedMixed;
+  cfg.scheduler.max_tokens_per_iter = 16;
+  const FleetMetrics chunked = ServingSim(cfg, costs).run();
+
+  ASSERT_EQ(whole.completed, cfg.traffic.num_requests);
+  ASSERT_EQ(chunked.completed, cfg.traffic.num_requests);
+  EXPECT_LT(chunked.token_ms.p99, whole.token_ms.p99);
+  EXPECT_LT(chunked.inter_token_gap_ms.p99, whole.inter_token_gap_ms.p99);
+  EXPECT_GT(chunked.decode_tok_s, 0.95 * whole.decode_tok_s);
+  EXPECT_LT(chunked.decode_tok_s, 1.05 * whole.decode_tok_s);
+  // The win comes from *bounding* each stall, not eliminating stalls:
+  // chunking deliberately co-schedules prompt work with decodes (often in
+  // more iterations overall), but every individual stall shrinks to at
+  // most one chunk, so the mean stall per stalled iteration drops.
+  ASSERT_GT(whole.decode_stall_iterations, 0u);
+  ASSERT_GT(chunked.decode_stall_iterations, 0u);
+  EXPECT_LT(chunked.decode_stall_ms /
+                static_cast<double>(chunked.decode_stall_iterations),
+            whole.decode_stall_ms /
+                static_cast<double>(whole.decode_stall_iterations));
+  EXPECT_GT(chunked.chunked_prompts, 0u);
+}
+
 TEST(ServingSimTest, ClosedLoopSelfLimits) {
   ServingConfig cfg = base_config();
   cfg.traffic.process = ArrivalProcess::kClosedLoop;
@@ -420,6 +807,8 @@ TEST(HostBatchTest, SubmitFlushTimesRequestsThroughOneFleet) {
     EXPECT_GT(r.total_ms, 0.0);
     EXPECT_NEAR(r.total_ms, r.prefill_ms + r.decode_ms, 1e-9);
     EXPECT_GE(r.queue_ms, 0.0);
+    EXPECT_GE(r.prefill_chunks, 1u);  // unchunked default: exactly one step
+    EXPECT_GE(r.max_token_gap_ms, 0.0);
   }
   // Single-request serve matches the documented invariants too.
   const auto lone = h.serve(r1);
