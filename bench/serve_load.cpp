@@ -2,27 +2,38 @@
 // traffic mixes on the continuous-batching serving engine, reporting
 // throughput, goodput and tail latency. This is the scenario family the
 // paper's Fig. 8 single-request sweep cannot express: an open arrival
-// process, interleaved prefill/decode, KV-slot backpressure — and, with
-// --chunk-tokens, chunked prefill that bounds the decode stall a long
-// prompt can inflict.
+// process, interleaved prefill/decode, KV backpressure — and, with the
+// paged-KV flags, block-granular allocation with scheduler-driven
+// preemption instead of whole-footprint reservation.
 //
 //   ./serve_load [--nodes=2] [--model=gpt2-medium] [--requests=64]
 //                [--seed=1] [--stride=64]
 //                [--policy=prefill|decode|chunked] [--chunk-tokens=0]
+//                [--preempt=none|recompute] [--kv-block-tokens=1]
+//                [--kv-budget-mb=0]
 //
-// --chunk-tokens=N sets the per-iteration token budget
-// (SchedulerConfig::max_tokens_per_iter); --policy=chunked selects
-// kChunkedMixed and defaults the budget to 64 when none is given.
+// --chunk-tokens=N sets the per-iteration token budget (requires
+// --policy=chunked; the policy defaults it to 64). --preempt=recompute
+// admits on prompt blocks only and preempts the youngest request when
+// decode growth drains the pool; --kv-block-tokens sets the paging
+// granularity (1 = token-granular legacy accounting); --kv-budget-mb
+// overrides the per-node KV HBM budget (0 = architecture default) so a
+// sweep can actually exercise block pressure. When the paging flags are at
+// their defaults the table is byte-identical to the pre-paging output;
+// otherwise it grows peak-in-flight / preemption columns.
 //
 // Output is deterministic: two runs with identical flags produce
 // byte-identical tables (seeded traffic + deterministic engine).
 #include <cstdint>
 #include <iostream>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "bench/bench_common.hpp"
 #include "core/arch_config.hpp"
 #include "core/step_cost.hpp"
+#include "serve/cli_flags.hpp"
 #include "serve/serving_sim.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -37,10 +48,13 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(cli.get_int_or("seed", 1));
   const auto stride =
       static_cast<std::uint32_t>(cli.get_int_or("stride", 64));
-  const serve::BatchPolicy policy =
-      serve::parse_batch_policy(cli.get_or("policy", "prefill"));
-  const auto chunk_tokens = static_cast<std::uint32_t>(
-      cli.get_int_or("chunk-tokens", serve::default_chunk_tokens(policy)));
+  const serve::SchedulerCliOptions opts = serve::parse_scheduler_cli(cli);
+  const long long kv_budget_mb_raw = cli.get_int_or("kv-budget-mb", 0);
+  if (kv_budget_mb_raw < 0) {
+    throw std::invalid_argument(
+        "--kv-budget-mb must be >= 0 (0 = architecture default)");
+  }
+  const auto kv_budget_mb = static_cast<std::uint64_t>(kv_budget_mb_raw);
 
   const core::ArchConfig arch = core::ArchConfig::nodes(nodes);
   const model::ModelConfig model = bench::model_from_cli(cli);
@@ -55,13 +69,29 @@ int main(int argc, char** argv) {
   const std::vector<double> rates = {1.0, 2.0, 4.0, 8.0};
   const std::vector<std::uint32_t> batches = {1, 4, 8, 16};
 
-  util::Table t("Serving under load: " + model.name + ", " +
-                std::to_string(nodes) + "-node, " + std::to_string(requests) +
-                " requests/point, " + serve::batch_policy_name(policy) +
-                ", chunk-tokens " + std::to_string(chunk_tokens));
-  t.set_header({"mix", "req/s in", "batch", "done/shed", "tok/s",
-                "goodput", "TTFT p50", "TTFT p99", "tok p50", "tok p99",
-                "gap p99", "chunks", "stall ms"});
+  std::string title = "Serving under load: " + model.name + ", " +
+                      std::to_string(nodes) + "-node, " +
+                      std::to_string(requests) + " requests/point, " +
+                      serve::batch_policy_name(opts.policy) +
+                      ", chunk-tokens " + std::to_string(opts.chunk_tokens);
+  if (opts.paged()) {
+    title += ", preempt " +
+             std::string(serve::preempt_policy_name(opts.preempt)) +
+             ", kv-block " + std::to_string(opts.kv_block_tokens);
+  }
+  if (kv_budget_mb > 0) {
+    title += ", kv-budget " + std::to_string(kv_budget_mb) + " MiB";
+  }
+  util::Table t(title);
+  std::vector<std::string> header = {
+      "mix", "req/s in", "batch", "done/shed", "tok/s",
+      "goodput", "TTFT p50", "TTFT p99", "tok p50", "tok p99",
+      "gap p99", "chunks", "stall ms"};
+  if (opts.paged()) {
+    header.push_back("in-flt");
+    header.push_back("preempt");
+  }
+  t.set_header(header);
 
   for (const workload::Mix& mix : mixes) {
     for (double rate : rates) {
@@ -74,23 +104,32 @@ int main(int argc, char** argv) {
         cfg.traffic.arrival_rate_per_s = rate;
         cfg.traffic.seed = seed;
         cfg.scheduler.max_batch = batch;
-        cfg.scheduler.max_tokens_per_iter = chunk_tokens;
-        cfg.scheduler.policy = policy;
+        cfg.scheduler.max_tokens_per_iter = opts.chunk_tokens;
+        cfg.scheduler.policy = opts.policy;
+        cfg.scheduler.preempt = opts.preempt;
+        cfg.kv_block_tokens = opts.kv_block_tokens;
+        cfg.kv_budget_bytes_per_node = kv_budget_mb << 20;
         const serve::FleetMetrics m =
             serve::ServingSim(cfg, costs).run();
-        t.add_row({mix.name, util::fmt_fixed(rate, 0),
-                   util::fmt_int(batch),
-                   util::fmt_int(static_cast<long long>(m.completed)) + "/" +
-                       util::fmt_int(static_cast<long long>(m.rejected)),
-                   util::fmt_fixed(m.decode_tok_s, 1),
-                   util::fmt_fixed(m.goodput_req_s, 2),
-                   util::fmt_fixed(m.ttft_ms.p50, 1),
-                   util::fmt_fixed(m.ttft_ms.p99, 1),
-                   util::fmt_fixed(m.token_ms.p50, 2),
-                   util::fmt_fixed(m.token_ms.p99, 2),
-                   util::fmt_fixed(m.inter_token_gap_ms.p99, 2),
-                   util::fmt_int(static_cast<long long>(m.prefill_chunk_steps)),
-                   util::fmt_fixed(m.decode_stall_ms, 1)});
+        std::vector<std::string> row = {
+            mix.name, util::fmt_fixed(rate, 0),
+            util::fmt_int(batch),
+            util::fmt_int(static_cast<long long>(m.completed)) + "/" +
+                util::fmt_int(static_cast<long long>(m.rejected)),
+            util::fmt_fixed(m.decode_tok_s, 1),
+            util::fmt_fixed(m.goodput_req_s, 2),
+            util::fmt_fixed(m.ttft_ms.p50, 1),
+            util::fmt_fixed(m.ttft_ms.p99, 1),
+            util::fmt_fixed(m.token_ms.p50, 2),
+            util::fmt_fixed(m.token_ms.p99, 2),
+            util::fmt_fixed(m.inter_token_gap_ms.p99, 2),
+            util::fmt_int(static_cast<long long>(m.prefill_chunk_steps)),
+            util::fmt_fixed(m.decode_stall_ms, 1)};
+        if (opts.paged()) {
+          row.push_back(util::fmt_int(m.peak_in_flight));
+          row.push_back(util::fmt_int(static_cast<long long>(m.preemptions)));
+        }
+        t.add_row(row);
       }
       t.add_separator();
     }
@@ -107,5 +146,13 @@ int main(int argc, char** argv) {
                "stall ms (the head-of-line blocking whole prompts inflict)\n"
                "on long-prompt mixes at a small throughput cost from the\n"
                "extra per-iteration host syncs.\n";
+  if (opts.paged()) {
+    std::cout <<
+        "With --preempt=recompute admission books only the prompt's KV\n"
+        "blocks instead of the whole prefill+decode footprint, so at a\n"
+        "tight --kv-budget-mb the in-flt column rises and decode batches\n"
+        "fill out; the price is the preempt column — evicted requests\n"
+        "re-run their sequence as chunked prefill when the pool runs dry.\n";
+  }
   return 0;
 }

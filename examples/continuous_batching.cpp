@@ -1,20 +1,26 @@
 // Continuous-batching walkthrough: a 12-request burst arrives at a
 // 2-node LoopLynx deployment whose KV budget only fits a handful of
-// requests at once, so the KV-slot manager backpressures admissions and
-// the scheduler interleaves prefill and decode steps across the fleet.
+// requests at once, so the KV manager backpressures admissions and the
+// scheduler interleaves prefill and decode steps across the fleet.
 //
-// With --policy=chunked (or any policy plus --chunk-tokens=N) the
-// scheduler runs on a per-iteration token budget: long prompts split into
-// chunks that co-schedule with running decodes instead of stalling them.
+// With --policy=chunked (plus --chunk-tokens=N) the scheduler runs on a
+// per-iteration token budget: long prompts split into chunks that
+// co-schedule with running decodes instead of stalling them. With
+// --preempt=recompute the KV becomes paged (--kv-block-tokens blocks):
+// admission books only the prompt's blocks, decode blocks grow on demand,
+// and the youngest request is evicted-and-recomputed when the pool runs
+// dry — the same HBM budget then carries visibly more concurrent streams.
 //
 //   ./continuous_batching [--requests=12] [--batch=4] [--rate=12]
 //                         [--policy=prefill|decode|chunked]
 //                         [--chunk-tokens=0] [--seed=7]
+//                         [--preempt=none|recompute] [--kv-block-tokens=1]
 #include <iostream>
 
 #include "core/arch_config.hpp"
 #include "model/config.hpp"
-#include "serve/kv_slot.hpp"
+#include "serve/cli_flags.hpp"
+#include "serve/kv_block.hpp"
 #include "serve/serving_sim.hpp"
 #include "util/cli.hpp"
 #include "workload/mix.hpp"
@@ -22,6 +28,7 @@
 int main(int argc, char** argv) {
   using namespace looplynx;
   const util::Cli cli(argc, argv);
+  const serve::SchedulerCliOptions opts = serve::parse_scheduler_cli(cli);
 
   serve::ServingConfig cfg;
   cfg.arch = core::ArchConfig::two_node();
@@ -34,16 +41,16 @@ int main(int argc, char** argv) {
   cfg.traffic.seed = static_cast<std::uint64_t>(cli.get_int_or("seed", 7));
   cfg.scheduler.max_batch =
       static_cast<std::uint32_t>(cli.get_int_or("batch", 8));
-  cfg.scheduler.policy =
-      serve::parse_batch_policy(cli.get_or("policy", "prefill"));
-  cfg.scheduler.max_tokens_per_iter = static_cast<std::uint32_t>(cli.get_int_or(
-      "chunk-tokens", serve::default_chunk_tokens(cfg.scheduler.policy)));
+  cfg.scheduler.policy = opts.policy;
+  cfg.scheduler.max_tokens_per_iter = opts.chunk_tokens;
+  cfg.scheduler.preempt = opts.preempt;
+  cfg.kv_block_tokens = opts.kv_block_tokens;
   // Shrink the KV budget so roughly 8 average requests fit at once: the
   // scheduler demonstrably interleaves 8+ concurrent streams, while the
   // stragglers beyond that back up in the queue on KV slots — the
   // pressure a production fleet must survive.
   const auto mean_tokens = cfg.traffic.mix.mean_tokens_per_request();
-  serve::KvSlotManager probe(cfg.arch, cfg.model, 1);  // bytes-per-token probe
+  serve::KvBlockManager probe(cfg.arch, cfg.model, 1);  // bytes-per-token probe
   cfg.kv_budget_bytes_per_node = static_cast<std::uint64_t>(
       8.5 * mean_tokens * static_cast<double>(probe.bytes_per_token_per_node()));
 
@@ -64,10 +71,22 @@ int main(int argc, char** argv) {
                "stalled admission "
             << m.kv_stall_events << " time(s) (peak queue depth "
             << m.peak_queue_depth << ").\n";
-  if (m.kv_stall_events == 0) {
+  if (cfg.scheduler.preempt != serve::PreemptPolicy::kNone) {
+    std::cout << "Paged KV (" << m.kv_block_tokens << " tok/block): "
+              << m.preemptions << " preemption(s) recomputed "
+              << m.recompute_tokens << " token(s) of dropped KV.\n";
+  }
+  // Under the default whole-footprint reservation the demo must show
+  // admission stalls; under preempt=recompute admission is deliberately
+  // easier, so block-pool pressure may surface as preemptions instead.
+  const bool pressured =
+      m.kv_stall_events > 0 ||
+      (cfg.scheduler.preempt != serve::PreemptPolicy::kNone &&
+       m.preemptions > 0);
+  if (!pressured) {
     std::cout << "(increase --rate or --requests to exercise backpressure)\n";
   }
   const bool ok = m.completed == m.offered - m.rejected &&
-                  m.peak_in_flight >= 8 && m.kv_stall_events > 0;
+                  m.peak_in_flight >= 8 && pressured;
   return ok ? 0 : 1;
 }

@@ -56,6 +56,18 @@ class StepCostModel {
     return prefix_.at(start + tokens) - prefix_.at(start);
   }
 
+  /// Pipeline cycles to rebuild a preempted request's KV from scratch: the
+  /// prompt plus every decode token it had produced, re-run as one prefill
+  /// over positions [0, kv_len). Identical to prefill_cycles(kv_len) —
+  /// recompute-style preemption (serve::PreemptPolicy::kRecomputeYoungest)
+  /// re-pays this through chunked prefill when the victim is rescheduled,
+  /// and the fleet metrics use it to price the work a preemption throws
+  /// away. The extra per-chunk iteration overhead + host sync is charged
+  /// by the scheduler, not here.
+  sim::Cycles recompute_cycles(std::uint32_t kv_len) const {
+    return prefill_cycles(kv_len);
+  }
+
   /// PCIe turnaround the host pays once per scheduler iteration (the cost
   /// continuous batching amortizes across the batch).
   sim::Cycles host_sync_cycles() const { return arch_.host_sync_cycles; }

@@ -113,6 +113,7 @@ std::vector<ServeResult> Host::flush(
     out.total_ms = out.prefill_ms + out.decode_ms;
     out.prefill_chunks = rec.prefill_chunks;
     out.max_token_gap_ms = rec.max_token_gap_ms;
+    out.preemptions = rec.preemptions;
     if (rec.decode_tokens > 0 && out.decode_ms > 0) {
       out.decode_tokens_per_s =
           1e3 * static_cast<double>(rec.decode_tokens) / out.decode_ms;

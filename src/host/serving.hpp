@@ -6,8 +6,8 @@
 // *timing* comes from the serve-layer engine. The host no longer owns a
 // private timing loop — it submits realized request shapes into the
 // continuous-batching serve::ServingSim (DESIGN.md §4), so a batch of
-// submitted requests shares the fleet's scheduler, KV-slot accounting and
-// host-sync amortization exactly like open traffic would.
+// submitted requests shares the fleet's scheduler, paged KV-block
+// accounting and host-sync amortization exactly like open traffic would.
 //
 // Two usage patterns:
 //   serve(req)              — one request, generation + timing, blocking.
@@ -57,6 +57,10 @@ struct ServeResult {
   /// Worst gap between consecutive streamed tokens — the jitter chunked
   /// prefill bounds when other requests' prompts land mid-generation.
   double max_token_gap_ms = 0;
+  /// Times the fleet preempted this request under
+  /// serve::PreemptPolicy::kRecomputeYoungest (KV dropped, sequence
+  /// re-prefilled before decoding resumed); 0 under the default policy.
+  std::uint32_t preemptions = 0;
   /// True when fleet admission control shed this request: the generation
   /// above is still valid, but every timing field is zero/meaningless.
   bool rejected = false;

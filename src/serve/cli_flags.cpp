@@ -1,0 +1,39 @@
+#include "serve/cli_flags.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace looplynx::serve {
+
+SchedulerCliOptions parse_scheduler_cli(const util::Cli& cli,
+                                        const std::string& default_policy) {
+  SchedulerCliOptions opts;
+  opts.policy = parse_batch_policy(cli.get_or("policy", default_policy));
+
+  const long long chunk = cli.get_int_or(
+      "chunk-tokens", default_chunk_tokens(opts.policy));
+  if (chunk < 0) {
+    throw std::invalid_argument("--chunk-tokens must be >= 0");
+  }
+  if (chunk > 0 && opts.policy != BatchPolicy::kChunkedMixed) {
+    throw std::invalid_argument(
+        "--chunk-tokens=" + std::to_string(chunk) +
+        " requires --policy=chunked: the whole-prompt policies never split "
+        "prompts, so a token budget would silently degrade into a "
+        "batch-member cap");
+  }
+  opts.chunk_tokens = static_cast<std::uint32_t>(chunk);
+
+  opts.preempt = parse_preempt_policy(cli.get_or("preempt", "none"));
+
+  const long long block_tokens = cli.get_int_or("kv-block-tokens", 1);
+  if (block_tokens < 1) {
+    throw std::invalid_argument(
+        "--kv-block-tokens must be >= 1 (1 = token-granular accounting, "
+        "bit-identical to the pre-paging whole-footprint reservation)");
+  }
+  opts.kv_block_tokens = static_cast<std::uint32_t>(block_tokens);
+  return opts;
+}
+
+}  // namespace looplynx::serve

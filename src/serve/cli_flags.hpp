@@ -1,0 +1,40 @@
+// Shared parsing + cross-validation of the scheduler/KV command-line flags
+// (--policy, --chunk-tokens, --preempt, --kv-block-tokens) for the CLI
+// surfaces (bench/serve_load, examples/continuous_batching), so the two
+// binaries' flag semantics cannot drift and invalid combinations are
+// rejected loudly instead of silently doing something else.
+#pragma once
+
+#include "serve/scheduler.hpp"
+#include "util/cli.hpp"
+
+namespace looplynx::serve {
+
+struct SchedulerCliOptions {
+  BatchPolicy policy = BatchPolicy::kPrefillPriority;
+  /// Per-iteration token budget (SchedulerConfig::max_tokens_per_iter).
+  std::uint32_t chunk_tokens = 0;
+  PreemptPolicy preempt = PreemptPolicy::kNone;
+  /// KvBlockManager paging granularity (1 = token-granular legacy).
+  std::uint32_t kv_block_tokens = 1;
+
+  /// True when the run departs from the legacy whole-footprint accounting
+  /// — the CLI surfaces add paging/preemption columns and summary lines
+  /// only then, so default sweeps stay byte-identical to older output.
+  bool paged() const {
+    return preempt != PreemptPolicy::kNone || kv_block_tokens != 1;
+  }
+};
+
+/// Parses --policy/--chunk-tokens/--preempt/--kv-block-tokens with
+/// per-policy defaults (default_chunk_tokens) and cross-validates:
+///  - an explicit --chunk-tokens > 0 requires --policy=chunked (the
+///    whole-prompt policies never split prompts, so a budget would
+///    silently degrade into a batch-member cap);
+///  - --kv-block-tokens must be >= 1 (1 = token-granular).
+/// Throws std::invalid_argument with an actionable message on violation.
+SchedulerCliOptions parse_scheduler_cli(const util::Cli& cli,
+                                        const std::string& default_policy =
+                                            "prefill");
+
+}  // namespace looplynx::serve

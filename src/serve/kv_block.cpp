@@ -1,0 +1,73 @@
+#include "serve/kv_block.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace looplynx::serve {
+
+namespace {
+/// HBM2 pseudo-channel capacity on the Alveo U50 (8 GiB / 32 channels).
+constexpr std::uint64_t kBytesPerPseudoChannel = 256ULL << 20;
+}  // namespace
+
+KvBlockManager::KvBlockManager(const core::ArchConfig& arch,
+                               const model::ModelConfig& model,
+                               std::uint64_t budget_bytes_per_node,
+                               std::uint32_t block_tokens)
+    : block_tokens_(block_tokens) {
+  if (block_tokens_ == 0) {
+    throw std::invalid_argument(
+        "kv block_tokens must be >= 1 (1 = token-granular)");
+  }
+  const std::uint32_t heads_per_node =
+      std::max<std::uint32_t>(1, model.n_head / arch.num_nodes);
+  // K and V, int8, every layer, this node's heads.
+  bytes_per_token_ = 2ULL * model.n_layer * heads_per_node * model.head_dim();
+  const std::uint64_t budget =
+      budget_bytes_per_node != 0
+          ? budget_bytes_per_node
+          : static_cast<std::uint64_t>(arch.kv_channels) *
+                kBytesPerPseudoChannel;
+  const std::uint64_t budget_tokens =
+      std::min<std::uint64_t>(budget / bytes_per_token_, UINT32_MAX);
+  capacity_blocks_ =
+      static_cast<std::uint32_t>(budget_tokens / block_tokens_);
+}
+
+bool KvBlockManager::try_grow(KvBlockList& list, std::uint32_t tokens) {
+  const std::uint32_t want = blocks_for(tokens);
+  if (want > list.blocks) {
+    const std::uint32_t add = want - list.blocks;
+    if (add > free_blocks()) {
+      ++stall_events_;
+      return false;
+    }
+    used_blocks_ += add;
+    list.blocks = want;
+    peak_used_blocks_ = std::max(peak_used_blocks_, used_blocks_);
+  }
+  if (tokens > list.committed_tokens) {
+    live_tokens_ += tokens - list.committed_tokens;
+    list.committed_tokens = tokens;
+  }
+  peak_frag_tokens_ = std::max(peak_frag_tokens_, frag_tokens());
+  return true;
+}
+
+void KvBlockManager::release_all(KvBlockList& list) {
+  // Releasing blocks the manager never handed out would underflow
+  // used_blocks_ and make free_blocks() wrap to ~4 billion, silently
+  // disabling admission backpressure. Clamp and count the event so the
+  // accounting bug is observable instead of corrupting the fleet.
+  std::uint32_t blocks = list.blocks;
+  if (blocks > used_blocks_) {
+    ++over_release_events_;
+    blocks = used_blocks_;
+  }
+  used_blocks_ -= blocks;
+  live_tokens_ -=
+      std::min<std::uint64_t>(list.committed_tokens, live_tokens_);
+  list = KvBlockList{};
+}
+
+}  // namespace looplynx::serve

@@ -1,0 +1,123 @@
+// Paged KV-cache accounting for the serving fleet.
+//
+// Capacity is split into fixed-size token blocks (the vLLM paging model
+// mapped onto the HBM pseudo-channels the architecture dedicates to the KV
+// cache: arch.kv_channels x 256 MiB per node on the Alveo U50, int8
+// per-token footprint from model::KvCacheT's layout). Each request owns a
+// grown-on-demand KvBlockList instead of an up-front whole-footprint
+// reservation: admission only needs the prompt's blocks, and decode blocks
+// are allocated as tokens are emitted. When a grow finds no free block the
+// caller decides what gives — the scheduler either leaves the request
+// queued (admission backpressure) or preempts a victim
+// (serve::PreemptPolicy::kRecomputeYoungest frees the victim's list and
+// re-runs its KV as chunked prefill).
+//
+// block_tokens == 1 makes the accounting token-granular — bit-identical to
+// the pre-paging whole-footprint KvSlotManager when combined with
+// PreemptPolicy::kNone, which is why it is the default everywhere a sweep
+// must stay byte-reproducible against older output.
+#pragma once
+
+#include <cstdint>
+
+#include "core/arch_config.hpp"
+#include "model/config.hpp"
+
+namespace looplynx::serve {
+
+/// One request's block holdings. `blocks` is how many fixed-size blocks the
+/// manager has handed this request; `committed_tokens` is the high-water
+/// token count the caller asked those blocks to cover — the gap between
+/// `blocks * block_tokens` and `committed_tokens` is internal
+/// fragmentation. Plain data so unit tests (and the Request struct) can own
+/// one without any engine plumbing.
+struct KvBlockList {
+  std::uint32_t blocks = 0;
+  std::uint32_t committed_tokens = 0;
+};
+
+class KvBlockManager {
+ public:
+  /// `budget_bytes_per_node` == 0 selects the architecture default:
+  /// kv_channels x 256 MiB of HBM per node. `block_tokens` is the paging
+  /// granularity; 1 == token-granular (exact legacy accounting).
+  KvBlockManager(const core::ArchConfig& arch, const model::ModelConfig& model,
+                 std::uint64_t budget_bytes_per_node = 0,
+                 std::uint32_t block_tokens = 1);
+
+  /// K + V bytes one token occupies on one node (int8, the node's share of
+  /// the heads).
+  std::uint64_t bytes_per_token_per_node() const { return bytes_per_token_; }
+
+  std::uint32_t block_tokens() const { return block_tokens_; }
+  std::uint32_t capacity_blocks() const { return capacity_blocks_; }
+  /// Block-rounded token capacity (per node — the head-wise partition makes
+  /// every node's occupancy identical).
+  std::uint32_t capacity_tokens() const {
+    return capacity_blocks_ * block_tokens_;
+  }
+  std::uint32_t used_blocks() const { return used_blocks_; }
+  std::uint32_t free_blocks() const { return capacity_blocks_ - used_blocks_; }
+
+  /// Blocks needed to cover `tokens` KV entries (ceiling division).
+  std::uint32_t blocks_for(std::uint32_t tokens) const {
+    return (tokens + block_tokens_ - 1) / block_tokens_;
+  }
+
+  /// A request whose lifetime footprint needs more blocks than exist can
+  /// never run — callers must reject it instead of retrying (or
+  /// preempting: evicting the whole fleet would still not make room).
+  bool can_ever_fit(std::uint32_t tokens) const {
+    return blocks_for(tokens) <= capacity_blocks_;
+  }
+
+  /// Grows `list` until it covers `tokens` KV entries. False (and a
+  /// recorded stall) when the free pool runs short; the list is untouched
+  /// on failure. Shrinking is not supported — a request's KV only grows
+  /// until release_all.
+  bool try_grow(KvBlockList& list, std::uint32_t tokens);
+
+  /// Returns every block in `list` to the free pool (request completion or
+  /// preemption) and resets the list. Releasing more blocks than the
+  /// manager has outstanding is clamped (never underflows used_blocks_)
+  /// and counted in over_release_events() — it always indicates a caller
+  /// bug (a tampered or double-released list).
+  void release_all(KvBlockList& list);
+
+  // ---- Statistics for FleetMetrics ----
+  std::uint32_t peak_used_blocks() const { return peak_used_blocks_; }
+  std::uint64_t stall_events() const { return stall_events_; }
+  std::uint64_t over_release_events() const { return over_release_events_; }
+  /// Tokens the outstanding lists were asked to cover (KV actually live).
+  std::uint64_t live_tokens() const { return live_tokens_; }
+  /// Internal fragmentation right now: allocated-but-uncommitted tokens in
+  /// the tail blocks of every outstanding list.
+  std::uint64_t frag_tokens() const {
+    return static_cast<std::uint64_t>(used_blocks_) * block_tokens_ -
+           live_tokens_;
+  }
+  std::uint64_t peak_frag_tokens() const { return peak_frag_tokens_; }
+  double occupancy() const {
+    return capacity_blocks_ == 0
+               ? 0.0
+               : static_cast<double>(used_blocks_) / capacity_blocks_;
+  }
+  double peak_occupancy() const {
+    return capacity_blocks_ == 0
+               ? 0.0
+               : static_cast<double>(peak_used_blocks_) / capacity_blocks_;
+  }
+
+ private:
+  std::uint64_t bytes_per_token_ = 0;
+  std::uint32_t block_tokens_ = 1;
+  std::uint32_t capacity_blocks_ = 0;
+  std::uint32_t used_blocks_ = 0;
+  std::uint32_t peak_used_blocks_ = 0;
+  std::uint64_t live_tokens_ = 0;
+  std::uint64_t peak_frag_tokens_ = 0;
+  std::uint64_t stall_events_ = 0;
+  std::uint64_t over_release_events_ = 0;
+};
+
+}  // namespace looplynx::serve

@@ -46,6 +46,23 @@ util::Table FleetMetrics::to_table(const std::string& title) const {
              util::fmt_percent(kv_peak_occupancy, 1) + " (" +
                  util::fmt_int(static_cast<long long>(kv_stall_events)) +
                  " stalls)"});
+  // Paging rows only when the fleet actually ran paged/preemptive KV, so
+  // default (preempt none, token-granular) reports stay byte-identical to
+  // the pre-paging output.
+  if (preempt != PreemptPolicy::kNone || kv_block_tokens > 1) {
+    t.add_row({"KV paging",
+               util::fmt_int(kv_block_tokens) + " tok/block, peak " +
+                   util::fmt_int(kv_peak_used_blocks) + "/" +
+                   util::fmt_int(kv_capacity_blocks) + " blocks, frag peak " +
+                   util::fmt_int(static_cast<long long>(kv_peak_frag_tokens)) +
+                   " tok"});
+    t.add_row({"preempt (" + std::string(preempt_policy_name(preempt)) + ")",
+               util::fmt_int(static_cast<long long>(preemptions)) +
+                   " eviction(s), " +
+                   util::fmt_int(static_cast<long long>(recompute_tokens)) +
+                   " tok recomputed, " + util::fmt_fixed(recompute_ms, 1) +
+                   " ms"});
+  }
   if (kv_over_release_events > 0) {
     // Loud only when broken: a clamped over-release is an accounting bug.
     t.add_row({"KV over-releases (BUG)",

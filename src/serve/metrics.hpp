@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "serve/preempt.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -21,6 +22,9 @@ struct RequestRecord {
   std::uint32_t decode_tokens = 0;
   /// Scheduler iterations the prompt took (1 == unchunked prefill).
   std::uint32_t prefill_chunks = 0;
+  /// Times the scheduler preempted this request (KV blocks dropped and the
+  /// sequence re-run as prefill); 0 under PreemptPolicy::kNone.
+  std::uint32_t preemptions = 0;
   bool rejected = false;
   double queue_wait_ms = 0;
   double ttft_ms = 0;  // arrival -> prefill egress
@@ -80,11 +84,28 @@ struct FleetMetrics {
   std::uint32_t peak_in_flight = 0;  // most requests admitted at once
   std::size_t peak_queue_depth = 0;
   double busy_fraction = 0;       // pipeline-occupied cycles / makespan
-  double kv_peak_occupancy = 0;   // peak KV slots used / capacity
-  std::uint64_t kv_stall_events = 0;  // admissions deferred by KV pressure
+  double kv_peak_occupancy = 0;   // peak KV blocks used / capacity
+  /// KV allocations deferred by block pressure: admission attempts under
+  /// both policies, plus on-demand decode/prefill grows under
+  /// kRecomputeYoungest (each dry grow that triggers a preemption counts).
+  std::uint64_t kv_stall_events = 0;
   /// Clamped KV over-releases — always a scheduler/accounting bug; 0 on a
-  /// healthy fleet (the slot manager clamps instead of wrapping).
+  /// healthy fleet (the block manager clamps instead of wrapping).
   std::uint64_t kv_over_release_events = 0;
+
+  // ---- Paged KV + preemption (PreemptPolicy::kRecomputeYoungest) ----
+  PreemptPolicy preempt = PreemptPolicy::kNone;
+  std::uint32_t kv_block_tokens = 1;   // paging granularity this fleet ran
+  std::uint32_t kv_capacity_blocks = 0;
+  std::uint32_t kv_peak_used_blocks = 0;
+  /// Peak internal fragmentation: allocated-but-uncommitted tokens in the
+  /// tail block of every outstanding request (always 0 at block size 1).
+  std::uint64_t kv_peak_frag_tokens = 0;
+  std::uint64_t preemptions = 0;       // scheduler-driven KV evictions
+  /// KV tokens dropped by preemptions — each re-runs as prefill work.
+  std::uint64_t recompute_tokens = 0;
+  /// Pipeline time those drops re-pay (StepCostModel::recompute_cycles).
+  double recompute_ms = 0;
 
   /// Per-request outcomes; empty unless requested via the ServingConfig.
   std::vector<RequestRecord> requests;

@@ -6,11 +6,19 @@
 // admission control drops it. The request's root process (ServingSim) parks
 // on `grant`; every grant is one scheduler iteration turn, and `latch` is
 // that iteration's batch barrier.
+//
+// Preemption (PreemptPolicy::kRecomputeYoungest) keeps the request Running
+// but frees its KV block list and folds the decode tokens it had produced
+// back into the prefill phase: `recompute_decoded` extends the prefill
+// target so chunked prefill re-runs positions [0, prefill + decoded) —
+// rebuilding the dropped KV — before decoding resumes. Tokens the host
+// already saw are never re-emitted.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 
+#include "serve/kv_block.hpp"
 #include "sim/engine.hpp"
 #include "sim/sync.hpp"
 #include "workload/scenario.hpp"
@@ -18,7 +26,7 @@
 namespace looplynx::serve {
 
 enum class RequestState : std::uint8_t {
-  kQueued,    // waiting for admission (KV slots + in-flight budget)
+  kQueued,    // waiting for admission (KV blocks + in-flight budget)
   kRunning,   // admitted; participates in scheduler iterations
   kFinished,  // all decode tokens produced
   kRejected,  // dropped by admission control (queue full / oversized)
@@ -45,18 +53,38 @@ struct Request {
 
   // ---- Progress ----
   std::uint32_t prompt_done = 0;   // prefill cursor: prompt tokens processed
-  std::uint32_t decoded = 0;       // decode steps completed
+  std::uint32_t decoded = 0;       // decode steps completed (host-visible)
   std::uint32_t prefill_chunks = 0;  // prefill steps taken (1 == unchunked)
-  std::uint32_t kv_tokens = 0;     // slots reserved at admission
+  KvBlockList kv;                  // grown-on-demand KV block holdings
 
-  /// True once the whole prompt has been pushed (possibly across several
-  /// chunked-prefill iterations); only then does the request decode.
-  bool prefilled() const { return prompt_done >= shape.prefill; }
+  // ---- Preemption / recompute ----
+  /// Decode tokens folded back into the prefill phase by the last
+  /// preemption: their KV was dropped, so the prefill target stretches to
+  /// shape.prefill + recompute_decoded and chunked prefill rebuilds it.
+  std::uint32_t recompute_decoded = 0;
+  std::uint32_t preempt_count = 0;  // times this request was preempted
+  bool recovering = false;  // preempted and not yet re-prefilled
+
+  /// Prompt tokens the prefill phase must push before decoding (re)starts:
+  /// the prompt itself plus any decode KV a preemption dropped.
+  std::uint32_t prefill_target() const {
+    return shape.prefill + recompute_decoded;
+  }
+  /// True once the whole prefill target has been pushed (possibly across
+  /// several chunked-prefill iterations); only then does the request
+  /// decode.
+  bool prefilled() const { return prompt_done >= prefill_target(); }
   /// Prompt tokens still to push — what the scheduler chunks.
-  std::uint32_t prompt_remaining() const { return shape.prefill - prompt_done; }
+  std::uint32_t prompt_remaining() const {
+    return prefill_target() - prompt_done;
+  }
 
   /// KV length already cached; a continuation chunk resumes from here.
-  std::uint32_t kv_len() const { return prompt_done + decoded; }
+  /// During a post-preemption re-prefill the already-emitted decode tokens
+  /// are part of `prompt_done`, not double-counted via `decoded`.
+  std::uint32_t kv_len() const {
+    return prompt_done + decoded - recompute_decoded;
+  }
   bool finished() const { return prefilled() && decoded >= shape.decode; }
 
   // ---- Per-iteration slot, filled by the scheduler before grant.set() ----

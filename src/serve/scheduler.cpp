@@ -26,6 +26,23 @@ const char* batch_policy_name(BatchPolicy policy) {
   return "unknown";
 }
 
+PreemptPolicy parse_preempt_policy(const std::string& name) {
+  if (name == "none") return PreemptPolicy::kNone;
+  if (name == "recompute") return PreemptPolicy::kRecomputeYoungest;
+  throw std::invalid_argument("unknown preempt policy \"" + name +
+                              "\" (expected none|recompute)");
+}
+
+const char* preempt_policy_name(PreemptPolicy policy) {
+  switch (policy) {
+    case PreemptPolicy::kNone:
+      return "none";
+    case PreemptPolicy::kRecomputeYoungest:
+      return "recompute-youngest";
+  }
+  return "unknown";
+}
+
 std::vector<ScheduledStep> Scheduler::select(
     std::vector<Request*>& runnable) const {
   std::vector<ScheduledStep> batch;

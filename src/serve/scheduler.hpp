@@ -26,16 +26,16 @@
 //    before the next starts (chunks do not round-robin across prompts).
 //    Requires a nonzero max_tokens_per_iter to actually chunk; with
 //    budget 0 it degenerates to decode-priority with whole prompts. Like
-//    decode
-//    priority it trades TTFT for smooth inter-token latency: when running
-//    decode streams fill max_batch or the budget, waiting prompts stall,
-//    so size max_batch above the expected concurrent-stream count.
+//    decode priority it trades TTFT for smooth inter-token latency: when
+//    running decode streams fill max_batch or the budget, waiting prompts
+//    stall, so size max_batch above the expected concurrent-stream count.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "serve/preempt.hpp"
 #include "serve/request.hpp"
 #include "sim/engine.hpp"
 
@@ -73,6 +73,11 @@ struct SchedulerConfig {
   std::uint32_t max_in_flight = 64; // admitted requests resident at once
   std::uint32_t queue_capacity = 256;  // admission queue bound (shedding)
   BatchPolicy policy = BatchPolicy::kPrefillPriority;
+  /// KV pressure response: kNone = whole-footprint reservation at
+  /// admission (no mid-flight eviction, the conservative default);
+  /// kRecomputeYoungest = prompt-only admission with scheduler-driven
+  /// preempt-and-recompute when decode growth drains the block pool.
+  PreemptPolicy preempt = PreemptPolicy::kNone;
   /// Host-side batch assembly cost added to every iteration, on top of the
   /// per-stage scheduler overhead already inside the node model.
   sim::Cycles iteration_overhead_cycles = 0;

@@ -5,7 +5,7 @@
 #include <stdexcept>
 #include <vector>
 
-#include "serve/kv_slot.hpp"
+#include "serve/kv_block.hpp"
 #include "serve/queue.hpp"
 #include "serve/request.hpp"
 #include "sim/task.hpp"
@@ -22,7 +22,8 @@ struct Fleet {
       : cfg(cfg_),
         costs(costs_),
         queue(cfg_.scheduler.queue_capacity),
-        kv(cfg_.arch, cfg_.model, cfg_.kv_budget_bytes_per_node),
+        kv(cfg_.arch, cfg_.model, cfg_.kv_budget_bytes_per_node,
+           cfg_.kv_block_tokens),
         sched(cfg_.scheduler),
         traffic(cfg_.traffic, cfg_.arch.frequency_hz),
         work(engine) {}
@@ -31,10 +32,14 @@ struct Fleet {
   const core::StepCostModel& costs;
   sim::Engine engine;
   RequestQueue queue;
-  KvSlotManager kv;
+  KvBlockManager kv;
   Scheduler sched;
   TrafficGen traffic;
   sim::Signal work;  // arrivals and completions nudge the scheduler
+
+  bool paged_admission() const {
+    return cfg.scheduler.preempt == PreemptPolicy::kRecomputeYoungest;
+  }
 
   std::vector<std::unique_ptr<Request>> requests;
   std::vector<Request*> runnable;  // admitted, awaiting an iteration turn
@@ -53,6 +58,10 @@ struct Fleet {
   std::uint64_t chunked_prompts = 0;
   std::uint64_t decode_stall_iterations = 0;
   sim::Cycles decode_stall_cycles = 0;
+  std::uint64_t preemptions = 0;
+  std::uint64_t recompute_tokens = 0;     // KV dropped -> re-run as prefill
+  sim::Cycles recompute_cycles = 0;       // pipeline cost of those re-runs
+  std::uint32_t recovering = 0;  // preempted requests not yet re-prefilled
 
   // ---- Latency samples (ms, one per completed request) ----
   std::vector<double> ttft_ms, token_ms, e2e_ms, queue_wait_ms;
@@ -76,7 +85,7 @@ struct Fleet {
   void record_completion(Request& r) {
     r.state = RequestState::kFinished;
     r.completed = engine.now();
-    kv.release(r.kv_tokens);
+    kv.release_all(r.kv);
     --active;
     ++completed;
     decode_tokens += r.decoded;
@@ -128,12 +137,21 @@ sim::Task request_proc(Fleet& f, Request& r) {
       r.prompt_done += r.step_tokens;
       ++r.prefill_chunks;
       f.total_tokens += r.step_tokens;
+      if (r.recovering && r.prefilled()) {
+        // Post-preemption recompute done: the dropped KV is rebuilt and
+        // admission of new competitors may resume.
+        r.recovering = false;
+        --f.recovering;
+      }
     } else {
       ++r.decoded;
     }
     // The token reaches the host only at batch egress + PCIe sync.
     co_await f.engine.delay(r.post_step_cycles);
-    if (r.prefilled()) {
+    // A decode step always emits a token. A final prefill chunk emits
+    // token #1 — unless this was a post-preemption re-prefill of tokens
+    // the host has already seen (emitted_token), which only rebuilds KV.
+    if (r.step_tokens == 0 || (r.prefilled() && !r.emitted_token)) {
       const sim::Cycles now = f.engine.now();
       if (r.decoded == 0) r.first_token = now;
       if (r.emitted_token) {
@@ -178,7 +196,10 @@ sim::Task client_proc(Fleet& f) {
 
 /// Admits queued requests in FIFO order while the KV manager and the
 /// in-flight budget have room. A head request that can never fit is
-/// rejected so it cannot wedge the queue.
+/// rejected so it cannot wedge the queue. Under PreemptPolicy::kNone the
+/// whole lifetime footprint (prefill + decode) is reserved up front — no
+/// mid-flight eviction can ever be needed; under kRecomputeYoungest only
+/// the prompt's blocks gate admission and decode blocks grow on demand.
 void admit_from_queue(Fleet& f) {
   while (!f.queue.empty() && f.active < f.cfg.scheduler.max_in_flight) {
     Request* r = f.queue.front();
@@ -188,9 +209,10 @@ void admit_from_queue(Fleet& f) {
       r->grant.set();  // resumes the root process, which records the drop
       continue;
     }
-    if (!f.kv.try_reserve(r->shape.total())) break;  // KV backpressure
+    const std::uint32_t admit_tokens =
+        f.paged_admission() ? r->shape.prefill : r->shape.total();
+    if (!f.kv.try_grow(r->kv, admit_tokens)) break;  // KV backpressure
     f.queue.pop();
-    r->kv_tokens = r->shape.total();
     r->admitted = f.engine.now();
     r->state = RequestState::kRunning;
     ++f.active;
@@ -199,12 +221,154 @@ void admit_from_queue(Fleet& f) {
   }
 }
 
+/// Evicts `v`'s KV (recompute-style): every block goes back to the pool
+/// and the decode tokens it had produced fold into the prefill target, so
+/// chunked prefill re-runs [0, prompt + decoded) when `v` is next
+/// scheduled. Tokens the host already saw are not re-emitted.
+void preempt_victim(Fleet& f, Request& v) {
+  const std::uint32_t dropped = v.kv_len();
+  f.kv.release_all(v.kv);
+  ++f.preemptions;
+  ++v.preempt_count;
+  f.recompute_tokens += dropped;
+  f.recompute_cycles += f.costs.recompute_cycles(dropped);
+  v.recompute_decoded = v.decoded;
+  v.prompt_done = 0;
+  if (!v.recovering) {
+    v.recovering = true;
+    ++f.recovering;
+  }
+}
+
+/// KV tokens a step must have covered before it runs: a decode appends one
+/// token at kv_len, a prefill chunk its token count at the cursor.
+std::uint32_t step_need(const ScheduledStep& s) {
+  return s.is_prefill() ? s.request->prompt_done + s.prompt_tokens
+                        : s.request->kv_len() + 1;
+}
+
+/// Youngest (highest-id) block holder in `pool` strictly younger than
+/// `than_id`. Seeds from and returns `best` so scans over several pools
+/// compose.
+Request* youngest_holder(const std::vector<Request*>& pool,
+                         std::uint32_t than_id, Request* best) {
+  for (Request* c : pool) {
+    if (c->kv.blocks > 0 && c->id > than_id &&
+        (best == nullptr || c->id > best->id)) {
+      best = c;
+    }
+  }
+  return best;
+}
+
+/// Grants every batch member the KV blocks its step writes into. Only
+/// *decode* growth may preempt: a dry decode evicts the youngest
+/// block-holding victim that is *strictly younger* (higher id) than
+/// itself, taken from the runnable pool, the already-deferred requests
+/// (they keep their blocks while sitting out), or not-yet-secured later
+/// batch members — never from members already secured this iteration.
+/// Prefill steps (which under paged admission only ever need growth when
+/// rebuilding a preempted request's KV) wait for blocks freed by
+/// completions instead: if re-prefills could evict, every eviction would
+/// mint a new re-prefill that evicts in turn, and the fleet would grind
+/// prefill-on-prefill forever without decoding (a livelock the
+/// prefill-priority policy hits immediately). With eviction age-ordered
+/// and decode-only, the oldest unfinished request can never lose work and
+/// always drains to completion — recompute counts stay bounded by
+/// construction. Members that cannot be satisfied land in `deferred` (NOT
+/// back in runnable) so the caller can re-select schedulable work this
+/// iteration without re-picking them.
+void ensure_kv_blocks(Fleet& f, std::vector<ScheduledStep>& batch,
+                      std::vector<Request*>& deferred) {
+  for (std::size_t i = 0; i < batch.size();) {
+    Request* r = batch[i].request;
+    const bool is_prefill = batch[i].is_prefill();
+    const std::uint32_t need = step_need(batch[i]);
+    bool secured = true;
+    while (!f.kv.try_grow(r->kv, need)) {
+      Request* victim = nullptr;
+      std::size_t victim_pos = batch.size();
+      if (!is_prefill) {
+        victim = youngest_holder(f.runnable, r->id,
+                                 youngest_holder(deferred, r->id, nullptr));
+        for (std::size_t j = i + 1; j < batch.size(); ++j) {
+          Request* c = batch[j].request;
+          if (c->kv.blocks > 0 && c->id > r->id &&
+              (victim == nullptr || c->id > victim->id)) {
+            victim = c;
+            victim_pos = j;
+          }
+        }
+      }
+      if (victim == nullptr) {
+        // Every block is pinned by older or already-secured requests;
+        // they keep progressing and release at completion, so r just
+        // sits this iteration out.
+        deferred.push_back(r);
+        batch.erase(batch.begin() + i);
+        secured = false;
+        break;
+      }
+      preempt_victim(f, *victim);
+      if (victim_pos < batch.size()) {
+        batch.erase(batch.begin() + victim_pos);
+        f.runnable.push_back(victim);
+      }
+    }
+    if (secured) ++i;
+  }
+}
+
 /// The continuous-batching loop: admit, select a batch, let the members
 /// stream through the pipeline back to back, pay host sync once, repeat.
 sim::Task scheduler_proc(Fleet& f) {
   while (true) {
-    admit_from_queue(f);
+    // While a preempted request is still rebuilding its KV, hold new
+    // admissions: a newcomer would compete for the very blocks the victim
+    // needs back, and (being youngest) immediately become the next victim
+    // — admission-pause is what keeps recompute counts bounded.
+    if (f.recovering == 0) admit_from_queue(f);
     std::vector<ScheduledStep> batch = f.sched.select(f.runnable);
+    if (f.paged_admission()) {
+      // Deferred members sit out this iteration; re-select until the
+      // batch has schedulable work or runnable is exhausted (each pass
+      // moves at least one request to deferred, so this terminates). A
+      // block-starved re-prefill must not shadow runnable decodes — the
+      // decodes are what free the blocks it is waiting for.
+      std::vector<Request*> deferred;
+      ensure_kv_blocks(f, batch, deferred);
+      while (batch.empty() && !f.runnable.empty()) {
+        batch = f.sched.select(f.runnable);
+        ensure_kv_blocks(f, batch, deferred);
+      }
+      f.runnable.insert(f.runnable.end(), deferred.begin(), deferred.end());
+      if (batch.empty() && !f.runnable.empty()) {
+        // Everything runnable is block-starved prefill: every block is
+        // parked on half-rebuilt prompts and no decode exists to evict or
+        // finish. Grant the oldest waiter eviction rights regardless of
+        // step kind or age — it drains to completion and unwedges the
+        // fleet (this cannot cascade: it fires only when nothing else is
+        // schedulable, and always advances the oldest request).
+        Request* oldest = f.runnable.front();
+        for (Request* c : f.runnable) {
+          if (c->id < oldest->id) oldest = c;
+        }
+        std::vector<Request*> lone{oldest};
+        batch = f.sched.select(lone);
+        const std::uint32_t need = step_need(batch.front());
+        while (!f.kv.try_grow(oldest->kv, need)) {
+          // Everyone else in runnable is strictly younger than oldest, so
+          // the age-ordered scan doubles as an "anyone but me" scan here.
+          Request* victim = youngest_holder(f.runnable, oldest->id, nullptr);
+          // A missing victim would mean oldest is the sole block holder,
+          // but then its grow would have succeeded (admission checked
+          // can_ever_fit on the whole footprint).
+          if (victim == nullptr) break;
+          preempt_victim(f, *victim);
+        }
+        std::erase(f.runnable, oldest);
+      }
+    }
     if (batch.empty()) {
       if (f.arrivals_done() && f.queue.empty() && f.runnable.empty()) break;
       co_await f.work.wait();
@@ -319,6 +483,10 @@ ServingSim::ServingSim(const ServingConfig& config, core::StepCostModel costs)
   if (config_.scheduler.max_in_flight == 0) {
     throw std::invalid_argument("scheduler max_in_flight must be >= 1");
   }
+  if (config_.kv_block_tokens == 0) {
+    throw std::invalid_argument(
+        "kv_block_tokens must be >= 1 (1 = token-granular)");
+  }
   if (!config_.traffic.explicit_arrivals.empty()) {
     config_.traffic.num_requests = static_cast<std::uint32_t>(
         config_.traffic.explicit_arrivals.size());
@@ -375,6 +543,14 @@ FleetMetrics ServingSim::run() const {
   m.kv_peak_occupancy = fleet.kv.peak_occupancy();
   m.kv_stall_events = fleet.kv.stall_events();
   m.kv_over_release_events = fleet.kv.over_release_events();
+  m.preempt = config_.scheduler.preempt;
+  m.kv_block_tokens = fleet.kv.block_tokens();
+  m.kv_capacity_blocks = fleet.kv.capacity_blocks();
+  m.kv_peak_used_blocks = fleet.kv.peak_used_blocks();
+  m.kv_peak_frag_tokens = fleet.kv.peak_frag_tokens();
+  m.preemptions = fleet.preemptions;
+  m.recompute_tokens = fleet.recompute_tokens;
+  m.recompute_ms = config_.arch.cycles_to_ms(fleet.recompute_cycles);
   if (config_.keep_request_records) {
     m.requests.reserve(fleet.requests.size());
     for (const auto& r : fleet.requests) {
@@ -383,6 +559,7 @@ FleetMetrics ServingSim::run() const {
       rec.prefill_tokens = r->shape.prefill;
       rec.decode_tokens = r->decoded;
       rec.prefill_chunks = r->prefill_chunks;
+      rec.preemptions = r->preempt_count;
       rec.rejected = r->state == RequestState::kRejected;
       if (!rec.rejected) {
         rec.queue_wait_ms = fleet.ms(r->admitted - r->arrival);

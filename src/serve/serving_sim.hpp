@@ -2,9 +2,11 @@
 //
 // ServingSim wires the serve-layer components together: a TrafficGen
 // injects requests (each request is its own root coroutine), a
-// RequestQueue holds them until the KvSlotManager has room, and the
-// Scheduler runs iteration-level continuous batching over the admitted
-// set. Batch members occupy the time-shared pipeline back to back inside
+// RequestQueue holds them until the paged KvBlockManager has room (whole
+// footprint under PreemptPolicy::kNone, prompt blocks only under
+// kRecomputeYoungest — decode blocks then grow on demand, preempting the
+// youngest victim when the pool runs dry), and the Scheduler runs
+// iteration-level continuous batching over the admitted set. Batch members occupy the time-shared pipeline back to back inside
 // an iteration — each priced by core::StepCostModel rather than
 // re-simulated — and a CountdownLatch forms the iteration's batch barrier;
 // the host PCIe sync is paid once per iteration. The run is fully
@@ -30,6 +32,10 @@ struct ServingConfig {
   TrafficConfig traffic;
   /// 0 selects the architecture default (kv_channels x 256 MiB per node).
   std::uint64_t kv_budget_bytes_per_node = 0;
+  /// Paged-KV block granularity in tokens (KvBlockManager). 1 ==
+  /// token-granular, which with SchedulerConfig::preempt == kNone is
+  /// bit-identical to the pre-paging whole-footprint reservation.
+  std::uint32_t kv_block_tokens = 1;
   /// Probe stride for the StepCostModel (1 = exact per-position costs).
   std::uint32_t cost_probe_stride = 64;
   SloConfig slo;

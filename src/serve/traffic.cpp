@@ -72,26 +72,38 @@ std::vector<Arrival> TrafficGen::open_loop_schedule() {
           ? config_.arrival_rate_per_s * off_weight / (1.0 - config_.burst_fraction)
           : 0.0;
 
-  double t = 0.0;
+  // Walk the phases by explicit index instead of fmod on absolute time:
+  // near a phase boundary fmod's rounding could advance t by only an
+  // epsilon per lap, and with a short burst_period_s the generator then
+  // crawls through denormal-sized steps — an effectively infinite loop.
+  // Offsets are drawn within the current phase (the exponential is
+  // memoryless, so restarting the draw at each boundary is exact) and a
+  // draw past the phase end just moves to the next phase.
+  std::uint64_t period_idx = 0;
+  bool on = true;
+  double offset = 0.0;  // position within the current phase
   while (schedule.size() < config_.num_requests) {
-    const double phase_pos = std::fmod(t, config_.burst_period_s);
-    const bool on = phase_pos < on_len;
+    const double len = on ? on_len : off_len;
     const double rate = on ? on_rate : off_rate;
-    const double phase_end = t - phase_pos + (on ? on_len : config_.burst_period_s);
-    if (rate <= 0) {
-      t = phase_end;
-      continue;
+    const double base =
+        static_cast<double>(period_idx) * config_.burst_period_s +
+        (on ? 0.0 : on_len);
+    if (rate > 0) {
+      while (schedule.size() < config_.num_requests) {
+        offset += exponential_s(rate);
+        if (offset >= len) break;
+        schedule.push_back(
+            Arrival{static_cast<sim::Cycles>((base + offset) * frequency_hz_),
+                    next_shape()});
+      }
     }
-    const double next = t + exponential_s(rate);
-    if (next >= phase_end) {
-      // Crossed into the next phase: the exponential is memoryless, so
-      // restart the draw at the boundary under the new phase's rate.
-      t = phase_end;
-      continue;
+    offset = 0.0;
+    if (on) {
+      on = false;
+    } else {
+      on = true;
+      ++period_idx;
     }
-    t = next;
-    schedule.push_back(
-        Arrival{static_cast<sim::Cycles>(t * frequency_hz_), next_shape()});
   }
   return schedule;
 }

@@ -1,10 +1,11 @@
-// Tests for the continuous-batching serve layer: step-cost model, KV-slot
-// accounting, traffic generation, scheduler policies, fleet determinism and
-// backpressure, and the Host submit/flush path.
+// Tests for the continuous-batching serve layer: step-cost model, paged
+// KV-block accounting, traffic generation, scheduler policies + preemption,
+// fleet determinism and backpressure, and the Host submit/flush path.
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <memory>
+#include <stdexcept>
 #include <vector>
 
 #include "core/arch_config.hpp"
@@ -15,11 +16,13 @@
 #include "model/config.hpp"
 #include "model/weights.hpp"
 #include "quant/int8_model.hpp"
-#include "serve/kv_slot.hpp"
+#include "serve/cli_flags.hpp"
+#include "serve/kv_block.hpp"
 #include "serve/queue.hpp"
 #include "serve/scheduler.hpp"
 #include "serve/serving_sim.hpp"
 #include "serve/traffic.hpp"
+#include "util/cli.hpp"
 #include "util/rng.hpp"
 #include "workload/mix.hpp"
 
@@ -133,54 +136,114 @@ TEST(ServingSimTest, LargerBatchRaisesSaturatedThroughput) {
   EXPECT_GT(batched.mean_batch_size, serial.mean_batch_size);
 }
 
-// ----------------------------------------------------------------- KvSlots
+// ---------------------------------------------------------------- KvBlocks
 
-TEST(KvSlotManagerTest, CapacityFollowsBudget) {
+TEST(KvBlockManagerTest, TokenGranularCapacityFollowsBudget) {
   const model::ModelConfig m = model::cosim_config();  // 3 layers, 8 heads, 8 dim
   const core::ArchConfig arch = test_arch();
   // K+V int8: 2 * 3 * 8 * 8 = 384 bytes per token on the single node.
-  KvSlotManager kv(arch, m, /*budget=*/384 * 10);
+  // block_tokens 1 == the legacy token-granular accounting.
+  KvBlockManager kv(arch, m, /*budget=*/384 * 10);
   EXPECT_EQ(kv.bytes_per_token_per_node(), 384u);
+  EXPECT_EQ(kv.block_tokens(), 1u);
+  EXPECT_EQ(kv.capacity_blocks(), 10u);
   EXPECT_EQ(kv.capacity_tokens(), 10u);
 
-  EXPECT_TRUE(kv.try_reserve(6));
-  EXPECT_FALSE(kv.try_reserve(5));  // only 4 left
+  KvBlockList a, b;
+  EXPECT_TRUE(kv.try_grow(a, 6));
+  EXPECT_FALSE(kv.try_grow(b, 5));  // only 4 blocks left
+  EXPECT_EQ(b.blocks, 0u);          // untouched on failure
   EXPECT_EQ(kv.stall_events(), 1u);
-  EXPECT_TRUE(kv.try_reserve(4));
-  EXPECT_EQ(kv.used_tokens(), 10u);
+  EXPECT_TRUE(kv.try_grow(b, 4));
+  EXPECT_EQ(kv.used_blocks(), 10u);
   EXPECT_DOUBLE_EQ(kv.peak_occupancy(), 1.0);
-  kv.release(6);
-  EXPECT_EQ(kv.free_tokens(), 6u);
+  EXPECT_EQ(kv.frag_tokens(), 0u);  // token granularity never fragments
+  kv.release_all(a);
+  EXPECT_EQ(a.blocks, 0u);
+  EXPECT_EQ(kv.free_blocks(), 6u);
   EXPECT_FALSE(kv.can_ever_fit(11));
   EXPECT_TRUE(kv.can_ever_fit(10));
 }
 
-TEST(KvSlotManagerTest, OverReleaseClampsInsteadOfWrapping) {
+TEST(KvBlockManagerTest, GrowIsIncrementalNotCumulative) {
+  KvBlockManager kv(test_arch(), model::cosim_config(), /*budget=*/384 * 10);
+  KvBlockList list;
+  ASSERT_TRUE(kv.try_grow(list, 4));
+  // Growing the same list to a larger target only takes the delta; a
+  // target already covered is a no-op.
+  ASSERT_TRUE(kv.try_grow(list, 7));
+  EXPECT_EQ(kv.used_blocks(), 7u);
+  ASSERT_TRUE(kv.try_grow(list, 7));
+  ASSERT_TRUE(kv.try_grow(list, 2));  // shrink request: covered, no-op
+  EXPECT_EQ(kv.used_blocks(), 7u);
+  EXPECT_EQ(list.committed_tokens, 7u);
+}
+
+TEST(KvBlockManagerTest, BlockRoundingAndFragmentation) {
+  // 10-token budget at 4 tokens/block -> 2 whole blocks (8 tokens); the
+  // 2-token remainder is unusable (paging's capacity cost).
+  KvBlockManager kv(test_arch(), model::cosim_config(), /*budget=*/384 * 10,
+                    /*block_tokens=*/4);
+  EXPECT_EQ(kv.capacity_blocks(), 2u);
+  EXPECT_EQ(kv.capacity_tokens(), 8u);
+  EXPECT_EQ(kv.blocks_for(1), 1u);
+  EXPECT_EQ(kv.blocks_for(4), 1u);
+  EXPECT_EQ(kv.blocks_for(5), 2u);
+  EXPECT_TRUE(kv.can_ever_fit(8));
+  EXPECT_FALSE(kv.can_ever_fit(9));
+
+  KvBlockList list, other;
+  ASSERT_TRUE(kv.try_grow(list, 5));
+  EXPECT_EQ(list.blocks, 2u);
+  EXPECT_EQ(kv.used_blocks(), 2u);
+  // Internal fragmentation: 2 blocks cover 8 tokens, 5 are committed.
+  EXPECT_EQ(kv.frag_tokens(), 3u);
+  EXPECT_FALSE(kv.try_grow(other, 1));  // pool exhausted by rounding
+  ASSERT_TRUE(kv.try_grow(list, 7));    // same blocks, deeper commit
+  EXPECT_EQ(kv.frag_tokens(), 1u);
+  EXPECT_EQ(kv.peak_frag_tokens(), 3u);
+  kv.release_all(list);
+  EXPECT_EQ(kv.used_blocks(), 0u);
+  EXPECT_EQ(kv.frag_tokens(), 0u);
+  EXPECT_EQ(kv.live_tokens(), 0u);
+}
+
+TEST(KvBlockManagerTest, OverReleaseClampsInsteadOfWrapping) {
   const model::ModelConfig m = model::cosim_config();
-  KvSlotManager kv(test_arch(), m, /*budget=*/384 * 10);
-  ASSERT_TRUE(kv.try_reserve(4));
-  // An unclamped release would underflow used_tokens_ and wrap
-  // free_tokens() to ~4 billion, disabling admission backpressure forever
+  KvBlockManager kv(test_arch(), m, /*budget=*/384 * 10);
+  KvBlockList list;
+  ASSERT_TRUE(kv.try_grow(list, 4));
+  // Releasing blocks the manager never handed out (a tampered or
+  // double-released list) would underflow used_blocks_ and wrap
+  // free_blocks() to ~4 billion, disabling admission backpressure forever
   // after. Pin the clamp, and the counter that makes the caller bug
   // observable instead of silently swallowed.
-  kv.release(7);
-  EXPECT_EQ(kv.used_tokens(), 0u);
-  EXPECT_EQ(kv.free_tokens(), kv.capacity_tokens());
-  EXPECT_LE(kv.free_tokens(), kv.capacity_tokens());  // no wrap
+  list.blocks = 7;
+  kv.release_all(list);
+  EXPECT_EQ(kv.used_blocks(), 0u);
+  EXPECT_EQ(kv.free_blocks(), kv.capacity_blocks());  // no wrap
   EXPECT_EQ(kv.over_release_events(), 1u);
   // The manager still works after the bad release.
-  EXPECT_TRUE(kv.try_reserve(10));
-  EXPECT_FALSE(kv.try_reserve(1));
-  kv.release(10);
+  KvBlockList again;
+  EXPECT_TRUE(kv.try_grow(again, 10));
+  KvBlockList more;
+  EXPECT_FALSE(kv.try_grow(more, 1));
+  kv.release_all(again);
   EXPECT_EQ(kv.over_release_events(), 1u);  // correct releases not counted
 }
 
-TEST(KvSlotManagerTest, DefaultBudgetUsesKvChannels) {
+TEST(KvBlockManagerTest, DefaultBudgetUsesKvChannels) {
   const core::ArchConfig arch = core::ArchConfig::two_node();  // kv_channels=2
-  KvSlotManager kv(arch, model::gpt2_medium());
+  KvBlockManager kv(arch, model::gpt2_medium());
   // 2 channels x 256 MiB / (2 * 24 layers * 8 heads/node * 64 dim).
   EXPECT_EQ(kv.bytes_per_token_per_node(), 24576u);
   EXPECT_EQ(kv.capacity_tokens(), (512ull << 20) / 24576u);
+}
+
+TEST(KvBlockManagerTest, RejectsZeroBlockTokens) {
+  EXPECT_THROW(KvBlockManager(test_arch(), model::cosim_config(), 384,
+                              /*block_tokens=*/0),
+               std::invalid_argument);
 }
 
 // ----------------------------------------------------------------- Traffic
@@ -500,6 +563,86 @@ TEST(SchedulerTest, ChunkedMixedNeverExceedsTokenBudget) {
   EXPECT_FALSE(batch.empty());
 }
 
+// ------------------------------------------------------- CLI flag parsing
+
+TEST(BatchPolicyCliTest, ParseBatchPolicyRoundTripsAndRejectsUnknown) {
+  EXPECT_EQ(parse_batch_policy("prefill"), BatchPolicy::kPrefillPriority);
+  EXPECT_EQ(parse_batch_policy("decode"), BatchPolicy::kDecodePriority);
+  EXPECT_EQ(parse_batch_policy("chunked"), BatchPolicy::kChunkedMixed);
+  EXPECT_THROW(parse_batch_policy("fifo"), std::invalid_argument);
+  EXPECT_THROW(parse_batch_policy(""), std::invalid_argument);
+  EXPECT_THROW(parse_batch_policy("Prefill"), std::invalid_argument);
+}
+
+TEST(BatchPolicyCliTest, DefaultChunkTokensPerPolicy) {
+  // Only kChunkedMixed gets a budget by default: it cannot chunk without
+  // one, while the whole-prompt policies stay unbounded (pre-chunking
+  // behavior).
+  EXPECT_EQ(default_chunk_tokens(BatchPolicy::kChunkedMixed), 64u);
+  EXPECT_EQ(default_chunk_tokens(BatchPolicy::kPrefillPriority), 0u);
+  EXPECT_EQ(default_chunk_tokens(BatchPolicy::kDecodePriority), 0u);
+}
+
+TEST(BatchPolicyCliTest, ParsePreemptPolicyRoundTripsAndRejectsUnknown) {
+  EXPECT_EQ(parse_preempt_policy("none"), PreemptPolicy::kNone);
+  EXPECT_EQ(parse_preempt_policy("recompute"),
+            PreemptPolicy::kRecomputeYoungest);
+  EXPECT_THROW(parse_preempt_policy("swap"), std::invalid_argument);
+  EXPECT_THROW(parse_preempt_policy(""), std::invalid_argument);
+}
+
+util::Cli make_cli(std::vector<const char*> args) {
+  args.insert(args.begin(), "test");
+  return util::Cli(static_cast<int>(args.size()), args.data());
+}
+
+TEST(SchedulerCliTest, DefaultsAreLegacyCompatible) {
+  const SchedulerCliOptions opts = parse_scheduler_cli(make_cli({}));
+  EXPECT_EQ(opts.policy, BatchPolicy::kPrefillPriority);
+  EXPECT_EQ(opts.chunk_tokens, 0u);
+  EXPECT_EQ(opts.preempt, PreemptPolicy::kNone);
+  EXPECT_EQ(opts.kv_block_tokens, 1u);
+  EXPECT_FALSE(opts.paged());
+}
+
+TEST(SchedulerCliTest, ChunkedPolicyDefaultsItsBudget) {
+  const SchedulerCliOptions opts =
+      parse_scheduler_cli(make_cli({"--policy=chunked"}));
+  EXPECT_EQ(opts.policy, BatchPolicy::kChunkedMixed);
+  EXPECT_EQ(opts.chunk_tokens, 64u);
+  // An explicit zero budget (degenerate decode-priority) stays allowed.
+  EXPECT_EQ(parse_scheduler_cli(
+                make_cli({"--policy=chunked", "--chunk-tokens=0"}))
+                .chunk_tokens,
+            0u);
+}
+
+TEST(SchedulerCliTest, RejectsChunkBudgetUnderWholePromptPolicies) {
+  // Pre-validation this combination silently degraded into a batch-member
+  // cap; now both CLI surfaces reject it through the shared helper.
+  EXPECT_THROW(parse_scheduler_cli(
+                   make_cli({"--policy=prefill", "--chunk-tokens=32"})),
+               std::invalid_argument);
+  EXPECT_THROW(parse_scheduler_cli(
+                   make_cli({"--policy=decode", "--chunk-tokens=32"})),
+               std::invalid_argument);
+}
+
+TEST(SchedulerCliTest, ParsesAndValidatesPagedKvFlags) {
+  const SchedulerCliOptions opts = parse_scheduler_cli(make_cli(
+      {"--policy=chunked", "--preempt=recompute", "--kv-block-tokens=16"}));
+  EXPECT_EQ(opts.preempt, PreemptPolicy::kRecomputeYoungest);
+  EXPECT_EQ(opts.kv_block_tokens, 16u);
+  EXPECT_TRUE(opts.paged());
+  EXPECT_TRUE(parse_scheduler_cli(make_cli({"--kv-block-tokens=8"})).paged());
+  EXPECT_THROW(parse_scheduler_cli(make_cli({"--kv-block-tokens=0"})),
+               std::invalid_argument);
+  EXPECT_THROW(parse_scheduler_cli(make_cli({"--preempt=swap"})),
+               std::invalid_argument);
+  EXPECT_THROW(parse_scheduler_cli(make_cli({"--chunk-tokens=-4"})),
+               std::invalid_argument);
+}
+
 // ------------------------------------------------------------- Fleet runs
 
 void expect_identical(const FleetMetrics& a, const FleetMetrics& b) {
@@ -530,6 +673,11 @@ void expect_identical(const FleetMetrics& a, const FleetMetrics& b) {
   EXPECT_EQ(a.decode_stall_ms, b.decode_stall_ms);
   EXPECT_EQ(a.inter_token_gap_ms.p50, b.inter_token_gap_ms.p50);
   EXPECT_EQ(a.inter_token_gap_ms.p99, b.inter_token_gap_ms.p99);
+  EXPECT_EQ(a.preemptions, b.preemptions);
+  EXPECT_EQ(a.recompute_tokens, b.recompute_tokens);
+  EXPECT_EQ(a.recompute_ms, b.recompute_ms);
+  EXPECT_EQ(a.kv_peak_used_blocks, b.kv_peak_used_blocks);
+  EXPECT_EQ(a.kv_peak_frag_tokens, b.kv_peak_frag_tokens);
 }
 
 TEST(ServingSimTest, SameSeedSameMetrics) {
@@ -556,7 +704,7 @@ TEST(ServingSimTest, KvExhaustionBackpressuresButCompletes) {
   ServingConfig cfg = base_config();
   // Room for ~2 test-mix requests at a time; 24 arrive nearly at once.
   cfg.traffic.arrival_rate_per_s = 50000.0;
-  KvSlotManager probe(cfg.arch, cfg.model, 1);
+  KvBlockManager probe(cfg.arch, cfg.model, 1);
   cfg.kv_budget_bytes_per_node = 64 * probe.bytes_per_token_per_node();
   const FleetMetrics m = ServingSim(cfg).run();
   EXPECT_EQ(m.completed, cfg.traffic.num_requests);
@@ -574,7 +722,7 @@ TEST(ServingSimTest, OversizedRequestIsRejectedNotWedged) {
       {0, workload::make_scenario(30, 30)},  // > 32-token KV budget
       {0, workload::make_scenario(8, 8)},
   };
-  KvSlotManager probe(cfg.arch, cfg.model, 1);
+  KvBlockManager probe(cfg.arch, cfg.model, 1);
   cfg.kv_budget_bytes_per_node = 32 * probe.bytes_per_token_per_node();
   const FleetMetrics m = ServingSim(cfg).run();
   EXPECT_EQ(m.offered, 3u);
@@ -744,6 +892,161 @@ TEST(ServingSimTest, ChunkedPrefillCutsTokenTailOnLongPromptMix) {
             whole.decode_stall_ms /
                 static_cast<double>(whole.decode_stall_iterations));
   EXPECT_GT(chunked.chunked_prompts, 0u);
+}
+
+// ------------------------------------------------- Paged KV + preemption
+
+/// Decode-heavy shapes: whole-footprint reservation books the long decode
+/// tail at admission, so most of the booked HBM sits empty for most of
+/// each request's life — the slack paged admission reclaims.
+ServingConfig paged_config() {
+  ServingConfig cfg;
+  cfg.arch = test_arch();
+  cfg.model = model::cosim_config();
+  cfg.cost_probe_stride = 16;
+  cfg.traffic.mix = workload::Mix{"decode-heavy",
+                                  {{workload::make_scenario(8, 40), 0.7},
+                                   {workload::make_scenario(4, 24), 0.3}}};
+  cfg.traffic.num_requests = 96;
+  cfg.traffic.seed = 42;
+  cfg.scheduler.max_batch = 8;
+  cfg.scheduler.policy = BatchPolicy::kChunkedMixed;
+  cfg.scheduler.max_tokens_per_iter = 16;
+  // Room for three whole [8:40] footprints: moderate overcommit, the
+  // regime preempt-and-recompute is built for.
+  KvBlockManager probe(cfg.arch, cfg.model, 1);
+  cfg.kv_budget_bytes_per_node = 144 * probe.bytes_per_token_per_node();
+  cfg.kv_block_tokens = 4;
+  cfg.scheduler.max_in_flight = 8;
+  cfg.keep_request_records = true;
+  // SLOs sized to the cosim deployment (~0.2 ms/token, a few ms of
+  // prefill): goodput then prices what paged admission actually buys —
+  // burst tails that clear admission immediately instead of queueing
+  // behind whole-footprint reservations.
+  cfg.slo.ttft_ms = 5.0;
+  cfg.slo.token_ms = 2.0;
+  return cfg;
+}
+
+/// Several short burst/drain cycles at ~50% mean utilization — KV is the
+/// binding resource during each burst, the pipeline is not. The off-phases
+/// matter: they drain the block pool between bursts, which is what keeps
+/// recompute preemption out of the thrash regime (at saturating rates
+/// whole-footprint wins instead: admission queueing is free when the
+/// pipeline is the bottleneck, and every recomputed token is pure loss —
+/// serve_load --preempt=recompute --kv-budget-mb exposes that crossover).
+void bursty_traffic(ServingConfig& cfg) {
+  cfg.traffic.process = ArrivalProcess::kBursty;
+  cfg.traffic.arrival_rate_per_s = 200.0;
+  cfg.traffic.burst_factor = 4.0;
+  cfg.traffic.burst_fraction = 0.25;
+  cfg.traffic.burst_period_s = 0.05;
+}
+
+/// The PR's acceptance criterion: at a fixed seed and equal per-node HBM
+/// budget, paged admission with recompute preemption admits strictly more
+/// concurrent requests and achieves higher goodput than whole-footprint
+/// reservation on the bursty mix — and preemption is livelock-free (every
+/// request finishes, with a bounded recompute count).
+TEST(ServingSimTest, PagedRecomputeBeatsWholeFootprintOnBurstyMix) {
+  ServingConfig cfg = paged_config();
+  bursty_traffic(cfg);
+  const core::StepCostModel costs(cfg.arch, cfg.model,
+                                  cfg.cost_probe_stride);
+
+  cfg.scheduler.preempt = PreemptPolicy::kNone;
+  const FleetMetrics whole = ServingSim(cfg, costs).run();
+  cfg.scheduler.preempt = PreemptPolicy::kRecomputeYoungest;
+  const FleetMetrics paged = ServingSim(cfg, costs).run();
+
+  ASSERT_EQ(whole.completed, cfg.traffic.num_requests);
+  ASSERT_EQ(paged.completed, cfg.traffic.num_requests);  // nobody starves
+  EXPECT_EQ(whole.preemptions, 0u);  // kNone can never need to evict
+  EXPECT_GT(paged.preemptions, 0u);  // the pool actually ran dry
+
+  // Strictly more admitted concurrency and strictly higher goodput at the
+  // same HBM budget.
+  EXPECT_GT(paged.peak_in_flight, whole.peak_in_flight);
+  EXPECT_GT(paged.goodput_req_s, whole.goodput_req_s);
+  EXPECT_GT(paged.mean_batch_size, whole.mean_batch_size);
+
+  // Livelock-free: bounded recompute per request (age-ordered eviction
+  // means the oldest request is never preempted at all).
+  std::uint32_t max_preempt = 0;
+  for (const RequestRecord& r : paged.requests) {
+    EXPECT_FALSE(r.rejected);
+    max_preempt = std::max(max_preempt, r.preemptions);
+  }
+  EXPECT_GT(max_preempt, 0u);
+  EXPECT_LE(max_preempt, 12u);
+  EXPECT_EQ(paged.requests[0].preemptions, 0u);  // oldest never evicted
+  // The recompute bill is visible and priced.
+  EXPECT_GT(paged.recompute_tokens, 0u);
+  EXPECT_GT(paged.recompute_ms, 0.0);
+}
+
+TEST(ServingSimTest, RecomputePreemptionIsDeterministic) {
+  ServingConfig cfg = paged_config();
+  bursty_traffic(cfg);
+  cfg.traffic.num_requests = 48;
+  cfg.scheduler.preempt = PreemptPolicy::kRecomputeYoungest;
+  const FleetMetrics a = ServingSim(cfg).run();
+  const FleetMetrics b = ServingSim(cfg).run();
+  expect_identical(a, b);
+  EXPECT_GT(a.preemptions, 0u);
+}
+
+TEST(ServingSimTest, PreemptedRequestEventuallyFinishes) {
+  // Two decode-heavy requests land at cycle 0 on a pool that fits ~1.3 of
+  // their final footprints. Paged admission takes both (prompt blocks
+  // only); decode growth then drains the pool and the younger request is
+  // evicted-and-recomputed — possibly several times — but must finish.
+  ServingConfig cfg = paged_config();
+  cfg.traffic.explicit_arrivals = {
+      {0, workload::make_scenario(8, 40)},
+      {0, workload::make_scenario(8, 40)},
+  };
+  KvBlockManager probe(cfg.arch, cfg.model, 1);
+  cfg.kv_budget_bytes_per_node = 64 * probe.bytes_per_token_per_node();
+  cfg.scheduler.preempt = PreemptPolicy::kRecomputeYoungest;
+  const FleetMetrics m = ServingSim(cfg).run();
+  ASSERT_EQ(m.completed, 2u);
+  ASSERT_EQ(m.requests.size(), 2u);
+  EXPECT_EQ(m.requests[0].preemptions, 0u);  // elder: never evicted
+  EXPECT_GE(m.requests[1].preemptions, 1u);  // younger: evicted, recovered
+  EXPECT_LE(m.requests[1].preemptions, 16u);  // ...a bounded number of times
+  EXPECT_EQ(m.preemptions, m.requests[1].preemptions);
+  // Every evicted token re-runs as prefill, so the victim's prompt took
+  // more chunk steps than an unpreempted prompt would.
+  EXPECT_GT(m.recompute_tokens, 0u);
+  // Whole-footprint reservation on the same pool serializes the two
+  // requests instead (48 + 48 > 64): same completions, zero preemptions.
+  cfg.scheduler.preempt = PreemptPolicy::kNone;
+  const FleetMetrics serial = ServingSim(cfg).run();
+  EXPECT_EQ(serial.completed, 2u);
+  EXPECT_EQ(serial.preemptions, 0u);
+  EXPECT_EQ(serial.peak_in_flight, 1u);
+}
+
+TEST(ServingSimTest, CoarseBlocksWithoutPreemptionStayConservative) {
+  // preempt=none at block size > 1: the whole footprint is still reserved
+  // up front (block-rounded), so nothing is ever evicted and the fleet
+  // behaves like the legacy manager with slightly coarser capacity.
+  ServingConfig cfg = base_config();
+  cfg.kv_block_tokens = 8;
+  const FleetMetrics m = ServingSim(cfg).run();
+  EXPECT_EQ(m.completed, cfg.traffic.num_requests);
+  EXPECT_EQ(m.preemptions, 0u);
+  EXPECT_EQ(m.kv_block_tokens, 8u);
+  EXPECT_LE(m.kv_peak_occupancy, 1.0);
+  // Block rounding shows up as measurable internal fragmentation.
+  EXPECT_GT(m.kv_peak_frag_tokens, 0u);
+}
+
+TEST(ServingSimTest, RejectsZeroKvBlockTokens) {
+  ServingConfig cfg = base_config();
+  cfg.kv_block_tokens = 0;
+  EXPECT_THROW(ServingSim{cfg}, std::invalid_argument);
 }
 
 TEST(ServingSimTest, ClosedLoopSelfLimits) {
