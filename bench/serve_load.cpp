@@ -4,13 +4,15 @@
 // paper's Fig. 8 single-request sweep cannot express: an open arrival
 // process, interleaved prefill/decode, KV backpressure — and, with the
 // paged-KV flags, block-granular allocation with scheduler-driven
-// preemption instead of whole-footprint reservation.
+// preemption instead of whole-footprint reservation. With --replicas >= 2
+// every sweep point becomes a multi-deployment fleet: N copies of the
+// deployment behind a --balancer, fed by the same arrival stream.
 //
 //   ./serve_load [--nodes=2] [--model=gpt2-medium] [--requests=64]
 //                [--seed=1] [--stride=64]
 //                [--policy=prefill|decode|chunked] [--chunk-tokens=0]
 //                [--preempt=none|recompute] [--kv-block-tokens=1]
-//                [--kv-budget-mb=0]
+//                [--kv-budget-mb=0] [--replicas=1] [--balancer=rr|jsq|kv]
 //
 // --chunk-tokens=N sets the per-iteration token budget (requires
 // --policy=chunked; the policy defaults it to 64). --preempt=recompute
@@ -18,12 +20,16 @@
 // decode growth drains the pool; --kv-block-tokens sets the paging
 // granularity (1 = token-granular legacy accounting); --kv-budget-mb
 // overrides the per-node KV HBM budget (0 = architecture default) so a
-// sweep can actually exercise block pressure. When the paging flags are at
-// their defaults the table is byte-identical to the pre-paging output;
-// otherwise it grows peak-in-flight / preemption columns.
+// sweep can actually exercise block pressure. --replicas=N shards each
+// sweep point across N identical replicas routed by --balancer
+// (round-robin, join-shortest-queue, or KV-aware; requires --replicas>=2).
+// When the paging/fleet flags are at their defaults the table is
+// byte-identical to the pre-paging/pre-fleet output; otherwise it grows
+// peak-in-flight / preemption and imbalance / TTFT-spread columns.
 //
 // Output is deterministic: two runs with identical flags produce
-// byte-identical tables (seeded traffic + deterministic engine).
+// byte-identical tables (seeded traffic + deterministic engine +
+// index-ordered balancer tie-breaks).
 #include <cstdint>
 #include <iostream>
 #include <stdexcept>
@@ -34,14 +40,50 @@
 #include "core/arch_config.hpp"
 #include "core/step_cost.hpp"
 #include "serve/cli_flags.hpp"
+#include "serve/fleet.hpp"
 #include "serve/serving_sim.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 #include "workload/mix.hpp"
 
+namespace {
+
+void print_usage() {
+  std::cout <<
+      "serve_load: latency-under-load sweep (rate x batch x mix) on the\n"
+      "continuous-batching serving engine.\n"
+      "\n"
+      "  --nodes=N            accelerator nodes per replica (default 2)\n"
+      "  --model=NAME         gpt2-small|gpt2-medium|gpt2-xl (default "
+      "gpt2-medium)\n"
+      "  --requests=N         requests per sweep point (default 64)\n"
+      "  --seed=N             traffic seed (default 1)\n"
+      "  --stride=N           step-cost probe stride (default 64)\n"
+      "  --policy=P           prefill|decode|chunked (default prefill)\n"
+      "  --chunk-tokens=N     per-iteration token budget; requires\n"
+      "                       --policy=chunked (chunked defaults to 64)\n"
+      "  --preempt=P          none|recompute (default none)\n"
+      "  --kv-block-tokens=N  KV paging granularity, >= 1 (default 1)\n"
+      "  --kv-budget-mb=N     per-node KV HBM budget override (default 0 =\n"
+      "                       architecture default)\n"
+      "  --replicas=N         fleet width, >= 1 (default 1 = single "
+      "replica)\n"
+      "  --balancer=B         rr|jsq|kv; requires --replicas >= 2\n"
+      "  --help               this text\n"
+      "\n"
+      "Flags accept --key=value and --key value forms. Defaults reproduce\n"
+      "the pre-fleet, pre-paging sweep byte for byte.\n";
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace looplynx;
   const util::Cli cli(argc, argv);
+  if (cli.has("help")) {
+    print_usage();
+    return 0;
+  }
   const auto nodes = static_cast<std::uint32_t>(cli.get_int_or("nodes", 2));
   const auto requests =
       static_cast<std::uint32_t>(cli.get_int_or("requests", 64));
@@ -82,6 +124,10 @@ int main(int argc, char** argv) {
   if (kv_budget_mb > 0) {
     title += ", kv-budget " + std::to_string(kv_budget_mb) + " MiB";
   }
+  if (opts.fleet()) {
+    title += ", " + std::to_string(opts.replicas) + " replicas, " +
+             serve::balancer_policy_name(opts.balancer);
+  }
   util::Table t(title);
   std::vector<std::string> header = {
       "mix", "req/s in", "batch", "done/shed", "tok/s",
@@ -90,6 +136,10 @@ int main(int argc, char** argv) {
   if (opts.paged()) {
     header.push_back("in-flt");
     header.push_back("preempt");
+  }
+  if (opts.fleet()) {
+    header.push_back("imbal");
+    header.push_back("TTFT sprd");
   }
   t.set_header(header);
 
@@ -109,8 +159,18 @@ int main(int argc, char** argv) {
         cfg.scheduler.preempt = opts.preempt;
         cfg.kv_block_tokens = opts.kv_block_tokens;
         cfg.kv_budget_bytes_per_node = kv_budget_mb << 20;
-        const serve::FleetMetrics m =
-            serve::ServingSim(cfg, costs).run();
+        serve::FleetMetrics m;
+        double imbalance = 0, ttft_spread = 0;
+        if (opts.fleet()) {
+          const serve::FleetConfig fleet_cfg = serve::FleetConfig::homogeneous(
+              cfg, opts.replicas, opts.balancer);
+          serve::FleetResult fr = serve::FleetSim(fleet_cfg, costs).run();
+          imbalance = fr.load_imbalance;
+          ttft_spread = fr.ttft_p99_spread_ms;
+          m = std::move(fr.fleet);
+        } else {
+          m = serve::ServingSim(cfg, costs).run();
+        }
         std::vector<std::string> row = {
             mix.name, util::fmt_fixed(rate, 0),
             util::fmt_int(batch),
@@ -128,6 +188,10 @@ int main(int argc, char** argv) {
         if (opts.paged()) {
           row.push_back(util::fmt_int(m.peak_in_flight));
           row.push_back(util::fmt_int(static_cast<long long>(m.preemptions)));
+        }
+        if (opts.fleet()) {
+          row.push_back(util::fmt_fixed(imbalance, 2));
+          row.push_back(util::fmt_fixed(ttft_spread, 1));
         }
         t.add_row(row);
       }
@@ -153,6 +217,14 @@ int main(int argc, char** argv) {
         "tight --kv-budget-mb the in-flt column rises and decode batches\n"
         "fill out; the price is the preempt column — evicted requests\n"
         "re-run their sequence as chunked prefill when the pool runs dry.\n";
+  }
+  if (opts.fleet()) {
+    std::cout <<
+        "With --replicas=N each point runs N identical deployments behind\n"
+        "the balancer: imbal is max/mean arrivals per replica (1.00 =\n"
+        "perfectly even) and TTFT sprd is the max-min per-replica p99 TTFT\n"
+        "in ms — --balancer=jsq/kv exist to shrink both on skewed mixes\n"
+        "where round-robin piles heavy requests onto one replica.\n";
   }
   return 0;
 }

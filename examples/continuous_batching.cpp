@@ -10,24 +10,56 @@
 // admission books only the prompt's blocks, decode blocks grow on demand,
 // and the youngest request is evicted-and-recomputed when the pool runs
 // dry — the same HBM budget then carries visibly more concurrent streams.
+// With --replicas=N the burst instead lands on a fleet of N such
+// deployments routed by --balancer (rr|jsq|kv).
 //
-//   ./continuous_batching [--requests=12] [--batch=4] [--rate=12]
+//   ./continuous_batching [--requests=12] [--batch=8] [--rate=12]
 //                         [--policy=prefill|decode|chunked]
 //                         [--chunk-tokens=0] [--seed=7]
 //                         [--preempt=none|recompute] [--kv-block-tokens=1]
+//                         [--replicas=1] [--balancer=rr|jsq|kv] [--help]
 #include <iostream>
 
 #include "core/arch_config.hpp"
 #include "model/config.hpp"
 #include "serve/cli_flags.hpp"
+#include "serve/fleet.hpp"
 #include "serve/kv_block.hpp"
 #include "serve/serving_sim.hpp"
 #include "util/cli.hpp"
 #include "workload/mix.hpp"
 
+namespace {
+
+void print_usage() {
+  std::cout <<
+      "continuous_batching: 12-request KV-backpressure walkthrough.\n"
+      "\n"
+      "  --requests=N         burst size (default 12)\n"
+      "  --batch=N            scheduler max batch (default 8)\n"
+      "  --rate=R             Poisson arrival rate per second (default 12)\n"
+      "  --seed=N             traffic seed (default 7)\n"
+      "  --policy=P           prefill|decode|chunked (default prefill)\n"
+      "  --chunk-tokens=N     per-iteration token budget; requires\n"
+      "                       --policy=chunked (chunked defaults to 64)\n"
+      "  --preempt=P          none|recompute (default none)\n"
+      "  --kv-block-tokens=N  KV paging granularity, >= 1 (default 1)\n"
+      "  --replicas=N         fleet width, >= 1 (default 1)\n"
+      "  --balancer=B         rr|jsq|kv; requires --replicas >= 2\n"
+      "  --help               this text\n"
+      "\n"
+      "Flags accept --key=value and --key value forms.\n";
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace looplynx;
   const util::Cli cli(argc, argv);
+  if (cli.has("help")) {
+    print_usage();
+    return 0;
+  }
   const serve::SchedulerCliOptions opts = serve::parse_scheduler_cli(cli);
 
   serve::ServingConfig cfg;
@@ -48,17 +80,33 @@ int main(int argc, char** argv) {
   // Shrink the KV budget so roughly 8 average requests fit at once: the
   // scheduler demonstrably interleaves 8+ concurrent streams, while the
   // stragglers beyond that back up in the queue on KV slots — the
-  // pressure a production fleet must survive.
+  // pressure a production fleet must survive. A multi-replica fleet keeps
+  // the same per-replica budget, so the burst spreads instead of queueing.
   const auto mean_tokens = cfg.traffic.mix.mean_tokens_per_request();
   serve::KvBlockManager probe(cfg.arch, cfg.model, 1);  // bytes-per-token probe
   cfg.kv_budget_bytes_per_node = static_cast<std::uint64_t>(
       8.5 * mean_tokens * static_cast<double>(probe.bytes_per_token_per_node()));
 
-  const serve::ServingSim sim(cfg);
-  const serve::FleetMetrics m = sim.run();
-  m.to_table("Continuous batching, " + cfg.traffic.mix.name + " mix, batch " +
-             std::to_string(cfg.scheduler.max_batch))
-      .render(std::cout);
+  serve::FleetMetrics m;
+  const std::string mix_title =
+      "Continuous batching, " + cfg.traffic.mix.name + " mix, batch " +
+      std::to_string(cfg.scheduler.max_batch);
+  if (opts.fleet()) {
+    const serve::FleetConfig fleet_cfg =
+        serve::FleetConfig::homogeneous(cfg, opts.replicas, opts.balancer);
+    serve::FleetResult fr = serve::FleetSim(fleet_cfg).run();
+    fr.to_table(mix_title + ", " + std::to_string(opts.replicas) +
+                " replicas, " + serve::balancer_policy_name(opts.balancer))
+        .render(std::cout);
+    std::cout << "\nLoad imbalance (max/mean routed) "
+              << util::fmt_fixed(fr.load_imbalance, 2)
+              << ", per-replica TTFT p99 spread "
+              << util::fmt_fixed(fr.ttft_p99_spread_ms, 1) << " ms.\n";
+    m = std::move(fr.fleet);
+  } else {
+    m = serve::ServingSim(cfg).run();
+    m.to_table(mix_title).render(std::cout);
+  }
 
   if (cfg.scheduler.max_tokens_per_iter > 0) {
     std::cout << "\n" << m.chunked_prompts << " prompt(s) were split into "
@@ -78,15 +126,18 @@ int main(int argc, char** argv) {
   }
   // Under the default whole-footprint reservation the demo must show
   // admission stalls; under preempt=recompute admission is deliberately
-  // easier, so block-pool pressure may surface as preemptions instead.
+  // easier, so block-pool pressure may surface as preemptions instead. A
+  // fleet spreads the burst across replicas, so per-replica pressure (and
+  // the in-flight floor) scales down with the replica count.
   const bool pressured =
       m.kv_stall_events > 0 ||
       (cfg.scheduler.preempt != serve::PreemptPolicy::kNone &&
        m.preemptions > 0);
-  if (!pressured) {
+  if (!pressured && !opts.fleet()) {
     std::cout << "(increase --rate or --requests to exercise backpressure)\n";
   }
   const bool ok = m.completed == m.offered - m.rejected &&
-                  m.peak_in_flight >= 8 && pressured;
+                  (opts.fleet() ? m.completed == cfg.traffic.num_requests
+                                : m.peak_in_flight >= 8 && pressured);
   return ok ? 0 : 1;
 }

@@ -56,6 +56,10 @@ struct ArchConfig {
   bool headwise_pipeline = true;  // hide softmax behind head i+1
   bool hide_network_sync = true;  // overlap block sync with compute
 
+  /// Memberwise equality — fleet harnesses use it to share one probed
+  /// StepCostModel across identically configured replicas.
+  bool operator==(const ArchConfig&) const = default;
+
   // ---- Derived quantities ----
   double hbm_bytes_per_cycle() const { return hbm_channel_bps / frequency_hz; }
   double net_bytes_per_cycle() const { return network_bps / frequency_hz; }

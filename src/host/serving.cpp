@@ -75,14 +75,18 @@ std::size_t Host::submit(
 }
 
 std::vector<ServeResult> Host::flush(
-    const serve::SchedulerConfig& scheduler) {
+    const serve::SchedulerConfig& scheduler, std::uint32_t replicas,
+    serve::BalancerPolicy balancer) {
   std::vector<ServeResult> results = std::move(pending_);
   pending_.clear();
   if (results.empty()) return results;
 
   // All submitted requests arrive at cycle 0 and share one
   // continuous-batching fleet, so their timings reflect scheduler
-  // interleaving and KV pressure, not isolated runs.
+  // interleaving and KV pressure, not isolated runs. With replicas >= 2
+  // the cycle-0 burst is routed across identical replicas by the
+  // balancer; request ids equal submit order either way (the fleet
+  // allocates ids in injection order and sorts its pooled records by id).
   serve::ServingConfig cfg;
   cfg.arch = arch_;
   cfg.model = weights_->config;
@@ -94,15 +98,25 @@ std::vector<ServeResult> Host::flush(
                static_cast<std::uint32_t>(r.prompt_ids.size()),
                decode_steps(r))});
   }
-  const serve::ServingSim sim(cfg, costs());
-  const serve::FleetMetrics metrics = sim.run();
+  const serve::FleetMetrics metrics =
+      replicas >= 2
+          ? serve::FleetSim(
+                serve::FleetConfig::homogeneous(cfg, replicas, balancer),
+                costs())
+                .run()
+                .fleet
+          : serve::ServingSim(cfg, costs()).run();
   if (metrics.requests.size() != results.size()) {
     throw std::logic_error("serve layer lost request records");
   }
 
   for (std::size_t i = 0; i < results.size(); ++i) {
     const serve::RequestRecord& rec = metrics.requests[i];
+    if (rec.id != i) {
+      throw std::logic_error("serve layer permuted request records");
+    }
     ServeResult& out = results[i];
+    out.replica = rec.replica;
     if (rec.rejected) {
       out.rejected = true;  // generation is valid, timing fields stay zero
       continue;

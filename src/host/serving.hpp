@@ -28,6 +28,7 @@
 #include "host/sampler.hpp"
 #include "host/tokenizer.hpp"
 #include "quant/int8_model.hpp"
+#include "serve/fleet.hpp"
 #include "serve/scheduler.hpp"
 
 namespace looplynx::host {
@@ -64,6 +65,9 @@ struct ServeResult {
   /// True when fleet admission control shed this request: the generation
   /// above is still valid, but every timing field is zero/meaningless.
   bool rejected = false;
+  /// Index of the fleet replica that served this request (0 unless
+  /// flush() ran with replicas >= 2 — the balancer's routing decision).
+  std::uint32_t replica = 0;
 };
 
 class Host {
@@ -86,8 +90,14 @@ class Host {
 
   /// Times all submitted requests through one continuous-batching fleet
   /// (all arriving at cycle 0) and returns their results in submit order.
+  /// With `replicas` >= 2 the batch is sharded across that many copies of
+  /// the deployment behind `balancer` (serve::FleetSim); each result's
+  /// `replica` records where it ran. replicas == 1 is the single-replica
+  /// engine, byte-identical to the pre-fleet behavior.
   std::vector<ServeResult> flush(
-      const serve::SchedulerConfig& scheduler = {});
+      const serve::SchedulerConfig& scheduler = {},
+      std::uint32_t replicas = 1,
+      serve::BalancerPolicy balancer = serve::BalancerPolicy::kRoundRobin);
 
   const Tokenizer& tokenizer() const { return tokenizer_; }
   std::uint32_t eos_id() const { return tokenizer_.eos_id(); }

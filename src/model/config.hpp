@@ -18,6 +18,10 @@ struct ModelConfig {
 
   std::uint32_t head_dim() const { return d_model / n_head; }
 
+  /// Memberwise equality — fleet harnesses use it to share one probed
+  /// StepCostModel across identically configured replicas.
+  bool operator==(const ModelConfig&) const = default;
+
   /// Parameter count of the transformer stack (embeddings included),
   /// matching the usual "GPT-2 345M" accounting.
   std::uint64_t param_count() const;

@@ -33,6 +33,23 @@ SchedulerCliOptions parse_scheduler_cli(const util::Cli& cli,
         "bit-identical to the pre-paging whole-footprint reservation)");
   }
   opts.kv_block_tokens = static_cast<std::uint32_t>(block_tokens);
+
+  const long long replicas = cli.get_int_or("replicas", 1);
+  if (replicas < 1) {
+    throw std::invalid_argument(
+        "--replicas must be >= 1 (1 = the single-replica engine, "
+        "byte-identical to the pre-fleet output)");
+  }
+  opts.replicas = static_cast<std::uint32_t>(replicas);
+
+  if (const auto balancer = cli.get("balancer")) {
+    if (opts.replicas < 2) {
+      throw std::invalid_argument(
+          "--balancer requires --replicas >= 2: routing over a single "
+          "replica is a no-op, so the flag would silently do nothing");
+    }
+    opts.balancer = parse_balancer_policy(*balancer);
+  }
   return opts;
 }
 

@@ -1,10 +1,20 @@
-// Shared parsing + cross-validation of the scheduler/KV command-line flags
-// (--policy, --chunk-tokens, --preempt, --kv-block-tokens) for the CLI
-// surfaces (bench/serve_load, examples/continuous_batching), so the two
-// binaries' flag semantics cannot drift and invalid combinations are
-// rejected loudly instead of silently doing something else.
+// Shared parsing + cross-validation of the serving command-line flags
+// (--policy, --chunk-tokens, --preempt, --kv-block-tokens, --replicas,
+// --balancer) for the CLI surfaces (bench/serve_load,
+// examples/continuous_batching, examples/fleet_serving), so the binaries'
+// flag semantics cannot drift and invalid combinations are rejected loudly
+// instead of silently doing something else.
+//
+// Invariants the defaults encode:
+//  - All defaults reproduce the legacy single-replica, whole-footprint,
+//    unchunked run — a no-flag invocation stays byte-identical across PRs
+//    (the CI determinism gate's baseline).
+//  - paged() is the "does this run depart from legacy KV accounting"
+//    predicate: CLI surfaces add paging/preemption columns only when it is
+//    true, which is what keeps default sweep output byte-stable.
 #pragma once
 
+#include "serve/fleet.hpp"
 #include "serve/scheduler.hpp"
 #include "util/cli.hpp"
 
@@ -17,6 +27,10 @@ struct SchedulerCliOptions {
   PreemptPolicy preempt = PreemptPolicy::kNone;
   /// KvBlockManager paging granularity (1 = token-granular legacy).
   std::uint32_t kv_block_tokens = 1;
+  /// Fleet width: 1 = the single-replica ServingSim path (legacy output);
+  /// >= 2 = a FleetSim of identical replicas behind `balancer`.
+  std::uint32_t replicas = 1;
+  BalancerPolicy balancer = BalancerPolicy::kRoundRobin;
 
   /// True when the run departs from the legacy whole-footprint accounting
   /// — the CLI surfaces add paging/preemption columns and summary lines
@@ -24,14 +38,23 @@ struct SchedulerCliOptions {
   bool paged() const {
     return preempt != PreemptPolicy::kNone || kv_block_tokens != 1;
   }
+
+  /// True when the run is a multi-replica fleet (fleet surfaces add
+  /// balance columns only then, for the same byte-stability reason).
+  bool fleet() const { return replicas > 1; }
 };
 
-/// Parses --policy/--chunk-tokens/--preempt/--kv-block-tokens with
-/// per-policy defaults (default_chunk_tokens) and cross-validates:
+/// Parses --policy/--chunk-tokens/--preempt/--kv-block-tokens/--replicas/
+/// --balancer with per-policy defaults (default_chunk_tokens) and
+/// cross-validates:
 ///  - an explicit --chunk-tokens > 0 requires --policy=chunked (the
 ///    whole-prompt policies never split prompts, so a budget would
 ///    silently degrade into a batch-member cap);
-///  - --kv-block-tokens must be >= 1 (1 = token-granular).
+///  - --kv-block-tokens must be >= 1 (1 = token-granular);
+///  - --replicas must be >= 1 (1 = the legacy single-replica path);
+///  - an explicit --balancer requires --replicas >= 2 (balancing a
+///    single replica is a routing no-op, so the flag would silently do
+///    nothing).
 /// Throws std::invalid_argument with an actionable message on violation.
 SchedulerCliOptions parse_scheduler_cli(const util::Cli& cli,
                                         const std::string& default_policy =

@@ -1,0 +1,351 @@
+#include "serve/fleet.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "serve/replica.hpp"
+#include "util/stats.hpp"
+
+namespace looplynx::serve {
+
+BalancerPolicy parse_balancer_policy(const std::string& name) {
+  if (name == "rr") return BalancerPolicy::kRoundRobin;
+  if (name == "jsq") return BalancerPolicy::kJoinShortestQueue;
+  if (name == "kv") return BalancerPolicy::kKvAware;
+  throw std::invalid_argument("unknown balancer policy \"" + name +
+                              "\" (expected rr|jsq|kv)");
+}
+
+const char* balancer_policy_name(BalancerPolicy policy) {
+  switch (policy) {
+    case BalancerPolicy::kRoundRobin:
+      return "round-robin";
+    case BalancerPolicy::kJoinShortestQueue:
+      return "join-shortest-queue";
+    case BalancerPolicy::kKvAware:
+      return "kv-aware";
+  }
+  return "unknown";
+}
+
+std::uint32_t LoadBalancer::pick(const std::vector<ReplicaLoad>& loads) {
+  const auto n = static_cast<std::uint32_t>(loads.size());
+  switch (policy_) {
+    case BalancerPolicy::kRoundRobin: {
+      const std::uint32_t i = round_robin_next_ % n;
+      ++round_robin_next_;
+      return i;
+    }
+    case BalancerPolicy::kJoinShortestQueue: {
+      std::uint32_t best = 0;
+      for (std::uint32_t i = 1; i < n; ++i) {
+        // Strict < keeps ties on the lowest index.
+        if (loads[i].outstanding < loads[best].outstanding) best = i;
+      }
+      return best;
+    }
+    case BalancerPolicy::kKvAware: {
+      std::uint32_t best = 0;
+      for (std::uint32_t i = 1; i < n; ++i) {
+        if (loads[i].free_kv_tokens != loads[best].free_kv_tokens) {
+          if (loads[i].free_kv_tokens > loads[best].free_kv_tokens) best = i;
+          continue;
+        }
+        // Equal pools (e.g. a same-cycle burst before any admission):
+        // fall back to join-shortest-queue, then the lowest index.
+        if (loads[i].outstanding < loads[best].outstanding) best = i;
+      }
+      return best;
+    }
+  }
+  return 0;
+}
+
+FleetConfig FleetConfig::homogeneous(const ServingConfig& base,
+                                     std::uint32_t n,
+                                     BalancerPolicy balancer) {
+  FleetConfig cfg;
+  cfg.traffic = base.traffic;
+  cfg.balancer = balancer;
+  // Per-replica traffic members are ignored (the fleet has one stream);
+  // blank them instead of duplicating e.g. a large explicit_arrivals
+  // schedule N times.
+  ServingConfig replica = base;
+  replica.traffic = TrafficConfig{};
+  cfg.replicas.assign(n, replica);
+  return cfg;
+}
+
+void FleetSim::validate() {
+  if (config_.replicas.empty()) {
+    throw std::invalid_argument("fleet needs at least one replica");
+  }
+  const double frequency = config_.replicas.front().arch.frequency_hz;
+  for (std::size_t i = 0; i < config_.replicas.size(); ++i) {
+    const ServingConfig& r = config_.replicas[i];
+    const std::string where = " (replica " + std::to_string(i) + ")";
+    if (r.scheduler.max_batch == 0) {
+      throw std::invalid_argument("scheduler max_batch must be >= 1" + where);
+    }
+    if (r.scheduler.max_in_flight == 0) {
+      throw std::invalid_argument("scheduler max_in_flight must be >= 1" +
+                                  where);
+    }
+    if (r.kv_block_tokens == 0) {
+      throw std::invalid_argument(
+          "kv_block_tokens must be >= 1 (1 = token-granular)" + where);
+    }
+    if (r.arch.frequency_hz != frequency) {
+      // The engine advances one cycle-granular clock; replicas in another
+      // clock domain would need cycle-rate conversion the fleet does not
+      // model. Vary node counts / budgets / schedulers instead.
+      throw std::invalid_argument(
+          "fleet replicas must share one arch.frequency_hz" + where);
+    }
+  }
+  if (!config_.traffic.explicit_arrivals.empty()) {
+    config_.traffic.num_requests = static_cast<std::uint32_t>(
+        config_.traffic.explicit_arrivals.size());
+  }
+}
+
+FleetSim::FleetSim(const FleetConfig& config) : config_(config) {
+  validate();
+  costs_.reserve(config_.replicas.size());
+  for (std::size_t i = 0; i < config_.replicas.size(); ++i) {
+    const ServingConfig& r = config_.replicas[i];
+    const auto same = [&](const ServingConfig& other) {
+      return other.arch == r.arch && other.model == r.model &&
+             other.cost_probe_stride == r.cost_probe_stride;
+    };
+    std::size_t found = i;
+    for (std::size_t j = 0; j < i; ++j) {
+      if (same(config_.replicas[j])) {
+        found = j;
+        break;
+      }
+    }
+    if (found < i) {
+      costs_.push_back(costs_[found]);  // share the probe
+    } else {
+      costs_.emplace_back(r.arch, r.model, r.cost_probe_stride);
+    }
+  }
+}
+
+FleetSim::FleetSim(const FleetConfig& config,
+                   const core::StepCostModel& costs)
+    : config_(config) {
+  validate();
+  costs_.assign(config_.replicas.size(), costs);
+}
+
+namespace {
+
+/// Everything one fleet run owns. Engine first: coroutines of replicas
+/// that drained early park on their work signals and are destroyed
+/// un-resumed with the engine, after everything they reference.
+struct FleetRun {
+  FleetRun(const FleetConfig& cfg_,
+           const std::vector<core::StepCostModel>& costs)
+      : cfg(cfg_),
+        traffic(cfg_.traffic, cfg_.replicas.front().arch.frequency_hz),
+        balancer(cfg_.balancer) {
+    shared.target = cfg_.traffic.num_requests;
+    replicas.reserve(cfg_.replicas.size());
+    for (std::size_t i = 0; i < cfg_.replicas.size(); ++i) {
+      replicas.push_back(std::make_unique<detail::Replica>(
+          engine, cfg_.replicas[i], costs[i], shared,
+          static_cast<std::uint32_t>(i)));
+    }
+  }
+
+  const FleetConfig& cfg;
+  sim::Engine engine;
+  detail::FleetShared shared;
+  std::vector<std::unique_ptr<detail::Replica>> replicas;
+  TrafficGen traffic;
+  LoadBalancer balancer;
+
+  /// One routing decision: snapshot every replica's load, ask the
+  /// balancer. Pure bookkeeping — no engine events, so a 1-replica fleet
+  /// replays ServingSim's exact event sequence.
+  detail::Replica& route() {
+    std::vector<LoadBalancer::ReplicaLoad> loads;
+    loads.reserve(replicas.size());
+    for (const auto& r : replicas) {
+      loads.push_back({r->outstanding(),
+                       static_cast<std::uint64_t>(r->kv.free_blocks()) *
+                           r->kv.block_tokens()});
+    }
+    return *replicas[balancer.pick(loads)];
+  }
+};
+
+void append(std::vector<double>& pool, const std::vector<double>& samples) {
+  pool.insert(pool.end(), samples.begin(), samples.end());
+}
+
+}  // namespace
+
+FleetResult FleetSim::run() const {
+  FleetRun run(config_, costs_);
+  const auto route = [&run]() -> detail::Replica& { return run.route(); };
+  for (auto& r : run.replicas) {
+    run.engine.spawn(detail::scheduler_proc(*r));
+  }
+  if (config_.traffic.process == ArrivalProcess::kClosedLoop) {
+    const std::uint32_t clients =
+        std::max<std::uint32_t>(1, config_.traffic.clients);
+    for (std::uint32_t c = 0; c < clients; ++c) {
+      run.engine.spawn(detail::client_proc(run.engine, run.shared,
+                                           run.traffic,
+                                           config_.traffic.think_time_s,
+                                           route));
+    }
+  } else {
+    run.engine.spawn(detail::arrivals_proc(run.engine, run.traffic, route));
+  }
+  run.engine.run();
+
+  FleetResult result;
+  const std::size_t n = run.replicas.size();
+  const double frequency = config_.replicas.front().arch.frequency_hz;
+  const sim::Cycles makespan = run.engine.now();
+  const double duration_s = static_cast<double>(makespan) / frequency;
+
+  // Pool the per-request latency samples (and sum the counters) BEFORE
+  // finalize_metrics moves each replica's vectors into its own summary.
+  std::vector<double> ttft, token, e2e, queue_wait, gap;
+  std::uint64_t good = 0;
+  sim::Cycles busy = 0, decode_stall = 0, recompute = 0;
+  FleetMetrics& m = result.fleet;
+  double batch_members = 0;
+  for (const auto& r : run.replicas) {
+    append(ttft, r->ttft_ms);
+    append(token, r->token_ms);
+    append(e2e, r->e2e_ms);
+    append(queue_wait, r->queue_wait_ms);
+    append(gap, r->gap_ms);
+    good += r->good;
+    busy += r->busy_cycles;
+    decode_stall += r->decode_stall_cycles;
+    recompute += r->recompute_cycles;
+    m.completed += r->completed;
+    m.rejected += r->rejected;
+    m.decode_tokens += r->decode_tokens;
+    m.total_tokens += r->total_tokens;
+    m.iterations += r->sched.iterations().size();
+    batch_members += r->sched.mean_batch_size() *
+                     static_cast<double>(r->sched.iterations().size());
+    m.prefill_chunk_steps += r->prefill_chunk_steps;
+    m.chunked_prompts += r->chunked_prompts;
+    m.decode_stall_iterations += r->decode_stall_iterations;
+    m.peak_queue_depth = std::max(m.peak_queue_depth, r->queue.peak_depth());
+    m.kv_peak_occupancy =
+        std::max(m.kv_peak_occupancy, r->kv.peak_occupancy());
+    m.kv_stall_events += r->kv.stall_events();
+    m.kv_over_release_events += r->kv.over_release_events();
+    m.kv_capacity_blocks += r->kv.capacity_blocks();
+    m.kv_peak_used_blocks += r->kv.peak_used_blocks();
+    m.kv_peak_frag_tokens += r->kv.peak_frag_tokens();
+    m.preemptions += r->preemptions;
+    m.recompute_tokens += r->recompute_tokens;
+    result.routed.push_back(r->routed);
+  }
+  m.offered = run.shared.injected;
+  m.slo = config_.replicas.front().slo;
+  m.duration_s = duration_s;
+  if (duration_s > 0) {
+    m.throughput_req_s = static_cast<double>(m.completed) / duration_s;
+    m.throughput_tok_s = static_cast<double>(m.total_tokens) / duration_s;
+    m.decode_tok_s = static_cast<double>(m.decode_tokens) / duration_s;
+    m.goodput_req_s = static_cast<double>(good) / duration_s;
+    m.busy_fraction =
+        static_cast<double>(busy) /
+        (static_cast<double>(makespan) * static_cast<double>(n));
+  }
+  m.ttft_ms = util::percentile_summary(std::move(ttft));
+  m.token_ms = util::percentile_summary(std::move(token));
+  m.e2e_ms = util::percentile_summary(std::move(e2e));
+  m.queue_wait_ms = util::percentile_summary(std::move(queue_wait));
+  m.inter_token_gap_ms = util::percentile_summary(std::move(gap));
+  if (m.iterations > 0) {
+    m.mean_batch_size = batch_members / static_cast<double>(m.iterations);
+  }
+  m.decode_stall_ms =
+      config_.replicas.front().arch.cycles_to_ms(decode_stall);
+  m.recompute_ms = config_.replicas.front().arch.cycles_to_ms(recompute);
+  m.peak_in_flight = run.shared.peak_active;
+  m.preempt = config_.replicas.front().scheduler.preempt;
+  m.kv_block_tokens = run.replicas.front()->kv.block_tokens();
+
+  result.replicas.reserve(n);
+  for (auto& r : run.replicas) {
+    result.replicas.push_back(detail::finalize_metrics(*r));
+  }
+  for (const FleetMetrics& rm : result.replicas) {
+    m.requests.insert(m.requests.end(), rm.requests.begin(),
+                      rm.requests.end());
+  }
+  std::sort(m.requests.begin(), m.requests.end(),
+            [](const RequestRecord& a, const RequestRecord& b) {
+              return a.id < b.id;
+            });
+
+  std::uint64_t max_routed = 0, total_routed = 0;
+  for (std::uint64_t r : result.routed) {
+    max_routed = std::max(max_routed, r);
+    total_routed += r;
+  }
+  if (total_routed > 0) {
+    result.load_imbalance = static_cast<double>(max_routed) * static_cast<double>(n) /
+                            static_cast<double>(total_routed);
+  }
+  bool any = false;
+  double lo = 0, hi = 0;
+  for (const FleetMetrics& rm : result.replicas) {
+    if (rm.completed == 0) continue;
+    if (!any) {
+      lo = hi = rm.ttft_ms.p99;
+      any = true;
+    } else {
+      lo = std::min(lo, rm.ttft_ms.p99);
+      hi = std::max(hi, rm.ttft_ms.p99);
+    }
+  }
+  result.ttft_p99_spread_ms = any ? hi - lo : 0.0;
+  return result;
+}
+
+util::Table FleetResult::to_table(const std::string& title) const {
+  util::Table t(title);
+  t.set_header({"replica", "routed", "done/shed", "goodput", "TTFT p50",
+                "TTFT p99", "tok p99", "in-flt", "busy", "KV peak",
+                "preempt"});
+  const auto row = [&](const std::string& name, const FleetMetrics& m,
+                       std::uint64_t routed_count) {
+    t.add_row({name, util::fmt_int(static_cast<long long>(routed_count)),
+               util::fmt_int(static_cast<long long>(m.completed)) + "/" +
+                   util::fmt_int(static_cast<long long>(m.rejected)),
+               util::fmt_fixed(m.goodput_req_s, 2),
+               util::fmt_fixed(m.ttft_ms.p50, 1),
+               util::fmt_fixed(m.ttft_ms.p99, 1),
+               util::fmt_fixed(m.token_ms.p99, 2),
+               util::fmt_int(m.peak_in_flight),
+               util::fmt_percent(m.busy_fraction, 1),
+               util::fmt_percent(m.kv_peak_occupancy, 1),
+               util::fmt_int(static_cast<long long>(m.preemptions))});
+  };
+  for (std::size_t i = 0; i < replicas.size(); ++i) {
+    row(std::to_string(i), replicas[i], routed[i]);
+  }
+  t.add_separator();
+  row("fleet", fleet, fleet.offered);
+  return t;
+}
+
+}  // namespace looplynx::serve

@@ -1,0 +1,167 @@
+// Multi-deployment serving fleet: N replica deployments behind a
+// load balancer, fed by one shared traffic stream.
+//
+// FleetSim is the horizontal scale axis on top of ServingSim's vertical
+// one: it owns N independent replicas (each a full ServingConfig — its own
+// scheduler, KV budget, even a different ArchConfig) on ONE shared
+// sim::Engine, and a LoadBalancer that routes every arrival of a single
+// TrafficGen stream to a replica the moment it lands. Replicas never share
+// KV or pipeline state — a request lives and dies on the replica it was
+// routed to (no migration), so each replica's scheduling, paging and
+// preemption behavior is exactly ServingSim's.
+//
+// Invariants:
+//  - Determinism: a FleetConfig fully determines FleetResult. All
+//    randomness flows through the one seeded TrafficGen, the engine
+//    resolves same-cycle events in scheduling order, and every balancer
+//    tie-break is by lowest replica index — byte-identical sweeps, same as
+//    the single-replica engine.
+//  - A 1-replica fleet is bit-identical to ServingSim on the same
+//    ServingConfig (pinned in tests/test_fleet.cpp): both harnesses run
+//    the same replica machinery (serve/replica.hpp) and a balancer over
+//    one replica makes no extra engine events.
+//  - All replicas must share one clock frequency (arch.frequency_hz): the
+//    engine has a single cycle-granular clock. Heterogeneity means node
+//    counts, KV budgets and scheduler knobs — not clock domains.
+//
+// Architecture notes: DESIGN.md §5.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/step_cost.hpp"
+#include "serve/metrics.hpp"
+#include "serve/serving_sim.hpp"
+#include "util/table.hpp"
+
+namespace looplynx::serve {
+
+/// How the fleet balancer picks a replica for each arrival.
+enum class BalancerPolicy : std::uint8_t {
+  /// Route arrival i to replica i mod N, blind to load. The baseline every
+  /// smarter policy is measured against; degrades on skewed mixes, where a
+  /// run of heavy requests can pile onto one replica by arrival parity.
+  kRoundRobin,
+  /// Fewest outstanding requests (queued + running, counted from routing
+  /// so same-cycle bursts are visible); ties go to the lowest replica
+  /// index. The classic supermarket policy: adapts to skew by steering
+  /// around the replica stuck with a heavy request.
+  kJoinShortestQueue,
+  /// Most free KV-cache tokens (free blocks x block size — comparable
+  /// across replicas with different paging granularities and budgets),
+  /// then fewest outstanding, then lowest index. Builds on the paged
+  /// KvBlockManager's occupancy stats: KV is the admission-gating
+  /// resource, so free KV predicts which replica can start work soonest —
+  /// but blocks are only allocated at admission, so until queues
+  /// differentiate the pools this behaves like kJoinShortestQueue.
+  kKvAware,
+};
+
+/// CLI-facing balancer names ("rr" | "jsq" | "kv"), shared by the bench and
+/// example surfaces. Throws std::invalid_argument on an unknown name.
+BalancerPolicy parse_balancer_policy(const std::string& name);
+const char* balancer_policy_name(BalancerPolicy policy);
+
+/// Routing-decision engine. The pure pick() core is separated from the
+/// simulation so its tie-break rules — the fleet's determinism contract —
+/// are unit-testable without spinning up replicas.
+class LoadBalancer {
+ public:
+  explicit LoadBalancer(BalancerPolicy policy) : policy_(policy) {}
+
+  /// One replica's load snapshot at a routing instant.
+  struct ReplicaLoad {
+    std::uint32_t outstanding = 0;     // routed - finished - rejected
+    std::uint64_t free_kv_tokens = 0;  // free blocks x block size
+  };
+
+  /// Picks the replica index for the next arrival. Deterministic: every
+  /// tie resolves to the lowest index (after the policy's secondary keys).
+  /// `loads` must be non-empty and its order is the replica order.
+  std::uint32_t pick(const std::vector<ReplicaLoad>& loads);
+
+  BalancerPolicy policy() const { return policy_; }
+
+ private:
+  BalancerPolicy policy_;
+  std::uint32_t round_robin_next_ = 0;
+};
+
+struct FleetConfig {
+  /// One ServingConfig per replica (>= 1). Per-replica `traffic` members
+  /// are ignored — the fleet has exactly one arrival stream, `traffic`
+  /// below. Replicas may differ in everything else, but must share one
+  /// arch.frequency_hz (single engine clock).
+  std::vector<ServingConfig> replicas;
+  /// The shared arrival stream the balancer splits across replicas.
+  TrafficConfig traffic;
+  BalancerPolicy balancer = BalancerPolicy::kRoundRobin;
+
+  /// N identical replicas of `base`; the fleet traffic is base.traffic.
+  static FleetConfig homogeneous(
+      const ServingConfig& base, std::uint32_t n,
+      BalancerPolicy balancer = BalancerPolicy::kRoundRobin);
+};
+
+/// What one fleet run produced: per-replica FleetMetrics plus the pooled
+/// fleet-level rollup and the cross-replica balance statistics the
+/// balancer policies are judged on.
+struct FleetResult {
+  /// Per-replica metrics, in replica order. `offered` is the requests
+  /// routed to that replica; latency percentiles are over its own
+  /// completions.
+  std::vector<FleetMetrics> replicas;
+
+  /// Fleet-level rollup. Counts/token totals/iterations sum across
+  /// replicas; rates use the shared makespan; latency percentiles pool
+  /// every replica's per-request samples; `peak_in_flight` is the true
+  /// fleet-wide concurrent peak; `busy_fraction` averages pipeline
+  /// utilization over all replicas; `peak_queue_depth` and
+  /// `kv_peak_occupancy` report the worst single replica; KV capacity and
+  /// preemption counters sum. `preempt`/`kv_block_tokens` echo replica 0
+  /// (display only — replicas may differ). `requests` pools every
+  /// replica's records sorted by id (== fleet-wide injection order), each
+  /// carrying its `replica` index.
+  FleetMetrics fleet;
+
+  /// Arrivals the balancer routed to each replica (sums to fleet.offered).
+  std::vector<std::uint64_t> routed;
+  /// max(routed) / mean(routed): 1.0 is a perfectly even split. The
+  /// imbalance a blind policy accumulates is the headroom JSQ/KV-aware
+  /// routing exists to reclaim.
+  double load_imbalance = 0;
+  /// max - min of per-replica p99 TTFT over replicas that completed work —
+  /// the tail-latency spread a skewed routing inflicts.
+  double ttft_p99_spread_ms = 0;
+
+  /// Per-replica + fleet summary table for examples and reports.
+  util::Table to_table(const std::string& title) const;
+};
+
+class FleetSim {
+ public:
+  /// Builds one step-cost model per distinct (arch, model, probe stride)
+  /// among the replicas — a homogeneous fleet probes the timed system once.
+  explicit FleetSim(const FleetConfig& config);
+
+  /// Reuses an existing cost model for every replica — sweep harnesses
+  /// over homogeneous fleets should share one across points. All replicas
+  /// must then really be priced by it (same arch + model), which this
+  /// constructor trusts the caller on, like ServingSim's equivalent.
+  FleetSim(const FleetConfig& config, const core::StepCostModel& costs);
+
+  const FleetConfig& config() const { return config_; }
+
+  /// Simulates the whole fleet to completion and returns its results.
+  FleetResult run() const;
+
+ private:
+  void validate();
+
+  FleetConfig config_;
+  std::vector<core::StepCostModel> costs_;  // one per replica
+};
+
+}  // namespace looplynx::serve

@@ -12,10 +12,20 @@
 // (serve::PreemptPolicy::kRecomputeYoungest frees the victim's list and
 // re-runs its KV as chunked prefill).
 //
-// block_tokens == 1 makes the accounting token-granular — bit-identical to
-// the pre-paging whole-footprint KvSlotManager when combined with
-// PreemptPolicy::kNone, which is why it is the default everywhere a sweep
-// must stay byte-reproducible against older output.
+// Invariants:
+//  - block_tokens == 1 makes the accounting token-granular — bit-identical
+//    to the pre-paging whole-footprint KvSlotManager when combined with
+//    PreemptPolicy::kNone, which is why it is the default everywhere a
+//    sweep must stay byte-reproducible against older output.
+//  - try_grow is all-or-nothing: on failure the list is untouched and the
+//    stall is counted, so callers can retry after a release without
+//    unwinding partial allocations.
+//  - used_blocks() never underflows: release_all clamps an over-release
+//    (always a caller bug) and counts it in over_release_events() instead
+//    of wrapping free_blocks() — admission backpressure survives the bug.
+//  - Fleets never share pools: each replica owns one KvBlockManager, so
+//    free_blocks() is a per-replica signal (the kv-aware balancer
+//    compares free_blocks() x block_tokens() across replicas).
 #pragma once
 
 #include <cstdint>

@@ -18,6 +18,9 @@ namespace looplynx::serve {
 /// individual callers). Ordered by request id == injection order.
 struct RequestRecord {
   std::uint32_t id = 0;
+  /// Index of the fleet replica that served this request (0 for
+  /// single-replica runs; the LoadBalancer's routing decision otherwise).
+  std::uint32_t replica = 0;
   std::uint32_t prefill_tokens = 0;
   std::uint32_t decode_tokens = 0;
   /// Scheduler iterations the prompt took (1 == unchunked prefill).

@@ -1,0 +1,186 @@
+// One serving replica's engine room — the internal machinery shared by
+// ServingSim (a single replica on its own engine) and FleetSim (several
+// replicas on one shared engine behind a LoadBalancer).
+//
+// A Replica owns everything one deployment needs per run: the admission
+// queue, the paged KvBlockManager, the iteration scheduler, the request
+// storage and every progress counter FleetMetrics reports. It does NOT own
+// the sim::Engine or the TrafficGen — those belong to the harness
+// (ServingSim::run / FleetSim::run), because a fleet shares one clock and
+// one arrival stream across all replicas.
+//
+// This header is internal to src/serve/: the public entry points are
+// serving_sim.hpp and fleet.hpp. The split exists so the two harnesses
+// cannot drift — the scheduling loop, admission control and preemption
+// logic are one implementation, and a single-replica FleetSim run is
+// bit-identical to a ServingSim run (pinned in tests/test_fleet.cpp).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/step_cost.hpp"
+#include "serve/kv_block.hpp"
+#include "serve/metrics.hpp"
+#include "serve/queue.hpp"
+#include "serve/request.hpp"
+#include "serve/scheduler.hpp"
+#include "serve/serving_sim.hpp"
+#include "serve/traffic.hpp"
+#include "sim/engine.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+
+namespace looplynx::serve::detail {
+
+/// Fleet-wide counters shared by every replica of one run. Request ids are
+/// allocated from here so they are unique across the fleet and strictly
+/// increasing in injection order — the property the age-ordered preemption
+/// policy (oldest == lowest id) and the Host submit/flush record mapping
+/// both rely on. A single-replica run owns a private instance.
+struct FleetShared {
+  std::uint32_t target = 0;     // traffic.num_requests, the injection budget
+  std::uint32_t injected = 0;   // requests created fleet-wide so far
+  std::uint32_t active = 0;     // admitted and unfinished, fleet-wide
+  std::uint32_t peak_active = 0;
+
+  bool arrivals_done() const { return injected >= target; }
+};
+
+/// Everything one replica owns for one run. Lives on the harness run()'s
+/// stack (or heap, for fleets); all coroutines hold references into it and
+/// either complete before it is destroyed or are destroyed un-resumed with
+/// the engine.
+struct Replica {
+  Replica(sim::Engine& engine_, const ServingConfig& cfg_,
+          const core::StepCostModel& costs_, FleetShared& shared_,
+          std::uint32_t id_)
+      : engine(engine_),
+        cfg(cfg_),
+        costs(costs_),
+        shared(shared_),
+        id(id_),
+        queue(cfg_.scheduler.queue_capacity),
+        kv(cfg_.arch, cfg_.model, cfg_.kv_budget_bytes_per_node,
+           cfg_.kv_block_tokens),
+        sched(cfg_.scheduler),
+        work(engine_) {}
+  Replica(const Replica&) = delete;
+  Replica& operator=(const Replica&) = delete;
+
+  sim::Engine& engine;
+  const ServingConfig& cfg;
+  const core::StepCostModel& costs;
+  FleetShared& shared;
+  const std::uint32_t id;  // replica index within the fleet (0 for lone runs)
+
+  RequestQueue queue;
+  KvBlockManager kv;
+  Scheduler sched;
+  sim::Signal work;  // arrivals and completions nudge the scheduler
+
+  bool paged_admission() const {
+    return cfg.scheduler.preempt == PreemptPolicy::kRecomputeYoungest;
+  }
+
+  std::vector<std::unique_ptr<Request>> requests;
+  std::vector<Request*> runnable;  // admitted, awaiting an iteration turn
+
+  // ---- Progress counters ----
+  std::uint32_t routed = 0;     // requests the balancer sent here
+  std::uint32_t active = 0;     // admitted and not yet finished
+  std::uint32_t peak_active = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t good = 0;       // completed within both SLOs
+  std::uint64_t decode_tokens = 0;
+  std::uint64_t total_tokens = 0;
+  sim::Cycles busy_cycles = 0;  // summed iteration spans
+  std::uint64_t prefill_chunk_steps = 0;
+  std::uint64_t chunked_prompts = 0;
+  std::uint64_t decode_stall_iterations = 0;
+  sim::Cycles decode_stall_cycles = 0;
+  std::uint64_t preemptions = 0;
+  std::uint64_t recompute_tokens = 0;     // KV dropped -> re-run as prefill
+  sim::Cycles recompute_cycles = 0;       // pipeline cost of those re-runs
+  std::uint32_t recovering = 0;  // preempted requests not yet re-prefilled
+
+  // ---- Latency samples (ms, one per completed request) ----
+  std::vector<double> ttft_ms, token_ms, e2e_ms, queue_wait_ms;
+  // Gaps between consecutive host-visible tokens, pooled replica-wide.
+  std::vector<double> gap_ms;
+
+  /// Requests routed here and not yet finished or rejected — the "queued +
+  /// running" load the join-shortest-queue balancer compares. Counted from
+  /// routing (not queue push) so same-cycle burst arrivals are visible to
+  /// the very next routing decision.
+  std::uint32_t outstanding() const {
+    return routed - static_cast<std::uint32_t>(completed + rejected);
+  }
+
+  double ms(sim::Cycles c) const { return cfg.arch.cycles_to_ms(c); }
+
+  /// Creates a request routed to this replica. The id comes from the
+  /// fleet-wide counter; the caller spawns request_proc for it.
+  Request& make_request(workload::Scenario shape);
+
+  void record_completion(Request& r);
+};
+
+/// Root process of one request on its replica. Parks on its grant signal;
+/// every grant is one scheduler iteration turn, executed at the request's
+/// pipeline slot within the iteration, with the iteration's CountdownLatch
+/// as batch barrier.
+sim::Task request_proc(Replica& f, Request& r);
+
+/// The replica's continuous-batching loop: admit, select a batch, let the
+/// members stream through the pipeline back to back, pay host sync once,
+/// repeat. Exits when the fleet-wide arrival stream is exhausted and this
+/// replica has drained. Livelock-freedom under kRecomputeYoungest holds
+/// per replica (eviction never crosses replicas — each owns its KV pool).
+sim::Task scheduler_proc(Replica& f);
+
+/// Builds this replica's FleetMetrics after engine.run() returned. Moves
+/// the latency sample vectors out of the replica — harnesses that pool
+/// samples fleet-wide must copy them first.
+FleetMetrics finalize_metrics(Replica& f);
+
+/// Open-loop injector shared by both harnesses: replays the pre-generated
+/// arrival schedule, asking `route()` (signature `Replica&()`) for the
+/// target replica the moment each arrival lands. ServingSim routes every
+/// arrival to its lone replica; FleetSim's route() is the LoadBalancer.
+/// One implementation so the two harnesses cannot drift — and routing
+/// must make no engine events, which is what keeps a 1-replica fleet
+/// bit-identical to ServingSim.
+template <typename RouteFn>
+sim::Task arrivals_proc(sim::Engine& engine, TrafficGen& traffic,
+                        RouteFn route) {
+  const std::vector<Arrival> schedule = traffic.open_loop_schedule();
+  for (const Arrival& a : schedule) {
+    if (a.at > engine.now()) co_await engine.delay(a.at - engine.now());
+    Replica& rep = route();
+    Request& r = rep.make_request(a.shape);
+    engine.spawn(request_proc(rep, r));
+  }
+}
+
+/// Closed-loop client shared by both harnesses: submit (routed fresh each
+/// iteration, so a client's requests follow the balancer), await
+/// completion, think, repeat. The global request budget is shared across
+/// clients through FleetShared.
+template <typename RouteFn>
+sim::Task client_proc(sim::Engine& engine, FleetShared& shared,
+                      TrafficGen& traffic, double think_time_s,
+                      RouteFn route) {
+  while (!shared.arrivals_done()) {
+    Replica& rep = route();
+    Request& r = rep.make_request(traffic.next_shape());
+    engine.spawn(request_proc(rep, r));
+    co_await r.done.wait();
+    if (shared.arrivals_done()) break;
+    co_await engine.delay(traffic.exponential_cycles(think_time_s));
+  }
+}
+
+}  // namespace looplynx::serve::detail

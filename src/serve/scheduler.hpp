@@ -29,6 +29,21 @@
 //    decode priority it trades TTFT for smooth inter-token latency: when
 //    running decode streams fill max_batch or the budget, waiting prompts
 //    stall, so size max_batch above the expected concurrent-stream count.
+//
+// Invariants:
+//  - select() is a pure function of (config, runnable order, request
+//    progress): no randomness, no clock reads — the determinism the
+//    byte-identical sweep gate and the fleet's routing reproducibility
+//    both build on.
+//  - No starvation by construction: within each class FIFO order is
+//    preserved, a budget-blocked head prompt cannot be overtaken by
+//    younger prompts, and a prompt larger than the whole budget runs
+//    over-budget as the iteration's only prompt work.
+//  - Livelock-freedom of preemption (PreemptPolicy::kRecomputeYoungest)
+//    additionally requires the scheduler loop's rules — age-ordered
+//    decode-only eviction, re-prefills wait, admissions pause while a
+//    victim recovers (serve/replica.cpp) — on top of these ordering
+//    guarantees.
 #pragma once
 
 #include <cstdint>

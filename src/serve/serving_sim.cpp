@@ -1,474 +1,12 @@
 #include "serve/serving_sim.hpp"
 
 #include <algorithm>
-#include <memory>
 #include <stdexcept>
-#include <vector>
+#include <utility>
 
-#include "serve/kv_block.hpp"
-#include "serve/queue.hpp"
-#include "serve/request.hpp"
-#include "sim/task.hpp"
+#include "serve/replica.hpp"
 
 namespace looplynx::serve {
-
-namespace {
-
-/// Everything one fleet run owns. Lives on ServingSim::run's stack; all
-/// coroutines hold references into it and complete before it is destroyed
-/// (Engine is the first member, so it is destroyed last).
-struct Fleet {
-  Fleet(const ServingConfig& cfg_, const core::StepCostModel& costs_)
-      : cfg(cfg_),
-        costs(costs_),
-        queue(cfg_.scheduler.queue_capacity),
-        kv(cfg_.arch, cfg_.model, cfg_.kv_budget_bytes_per_node,
-           cfg_.kv_block_tokens),
-        sched(cfg_.scheduler),
-        traffic(cfg_.traffic, cfg_.arch.frequency_hz),
-        work(engine) {}
-
-  const ServingConfig& cfg;
-  const core::StepCostModel& costs;
-  sim::Engine engine;
-  RequestQueue queue;
-  KvBlockManager kv;
-  Scheduler sched;
-  TrafficGen traffic;
-  sim::Signal work;  // arrivals and completions nudge the scheduler
-
-  bool paged_admission() const {
-    return cfg.scheduler.preempt == PreemptPolicy::kRecomputeYoungest;
-  }
-
-  std::vector<std::unique_ptr<Request>> requests;
-  std::vector<Request*> runnable;  // admitted, awaiting an iteration turn
-
-  // ---- Progress counters ----
-  std::uint32_t injected = 0;   // requests created so far
-  std::uint32_t active = 0;     // admitted and not yet finished
-  std::uint32_t peak_active = 0;
-  std::uint64_t completed = 0;
-  std::uint64_t rejected = 0;
-  std::uint64_t good = 0;       // completed within both SLOs
-  std::uint64_t decode_tokens = 0;
-  std::uint64_t total_tokens = 0;
-  sim::Cycles busy_cycles = 0;  // summed iteration spans
-  std::uint64_t prefill_chunk_steps = 0;
-  std::uint64_t chunked_prompts = 0;
-  std::uint64_t decode_stall_iterations = 0;
-  sim::Cycles decode_stall_cycles = 0;
-  std::uint64_t preemptions = 0;
-  std::uint64_t recompute_tokens = 0;     // KV dropped -> re-run as prefill
-  sim::Cycles recompute_cycles = 0;       // pipeline cost of those re-runs
-  std::uint32_t recovering = 0;  // preempted requests not yet re-prefilled
-
-  // ---- Latency samples (ms, one per completed request) ----
-  std::vector<double> ttft_ms, token_ms, e2e_ms, queue_wait_ms;
-  // Gaps between consecutive host-visible tokens, pooled fleet-wide.
-  std::vector<double> gap_ms;
-
-  bool arrivals_done() const { return injected >= cfg.traffic.num_requests; }
-
-  double ms(sim::Cycles c) const { return cfg.arch.cycles_to_ms(c); }
-
-  Request& make_request(workload::Scenario shape) {
-    if (shape.total() > cfg.model.max_seq_len) {
-      throw std::invalid_argument("traffic shape " + shape.name +
-                                  " exceeds the model context window");
-    }
-    requests.push_back(
-        std::make_unique<Request>(engine, injected++, std::move(shape)));
-    return *requests.back();
-  }
-
-  void record_completion(Request& r) {
-    r.state = RequestState::kFinished;
-    r.completed = engine.now();
-    kv.release_all(r.kv);
-    --active;
-    ++completed;
-    decode_tokens += r.decoded;
-    total_tokens += r.decoded;
-    prefill_chunk_steps += r.prefill_chunks;
-    if (r.prefill_chunks > 1) ++chunked_prompts;
-    const double ttft = ms(r.first_token - r.arrival);
-    const double token =
-        r.decoded > 0 ? ms(r.completed - r.first_token) /
-                            static_cast<double>(r.decoded)
-                      : 0.0;
-    ttft_ms.push_back(ttft);
-    token_ms.push_back(token);
-    e2e_ms.push_back(ms(r.completed - r.arrival));
-    queue_wait_ms.push_back(ms(r.admitted - r.arrival));
-    if (ttft <= cfg.slo.ttft_ms && token <= cfg.slo.token_ms) ++good;
-  }
-};
-
-/// Root process of one request. Parks on its grant signal; every grant is
-/// one scheduler iteration turn, executed at the request's pipeline slot
-/// within the iteration, with the iteration's CountdownLatch as batch
-/// barrier.
-sim::Task request_proc(Fleet& f, Request& r) {
-  r.arrival = f.engine.now();
-  if (!f.queue.push(&r)) {
-    r.state = RequestState::kRejected;
-    ++f.rejected;
-    r.done.set();
-    co_return;
-  }
-  f.work.set();
-  while (true) {
-    co_await r.grant.wait();
-    r.grant.reset();
-    if (r.state == RequestState::kRejected) {
-      // Popped by the scheduler but impossible to admit (footprint larger
-      // than the whole KV budget).
-      ++f.rejected;
-      r.done.set();
-      co_return;
-    }
-    // Wait for this request's turn through the time-shared pipeline, then
-    // occupy it for the step.
-    co_await f.engine.delay(r.step_offset + r.step_cycles);
-    if (r.step_tokens > 0) {
-      // Prefill chunk: advance the cursor. A partial chunk leaves the
-      // request in the prefill class; the final chunk emits token #1.
-      r.prompt_done += r.step_tokens;
-      ++r.prefill_chunks;
-      f.total_tokens += r.step_tokens;
-      if (r.recovering && r.prefilled()) {
-        // Post-preemption recompute done: the dropped KV is rebuilt and
-        // admission of new competitors may resume.
-        r.recovering = false;
-        --f.recovering;
-      }
-    } else {
-      ++r.decoded;
-    }
-    // The token reaches the host only at batch egress + PCIe sync.
-    co_await f.engine.delay(r.post_step_cycles);
-    // A decode step always emits a token. A final prefill chunk emits
-    // token #1 — unless this was a post-preemption re-prefill of tokens
-    // the host has already seen (emitted_token), which only rebuilds KV.
-    if (r.step_tokens == 0 || (r.prefilled() && !r.emitted_token)) {
-      const sim::Cycles now = f.engine.now();
-      if (r.decoded == 0) r.first_token = now;
-      if (r.emitted_token) {
-        const sim::Cycles gap = now - r.last_token;
-        r.max_token_gap = std::max(r.max_token_gap, gap);
-        f.gap_ms.push_back(f.ms(gap));
-      }
-      r.emitted_token = true;
-      r.last_token = now;
-    }
-    const bool finished = r.finished();
-    r.latch->count_down();  // batch barrier: everyone reaches egress together
-    if (finished) break;
-  }
-  f.record_completion(r);
-  f.work.set();  // freed KV slots may unblock the queue head
-  r.done.set();
-}
-
-/// Open-loop injector: replays the pre-generated arrival schedule.
-sim::Task arrivals_proc(Fleet& f) {
-  const std::vector<Arrival> schedule = f.traffic.open_loop_schedule();
-  for (const Arrival& a : schedule) {
-    if (a.at > f.engine.now()) co_await f.engine.delay(a.at - f.engine.now());
-    Request& r = f.make_request(a.shape);
-    f.engine.spawn(request_proc(f, r));
-  }
-}
-
-/// Closed-loop client: submit, await completion, think, repeat. The global
-/// request budget is shared across clients.
-sim::Task client_proc(Fleet& f) {
-  while (!f.arrivals_done()) {
-    Request& r = f.make_request(f.traffic.next_shape());
-    f.engine.spawn(request_proc(f, r));
-    co_await r.done.wait();
-    if (f.arrivals_done()) break;
-    co_await f.engine.delay(
-        f.traffic.exponential_cycles(f.cfg.traffic.think_time_s));
-  }
-}
-
-/// Admits queued requests in FIFO order while the KV manager and the
-/// in-flight budget have room. A head request that can never fit is
-/// rejected so it cannot wedge the queue. Under PreemptPolicy::kNone the
-/// whole lifetime footprint (prefill + decode) is reserved up front — no
-/// mid-flight eviction can ever be needed; under kRecomputeYoungest only
-/// the prompt's blocks gate admission and decode blocks grow on demand.
-void admit_from_queue(Fleet& f) {
-  while (!f.queue.empty() && f.active < f.cfg.scheduler.max_in_flight) {
-    Request* r = f.queue.front();
-    if (!f.kv.can_ever_fit(r->shape.total())) {
-      f.queue.pop();
-      r->state = RequestState::kRejected;
-      r->grant.set();  // resumes the root process, which records the drop
-      continue;
-    }
-    const std::uint32_t admit_tokens =
-        f.paged_admission() ? r->shape.prefill : r->shape.total();
-    if (!f.kv.try_grow(r->kv, admit_tokens)) break;  // KV backpressure
-    f.queue.pop();
-    r->admitted = f.engine.now();
-    r->state = RequestState::kRunning;
-    ++f.active;
-    f.peak_active = std::max(f.peak_active, f.active);
-    f.runnable.push_back(r);
-  }
-}
-
-/// Evicts `v`'s KV (recompute-style): every block goes back to the pool
-/// and the decode tokens it had produced fold into the prefill target, so
-/// chunked prefill re-runs [0, prompt + decoded) when `v` is next
-/// scheduled. Tokens the host already saw are not re-emitted.
-void preempt_victim(Fleet& f, Request& v) {
-  const std::uint32_t dropped = v.kv_len();
-  f.kv.release_all(v.kv);
-  ++f.preemptions;
-  ++v.preempt_count;
-  f.recompute_tokens += dropped;
-  f.recompute_cycles += f.costs.recompute_cycles(dropped);
-  v.recompute_decoded = v.decoded;
-  v.prompt_done = 0;
-  if (!v.recovering) {
-    v.recovering = true;
-    ++f.recovering;
-  }
-}
-
-/// KV tokens a step must have covered before it runs: a decode appends one
-/// token at kv_len, a prefill chunk its token count at the cursor.
-std::uint32_t step_need(const ScheduledStep& s) {
-  return s.is_prefill() ? s.request->prompt_done + s.prompt_tokens
-                        : s.request->kv_len() + 1;
-}
-
-/// Youngest (highest-id) block holder in `pool` strictly younger than
-/// `than_id`. Seeds from and returns `best` so scans over several pools
-/// compose.
-Request* youngest_holder(const std::vector<Request*>& pool,
-                         std::uint32_t than_id, Request* best) {
-  for (Request* c : pool) {
-    if (c->kv.blocks > 0 && c->id > than_id &&
-        (best == nullptr || c->id > best->id)) {
-      best = c;
-    }
-  }
-  return best;
-}
-
-/// Grants every batch member the KV blocks its step writes into. Only
-/// *decode* growth may preempt: a dry decode evicts the youngest
-/// block-holding victim that is *strictly younger* (higher id) than
-/// itself, taken from the runnable pool, the already-deferred requests
-/// (they keep their blocks while sitting out), or not-yet-secured later
-/// batch members — never from members already secured this iteration.
-/// Prefill steps (which under paged admission only ever need growth when
-/// rebuilding a preempted request's KV) wait for blocks freed by
-/// completions instead: if re-prefills could evict, every eviction would
-/// mint a new re-prefill that evicts in turn, and the fleet would grind
-/// prefill-on-prefill forever without decoding (a livelock the
-/// prefill-priority policy hits immediately). With eviction age-ordered
-/// and decode-only, the oldest unfinished request can never lose work and
-/// always drains to completion — recompute counts stay bounded by
-/// construction. Members that cannot be satisfied land in `deferred` (NOT
-/// back in runnable) so the caller can re-select schedulable work this
-/// iteration without re-picking them.
-void ensure_kv_blocks(Fleet& f, std::vector<ScheduledStep>& batch,
-                      std::vector<Request*>& deferred) {
-  for (std::size_t i = 0; i < batch.size();) {
-    Request* r = batch[i].request;
-    const bool is_prefill = batch[i].is_prefill();
-    const std::uint32_t need = step_need(batch[i]);
-    bool secured = true;
-    while (!f.kv.try_grow(r->kv, need)) {
-      Request* victim = nullptr;
-      std::size_t victim_pos = batch.size();
-      if (!is_prefill) {
-        victim = youngest_holder(f.runnable, r->id,
-                                 youngest_holder(deferred, r->id, nullptr));
-        for (std::size_t j = i + 1; j < batch.size(); ++j) {
-          Request* c = batch[j].request;
-          if (c->kv.blocks > 0 && c->id > r->id &&
-              (victim == nullptr || c->id > victim->id)) {
-            victim = c;
-            victim_pos = j;
-          }
-        }
-      }
-      if (victim == nullptr) {
-        // Every block is pinned by older or already-secured requests;
-        // they keep progressing and release at completion, so r just
-        // sits this iteration out.
-        deferred.push_back(r);
-        batch.erase(batch.begin() + i);
-        secured = false;
-        break;
-      }
-      preempt_victim(f, *victim);
-      if (victim_pos < batch.size()) {
-        batch.erase(batch.begin() + victim_pos);
-        f.runnable.push_back(victim);
-      }
-    }
-    if (secured) ++i;
-  }
-}
-
-/// The continuous-batching loop: admit, select a batch, let the members
-/// stream through the pipeline back to back, pay host sync once, repeat.
-sim::Task scheduler_proc(Fleet& f) {
-  while (true) {
-    // While a preempted request is still rebuilding its KV, hold new
-    // admissions: a newcomer would compete for the very blocks the victim
-    // needs back, and (being youngest) immediately become the next victim
-    // — admission-pause is what keeps recompute counts bounded.
-    if (f.recovering == 0) admit_from_queue(f);
-    std::vector<ScheduledStep> batch = f.sched.select(f.runnable);
-    if (f.paged_admission()) {
-      // Deferred members sit out this iteration; re-select until the
-      // batch has schedulable work or runnable is exhausted (each pass
-      // moves at least one request to deferred, so this terminates). A
-      // block-starved re-prefill must not shadow runnable decodes — the
-      // decodes are what free the blocks it is waiting for.
-      std::vector<Request*> deferred;
-      ensure_kv_blocks(f, batch, deferred);
-      while (batch.empty() && !f.runnable.empty()) {
-        batch = f.sched.select(f.runnable);
-        ensure_kv_blocks(f, batch, deferred);
-      }
-      f.runnable.insert(f.runnable.end(), deferred.begin(), deferred.end());
-      if (batch.empty() && !f.runnable.empty()) {
-        // Everything runnable is block-starved prefill: every block is
-        // parked on half-rebuilt prompts and no decode exists to evict or
-        // finish. Grant the oldest waiter eviction rights regardless of
-        // step kind or age — it drains to completion and unwedges the
-        // fleet (this cannot cascade: it fires only when nothing else is
-        // schedulable, and always advances the oldest request).
-        Request* oldest = f.runnable.front();
-        for (Request* c : f.runnable) {
-          if (c->id < oldest->id) oldest = c;
-        }
-        std::vector<Request*> lone{oldest};
-        batch = f.sched.select(lone);
-        const std::uint32_t need = step_need(batch.front());
-        while (!f.kv.try_grow(oldest->kv, need)) {
-          // Everyone else in runnable is strictly younger than oldest, so
-          // the age-ordered scan doubles as an "anyone but me" scan here.
-          Request* victim = youngest_holder(f.runnable, oldest->id, nullptr);
-          // A missing victim would mean oldest is the sole block holder,
-          // but then its grow would have succeeded (admission checked
-          // can_ever_fit on the whole footprint).
-          if (victim == nullptr) break;
-          preempt_victim(f, *victim);
-        }
-        std::erase(f.runnable, oldest);
-      }
-    }
-    if (batch.empty()) {
-      if (f.arrivals_done() && f.queue.empty() && f.runnable.empty()) break;
-      co_await f.work.wait();
-      f.work.reset();
-      continue;
-    }
-
-    IterationRecord rec;
-    rec.start = f.engine.now();
-    sim::CountdownLatch latch(f.engine, batch.size());
-
-    // Decode members share one weight-stream pass (each streamed block is
-    // applied to every member's vector), so they occupy the pipeline as a
-    // group; prefill chunks run their prompt tokens back to back, each
-    // chunk resuming at its request's cursor against the KV already
-    // cached. The priority class also goes first through the pipeline
-    // within the iteration.
-    std::vector<ScheduledStep> prefills;
-    std::vector<Request*> decodes;
-    std::vector<std::uint32_t> decode_positions;
-    for (const ScheduledStep& s : batch) {
-      if (s.is_prefill()) {
-        prefills.push_back(s);
-        rec.prompt_tokens += s.prompt_tokens;
-      } else {
-        decodes.push_back(s.request);
-        decode_positions.push_back(
-            std::min(s.request->kv_len(), f.costs.max_positions() - 1));
-      }
-    }
-    const sim::Cycles decode_group =
-        f.costs.decode_batch_cycles(decode_positions);
-
-    sim::Cycles offset = f.cfg.scheduler.iteration_overhead_cycles;
-    sim::Cycles prefill_span = 0;
-    const bool decodes_first =
-        f.cfg.scheduler.policy != BatchPolicy::kPrefillPriority;
-    auto place_decodes = [&] {
-      for (Request* r : decodes) {
-        r->step_offset = offset;
-        r->step_cycles = decode_group;
-        r->step_tokens = 0;
-      }
-      if (!decodes.empty()) offset += decode_group;
-    };
-    auto place_prefills = [&] {
-      for (const ScheduledStep& s : prefills) {
-        Request* r = s.request;
-        r->step_offset = offset;
-        r->step_cycles =
-            f.costs.prefill_chunk_cycles(r->prompt_done, s.prompt_tokens);
-        r->step_tokens = s.prompt_tokens;
-        offset += r->step_cycles;
-        prefill_span += r->step_cycles;
-      }
-    };
-    if (decodes_first) {
-      place_decodes();
-      place_prefills();
-    } else {
-      place_prefills();
-      place_decodes();
-    }
-
-    rec.prefills = static_cast<std::uint32_t>(prefills.size());
-    rec.decodes = static_cast<std::uint32_t>(decodes.size());
-    // Prompt work in an iteration delays every co-scheduled decode's token
-    // by its full span (tokens are host-visible only at batch egress,
-    // regardless of pipeline order) — the head-of-line blocking chunking
-    // bounds to one chunk.
-    if (!decodes.empty() && rec.prompt_tokens > 0) {
-      ++f.decode_stall_iterations;
-      f.decode_stall_cycles += prefill_span;
-    }
-    // Tokens become host-visible at batch egress + one PCIe sync; members
-    // wait out the tail of the batch so the latch fires at that instant.
-    const sim::Cycles egress = offset + f.costs.host_sync_cycles();
-    for (const ScheduledStep& s : batch) {
-      Request* r = s.request;
-      r->post_step_cycles = egress - (r->step_offset + r->step_cycles);
-      r->latch = &latch;
-      r->grant.set();
-    }
-    co_await latch.wait();
-    rec.span = f.engine.now() - rec.start;
-    f.busy_cycles += rec.span;
-    f.sched.record(rec);
-
-    // Unfinished members rejoin the runnable pool in batch order, keeping
-    // the FIFO discipline deterministic.
-    for (const ScheduledStep& s : batch) {
-      if (s.request->state == RequestState::kRunning &&
-          !s.request->finished()) {
-        f.runnable.push_back(s.request);
-      }
-    }
-  }
-}
-
-}  // namespace
 
 ServingSim::ServingSim(const ServingConfig& config)
     : ServingSim(config,
@@ -494,83 +32,31 @@ ServingSim::ServingSim(const ServingConfig& config, core::StepCostModel costs)
 }
 
 FleetMetrics ServingSim::run() const {
-  Fleet fleet(config_, costs_);
-  fleet.requests.reserve(config_.traffic.num_requests);
+  // Engine first: unfinished coroutine frames (none in a lone-replica run,
+  // but the shared machinery allows them) are destroyed with it, after
+  // every object they reference.
+  sim::Engine engine;
+  detail::FleetShared shared;
+  shared.target = config_.traffic.num_requests;
+  detail::Replica replica(engine, config_, costs_, shared, /*id=*/0);
+  replica.requests.reserve(shared.target);
+  TrafficGen traffic(config_.traffic, config_.arch.frequency_hz);
+  const auto route = [&replica]() -> detail::Replica& { return replica; };
 
-  fleet.engine.spawn(scheduler_proc(fleet));
+  engine.spawn(detail::scheduler_proc(replica));
   if (config_.traffic.process == ArrivalProcess::kClosedLoop) {
     const std::uint32_t clients =
         std::max<std::uint32_t>(1, config_.traffic.clients);
     for (std::uint32_t c = 0; c < clients; ++c) {
-      fleet.engine.spawn(client_proc(fleet));
+      engine.spawn(detail::client_proc(engine, shared, traffic,
+                                       config_.traffic.think_time_s, route));
     }
   } else {
-    fleet.engine.spawn(arrivals_proc(fleet));
+    engine.spawn(detail::arrivals_proc(engine, traffic, route));
   }
-  fleet.engine.run();
+  engine.run();
 
-  FleetMetrics m;
-  m.offered = fleet.injected;
-  m.completed = fleet.completed;
-  m.rejected = fleet.rejected;
-  m.decode_tokens = fleet.decode_tokens;
-  m.total_tokens = fleet.total_tokens;
-  m.slo = config_.slo;
-  const double duration_s =
-      static_cast<double>(fleet.engine.now()) / config_.arch.frequency_hz;
-  m.duration_s = duration_s;
-  if (duration_s > 0) {
-    m.throughput_req_s = static_cast<double>(m.completed) / duration_s;
-    m.throughput_tok_s = static_cast<double>(m.total_tokens) / duration_s;
-    m.decode_tok_s = static_cast<double>(m.decode_tokens) / duration_s;
-    m.goodput_req_s = static_cast<double>(fleet.good) / duration_s;
-    m.busy_fraction = static_cast<double>(fleet.busy_cycles) /
-                      static_cast<double>(fleet.engine.now());
-  }
-  m.ttft_ms = util::percentile_summary(std::move(fleet.ttft_ms));
-  m.token_ms = util::percentile_summary(std::move(fleet.token_ms));
-  m.e2e_ms = util::percentile_summary(std::move(fleet.e2e_ms));
-  m.queue_wait_ms = util::percentile_summary(std::move(fleet.queue_wait_ms));
-  m.inter_token_gap_ms = util::percentile_summary(std::move(fleet.gap_ms));
-  m.iterations = fleet.sched.iterations().size();
-  m.mean_batch_size = fleet.sched.mean_batch_size();
-  m.prefill_chunk_steps = fleet.prefill_chunk_steps;
-  m.chunked_prompts = fleet.chunked_prompts;
-  m.decode_stall_iterations = fleet.decode_stall_iterations;
-  m.decode_stall_ms = config_.arch.cycles_to_ms(fleet.decode_stall_cycles);
-  m.peak_in_flight = fleet.peak_active;
-  m.peak_queue_depth = fleet.queue.peak_depth();
-  m.kv_peak_occupancy = fleet.kv.peak_occupancy();
-  m.kv_stall_events = fleet.kv.stall_events();
-  m.kv_over_release_events = fleet.kv.over_release_events();
-  m.preempt = config_.scheduler.preempt;
-  m.kv_block_tokens = fleet.kv.block_tokens();
-  m.kv_capacity_blocks = fleet.kv.capacity_blocks();
-  m.kv_peak_used_blocks = fleet.kv.peak_used_blocks();
-  m.kv_peak_frag_tokens = fleet.kv.peak_frag_tokens();
-  m.preemptions = fleet.preemptions;
-  m.recompute_tokens = fleet.recompute_tokens;
-  m.recompute_ms = config_.arch.cycles_to_ms(fleet.recompute_cycles);
-  if (config_.keep_request_records) {
-    m.requests.reserve(fleet.requests.size());
-    for (const auto& r : fleet.requests) {
-      RequestRecord rec;
-      rec.id = r->id;
-      rec.prefill_tokens = r->shape.prefill;
-      rec.decode_tokens = r->decoded;
-      rec.prefill_chunks = r->prefill_chunks;
-      rec.preemptions = r->preempt_count;
-      rec.rejected = r->state == RequestState::kRejected;
-      if (!rec.rejected) {
-        rec.queue_wait_ms = fleet.ms(r->admitted - r->arrival);
-        rec.ttft_ms = fleet.ms(r->first_token - r->arrival);
-        rec.e2e_ms = fleet.ms(r->completed - r->arrival);
-        rec.max_token_gap_ms = fleet.ms(r->max_token_gap);
-      }
-      m.requests.push_back(rec);
-    }
-  }
-  return m;
+  return detail::finalize_metrics(replica);
 }
 
 }  // namespace looplynx::serve

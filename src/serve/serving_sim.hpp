@@ -1,4 +1,5 @@
-// Continuous-batching serving fleet on the sim::Engine event loop.
+// Single-replica continuous-batching serving engine on the sim::Engine
+// event loop.
 //
 // ServingSim wires the serve-layer components together: a TrafficGen
 // injects requests (each request is its own root coroutine), a
@@ -6,14 +7,26 @@
 // footprint under PreemptPolicy::kNone, prompt blocks only under
 // kRecomputeYoungest — decode blocks then grow on demand, preempting the
 // youngest victim when the pool runs dry), and the Scheduler runs
-// iteration-level continuous batching over the admitted set. Batch members occupy the time-shared pipeline back to back inside
-// an iteration — each priced by core::StepCostModel rather than
-// re-simulated — and a CountdownLatch forms the iteration's batch barrier;
-// the host PCIe sync is paid once per iteration. The run is fully
-// deterministic: same ServingConfig (including traffic seed) => identical
-// FleetMetrics, matching the engine's bit-reproducibility guarantee.
+// iteration-level continuous batching over the admitted set. Batch
+// members occupy the time-shared pipeline back to back inside an
+// iteration — each priced by core::StepCostModel rather than
+// re-simulated — and a CountdownLatch forms the iteration's batch
+// barrier; the host PCIe sync is paid once per iteration. The scheduling
+// machinery itself lives in serve/replica.hpp, shared with the
+// multi-replica FleetSim (serve/fleet.hpp).
 //
-// Architecture notes: DESIGN.md §4.
+// Invariants:
+//  - Determinism: same ServingConfig (including traffic seed) =>
+//    identical FleetMetrics, matching the engine's bit-reproducibility
+//    guarantee. The CI byte-identical sweep gate rests on this.
+//  - Legacy identity: kv_block_tokens == 1 with PreemptPolicy::kNone
+//    reproduces the pre-paging whole-footprint accounting bit for bit.
+//  - Livelock-freedom: under kRecomputeYoungest every admitted request
+//    completes — preconditioned on age-ordered, decode-only eviction and
+//    admission-pause-while-recovering (see scheduler_proc in
+//    serve/replica.cpp for the argument).
+//
+// Architecture notes: DESIGN.md §4 (single replica), §5 (fleets).
 #pragma once
 
 #include "core/arch_config.hpp"

@@ -16,6 +16,10 @@ Cli::Cli(int argc, const char* const* argv) {
     const auto eq = arg.find('=');
     if (eq != std::string::npos) {
       options_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      // Space-separated "--key value": the flag greedily takes the next
+      // non-option token as its value.
+      options_[arg] = argv[++i];
     } else {
       options_[arg] = "";  // bare flag
     }

@@ -1,8 +1,12 @@
 // Tiny command-line option parser for example binaries and bench harnesses.
 //
-// Accepts "--key=value" and bare "--flag" forms (the space-separated
-// "--key value" form is deliberately unsupported: it is ambiguous with
-// positional arguments). Non-option arguments are collected in order.
+// Accepts "--key=value", space-separated "--key value", and bare "--flag"
+// forms. The space form makes a flag greedy: a "--key" immediately followed
+// by a token that does not start with "--" takes that token as its value,
+// so a positional argument cannot directly follow a bare flag (none of the
+// repo's binaries use positionals — the greedy rule trades that corner for
+// the form operators actually type). Other non-option arguments are
+// collected in order.
 #pragma once
 
 #include <map>

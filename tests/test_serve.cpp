@@ -1141,5 +1141,43 @@ TEST(HostBatchTest, SubmitFlushTimesRequestsThroughOneFleet) {
   EXPECT_EQ(rejected, 2);
 }
 
+TEST(HostBatchTest, FleetFlushShardsAcrossReplicas) {
+  model::ModelConfig cfg = model::cosim_config();
+  cfg.vocab_size = 512;
+  const auto w = model::Gpt2Weights::random(cfg, 77);
+  util::Rng rng(78);
+  std::vector<std::uint32_t> calib(24);
+  for (auto& t : calib) {
+    t = static_cast<std::uint32_t>(rng.next_below(cfg.vocab_size));
+  }
+  const auto weights = quant::Gpt2Int8Weights::build_with_calibration(w, calib);
+  host::Host h(weights, host::Tokenizer::byte_level(),
+               core::ArchConfig::two_node());
+
+  host::ServeRequest req{.prompt = "loop", .max_new_tokens = 4,
+                         .sampling = {}};
+  for (int i = 0; i < 4; ++i) h.submit(req);
+  // A cycle-0 burst of four requests over two replicas behind JSQ must
+  // alternate (tie -> replica 0, then the loaded replica loses each
+  // subsequent tie-break round).
+  const auto results =
+      h.flush({}, /*replicas=*/2, serve::BalancerPolicy::kJoinShortestQueue);
+  ASSERT_EQ(results.size(), 4u);
+  std::uint32_t on_replica_1 = 0;
+  for (const auto& r : results) {
+    EXPECT_FALSE(r.rejected);
+    EXPECT_GT(r.total_ms, 0.0);
+    EXPECT_LE(r.replica, 1u);
+    on_replica_1 += r.replica;
+  }
+  EXPECT_EQ(results[0].replica, 0u);  // deterministic tie-break
+  EXPECT_EQ(on_replica_1, 2u);        // the burst actually sharded
+  // Identical single-replica flushes still report replica 0 everywhere.
+  h.submit(req);
+  const auto lone = h.flush();
+  ASSERT_EQ(lone.size(), 1u);
+  EXPECT_EQ(lone[0].replica, 0u);
+}
+
 }  // namespace
 }  // namespace looplynx::serve

@@ -161,8 +161,8 @@ TEST(RngTest, UniformIntCoversRangeInclusive) {
 }
 
 TEST(CliTest, ParsesKeyValueForms) {
-  const char* argv[] = {"prog", "--nodes=4", "--freq=285", "--verbose",
-                        "positional"};
+  const char* argv[] = {"prog", "positional", "--nodes=4", "--freq=285",
+                        "--verbose"};
   Cli cli(5, argv);
   EXPECT_EQ(cli.get_int_or("nodes", 0), 4);
   EXPECT_EQ(cli.get_int_or("freq", 0), 285);
@@ -172,6 +172,25 @@ TEST(CliTest, ParsesKeyValueForms) {
   EXPECT_EQ(cli.positional()[0], "positional");
   EXPECT_EQ(cli.get_int_or("missing", -1), -1);
   EXPECT_EQ(cli.get_or("missing", "dflt"), "dflt");
+}
+
+TEST(CliTest, ParsesSpaceSeparatedValues) {
+  // "--key value" is equivalent to "--key=value"; a bare flag is greedy,
+  // so a non-option token right after it becomes its value (which is why
+  // positionals may not directly follow a bare flag).
+  const char* argv[] = {"prog", "--replicas", "4", "--balancer", "jsq",
+                        "--verbose"};
+  Cli cli(6, argv);
+  EXPECT_EQ(cli.get_int_or("replicas", 0), 4);
+  EXPECT_EQ(cli.get_or("balancer", ""), "jsq");
+  EXPECT_TRUE(cli.has("verbose"));
+  EXPECT_TRUE(cli.get_bool_or("verbose", false));
+  EXPECT_TRUE(cli.positional().empty());
+  // Mixed forms agree.
+  const char* argv2[] = {"prog", "--replicas=4", "--balancer", "jsq"};
+  Cli cli2(4, argv2);
+  EXPECT_EQ(cli2.get_int_or("replicas", 0), 4);
+  EXPECT_EQ(cli2.get_or("balancer", ""), "jsq");
 }
 
 TEST(CliTest, DoubleAndBool) {
