@@ -13,6 +13,8 @@
 //                [--policy=prefill|decode|chunked] [--chunk-tokens=0]
 //                [--preempt=none|recompute] [--kv-block-tokens=1]
 //                [--kv-budget-mb=0] [--replicas=1] [--balancer=rr|jsq|kv]
+//                [--autoscale=queue|slo|hybrid] [--min-replicas=1]
+//                [--max-replicas=4] [--scale-interval-ms=50]
 //
 // --chunk-tokens=N sets the per-iteration token budget (requires
 // --policy=chunked; the policy defaults it to 64). --preempt=recompute
@@ -23,9 +25,14 @@
 // sweep can actually exercise block pressure. --replicas=N shards each
 // sweep point across N identical replicas routed by --balancer
 // (round-robin, join-shortest-queue, or KV-aware; requires --replicas>=2).
-// When the paging/fleet flags are at their defaults the table is
-// byte-identical to the pre-paging/pre-fleet output; otherwise it grows
-// peak-in-flight / preemption and imbalance / TTFT-spread columns.
+// --autoscale=P replaces the fixed width with a deterministic control
+// loop that grows/shrinks the live replica set between --min-replicas and
+// --max-replicas every --scale-interval-ms (policies: queue depth, SLO
+// p99 TTFT, or hybrid); the table then adds mean-live / replica-seconds /
+// scale-event columns — the cost side of the elasticity tradeoff.
+// When the paging/fleet/autoscale flags are at their defaults the table
+// is byte-identical to the pre-paging/pre-fleet output; otherwise it
+// grows peak-in-flight / preemption and imbalance / TTFT-spread columns.
 //
 // Output is deterministic: two runs with identical flags produce
 // byte-identical tables (seeded traffic + deterministic engine +
@@ -68,7 +75,15 @@ void print_usage() {
       "                       architecture default)\n"
       "  --replicas=N         fleet width, >= 1 (default 1 = single "
       "replica)\n"
-      "  --balancer=B         rr|jsq|kv; requires --replicas >= 2\n"
+      "  --balancer=B         rr|jsq|kv; requires --replicas >= 2 or "
+      "--autoscale\n"
+      "  --autoscale=P        queue|slo|hybrid (bare = hybrid): autoscale\n"
+      "                       the fleet between --min-replicas and\n"
+      "                       --max-replicas; conflicts with --replicas\n"
+      "  --min-replicas=N     autoscale floor, >= 1 (default 1)\n"
+      "  --max-replicas=N     autoscale ceiling, >= min (default 4)\n"
+      "  --scale-interval-ms=T  control-loop period in ms, > 0 (default "
+      "50)\n"
       "  --help               this text\n"
       "\n"
       "Flags accept --key=value and --key value forms. Defaults reproduce\n"
@@ -125,8 +140,17 @@ int main(int argc, char** argv) {
     title += ", kv-budget " + std::to_string(kv_budget_mb) + " MiB";
   }
   if (opts.fleet()) {
-    title += ", " + std::to_string(opts.replicas) + " replicas, " +
-             serve::balancer_policy_name(opts.balancer);
+    if (opts.autoscale.enabled) {
+      title += ", autoscale " +
+               std::string(serve::scale_policy_name(opts.autoscale.policy)) +
+               " " + std::to_string(opts.autoscale.min_replicas) + ".." +
+               std::to_string(opts.autoscale.max_replicas) + " @" +
+               util::fmt_fixed(opts.autoscale.eval_interval_ms, 0) + "ms, " +
+               serve::balancer_policy_name(opts.balancer);
+    } else {
+      title += ", " + std::to_string(opts.replicas) + " replicas, " +
+               serve::balancer_policy_name(opts.balancer);
+    }
   }
   util::Table t(title);
   std::vector<std::string> header = {
@@ -140,6 +164,11 @@ int main(int argc, char** argv) {
   if (opts.fleet()) {
     header.push_back("imbal");
     header.push_back("TTFT sprd");
+  }
+  if (opts.autoscale.enabled) {
+    header.push_back("live avg");
+    header.push_back("repl-s");
+    header.push_back("scale");
   }
   t.set_header(header);
 
@@ -161,12 +190,18 @@ int main(int argc, char** argv) {
         cfg.kv_budget_bytes_per_node = kv_budget_mb << 20;
         serve::FleetMetrics m;
         double imbalance = 0, ttft_spread = 0;
+        double mean_live = 0, replica_s = 0;
+        std::size_t scale_events = 0;
         if (opts.fleet()) {
-          const serve::FleetConfig fleet_cfg = serve::FleetConfig::homogeneous(
-              cfg, opts.replicas, opts.balancer);
+          serve::FleetConfig fleet_cfg = serve::FleetConfig::homogeneous(
+              cfg, opts.fleet_width(), opts.balancer);
+          fleet_cfg.autoscale = opts.autoscale;
           serve::FleetResult fr = serve::FleetSim(fleet_cfg, costs).run();
           imbalance = fr.load_imbalance;
           ttft_spread = fr.ttft_p99_spread_ms;
+          mean_live = fr.mean_live_replicas;
+          replica_s = fr.replica_seconds;
+          scale_events = fr.scale_events.size();
           m = std::move(fr.fleet);
         } else {
           m = serve::ServingSim(cfg, costs).run();
@@ -192,6 +227,11 @@ int main(int argc, char** argv) {
         if (opts.fleet()) {
           row.push_back(util::fmt_fixed(imbalance, 2));
           row.push_back(util::fmt_fixed(ttft_spread, 1));
+        }
+        if (opts.autoscale.enabled) {
+          row.push_back(util::fmt_fixed(mean_live, 2));
+          row.push_back(util::fmt_fixed(replica_s, 2));
+          row.push_back(util::fmt_int(static_cast<long long>(scale_events)));
         }
         t.add_row(row);
       }
@@ -225,6 +265,15 @@ int main(int argc, char** argv) {
         "perfectly even) and TTFT sprd is the max-min per-replica p99 TTFT\n"
         "in ms — --balancer=jsq/kv exist to shrink both on skewed mixes\n"
         "where round-robin piles heavy requests onto one replica.\n";
+  }
+  if (opts.autoscale.enabled) {
+    std::cout <<
+        "With --autoscale the live replica set tracks load between\n"
+        "--min-replicas and --max-replicas: live avg is the time-weighted\n"
+        "mean live-replica count, repl-s the occupied replica-seconds (a\n"
+        "static fleet burns width x makespan; the gap is the elasticity\n"
+        "saving) and scale the number of grow/shrink events. Scale-down\n"
+        "drains gracefully — masked replicas finish their admitted work.\n";
   }
   return 0;
 }

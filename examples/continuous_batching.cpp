@@ -11,13 +11,18 @@
 // and the youngest request is evicted-and-recomputed when the pool runs
 // dry — the same HBM budget then carries visibly more concurrent streams.
 // With --replicas=N the burst instead lands on a fleet of N such
-// deployments routed by --balancer (rr|jsq|kv).
+// deployments routed by --balancer (rr|jsq|kv); with --autoscale the
+// fleet sizes itself between --min-replicas and --max-replicas on the
+// deterministic control loop (queue|slo|hybrid policies).
 //
 //   ./continuous_batching [--requests=12] [--batch=8] [--rate=12]
 //                         [--policy=prefill|decode|chunked]
 //                         [--chunk-tokens=0] [--seed=7]
 //                         [--preempt=none|recompute] [--kv-block-tokens=1]
-//                         [--replicas=1] [--balancer=rr|jsq|kv] [--help]
+//                         [--replicas=1] [--balancer=rr|jsq|kv]
+//                         [--autoscale=queue|slo|hybrid]
+//                         [--min-replicas=1] [--max-replicas=4]
+//                         [--scale-interval-ms=50] [--help]
 #include <iostream>
 
 #include "core/arch_config.hpp"
@@ -45,7 +50,14 @@ void print_usage() {
       "  --preempt=P          none|recompute (default none)\n"
       "  --kv-block-tokens=N  KV paging granularity, >= 1 (default 1)\n"
       "  --replicas=N         fleet width, >= 1 (default 1)\n"
-      "  --balancer=B         rr|jsq|kv; requires --replicas >= 2\n"
+      "  --balancer=B         rr|jsq|kv; requires --replicas >= 2 or "
+      "--autoscale\n"
+      "  --autoscale=P        queue|slo|hybrid (bare = hybrid): autoscale\n"
+      "                       the fleet; conflicts with --replicas\n"
+      "  --min-replicas=N     autoscale floor, >= 1 (default 1)\n"
+      "  --max-replicas=N     autoscale ceiling, >= min (default 4)\n"
+      "  --scale-interval-ms=T  control-loop period in ms, > 0 (default "
+      "50)\n"
       "  --help               this text\n"
       "\n"
       "Flags accept --key=value and --key value forms.\n";
@@ -92,16 +104,37 @@ int main(int argc, char** argv) {
       "Continuous batching, " + cfg.traffic.mix.name + " mix, batch " +
       std::to_string(cfg.scheduler.max_batch);
   if (opts.fleet()) {
-    const serve::FleetConfig fleet_cfg =
-        serve::FleetConfig::homogeneous(cfg, opts.replicas, opts.balancer);
+    serve::FleetConfig fleet_cfg = serve::FleetConfig::homogeneous(
+        cfg, opts.fleet_width(), opts.balancer);
+    fleet_cfg.autoscale = opts.autoscale;
+    const std::string fleet_title =
+        opts.autoscale.enabled
+            ? mix_title + ", autoscale " +
+                  serve::scale_policy_name(opts.autoscale.policy) + " " +
+                  std::to_string(opts.autoscale.min_replicas) + ".." +
+                  std::to_string(opts.autoscale.max_replicas)
+            : mix_title + ", " + std::to_string(opts.replicas) +
+                  " replicas, " +
+                  serve::balancer_policy_name(opts.balancer);
     serve::FleetResult fr = serve::FleetSim(fleet_cfg).run();
-    fr.to_table(mix_title + ", " + std::to_string(opts.replicas) +
-                " replicas, " + serve::balancer_policy_name(opts.balancer))
-        .render(std::cout);
+    fr.to_table(fleet_title).render(std::cout);
     std::cout << "\nLoad imbalance (max/mean routed) "
               << util::fmt_fixed(fr.load_imbalance, 2)
               << ", per-replica TTFT p99 spread "
               << util::fmt_fixed(fr.ttft_p99_spread_ms, 1) << " ms.\n";
+    if (opts.autoscale.enabled) {
+      std::cout << "Autoscaler: " << fr.scale_events.size()
+                << " scale event(s), live replicas "
+                << fr.min_live_replicas << ".." << fr.peak_live_replicas
+                << " (mean " << util::fmt_fixed(fr.mean_live_replicas, 2)
+                << "), " << util::fmt_fixed(fr.replica_seconds, 3)
+                << " replica-seconds vs "
+                << util::fmt_fixed(
+                       static_cast<double>(opts.autoscale.max_replicas) *
+                           fr.fleet.duration_s,
+                       3)
+                << " for a static max-width fleet.\n";
+    }
     m = std::move(fr.fleet);
   } else {
     m = serve::ServingSim(cfg).run();

@@ -77,6 +77,25 @@ std::size_t Host::submit(
 std::vector<ServeResult> Host::flush(
     const serve::SchedulerConfig& scheduler, std::uint32_t replicas,
     serve::BalancerPolicy balancer) {
+  return run_flush(scheduler, replicas, balancer, nullptr);
+}
+
+std::vector<ServeResult> Host::flush(
+    const serve::SchedulerConfig& scheduler,
+    const serve::AutoscalerConfig& autoscale,
+    serve::BalancerPolicy balancer) {
+  if (!autoscale.enabled) {
+    throw std::invalid_argument(
+        "flush with an AutoscalerConfig requires autoscale.enabled (use "
+        "the static overload otherwise)");
+  }
+  return run_flush(scheduler, autoscale.max_replicas, balancer, &autoscale);
+}
+
+std::vector<ServeResult> Host::run_flush(
+    const serve::SchedulerConfig& scheduler, std::uint32_t replicas,
+    serve::BalancerPolicy balancer,
+    const serve::AutoscalerConfig* autoscale) {
   std::vector<ServeResult> results = std::move(pending_);
   pending_.clear();
   if (results.empty()) return results;
@@ -85,8 +104,10 @@ std::vector<ServeResult> Host::flush(
   // continuous-batching fleet, so their timings reflect scheduler
   // interleaving and KV pressure, not isolated runs. With replicas >= 2
   // the cycle-0 burst is routed across identical replicas by the
-  // balancer; request ids equal submit order either way (the fleet
-  // allocates ids in injection order and sorts its pooled records by id).
+  // balancer (autoscaled fleets start at min_replicas live and grow as
+  // the control loop reacts); request ids equal submit order either way
+  // (the fleet allocates ids in injection order and sorts its pooled
+  // records by id).
   serve::ServingConfig cfg;
   cfg.arch = arch_;
   cfg.model = weights_->config;
@@ -98,14 +119,15 @@ std::vector<ServeResult> Host::flush(
                static_cast<std::uint32_t>(r.prompt_ids.size()),
                decode_steps(r))});
   }
-  const serve::FleetMetrics metrics =
-      replicas >= 2
-          ? serve::FleetSim(
-                serve::FleetConfig::homogeneous(cfg, replicas, balancer),
-                costs())
-                .run()
-                .fleet
-          : serve::ServingSim(cfg, costs()).run();
+  serve::FleetMetrics metrics;
+  if (replicas >= 2 || autoscale != nullptr) {
+    serve::FleetConfig fleet_cfg =
+        serve::FleetConfig::homogeneous(cfg, replicas, balancer);
+    if (autoscale != nullptr) fleet_cfg.autoscale = *autoscale;
+    metrics = serve::FleetSim(fleet_cfg, costs()).run().fleet;
+  } else {
+    metrics = serve::ServingSim(cfg, costs()).run();
+  }
   if (metrics.requests.size() != results.size()) {
     throw std::logic_error("serve layer lost request records");
   }
@@ -117,6 +139,7 @@ std::vector<ServeResult> Host::flush(
     }
     ServeResult& out = results[i];
     out.replica = rec.replica;
+    out.live_replicas = rec.live_replicas;
     if (rec.rejected) {
       out.rejected = true;  // generation is valid, timing fields stay zero
       continue;

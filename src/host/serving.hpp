@@ -68,6 +68,11 @@ struct ServeResult {
   /// Index of the fleet replica that served this request (0 unless
   /// flush() ran with replicas >= 2 — the balancer's routing decision).
   std::uint32_t replica = 0;
+  /// Live replica count when the balancer routed this request: 1 for
+  /// single-replica runs, the fleet width for static fleets, and the
+  /// autoscaler's current live set under flush(..., autoscale, ...) —
+  /// always > `replica` (the live set is the index prefix).
+  std::uint32_t live_replicas = 1;
 };
 
 class Host {
@@ -99,6 +104,17 @@ class Host {
       std::uint32_t replicas = 1,
       serve::BalancerPolicy balancer = serve::BalancerPolicy::kRoundRobin);
 
+  /// Like flush(scheduler, replicas, balancer), but the fleet autoscales:
+  /// the pool is `autoscale.max_replicas` copies of the deployment, the
+  /// run starts with `autoscale.min_replicas` live, and the control loop
+  /// grows/shrinks the live set as the batch drains (`autoscale.enabled`
+  /// must be set). Each result's `replica` / `live_replicas` record where
+  /// it ran and how wide the fleet was when it was routed.
+  std::vector<ServeResult> flush(const serve::SchedulerConfig& scheduler,
+                                 const serve::AutoscalerConfig& autoscale,
+                                 serve::BalancerPolicy balancer =
+                                     serve::BalancerPolicy::kRoundRobin);
+
   const Tokenizer& tokenizer() const { return tokenizer_; }
   std::uint32_t eos_id() const { return tokenizer_.eos_id(); }
   std::size_t pending() const { return pending_.size(); }
@@ -107,6 +123,14 @@ class Host {
   /// Functional pass: tokenize, prefill, sampled decode until EOS/budget.
   ServeResult generate(const ServeRequest& request,
                        const std::function<void(std::uint32_t)>& on_token);
+
+  /// Shared flush engine: times the pending batch through one fleet
+  /// (static width `replicas`, or autoscaled when `autoscale` is
+  /// non-null) and maps the records back onto the results.
+  std::vector<ServeResult> run_flush(
+      const serve::SchedulerConfig& scheduler, std::uint32_t replicas,
+      serve::BalancerPolicy balancer,
+      const serve::AutoscalerConfig* autoscale);
 
   /// Realized decode-step count of a generation (>= 1; EOS counts).
   static std::uint32_t decode_steps(const ServeResult& result);

@@ -42,11 +42,54 @@ SchedulerCliOptions parse_scheduler_cli(const util::Cli& cli,
   }
   opts.replicas = static_cast<std::uint32_t>(replicas);
 
-  if (const auto balancer = cli.get("balancer")) {
-    if (opts.replicas < 2) {
+  if (cli.has("autoscale")) {
+    if (cli.has("replicas")) {
       throw std::invalid_argument(
-          "--balancer requires --replicas >= 2: routing over a single "
-          "replica is a no-op, so the flag would silently do nothing");
+          "--autoscale conflicts with --replicas: the autoscaler sizes "
+          "the fleet between --min-replicas and --max-replicas, so a "
+          "fixed width contradicts it");
+    }
+    opts.autoscale.enabled = true;
+    // Bare --autoscale selects the conservative composite policy.
+    const std::string policy = cli.get_or("autoscale", "");
+    opts.autoscale.policy =
+        policy.empty() ? ScalePolicy::kHybrid : parse_scale_policy(policy);
+  } else if (cli.has("min-replicas") || cli.has("max-replicas") ||
+             cli.has("scale-interval-ms")) {
+    throw std::invalid_argument(
+        "--min-replicas/--max-replicas/--scale-interval-ms require "
+        "--autoscale: without the control loop they would silently do "
+        "nothing");
+  }
+  if (opts.autoscale.enabled) {
+    const long long min_replicas = cli.get_int_or("min-replicas", 1);
+    const long long max_replicas = cli.get_int_or("max-replicas", 4);
+    if (min_replicas < 1) {
+      throw std::invalid_argument("--min-replicas must be >= 1");
+    }
+    if (max_replicas < min_replicas) {
+      throw std::invalid_argument(
+          "--min-replicas exceeds --max-replicas (" +
+          std::to_string(min_replicas) + " > " +
+          std::to_string(max_replicas) + ")");
+    }
+    opts.autoscale.min_replicas = static_cast<std::uint32_t>(min_replicas);
+    opts.autoscale.max_replicas = static_cast<std::uint32_t>(max_replicas);
+    const double interval_ms = cli.get_double_or("scale-interval-ms", 50.0);
+    if (!(interval_ms > 0)) {
+      throw std::invalid_argument(
+          "--scale-interval-ms must be > 0 (the control loop evaluates on "
+          "the fleet clock)");
+    }
+    opts.autoscale.eval_interval_ms = interval_ms;
+  }
+
+  if (const auto balancer = cli.get("balancer")) {
+    if (opts.replicas < 2 && !opts.autoscale.enabled) {
+      throw std::invalid_argument(
+          "--balancer requires --replicas >= 2 or --autoscale: routing "
+          "over a single replica is a no-op, so the flag would silently "
+          "do nothing");
     }
     opts.balancer = parse_balancer_policy(*balancer);
   }

@@ -1,9 +1,10 @@
 // Shared parsing + cross-validation of the serving command-line flags
 // (--policy, --chunk-tokens, --preempt, --kv-block-tokens, --replicas,
-// --balancer) for the CLI surfaces (bench/serve_load,
-// examples/continuous_batching, examples/fleet_serving), so the binaries'
-// flag semantics cannot drift and invalid combinations are rejected loudly
-// instead of silently doing something else.
+// --balancer, --autoscale and its --min-replicas/--max-replicas/
+// --scale-interval-ms companions) for the CLI surfaces (bench/serve_load,
+// examples/continuous_batching, examples/autoscale_serving), so the
+// binaries' flag semantics cannot drift and invalid combinations are
+// rejected loudly instead of silently doing something else.
 //
 // Invariants the defaults encode:
 //  - All defaults reproduce the legacy single-replica, whole-footprint,
@@ -28,9 +29,14 @@ struct SchedulerCliOptions {
   /// KvBlockManager paging granularity (1 = token-granular legacy).
   std::uint32_t kv_block_tokens = 1;
   /// Fleet width: 1 = the single-replica ServingSim path (legacy output);
-  /// >= 2 = a FleetSim of identical replicas behind `balancer`.
+  /// >= 2 = a FleetSim of identical replicas behind `balancer`. Mutually
+  /// exclusive with --autoscale (which sizes the fleet itself).
   std::uint32_t replicas = 1;
   BalancerPolicy balancer = BalancerPolicy::kRoundRobin;
+  /// Fleet autoscaling (--autoscale=queue|slo|hybrid plus
+  /// --min-replicas/--max-replicas/--scale-interval-ms). enabled == false
+  /// unless --autoscale was given.
+  AutoscalerConfig autoscale;
 
   /// True when the run departs from the legacy whole-footprint accounting
   /// — the CLI surfaces add paging/preemption columns and summary lines
@@ -41,7 +47,13 @@ struct SchedulerCliOptions {
 
   /// True when the run is a multi-replica fleet (fleet surfaces add
   /// balance columns only then, for the same byte-stability reason).
-  bool fleet() const { return replicas > 1; }
+  bool fleet() const { return replicas > 1 || autoscale.enabled; }
+
+  /// Replica pool size the surfaces should build: the autoscaler's
+  /// ceiling when autoscaling, the fixed width otherwise.
+  std::uint32_t fleet_width() const {
+    return autoscale.enabled ? autoscale.max_replicas : replicas;
+  }
 };
 
 /// Parses --policy/--chunk-tokens/--preempt/--kv-block-tokens/--replicas/
@@ -52,9 +64,14 @@ struct SchedulerCliOptions {
 ///    silently degrade into a batch-member cap);
 ///  - --kv-block-tokens must be >= 1 (1 = token-granular);
 ///  - --replicas must be >= 1 (1 = the legacy single-replica path);
-///  - an explicit --balancer requires --replicas >= 2 (balancing a
-///    single replica is a routing no-op, so the flag would silently do
-///    nothing).
+///  - an explicit --balancer requires --replicas >= 2 or --autoscale
+///    (balancing a single replica is a routing no-op, so the flag would
+///    silently do nothing);
+///  - --autoscale (queue|slo|hybrid; bare selects hybrid) conflicts with
+///    an explicit --replicas (the autoscaler sizes the fleet between
+///    --min-replicas and --max-replicas; a fixed width contradicts it);
+///  - --min-replicas/--max-replicas/--scale-interval-ms require
+///    --autoscale, need 1 <= min <= max, and the interval must be > 0.
 /// Throws std::invalid_argument with an actionable message on violation.
 SchedulerCliOptions parse_scheduler_cli(const util::Cli& cli,
                                         const std::string& default_policy =

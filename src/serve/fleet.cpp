@@ -33,29 +33,49 @@ const char* balancer_policy_name(BalancerPolicy policy) {
 
 std::uint32_t LoadBalancer::pick(const std::vector<ReplicaLoad>& loads) {
   const auto n = static_cast<std::uint32_t>(loads.size());
+  std::uint32_t n_active = 0;
+  for (const ReplicaLoad& l : loads) n_active += l.active ? 1 : 0;
+  if (n_active == 0) return 0;  // unreachable: autoscale min_replicas >= 1
   switch (policy_) {
     case BalancerPolicy::kRoundRobin: {
-      const std::uint32_t i = round_robin_next_ % n;
+      // The counter advances once per pick regardless of the mask, and
+      // selects the k-th *active* replica in index order: with every
+      // replica active this is exactly the legacy `counter % n`, and under
+      // a mask the cycle walks the live prefix deterministically.
+      std::uint32_t k = round_robin_next_ % n_active;
       ++round_robin_next_;
-      return i;
+      for (std::uint32_t i = 0; i < n; ++i) {
+        if (!loads[i].active) continue;
+        if (k == 0) return i;
+        --k;
+      }
+      return 0;  // unreachable
     }
     case BalancerPolicy::kJoinShortestQueue: {
-      std::uint32_t best = 0;
-      for (std::uint32_t i = 1; i < n; ++i) {
-        // Strict < keeps ties on the lowest index.
-        if (loads[i].outstanding < loads[best].outstanding) best = i;
+      std::uint32_t best = n;
+      for (std::uint32_t i = 0; i < n; ++i) {
+        if (!loads[i].active) continue;
+        // Strict < keeps ties on the lowest active index.
+        if (best == n || loads[i].outstanding < loads[best].outstanding) {
+          best = i;
+        }
       }
       return best;
     }
     case BalancerPolicy::kKvAware: {
-      std::uint32_t best = 0;
-      for (std::uint32_t i = 1; i < n; ++i) {
+      std::uint32_t best = n;
+      for (std::uint32_t i = 0; i < n; ++i) {
+        if (!loads[i].active) continue;
+        if (best == n) {
+          best = i;
+          continue;
+        }
         if (loads[i].free_kv_tokens != loads[best].free_kv_tokens) {
           if (loads[i].free_kv_tokens > loads[best].free_kv_tokens) best = i;
           continue;
         }
         // Equal pools (e.g. a same-cycle burst before any admission):
-        // fall back to join-shortest-queue, then the lowest index.
+        // fall back to join-shortest-queue, then the lowest active index.
         if (loads[i].outstanding < loads[best].outstanding) best = i;
       }
       return best;
@@ -110,6 +130,38 @@ void FleetSim::validate() {
     config_.traffic.num_requests = static_cast<std::uint32_t>(
         config_.traffic.explicit_arrivals.size());
   }
+  const AutoscalerConfig& as = config_.autoscale;
+  if (as.enabled) {
+    if (as.min_replicas < 1) {
+      throw std::invalid_argument("autoscale min_replicas must be >= 1");
+    }
+    if (as.min_replicas > as.max_replicas) {
+      throw std::invalid_argument(
+          "autoscale min_replicas exceeds max_replicas");
+    }
+    if (as.max_replicas != config_.replicas.size()) {
+      // The replica pool is the scale ceiling: a silent mismatch would
+      // leave configured replicas unreachable (or index out of range).
+      throw std::invalid_argument(
+          "autoscale max_replicas must equal the replica pool size");
+    }
+    if (!(as.eval_interval_ms > 0)) {
+      throw std::invalid_argument(
+          "autoscale eval_interval_ms must be > 0 (the control loop runs "
+          "on the fleet clock)");
+    }
+    if (!(as.ttft_window_ms > 0)) {
+      throw std::invalid_argument("autoscale ttft_window_ms must be > 0");
+    }
+    if (as.queue_low >= as.queue_high) {
+      throw std::invalid_argument(
+          "autoscale queue_low must be below queue_high (hysteresis band)");
+    }
+    if (as.up_evals == 0 || as.down_evals == 0) {
+      throw std::invalid_argument(
+          "autoscale up_evals/down_evals must be >= 1");
+    }
+  }
 }
 
 FleetSim::FleetSim(const FleetConfig& config) : config_(config) {
@@ -153,8 +205,15 @@ struct FleetRun {
            const std::vector<core::StepCostModel>& costs)
       : cfg(cfg_),
         traffic(cfg_.traffic, cfg_.replicas.front().arch.frequency_hz),
-        balancer(cfg_.balancer) {
+        balancer(cfg_.balancer),
+        live(cfg_.autoscale.enabled
+                 ? cfg_.autoscale.min_replicas
+                 : static_cast<std::uint32_t>(cfg_.replicas.size())) {
     shared.target = cfg_.traffic.num_requests;
+    shared.live_replicas = live;
+    // The window hook stays null on static runs: request_proc then never
+    // touches it and the event sequence is byte-identical to PR 4.
+    if (cfg_.autoscale.enabled) shared.ttft_window = &ttft_window;
     replicas.reserve(cfg_.replicas.size());
     for (std::size_t i = 0; i < cfg_.replicas.size(); ++i) {
       replicas.push_back(std::make_unique<detail::Replica>(
@@ -170,23 +229,140 @@ struct FleetRun {
   TrafficGen traffic;
   LoadBalancer balancer;
 
+  // ---- Autoscaler state (inert when cfg.autoscale.enabled is false) ----
+  std::uint32_t live;  // live replica set is the index prefix [0, live)
+  util::SlidingWindow ttft_window;
+  std::vector<ScaleEvent> scale_log;
+
   /// One routing decision: snapshot every replica's load, ask the
   /// balancer. Pure bookkeeping — no engine events, so a 1-replica fleet
-  /// replays ServingSim's exact event sequence.
+  /// replays ServingSim's exact event sequence. Replicas outside the live
+  /// prefix are masked: a draining replica keeps its admitted work but
+  /// receives nothing new.
   detail::Replica& route() {
     std::vector<LoadBalancer::ReplicaLoad> loads;
     loads.reserve(replicas.size());
-    for (const auto& r : replicas) {
+    for (std::size_t i = 0; i < replicas.size(); ++i) {
+      const auto& r = replicas[i];
       loads.push_back({r->outstanding(),
                        static_cast<std::uint64_t>(r->kv.free_blocks()) *
-                           r->kv.block_tokens()});
+                           r->kv.block_tokens(),
+                       static_cast<std::uint32_t>(i) < live});
     }
     return *replicas[balancer.pick(loads)];
   }
+
+  /// True once the arrival stream is exhausted and every routed request
+  /// has finished or been rejected — the autoscaler's exit condition.
+  bool drained() const {
+    if (!shared.arrivals_done()) return false;
+    for (const auto& r : replicas) {
+      if (r->outstanding() > 0) return false;
+    }
+    return true;
+  }
 };
+
+/// The autoscaling control loop: one evaluation every eval_interval_ms on
+/// the shared fleet clock. Reads the window-scoped signals (per-eval queue
+/// peaks, rolling-window TTFT p99), lets the Autoscaler state machine
+/// decide, and applies the decision to the live prefix — scale-up
+/// activates replica `live`, scale-down deactivates replica `live - 1`,
+/// which then drains gracefully (the mask stops new routes; its scheduler
+/// keeps running until its admitted and queued requests finish). Exits at
+/// the first evaluation after the fleet fully drains, so the makespan can
+/// trail the last completion by at most one interval.
+sim::Task autoscaler_proc(FleetRun& run) {
+  const AutoscalerConfig& cfg = run.cfg.autoscale;
+  const core::ArchConfig& arch = run.cfg.replicas.front().arch;
+  Autoscaler controller(cfg, run.cfg.replicas.front().slo);
+  const auto interval = std::max<sim::Cycles>(
+      1, static_cast<sim::Cycles>(cfg.eval_interval_ms * 1e-3 *
+                                  arch.frequency_hz));
+  while (true) {
+    co_await run.engine.delay(interval);
+    if (run.drained()) co_return;
+    const double now_ms = arch.cycles_to_ms(run.engine.now());
+    // Take every replica's per-eval queue peak (taking from masked
+    // replicas too keeps their windows fresh for reactivation), but only
+    // the live set forms the signal the controller sees.
+    double live_peaks = 0;
+    for (std::size_t i = 0; i < run.replicas.size(); ++i) {
+      const auto peak =
+          static_cast<double>(run.replicas[i]->queue.take_window_peak());
+      if (static_cast<std::uint32_t>(i) < run.live) live_peaks += peak;
+    }
+    run.ttft_window.evict_before(now_ms - cfg.ttft_window_ms);
+    ScaleSignals signals;
+    signals.live = run.live;
+    signals.queue_per_live = live_peaks / static_cast<double>(run.live);
+    signals.ttft_samples = run.ttft_window.count();
+    signals.ttft_p99_ms = run.ttft_window.percentile(99.0);
+    const Autoscaler::Decision d = controller.evaluate(signals);
+    if (d.delta == 0) continue;
+    const std::uint32_t to = d.delta > 0 ? run.live + 1 : run.live - 1;
+    run.scale_log.push_back(
+        {run.engine.now(), now_ms, run.live, to, d.trigger});
+    run.live = to;
+    run.shared.live_replicas = to;
+  }
+}
 
 void append(std::vector<double>& pool, const std::vector<double>& samples) {
   pool.insert(pool.end(), samples.begin(), samples.end());
+}
+
+/// Occupied replica-cycles of one replica: the union of its live intervals
+/// (from the scale timeline), each extended to the drain instant of the
+/// requests routed into it — a deactivated replica is still consuming its
+/// deployment until the work it accepted finishes. `timeline` is the
+/// (cycle, live-count) step function starting at cycle 0.
+std::uint64_t occupied_cycles(
+    const std::vector<std::pair<sim::Cycles, std::uint32_t>>& timeline,
+    std::uint32_t index, sim::Cycles makespan, const detail::Replica& rep) {
+  // Intervals where the live count covers this replica's index.
+  std::vector<std::pair<sim::Cycles, sim::Cycles>> spans;
+  bool open = false;
+  sim::Cycles start = 0;
+  for (const auto& [at, live] : timeline) {
+    if (!open && live > index) {
+      open = true;
+      start = at;
+    } else if (open && live <= index) {
+      spans.emplace_back(start, at);
+      open = false;
+    }
+  }
+  if (open) spans.emplace_back(start, makespan);
+  if (spans.empty()) return 0;
+  // Drain extension: a request routed inside a span pins the replica until
+  // it finishes (rejected requests resolve at arrival). Requests are only
+  // routed while live, so each belongs to the last span starting at or
+  // before its arrival.
+  for (const auto& r : rep.requests) {
+    const sim::Cycles finish =
+        r->state == RequestState::kFinished ? r->completed : r->arrival;
+    for (std::size_t s = spans.size(); s-- > 0;) {
+      if (spans[s].first <= r->arrival) {
+        spans[s].second = std::max(spans[s].second, finish);
+        break;
+      }
+    }
+  }
+  // Drain tails can overlap the next activation: merge before summing.
+  std::uint64_t total = 0;
+  sim::Cycles lo = spans.front().first, hi = spans.front().second;
+  for (std::size_t s = 1; s < spans.size(); ++s) {
+    if (spans[s].first <= hi) {
+      hi = std::max(hi, spans[s].second);
+    } else {
+      total += hi - lo;
+      lo = spans[s].first;
+      hi = spans[s].second;
+    }
+  }
+  total += hi - lo;
+  return total;
 }
 
 }  // namespace
@@ -194,6 +370,12 @@ void append(std::vector<double>& pool, const std::vector<double>& samples) {
 FleetResult FleetSim::run() const {
   FleetRun run(config_, costs_);
   const auto route = [&run]() -> detail::Replica& { return run.route(); };
+  // Control plane first: at a shared instant the scale decision lands
+  // before that cycle's routing (either order is deterministic; this one
+  // is fixed so the scale-event log is reproducible byte for byte).
+  if (config_.autoscale.enabled) {
+    run.engine.spawn(autoscaler_proc(run));
+  }
   for (auto& r : run.replicas) {
     run.engine.spawn(detail::scheduler_proc(*r));
   }
@@ -254,9 +436,11 @@ FleetResult FleetSim::run() const {
     m.kv_peak_frag_tokens += r->kv.peak_frag_tokens();
     m.preemptions += r->preemptions;
     m.recompute_tokens += r->recompute_tokens;
+    m.kv_blocks_in_use_at_end += r->kv.used_blocks();
     result.routed.push_back(r->routed);
   }
   m.offered = run.shared.injected;
+  m.slo_good = good;
   m.slo = config_.replicas.front().slo;
   m.duration_s = duration_s;
   if (duration_s > 0) {
@@ -282,6 +466,43 @@ FleetResult FleetSim::run() const {
   m.peak_in_flight = run.shared.peak_active;
   m.preempt = config_.replicas.front().scheduler.preempt;
   m.kv_block_tokens = run.replicas.front()->kv.block_tokens();
+
+  // ---- Live-replica accounting (trivial for static fleets: every
+  // replica live for the whole makespan) ----
+  result.autoscaled = config_.autoscale.enabled;
+  result.scale_events = std::move(run.scale_log);
+  const std::uint32_t initial_live = config_.autoscale.enabled
+                                         ? config_.autoscale.min_replicas
+                                         : static_cast<std::uint32_t>(n);
+  std::vector<std::pair<sim::Cycles, std::uint32_t>> timeline;
+  timeline.reserve(result.scale_events.size() + 1);
+  timeline.emplace_back(0, initial_live);
+  for (const ScaleEvent& e : result.scale_events) {
+    timeline.emplace_back(e.at, e.to);
+  }
+  result.min_live_replicas = initial_live;
+  result.peak_live_replicas = initial_live;
+  std::uint64_t live_cycles = 0;
+  for (std::size_t i = 0; i < timeline.size(); ++i) {
+    const sim::Cycles until =
+        i + 1 < timeline.size() ? timeline[i + 1].first : makespan;
+    live_cycles += static_cast<std::uint64_t>(timeline[i].second) *
+                   (until - timeline[i].first);
+    result.min_live_replicas =
+        std::min(result.min_live_replicas, timeline[i].second);
+    result.peak_live_replicas =
+        std::max(result.peak_live_replicas, timeline[i].second);
+  }
+  if (makespan > 0) {
+    result.mean_live_replicas =
+        static_cast<double>(live_cycles) / static_cast<double>(makespan);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    result.replica_cycles += occupied_cycles(
+        timeline, static_cast<std::uint32_t>(i), makespan, *run.replicas[i]);
+  }
+  result.replica_seconds =
+      static_cast<double>(result.replica_cycles) / frequency;
 
   result.replicas.reserve(n);
   for (auto& r : run.replicas) {

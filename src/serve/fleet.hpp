@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "core/step_cost.hpp"
+#include "serve/autoscaler.hpp"
 #include "serve/metrics.hpp"
 #include "serve/serving_sim.hpp"
 #include "util/table.hpp"
@@ -75,11 +76,20 @@ class LoadBalancer {
   struct ReplicaLoad {
     std::uint32_t outstanding = 0;     // routed - finished - rejected
     std::uint64_t free_kv_tokens = 0;  // free blocks x block size
+    /// False for a replica the autoscaler has deactivated (draining or
+    /// parked): the balancer must not route new arrivals to it. Static
+    /// fleets leave every replica active.
+    bool active = true;
   };
 
-  /// Picks the replica index for the next arrival. Deterministic: every
-  /// tie resolves to the lowest index (after the policy's secondary keys).
-  /// `loads` must be non-empty and its order is the replica order.
+  /// Picks the replica index for the next arrival, considering only
+  /// active replicas. Deterministic: every tie resolves to the lowest
+  /// *active* index (after the policy's secondary keys); round-robin
+  /// cycles over the active subset in index order. `loads` must be
+  /// non-empty, its order is the replica order, and at least one entry
+  /// must be active (the autoscaler's min_replicas >= 1 guarantees it).
+  /// With every replica active this is byte-identical to the pre-masking
+  /// balancer — what keeps static-fleet sweeps byte-stable.
   std::uint32_t pick(const std::vector<ReplicaLoad>& loads);
 
   BalancerPolicy policy() const { return policy_; }
@@ -98,6 +108,12 @@ struct FleetConfig {
   /// The shared arrival stream the balancer splits across replicas.
   TrafficConfig traffic;
   BalancerPolicy balancer = BalancerPolicy::kRoundRobin;
+  /// Fleet-level autoscaling (serve/autoscaler.hpp). Disabled by default:
+  /// every replica is live for the whole run and output is byte-identical
+  /// to the static fleet engine. When enabled, `replicas` must hold
+  /// exactly autoscale.max_replicas configs; the run starts with the
+  /// first autoscale.min_replicas of them live.
+  AutoscalerConfig autoscale;
 
   /// N identical replicas of `base`; the fleet traffic is base.traffic.
   static FleetConfig homogeneous(
@@ -136,7 +152,28 @@ struct FleetResult {
   /// the tail-latency spread a skewed routing inflicts.
   double ttft_p99_spread_ms = 0;
 
-  /// Per-replica + fleet summary table for examples and reports.
+  // ---- Autoscaling (FleetConfig::autoscale; defaults describe a static
+  // fleet so disabled runs keep byte-identical tables) ----
+  /// True when the run was autoscaled; gates the extra table rows.
+  bool autoscaled = false;
+  /// Every replica-set change in fleet-clock order (empty when static).
+  std::vector<ScaleEvent> scale_events;
+  std::uint32_t min_live_replicas = 0;   // fewest live at any instant
+  std::uint32_t peak_live_replicas = 0;  // most live at any instant
+  /// Time-weighted mean of the live-replica count over the makespan.
+  double mean_live_replicas = 0;
+  /// The fleet's cost metric: cycles during which each replica was
+  /// *occupied* — live (routable), or deactivated but still draining
+  /// requests routed to it before the scale-down — summed over replicas.
+  /// A static fleet consumes exactly replicas x makespan; the autoscaler
+  /// exists to cut this while holding the SLO (pinned in
+  /// examples/autoscale_serving.cpp).
+  std::uint64_t replica_cycles = 0;
+  double replica_seconds = 0;  // replica_cycles / frequency
+
+  /// Per-replica + fleet summary table for examples and reports. The
+  /// autoscale fields are reported as prose by the CLI surfaces (gated on
+  /// `autoscaled`), so static tables stay unchanged byte for byte.
   util::Table to_table(const std::string& title) const;
 };
 

@@ -28,6 +28,11 @@ struct RequestRecord {
   /// Times the scheduler preempted this request (KV blocks dropped and the
   /// sequence re-run as prefill); 0 under PreemptPolicy::kNone.
   std::uint32_t preemptions = 0;
+  /// Live replica count when the balancer routed this request (1 for
+  /// single-replica runs, the fleet width for static fleets). Under
+  /// autoscaling the live set is the index prefix [0, live), so
+  /// `replica < live_replicas` always — pinned by the invariant harness.
+  std::uint32_t live_replicas = 1;
   bool rejected = false;
   double queue_wait_ms = 0;
   double ttft_ms = 0;  // arrival -> prefill egress
@@ -58,6 +63,11 @@ struct FleetMetrics {
   /// Completed requests per second that met both SLOs — the metric that
   /// actually prices a fleet.
   double goodput_req_s = 0;
+  /// Completed requests that met both SLOs (the goodput numerator): the
+  /// makespan-independent form the autoscaling comparisons use, since an
+  /// autoscaled run's makespan can trail a static run's by up to one
+  /// evaluation interval.
+  std::uint64_t slo_good = 0;
   SloConfig slo;
 
   // ---- Latency distributions (per completed request, ms) ----
@@ -95,6 +105,10 @@ struct FleetMetrics {
   /// Clamped KV over-releases — always a scheduler/accounting bug; 0 on a
   /// healthy fleet (the block manager clamps instead of wrapping).
   std::uint64_t kv_over_release_events = 0;
+  /// KV blocks still allocated when the run drained — nonzero means a
+  /// request finished without releasing its list (a leak the invariant
+  /// harness pins at 0; frees must match allocs).
+  std::uint64_t kv_blocks_in_use_at_end = 0;
 
   // ---- Paged KV + preemption (PreemptPolicy::kRecomputeYoungest) ----
   PreemptPolicy preempt = PreemptPolicy::kNone;

@@ -20,6 +20,7 @@ class RequestQueue {
     if (queue_.size() >= capacity_) return false;
     queue_.push_back(request);
     if (queue_.size() > peak_depth_) peak_depth_ = queue_.size();
+    if (queue_.size() > window_peak_depth_) window_peak_depth_ = queue_.size();
     return true;
   }
 
@@ -31,10 +32,22 @@ class RequestQueue {
   std::size_t capacity() const { return capacity_; }
   std::size_t peak_depth() const { return peak_depth_; }
 
+  /// Peak depth since the previous call (window-scoped, O(1)): the
+  /// autoscaler's per-evaluation queue signal. Reading it resets the
+  /// window to the current depth; the all-time peak_depth() that
+  /// FleetMetrics reports is unaffected, so sampling the window cannot
+  /// perturb metrics output.
+  std::size_t take_window_peak() {
+    const std::size_t peak = std::max(window_peak_depth_, queue_.size());
+    window_peak_depth_ = queue_.size();
+    return peak;
+  }
+
  private:
   std::size_t capacity_;
   std::deque<Request*> queue_;
   std::size_t peak_depth_ = 0;
+  std::size_t window_peak_depth_ = 0;
 };
 
 }  // namespace looplynx::serve

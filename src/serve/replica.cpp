@@ -12,6 +12,7 @@ Request& Replica::make_request(workload::Scenario shape) {
   }
   requests.push_back(
       std::make_unique<Request>(engine, shared.injected++, std::move(shape)));
+  requests.back()->live_at_route = shared.live_replicas;
   ++routed;
   return *requests.back();
 }
@@ -83,7 +84,15 @@ sim::Task request_proc(Replica& f, Request& r) {
     // the host has already seen (emitted_token), which only rebuilds KV.
     if (r.step_tokens == 0 || (r.prefilled() && !r.emitted_token)) {
       const sim::Cycles now = f.engine.now();
-      if (r.decoded == 0) r.first_token = now;
+      if (r.decoded == 0) {
+        r.first_token = now;
+        if (f.shared.ttft_window != nullptr) {
+          // Autoscaler SLO signal, fed at emission (not completion) so the
+          // control loop sees the tail as it forms. Pure bookkeeping — no
+          // engine events, so attaching a window cannot change timing.
+          f.shared.ttft_window->push(f.ms(now), f.ms(now - r.arrival));
+        }
+      }
       if (r.emitted_token) {
         const sim::Cycles gap = now - r.last_token;
         r.max_token_gap = std::max(r.max_token_gap, gap);
@@ -400,6 +409,7 @@ FleetMetrics finalize_metrics(Replica& f) {
     m.busy_fraction = static_cast<double>(f.busy_cycles) /
                       static_cast<double>(f.engine.now());
   }
+  m.slo_good = f.good;
   m.ttft_ms = util::percentile_summary(std::move(f.ttft_ms));
   m.token_ms = util::percentile_summary(std::move(f.token_ms));
   m.e2e_ms = util::percentile_summary(std::move(f.e2e_ms));
@@ -416,6 +426,7 @@ FleetMetrics finalize_metrics(Replica& f) {
   m.kv_peak_occupancy = f.kv.peak_occupancy();
   m.kv_stall_events = f.kv.stall_events();
   m.kv_over_release_events = f.kv.over_release_events();
+  m.kv_blocks_in_use_at_end = f.kv.used_blocks();
   m.preempt = f.cfg.scheduler.preempt;
   m.kv_block_tokens = f.kv.block_tokens();
   m.kv_capacity_blocks = f.kv.capacity_blocks();
@@ -434,6 +445,7 @@ FleetMetrics finalize_metrics(Replica& f) {
       rec.decode_tokens = r->decoded;
       rec.prefill_chunks = r->prefill_chunks;
       rec.preemptions = r->preempt_count;
+      rec.live_replicas = r->live_at_route;
       rec.rejected = r->state == RequestState::kRejected;
       if (!rec.rejected) {
         rec.queue_wait_ms = f.ms(r->admitted - r->arrival);

@@ -31,6 +31,7 @@
 #include "sim/engine.hpp"
 #include "sim/sync.hpp"
 #include "sim/task.hpp"
+#include "util/stats.hpp"
 
 namespace looplynx::serve::detail {
 
@@ -44,6 +45,17 @@ struct FleetShared {
   std::uint32_t injected = 0;   // requests created fleet-wide so far
   std::uint32_t active = 0;     // admitted and unfinished, fleet-wide
   std::uint32_t peak_active = 0;
+  /// Routable replicas right now (the index prefix [0, live_replicas)).
+  /// 1 for single-replica runs, the fleet width for static fleets; the
+  /// autoscaler moves it mid-run. Snapshotted into each request at
+  /// routing time for RequestRecord::live_replicas.
+  std::uint32_t live_replicas = 1;
+  /// When non-null (autoscaled fleets only), every host-visible first
+  /// token pushes its (emission time ms, TTFT ms) sample here — the
+  /// autoscaler's rolling-window SLO signal, fed at emission so an
+  /// evaluation never re-scans completed records. Null on static runs:
+  /// no samples, no behavior change.
+  util::SlidingWindow* ttft_window = nullptr;
 
   bool arrivals_done() const { return injected >= target; }
 };

@@ -41,6 +41,10 @@ struct Request {
   std::uint32_t id = 0;
   workload::Scenario shape;
   RequestState state = RequestState::kQueued;
+  /// Live replica count when the balancer routed this request (1 for
+  /// single-replica runs; under autoscaling the live set is the index
+  /// prefix, so the serving replica's index is always < this).
+  std::uint32_t live_at_route = 1;
 
   // ---- Lifecycle timestamps (engine cycles) ----
   sim::Cycles arrival = 0;

@@ -1,0 +1,17 @@
+// Minimal SHA-256 (FIPS 180-4) for content fingerprinting — the golden
+// determinism fixture hashes canonical serve-layer sweep serializations
+// against a checked-in digest (tests/test_determinism_golden.cpp). Pure
+// integer arithmetic, no platform dependencies, byte-stable everywhere.
+// Not a cryptographic-security surface: nothing here handles secrets.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace looplynx::util {
+
+/// Lowercase hex SHA-256 digest of `data`.
+std::string sha256_hex(std::string_view data);
+
+}  // namespace looplynx::util

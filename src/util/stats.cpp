@@ -67,6 +67,25 @@ PercentileSummary percentile_summary(std::vector<double> values) {
   return s;
 }
 
+void SlidingWindow::push(double at, double value) {
+  samples_.emplace_back(at, value);
+}
+
+void SlidingWindow::evict_before(double at) {
+  while (!samples_.empty() && samples_.front().first < at) {
+    samples_.pop_front();
+  }
+}
+
+double SlidingWindow::percentile(double p) const {
+  if (samples_.empty()) return 0.0;
+  std::vector<double> values;
+  values.reserve(samples_.size());
+  for (const auto& [at, v] : samples_) values.push_back(v);
+  std::sort(values.begin(), values.end());
+  return sorted_percentile(values, p);
+}
+
 void RunningStat::add(double value) {
   if (count_ == 0) {
     min_ = max_ = value;

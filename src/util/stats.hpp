@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstddef>
+#include <deque>
 #include <span>
 #include <vector>
 
@@ -36,6 +37,32 @@ struct PercentileSummary {
 };
 
 PercentileSummary percentile_summary(std::vector<double> values);
+
+/// Time-stamped sample window for rolling-percentile control signals (the
+/// serve-layer autoscaler's p99 TTFT). Samples enter in non-decreasing
+/// time order and leave from the front as the window slides, so push +
+/// evict are O(1) amortized — an evaluation never re-scans samples that
+/// already left the window, however long the run gets. percentile() sorts
+/// only the samples currently inside the window (cost bounded by window
+/// occupancy, not run length).
+class SlidingWindow {
+ public:
+  /// `at` must be >= the previous push's `at` (fleet clocks are monotone).
+  void push(double at, double value);
+
+  /// Drops every sample with time < `at` (the trailing window edge).
+  void evict_before(double at);
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  /// Linear-interpolated percentile over the samples in the window, p in
+  /// [0, 100]. Returns 0 for an empty window.
+  double percentile(double p) const;
+
+ private:
+  std::deque<std::pair<double, double>> samples_;  // (time, value)
+};
 
 /// Streaming accumulator (Welford) for mean/variance plus min/max.
 class RunningStat {

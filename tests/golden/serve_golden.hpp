@@ -1,0 +1,12 @@
+// Checked-in SHA-256 of the canonical serve-layer determinism sweep.
+// Regenerate with tools/regen_determinism_golden.sh after an *intentional*
+// serve-layer behavior change — never to paper over an unexplained diff
+// (that diff IS the determinism regression the fixture exists to catch).
+#pragma once
+
+namespace looplynx::golden {
+
+inline constexpr char kServeSweepSha256[] =
+    "cf29e60925ba80b757830c239ca3a536e0690809e5f44f4f6a154386f21faa41";
+
+}  // namespace looplynx::golden

@@ -1,0 +1,285 @@
+// Golden determinism fixture: the CI workflow's byte-identical sweep gate,
+// promoted into plain ctest so a determinism regression fails locally —
+// not just in the workflow.
+//
+// A canonical suite of serve-layer runs (batch policies x chunking x
+// paged preemption x fleets x autoscaling, over seeded Poisson, seeded
+// bursty and explicit arrival schedules) is serialized into one canonical
+// text: integers as decimal, doubles as the hex of their raw IEEE-754
+// bits (exact, and independent of any libc formatting choices). Its
+// SHA-256 must match the checked-in digest
+// (tests/golden/serve_golden.hpp).
+//
+// The run-twice CI pairs only prove a binary agrees with itself; this
+// fixture pins the *absolute* behavior across commits: any change to
+// scheduling order, cost arithmetic, traffic generation, routing
+// tie-breaks or the autoscaler's decision sequence moves the hash. After
+// an intentional behavior change, regenerate with
+// tools/regen_determinism_golden.sh and review the new canonical text
+// (set GOLDEN_PRINT=1 to dump it) before committing the digest.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/arch_config.hpp"
+#include "model/config.hpp"
+#include "serve/autoscaler.hpp"
+#include "serve/fleet.hpp"
+#include "serve/kv_block.hpp"
+#include "serve/serving_sim.hpp"
+#include "tests/golden/serve_golden.hpp"
+#include "util/sha256.hpp"
+#include "workload/mix.hpp"
+
+namespace looplynx::serve {
+namespace {
+
+/// Exact-bits double formatting: the raw IEEE-754 bit pattern in hex.
+/// Unlike printf's "%a" — whose leading digit and padding the C standard
+/// leaves implementation-defined — this depends on no libc formatting
+/// choices at all, so the canonical text is identical wherever the
+/// arithmetic is.
+std::string hex(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(std::bit_cast<std::uint64_t>(v)));
+  return buf;
+}
+
+void serialize(std::string& out, const std::string& tag,
+               const FleetMetrics& m) {
+  out += "== " + tag + "\n";
+  out += "counts " + std::to_string(m.offered) + " " +
+         std::to_string(m.completed) + " " + std::to_string(m.rejected) +
+         " " + std::to_string(m.slo_good) + "\n";
+  out += "tokens " + std::to_string(m.total_tokens) + " " +
+         std::to_string(m.decode_tokens) + "\n";
+  out += "sched " + std::to_string(m.iterations) + " " +
+         std::to_string(m.prefill_chunk_steps) + " " +
+         std::to_string(m.chunked_prompts) + " " +
+         std::to_string(m.decode_stall_iterations) + " " +
+         std::to_string(m.peak_in_flight) + " " +
+         std::to_string(m.peak_queue_depth) + "\n";
+  out += "kv " + std::to_string(m.kv_peak_used_blocks) + " " +
+         std::to_string(m.kv_capacity_blocks) + " " +
+         std::to_string(m.kv_stall_events) + " " +
+         std::to_string(m.kv_peak_frag_tokens) + " " +
+         std::to_string(m.preemptions) + " " +
+         std::to_string(m.recompute_tokens) + "\n";
+  out += "time " + hex(m.duration_s) + " " + hex(m.busy_fraction) + "\n";
+  out += "lat " + hex(m.ttft_ms.p50) + " " + hex(m.ttft_ms.p99) + " " +
+         hex(m.token_ms.p99) + " " + hex(m.e2e_ms.p99) + " " +
+         hex(m.queue_wait_ms.p99) + " " + hex(m.inter_token_gap_ms.p99) +
+         "\n";
+  for (const RequestRecord& r : m.requests) {
+    out += "req " + std::to_string(r.id) + " " + std::to_string(r.replica) +
+           " " + std::to_string(r.live_replicas) + " " +
+           std::to_string(r.prefill_chunks) + " " +
+           std::to_string(r.preemptions) + " " +
+           (r.rejected ? "R " : "C ") + hex(r.ttft_ms) + " " +
+           hex(r.e2e_ms) + "\n";
+  }
+}
+
+void serialize(std::string& out, const std::string& tag,
+               const FleetResult& r) {
+  serialize(out, tag, r.fleet);
+  // Plain appends here: GCC 12's -Wrestrict false-positive (PR105651)
+  // fires on `literal + std::string&&` chains when inlined.
+  out += "routed";
+  for (const std::uint64_t n : r.routed) {
+    out += " ";
+    out += std::to_string(n);
+  }
+  out += "\n";
+  out += "balance ";
+  out += hex(r.load_imbalance) + " " + hex(r.ttft_p99_spread_ms) + "\n";
+  out += "live " + std::to_string(r.min_live_replicas) + " " +
+         std::to_string(r.peak_live_replicas) + " " +
+         hex(r.mean_live_replicas) + " " +
+         std::to_string(r.replica_cycles) + "\n";
+  for (const ScaleEvent& e : r.scale_events) {
+    out += "scale " + std::to_string(e.at) + " " + std::to_string(e.from) +
+           " " + std::to_string(e.to) + " " +
+           scale_trigger_name(e.trigger) + "\n";
+  }
+}
+
+model::ModelConfig golden_model() {
+  model::ModelConfig m = model::cosim_config();
+  m.name = "cosim-256";
+  m.max_seq_len = 256;
+  return m;
+}
+
+ServingConfig golden_base() {
+  ServingConfig cfg;
+  cfg.arch = core::ArchConfig::one_node();
+  cfg.model = golden_model();
+  cfg.cost_probe_stride = 16;
+  cfg.traffic.mix = workload::Mix{"skewed",
+                                  {{workload::make_scenario(8, 16), 0.8},
+                                   {workload::make_scenario(192, 48), 0.2}}};
+  cfg.traffic.num_requests = 32;
+  cfg.traffic.arrival_rate_per_s = 300.0;
+  cfg.traffic.seed = 42;
+  cfg.scheduler.max_batch = 4;
+  cfg.slo.ttft_ms = 5.0;
+  cfg.slo.token_ms = 2.0;
+  cfg.keep_request_records = true;
+  return cfg;
+}
+
+std::uint64_t token_budget(const ServingConfig& cfg, std::uint32_t tokens) {
+  KvBlockManager probe(cfg.arch, cfg.model, 1);
+  return tokens * probe.bytes_per_token_per_node();
+}
+
+/// The canonical suite. Mirrors the CI determinism gate's coverage
+/// (policies x chunking x paged preemption x fleet x autoscale) at cosim
+/// scale, plus an explicit-arrival fleet point whose output involves no
+/// RNG or libm at all.
+std::string canonical_sweep() {
+  std::string out;
+
+  {
+    ServingConfig cfg = golden_base();
+    serialize(out, "single-prefill-poisson", ServingSim(cfg).run());
+  }
+  {
+    ServingConfig cfg = golden_base();
+    cfg.scheduler.policy = BatchPolicy::kDecodePriority;
+    serialize(out, "single-decode-poisson", ServingSim(cfg).run());
+  }
+  {
+    ServingConfig cfg = golden_base();
+    cfg.scheduler.policy = BatchPolicy::kChunkedMixed;
+    cfg.scheduler.max_tokens_per_iter = 16;
+    serialize(out, "single-chunked-poisson", ServingSim(cfg).run());
+  }
+  {
+    ServingConfig cfg = golden_base();
+    cfg.scheduler.policy = BatchPolicy::kChunkedMixed;
+    cfg.scheduler.max_tokens_per_iter = 16;
+    cfg.scheduler.preempt = PreemptPolicy::kRecomputeYoungest;
+    cfg.kv_block_tokens = 4;
+    cfg.kv_budget_bytes_per_node = token_budget(cfg, 288);
+    cfg.traffic.arrival_rate_per_s = 1200.0;
+    serialize(out, "single-paged-recompute", ServingSim(cfg).run());
+  }
+  {
+    ServingConfig cfg = golden_base();
+    cfg.traffic.process = ArrivalProcess::kBursty;
+    cfg.traffic.burst_factor = 4.0;
+    cfg.traffic.burst_fraction = 0.25;
+    cfg.traffic.burst_period_s = 0.05;
+    serialize(out, "single-bursty", ServingSim(cfg).run());
+  }
+  {
+    const FleetConfig cfg = FleetConfig::homogeneous(
+        golden_base(), 3, BalancerPolicy::kJoinShortestQueue);
+    serialize(out, "fleet-jsq-3", FleetSim(cfg).run());
+  }
+  {
+    ServingConfig base = golden_base();
+    base.scheduler.policy = BatchPolicy::kChunkedMixed;
+    base.scheduler.max_tokens_per_iter = 16;
+    base.scheduler.preempt = PreemptPolicy::kRecomputeYoungest;
+    base.kv_block_tokens = 4;
+    base.kv_budget_bytes_per_node = token_budget(base, 288);
+    base.traffic.arrival_rate_per_s = 1200.0;
+    const FleetConfig cfg =
+        FleetConfig::homogeneous(base, 2, BalancerPolicy::kKvAware);
+    serialize(out, "fleet-kv-paged-2", FleetSim(cfg).run());
+  }
+  {
+    ServingConfig base = golden_base();
+    base.traffic.process = ArrivalProcess::kBursty;
+    base.traffic.num_requests = 48;
+    base.traffic.arrival_rate_per_s = 400.0;
+    base.traffic.burst_factor = 4.0;
+    base.traffic.burst_fraction = 0.25;
+    base.traffic.burst_period_s = 0.05;
+    base.scheduler.max_in_flight = 6;
+    FleetConfig cfg = FleetConfig::homogeneous(
+        base, 3, BalancerPolicy::kJoinShortestQueue);
+    cfg.autoscale.enabled = true;
+    cfg.autoscale.policy = ScalePolicy::kQueueDepth;
+    cfg.autoscale.min_replicas = 1;
+    cfg.autoscale.max_replicas = 3;
+    cfg.autoscale.eval_interval_ms = 2.0;
+    cfg.autoscale.ttft_window_ms = 10.0;
+    cfg.autoscale.queue_high = 1.5;
+    cfg.autoscale.queue_low = 0.25;
+    cfg.autoscale.up_evals = 1;
+    cfg.autoscale.down_evals = 2;
+    cfg.autoscale.cooldown_evals = 1;
+    serialize(out, "fleet-autoscale-queue", FleetSim(cfg).run());
+    cfg.autoscale.policy = ScalePolicy::kHybrid;
+    serialize(out, "fleet-autoscale-hybrid", FleetSim(cfg).run());
+  }
+  {
+    // Explicit schedule: integer arrival cycles, no RNG, no libm — this
+    // point is bit-portable even across libm versions, so a golden
+    // mismatch isolated to the seeded points implicates the math
+    // library, not the engine.
+    ServingConfig base = golden_base();
+    base.traffic.explicit_arrivals.clear();
+    for (std::uint32_t i = 0; i < 24; ++i) {
+      base.traffic.explicit_arrivals.push_back(
+          Arrival{static_cast<sim::Cycles>(i) * 40000,
+                  i % 5 == 0 ? workload::make_scenario(192, 48)
+                             : workload::make_scenario(8, 16)});
+    }
+    const FleetConfig cfg =
+        FleetConfig::homogeneous(base, 2, BalancerPolicy::kRoundRobin);
+    serialize(out, "fleet-explicit-rr", FleetSim(cfg).run());
+  }
+  return out;
+}
+
+TEST(DeterminismGolden, CanonicalSweepMatchesCheckedInDigest) {
+  const std::string sweep = canonical_sweep();
+  const std::string digest = util::sha256_hex(sweep);
+  if (std::getenv("GOLDEN_PRINT") != nullptr) {
+    std::fputs(sweep.c_str(), stdout);
+    std::printf("SHA256 %s\n", digest.c_str());
+    GTEST_SKIP() << "GOLDEN_PRINT set: emitted canonical sweep, skipped "
+                    "the digest comparison";
+  }
+  EXPECT_EQ(digest, golden::kServeSweepSha256)
+      << "The canonical serve sweep changed. If this is an intentional "
+         "behavior change, inspect it (GOLDEN_PRINT=1 "
+         "./test_determinism_golden) and regenerate the digest with "
+         "tools/regen_determinism_golden.sh; otherwise a determinism "
+         "regression landed.";
+}
+
+/// The suite itself must be reproducible within one process (fresh cost
+/// probes, fresh engines): if this fails, the digest above is noise.
+TEST(DeterminismGolden, CanonicalSweepIsReproducibleInProcess) {
+  EXPECT_EQ(util::sha256_hex(canonical_sweep()),
+            util::sha256_hex(canonical_sweep()));
+}
+
+/// Known-answer test for the hasher itself (FIPS 180-4 vectors), so a
+/// golden failure cannot be a broken SHA-256.
+TEST(DeterminismGolden, Sha256KnownAnswers) {
+  EXPECT_EQ(util::sha256_hex(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(util::sha256_hex("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(util::sha256_hex(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+  // 64-byte message: exercises the exact-two-block padding path.
+  EXPECT_EQ(util::sha256_hex(std::string(64, 'a')),
+            "ffe054fe7ae0cb6dc65c3af9b61d5209f439851db43d0ba5997337df154668eb");
+}
+
+}  // namespace
+}  // namespace looplynx::serve

@@ -1,0 +1,303 @@
+// Seed-sweep property harness for the serve layer: runs the
+// {batch policy x preempt policy x balancer x autoscale} matrix over a
+// spread of traffic seeds and asserts *structural* invariants after every
+// run — properties that must hold for any config, not pinned outcomes.
+//
+// The invariants:
+//  - Request conservation: every injected request is accounted for at the
+//    horizon (completed + rejected == offered, fleet-wide and per
+//    replica; nothing is still queued or running once the engine drains).
+//  - KV block accounting: occupancy never exceeds capacity, no
+//    over-release was ever clamped, and every block is back in the pool
+//    at the end (frees match allocs).
+//  - Per-record sanity: records are id-sorted and complete, queue wait
+//    <= TTFT <= end-to-end latency, and the serving replica's index is
+//    always below the live replica count at routing time (the live set
+//    is the index prefix).
+//  - Scale-event log: monotone fleet clock, single-step transitions
+//    chained from min_replicas, never outside [min, max], and the
+//    time-weighted live stats / replica-cycle cost are consistent with
+//    the log.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/arch_config.hpp"
+#include "model/config.hpp"
+#include "serve/autoscaler.hpp"
+#include "serve/fleet.hpp"
+#include "serve/kv_block.hpp"
+#include "serve/serving_sim.hpp"
+#include "workload/mix.hpp"
+
+namespace looplynx::serve {
+namespace {
+
+/// Cosim dimensions with a context window wide enough for the whale
+/// scenarios the skewed mixes use.
+model::ModelConfig harness_model() {
+  model::ModelConfig m = model::cosim_config();
+  m.name = "cosim-256";
+  m.max_seq_len = 256;
+  return m;
+}
+
+struct MatrixPoint {
+  std::string name;
+  BatchPolicy policy = BatchPolicy::kPrefillPriority;
+  std::uint32_t chunk_tokens = 0;
+  PreemptPolicy preempt = PreemptPolicy::kNone;
+  std::uint32_t kv_block_tokens = 1;
+  /// 0 = default architecture budget; otherwise tokens-per-node budget.
+  std::uint32_t kv_budget_tokens = 0;
+  BalancerPolicy balancer = BalancerPolicy::kRoundRobin;
+  std::uint32_t replicas = 2;  // pool size (== max_replicas if autoscaled)
+  bool bursty = false;
+  double rate = 300.0;
+  bool autoscale = false;
+  ScalePolicy scale_policy = ScalePolicy::kHybrid;
+  std::uint32_t min_replicas = 1;
+};
+
+/// The matrix: every batch policy, both preempt policies, every balancer,
+/// autoscaling off and on (all three scale policies) — 9 points x 5 seeds
+/// = 45 runs, comfortably past the 24-combination floor.
+std::vector<MatrixPoint> matrix() {
+  std::vector<MatrixPoint> points;
+  points.push_back({.name = "prefill-static-jsq",
+                    .policy = BatchPolicy::kPrefillPriority,
+                    .balancer = BalancerPolicy::kJoinShortestQueue});
+  points.push_back({.name = "decode-static-rr",
+                    .policy = BatchPolicy::kDecodePriority,
+                    .replicas = 3});
+  points.push_back({.name = "chunked-static-kv-bursty",
+                    .policy = BatchPolicy::kChunkedMixed,
+                    .chunk_tokens = 16,
+                    .balancer = BalancerPolicy::kKvAware,
+                    .bursty = true});
+  points.push_back({.name = "single-replica-identity",
+                    .policy = BatchPolicy::kPrefillPriority,
+                    .replicas = 1});
+  points.push_back({.name = "paged-preempt-static-rr",
+                    .policy = BatchPolicy::kChunkedMixed,
+                    .chunk_tokens = 16,
+                    .preempt = PreemptPolicy::kRecomputeYoungest,
+                    .kv_block_tokens = 4,
+                    .kv_budget_tokens = 56,
+                    .rate = 1200.0});
+  points.push_back({.name = "autoscale-queue-prefill",
+                    .policy = BatchPolicy::kPrefillPriority,
+                    .replicas = 3,
+                    .bursty = true,
+                    .autoscale = true,
+                    .scale_policy = ScalePolicy::kQueueDepth});
+  points.push_back({.name = "autoscale-slo-decode-kv",
+                    .policy = BatchPolicy::kDecodePriority,
+                    .balancer = BalancerPolicy::kKvAware,
+                    .replicas = 2,
+                    .autoscale = true,
+                    .scale_policy = ScalePolicy::kSloTtft});
+  points.push_back({.name = "autoscale-hybrid-paged-jsq",
+                    .policy = BatchPolicy::kChunkedMixed,
+                    .chunk_tokens = 16,
+                    .preempt = PreemptPolicy::kRecomputeYoungest,
+                    .kv_block_tokens = 4,
+                    .kv_budget_tokens = 128,
+                    .balancer = BalancerPolicy::kJoinShortestQueue,
+                    .replicas = 3,
+                    .bursty = true,
+                    .rate = 900.0,
+                    .autoscale = true,
+                    .scale_policy = ScalePolicy::kHybrid});
+  points.push_back({.name = "autoscale-hybrid-floor2",
+                    .policy = BatchPolicy::kChunkedMixed,
+                    .chunk_tokens = 24,
+                    .balancer = BalancerPolicy::kJoinShortestQueue,
+                    .replicas = 4,
+                    .bursty = true,
+                    .rate = 600.0,
+                    .autoscale = true,
+                    .min_replicas = 2});
+  return points;
+}
+
+FleetConfig build_config(const MatrixPoint& p, std::uint64_t seed) {
+  ServingConfig base;
+  base.arch = core::ArchConfig::one_node();
+  base.model = harness_model();
+  base.cost_probe_stride = 16;
+  base.traffic.mix = workload::Mix{"skewed",
+                                   {{workload::make_scenario(8, 16), 0.7},
+                                    {workload::make_scenario(192, 48), 0.2},
+                                    {workload::make_scenario(4, 40), 0.1}}};
+  base.traffic.num_requests = 32;
+  base.traffic.arrival_rate_per_s = p.rate;
+  base.traffic.seed = seed;
+  if (p.bursty) {
+    base.traffic.process = ArrivalProcess::kBursty;
+    base.traffic.burst_factor = 4.0;
+    base.traffic.burst_fraction = 0.25;
+    base.traffic.burst_period_s = 0.05;
+  }
+  base.scheduler.max_batch = 4;
+  base.scheduler.max_in_flight = 6;
+  base.scheduler.policy = p.policy;
+  base.scheduler.max_tokens_per_iter = p.chunk_tokens;
+  base.scheduler.preempt = p.preempt;
+  base.kv_block_tokens = p.kv_block_tokens;
+  if (p.kv_budget_tokens > 0) {
+    KvBlockManager probe(base.arch, base.model, 1);
+    base.kv_budget_bytes_per_node =
+        p.kv_budget_tokens * probe.bytes_per_token_per_node();
+  }
+  base.slo.ttft_ms = 5.0;
+  base.slo.token_ms = 2.0;
+  base.keep_request_records = true;
+
+  FleetConfig cfg = FleetConfig::homogeneous(base, p.replicas, p.balancer);
+  if (p.autoscale) {
+    cfg.autoscale.enabled = true;
+    cfg.autoscale.policy = p.scale_policy;
+    cfg.autoscale.min_replicas = p.min_replicas;
+    cfg.autoscale.max_replicas = p.replicas;
+    cfg.autoscale.eval_interval_ms = 2.0;
+    cfg.autoscale.ttft_window_ms = 10.0;
+    cfg.autoscale.queue_high = 1.5;
+    cfg.autoscale.queue_low = 0.25;
+    cfg.autoscale.up_evals = 1;
+    cfg.autoscale.down_evals = 2;
+    cfg.autoscale.cooldown_evals = 1;
+  }
+  return cfg;
+}
+
+void check_invariants(const FleetConfig& cfg, const FleetResult& r,
+                      const std::string& tag) {
+  SCOPED_TRACE(tag);
+  const FleetMetrics& fleet = r.fleet;
+  const auto pool = static_cast<std::uint32_t>(cfg.replicas.size());
+
+  // ---- Request conservation at the horizon ----
+  EXPECT_EQ(fleet.offered, cfg.traffic.num_requests);
+  EXPECT_EQ(fleet.completed + fleet.rejected, fleet.offered);
+  ASSERT_EQ(r.replicas.size(), pool);
+  ASSERT_EQ(r.routed.size(), pool);
+  std::uint64_t routed_sum = 0, completed_sum = 0;
+  for (std::uint32_t i = 0; i < pool; ++i) {
+    const FleetMetrics& rm = r.replicas[i];
+    EXPECT_EQ(rm.offered, r.routed[i]);
+    EXPECT_EQ(rm.completed + rm.rejected, rm.offered);
+    routed_sum += r.routed[i];
+    completed_sum += rm.completed;
+  }
+  EXPECT_EQ(routed_sum, fleet.offered);
+  EXPECT_EQ(completed_sum, fleet.completed);
+
+  // ---- KV block accounting ----
+  EXPECT_EQ(fleet.kv_over_release_events, 0u);
+  EXPECT_EQ(fleet.kv_blocks_in_use_at_end, 0u);  // frees match allocs
+  EXPECT_LE(fleet.kv_peak_occupancy, 1.0);
+  for (const FleetMetrics& rm : r.replicas) {
+    EXPECT_LE(rm.kv_peak_used_blocks, rm.kv_capacity_blocks);
+    EXPECT_LE(rm.kv_peak_occupancy, 1.0);
+    EXPECT_EQ(rm.kv_over_release_events, 0u);
+    EXPECT_EQ(rm.kv_blocks_in_use_at_end, 0u);
+  }
+
+  // ---- Per-record sanity ----
+  ASSERT_EQ(fleet.requests.size(), fleet.offered);
+  const std::uint32_t live_floor =
+      cfg.autoscale.enabled ? cfg.autoscale.min_replicas : pool;
+  const std::uint32_t live_ceiling =
+      cfg.autoscale.enabled ? cfg.autoscale.max_replicas : pool;
+  for (std::size_t i = 0; i < fleet.requests.size(); ++i) {
+    const RequestRecord& rec = fleet.requests[i];
+    EXPECT_EQ(rec.id, i);  // id-sorted, gap-free == injection order
+    EXPECT_LT(rec.replica, pool);
+    EXPECT_GE(rec.live_replicas, live_floor);
+    EXPECT_LE(rec.live_replicas, live_ceiling);
+    // The live set is the index prefix, so the serving replica was live
+    // when this request was routed.
+    EXPECT_LT(rec.replica, rec.live_replicas);
+    if (rec.rejected) continue;
+    EXPECT_GE(rec.queue_wait_ms, 0.0);
+    EXPECT_LE(rec.queue_wait_ms, rec.ttft_ms);
+    EXPECT_LE(rec.ttft_ms, rec.e2e_ms);
+  }
+
+  // ---- Scale-event log ----
+  if (!cfg.autoscale.enabled) {
+    EXPECT_TRUE(r.scale_events.empty());
+    EXPECT_EQ(r.min_live_replicas, pool);
+    EXPECT_EQ(r.peak_live_replicas, pool);
+    EXPECT_DOUBLE_EQ(r.mean_live_replicas, static_cast<double>(pool));
+  } else {
+    std::uint32_t live = cfg.autoscale.min_replicas;
+    sim::Cycles last_at = 0;
+    for (const ScaleEvent& e : r.scale_events) {
+      EXPECT_GE(e.at, last_at);  // monotone fleet clock
+      last_at = e.at;
+      EXPECT_EQ(e.from, live);  // chained single-step transitions
+      EXPECT_TRUE(e.to == e.from + 1 || e.to + 1 == e.from);
+      EXPECT_GE(e.to, cfg.autoscale.min_replicas);
+      EXPECT_LE(e.to, cfg.autoscale.max_replicas);
+      live = e.to;
+    }
+    EXPECT_GE(r.min_live_replicas, cfg.autoscale.min_replicas);
+    EXPECT_LE(r.peak_live_replicas, cfg.autoscale.max_replicas);
+  }
+  EXPECT_GE(r.mean_live_replicas, static_cast<double>(r.min_live_replicas));
+  EXPECT_LE(r.mean_live_replicas, static_cast<double>(r.peak_live_replicas));
+
+  // ---- Cost accounting ----
+  // Occupied replica-time is bounded by the whole pool running the whole
+  // makespan, and is at least the live (routable) integral.
+  const double budget =
+      static_cast<double>(pool) * fleet.duration_s + 1e-9;
+  EXPECT_LE(r.replica_seconds, budget);
+  EXPECT_GE(r.replica_seconds,
+            r.mean_live_replicas * fleet.duration_s - 1e-9);
+  EXPECT_EQ(r.autoscaled, cfg.autoscale.enabled);
+}
+
+TEST(ServeInvariants, MatrixHoldsAcrossSeeds) {
+  for (const MatrixPoint& p : matrix()) {
+    for (const std::uint64_t seed : {1ull, 7ull, 13ull, 29ull, 97ull}) {
+      const FleetConfig cfg = build_config(p, seed);
+      const FleetResult r = FleetSim(cfg).run();
+      check_invariants(cfg, r,
+                       p.name + " seed " + std::to_string(seed));
+    }
+  }
+}
+
+/// The preempting matrix points must actually exercise preemption for at
+/// least one seed — otherwise the KV invariants above are vacuous there.
+TEST(ServeInvariants, PreemptingPointsActuallyPreempt) {
+  std::uint64_t preemptions = 0;
+  for (const MatrixPoint& p : matrix()) {
+    if (p.preempt != PreemptPolicy::kRecomputeYoungest) continue;
+    for (const std::uint64_t seed : {1ull, 7ull, 13ull}) {
+      preemptions += FleetSim(build_config(p, seed)).run().fleet.preemptions;
+    }
+  }
+  EXPECT_GT(preemptions, 0u);
+}
+
+/// And the autoscaled points must actually scale for at least one seed —
+/// otherwise the scale-log invariants are vacuous.
+TEST(ServeInvariants, AutoscaledPointsActuallyScale) {
+  std::size_t events = 0;
+  for (const MatrixPoint& p : matrix()) {
+    if (!p.autoscale) continue;
+    for (const std::uint64_t seed : {1ull, 7ull, 13ull}) {
+      events += FleetSim(build_config(p, seed)).run().scale_events.size();
+    }
+  }
+  EXPECT_GT(events, 0u);
+}
+
+}  // namespace
+}  // namespace looplynx::serve

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Regenerates the checked-in digest of the canonical serve-layer
+# determinism sweep (tests/golden/serve_golden.hpp).
+#
+# Run this ONLY after an intentional serve-layer behavior change, and
+# review the canonical sweep diff first:
+#
+#   GOLDEN_PRINT=1 ./build/test_determinism_golden   # inspect the text
+#   tools/regen_determinism_golden.sh [build-dir]    # rewrite the digest
+#
+# A hash that moved without an intentional change is a determinism
+# regression — fix the regression, do not regenerate over it.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo/build}"
+header="$repo/tests/golden/serve_golden.hpp"
+
+cmake --build "$build_dir" --target test_determinism_golden -j >/dev/null
+
+hash="$(GOLDEN_PRINT=1 "$build_dir/test_determinism_golden" \
+          --gtest_filter='DeterminismGolden.CanonicalSweepMatchesCheckedInDigest' \
+          --gtest_brief=1 | sed -n 's/^SHA256 //p')"
+if [[ ! "$hash" =~ ^[0-9a-f]{64}$ ]]; then
+  echo "error: could not extract a SHA-256 from the golden test output" >&2
+  exit 1
+fi
+
+cat > "$header" <<EOF
+// Checked-in SHA-256 of the canonical serve-layer determinism sweep.
+// Regenerate with tools/regen_determinism_golden.sh after an *intentional*
+// serve-layer behavior change — never to paper over an unexplained diff
+// (that diff IS the determinism regression the fixture exists to catch).
+#pragma once
+
+namespace looplynx::golden {
+
+inline constexpr char kServeSweepSha256[] =
+    "$hash";
+
+}  // namespace looplynx::golden
+EOF
+
+echo "wrote $header"
+echo "digest $hash"
