@@ -15,6 +15,7 @@
 //                [--kv-budget-mb=0] [--replicas=1] [--balancer=rr|jsq|kv]
 //                [--autoscale=queue|slo|hybrid] [--min-replicas=1]
 //                [--max-replicas=4] [--scale-interval-ms=50]
+//                [--trace-out=PATH] [--metrics-out=PATH]
 //
 // --chunk-tokens=N sets the per-iteration token budget (requires
 // --policy=chunked; the policy defaults it to 64). --preempt=recompute
@@ -39,6 +40,7 @@
 // index-ordered balancer tie-breaks).
 #include <cstdint>
 #include <iostream>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -48,6 +50,7 @@
 #include "core/step_cost.hpp"
 #include "serve/cli_flags.hpp"
 #include "serve/fleet.hpp"
+#include "serve/observe.hpp"
 #include "serve/serving_sim.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -84,6 +87,12 @@ void print_usage() {
       "  --max-replicas=N     autoscale ceiling, >= min (default 4)\n"
       "  --scale-interval-ms=T  control-loop period in ms, > 0 (default "
       "50)\n"
+      "  --trace-out=PATH     write a Chrome/Perfetto trace-event JSON of\n"
+      "                       the final sweep point (every point is still\n"
+      "                       observed, so the tiling invariant is checked\n"
+      "                       across the whole grid)\n"
+      "  --metrics-out=PATH   write a Prometheus text exposition of the\n"
+      "                       final sweep point\n"
       "  --help               this text\n"
       "\n"
       "Flags accept --key=value and --key value forms. Defaults reproduce\n"
@@ -164,6 +173,12 @@ int main(int argc, char** argv) {
   if (opts.fleet()) {
     header.push_back("imbal");
     header.push_back("TTFT sprd");
+    // The pooled queue-wait / inter-token-gap distributions are where a
+    // skewed routing shows up first; fleet-gated so default (and plain
+    // paged) tables stay byte-identical to earlier releases.
+    header.push_back("q-wait p50");
+    header.push_back("q-wait p99");
+    header.push_back("gap p50");
   }
   if (opts.autoscale.enabled) {
     header.push_back("live avg");
@@ -171,6 +186,12 @@ int main(int argc, char** argv) {
     header.push_back("scale");
   }
   t.set_header(header);
+
+  // With exports requested, every sweep point runs observed (each
+  // finalize() re-asserts the tiling identity across the whole grid); the
+  // files capture the final point. Unset flags never construct an
+  // observer, keeping the default sweep byte-identical.
+  std::optional<serve::Observer> obs;
 
   for (const workload::Mix& mix : mixes) {
     for (double rate : rates) {
@@ -192,11 +213,17 @@ int main(int argc, char** argv) {
         double imbalance = 0, ttft_spread = 0;
         double mean_live = 0, replica_s = 0;
         std::size_t scale_events = 0;
+        if (opts.observed()) {
+          obs.emplace(opts.fleet() ? opts.fleet_width() : 1,
+                      arch.frequency_hz);
+        }
+        serve::Observer* const point_obs = obs ? &*obs : nullptr;
         if (opts.fleet()) {
           serve::FleetConfig fleet_cfg = serve::FleetConfig::homogeneous(
               cfg, opts.fleet_width(), opts.balancer);
           fleet_cfg.autoscale = opts.autoscale;
-          serve::FleetResult fr = serve::FleetSim(fleet_cfg, costs).run();
+          serve::FleetResult fr =
+              serve::FleetSim(fleet_cfg, costs).run(point_obs);
           imbalance = fr.load_imbalance;
           ttft_spread = fr.ttft_p99_spread_ms;
           mean_live = fr.mean_live_replicas;
@@ -204,7 +231,7 @@ int main(int argc, char** argv) {
           scale_events = fr.scale_events.size();
           m = std::move(fr.fleet);
         } else {
-          m = serve::ServingSim(cfg, costs).run();
+          m = serve::ServingSim(cfg, costs).run(point_obs);
         }
         std::vector<std::string> row = {
             mix.name, util::fmt_fixed(rate, 0),
@@ -227,6 +254,9 @@ int main(int argc, char** argv) {
         if (opts.fleet()) {
           row.push_back(util::fmt_fixed(imbalance, 2));
           row.push_back(util::fmt_fixed(ttft_spread, 1));
+          row.push_back(util::fmt_fixed(m.queue_wait_ms.p50, 1));
+          row.push_back(util::fmt_fixed(m.queue_wait_ms.p99, 1));
+          row.push_back(util::fmt_fixed(m.inter_token_gap_ms.p50, 2));
         }
         if (opts.autoscale.enabled) {
           row.push_back(util::fmt_fixed(mean_live, 2));
@@ -274,6 +304,20 @@ int main(int argc, char** argv) {
         "static fleet burns width x makespan; the gap is the elasticity\n"
         "saving) and scale the number of grow/shrink events. Scale-down\n"
         "drains gracefully — masked replicas finish their admitted work.\n";
+  }
+  if (opts.observed()) {
+    serve::write_exports(*obs, opts.trace_out, opts.metrics_out);
+    // No separator line: the observed output must be exactly the
+    // unobserved output plus these notices (the CI gate strips them with
+    // `grep -v '^Wrote '` and compares byte-for-byte).
+    if (!opts.trace_out.empty()) {
+      std::cout << "Wrote trace-event JSON of the final sweep point to "
+                << opts.trace_out << " (load at https://ui.perfetto.dev)\n";
+    }
+    if (!opts.metrics_out.empty()) {
+      std::cout << "Wrote Prometheus metrics of the final sweep point to "
+                << opts.metrics_out << "\n";
+    }
   }
   return 0;
 }

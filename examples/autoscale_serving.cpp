@@ -16,11 +16,18 @@
 //   ./autoscale_serving [--requests=120] [--rate=0.5] [--seed=11]
 //                       [--min-replicas=1] [--max-replicas=4]
 //                       [--scale-interval-ms=25]
-//                       [--autoscale=queue|slo|hybrid] [--help]
+//                       [--autoscale=queue|slo|hybrid]
+//                       [--trace-out=PATH] [--metrics-out=PATH] [--help]
 //
-// Deterministic: same flags, byte-identical output (seeded traffic +
-// engine-ordered events + index-prefix scale decisions).
+// --trace-out writes a Chrome/Perfetto trace-event JSON of the autoscaled
+// run (one track per replica, one async span per request, instants at
+// every scale decision — load it at https://ui.perfetto.dev to watch the
+// fleet breathe); --metrics-out a Prometheus text exposition of the same
+// run. Deterministic: same flags, byte-identical output (seeded traffic +
+// engine-ordered events + index-prefix scale decisions), exports included.
 #include <iostream>
+#include <optional>
+#include <stdexcept>
 #include <string>
 
 #include "core/arch_config.hpp"
@@ -28,6 +35,7 @@
 #include "model/config.hpp"
 #include "serve/autoscaler.hpp"
 #include "serve/fleet.hpp"
+#include "serve/observe.hpp"
 #include "serve/serving_sim.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -51,6 +59,11 @@ void print_usage() {
       "  --scale-interval-ms=T  control-loop period in ms (default 25)\n"
       "  --autoscale=P          queue|slo|hybrid control policy (default\n"
       "                         hybrid)\n"
+      "  --trace-out=PATH       write a Chrome/Perfetto trace-event JSON\n"
+      "                         of the autoscaled run (load at\n"
+      "                         https://ui.perfetto.dev)\n"
+      "  --metrics-out=PATH     write a Prometheus text exposition of the\n"
+      "                         autoscaled run\n"
       "  --help                 this text\n";
 }
 
@@ -139,8 +152,22 @@ int main(int argc, char** argv) {
   serve::FleetConfig scaled_cfg = serve::FleetConfig::homogeneous(
       base, max_replicas, serve::BalancerPolicy::kJoinShortestQueue);
   scaled_cfg.autoscale = autoscale;
+  // Exports observe the autoscaled run — the one whose scale/drain
+  // decisions the instant events exist for. Unset flags never construct
+  // an observer, keeping the default output byte-identical.
+  const std::string trace_out = cli.get_or("trace-out", "");
+  const std::string metrics_out = cli.get_or("metrics-out", "");
+  if ((cli.has("trace-out") && trace_out.empty()) ||
+      (cli.has("metrics-out") && metrics_out.empty())) {
+    throw std::invalid_argument(
+        "--trace-out/--metrics-out need a file path (--trace-out=<path>)");
+  }
+  std::optional<serve::Observer> obs;
+  if (!trace_out.empty() || !metrics_out.empty()) {
+    obs.emplace(max_replicas, base.arch.frequency_hz);
+  }
   const serve::FleetResult scaled =
-      serve::FleetSim(scaled_cfg, costs).run();
+      serve::FleetSim(scaled_cfg, costs).run(obs ? &*obs : nullptr);
 
   const auto describe = [](const std::string& name,
                            const serve::FleetResult& r) {
@@ -191,6 +218,18 @@ int main(int argc, char** argv) {
   std::cout << "\nAutoscaled fleet used "
             << util::fmt_percent(cycle_saving, 1)
             << " fewer replica-cycles than the static ceiling fleet.\n";
+
+  if (obs) {
+    serve::write_exports(*obs, trace_out, metrics_out);
+    if (!trace_out.empty()) {
+      std::cout << "Wrote trace-event JSON of the autoscaled run to "
+                << trace_out << " (load at https://ui.perfetto.dev)\n";
+    }
+    if (!metrics_out.empty()) {
+      std::cout << "Wrote Prometheus metrics of the autoscaled run to "
+                << metrics_out << "\n";
+    }
+  }
 
   // The pinned claims. slo_good counts (not rates) compare the SLO
   // outcome over the identical request set: an autoscaled run's makespan

@@ -22,14 +22,17 @@
 //                         [--replicas=1] [--balancer=rr|jsq|kv]
 //                         [--autoscale=queue|slo|hybrid]
 //                         [--min-replicas=1] [--max-replicas=4]
-//                         [--scale-interval-ms=50] [--help]
+//                         [--scale-interval-ms=50]
+//                         [--trace-out=PATH] [--metrics-out=PATH] [--help]
 #include <iostream>
+#include <optional>
 
 #include "core/arch_config.hpp"
 #include "model/config.hpp"
 #include "serve/cli_flags.hpp"
 #include "serve/fleet.hpp"
 #include "serve/kv_block.hpp"
+#include "serve/observe.hpp"
 #include "serve/serving_sim.hpp"
 #include "util/cli.hpp"
 #include "workload/mix.hpp"
@@ -58,6 +61,9 @@ void print_usage() {
       "  --max-replicas=N     autoscale ceiling, >= min (default 4)\n"
       "  --scale-interval-ms=T  control-loop period in ms, > 0 (default "
       "50)\n"
+      "  --trace-out=PATH     write a Chrome/Perfetto trace-event JSON of\n"
+      "                       the run (load at https://ui.perfetto.dev)\n"
+      "  --metrics-out=PATH   write a Prometheus text exposition of the run\n"
       "  --help               this text\n"
       "\n"
       "Flags accept --key=value and --key value forms.\n";
@@ -99,6 +105,15 @@ int main(int argc, char** argv) {
   cfg.kv_budget_bytes_per_node = static_cast<std::uint64_t>(
       8.5 * mean_tokens * static_cast<double>(probe.bytes_per_token_per_node()));
 
+  // Unset export flags never construct an observer, so the default run
+  // stays byte-identical to an unobserved binary.
+  std::optional<serve::Observer> obs;
+  if (opts.observed()) {
+    obs.emplace(opts.fleet() ? opts.fleet_width() : 1,
+                cfg.arch.frequency_hz);
+  }
+  serve::Observer* const obs_ptr = obs ? &*obs : nullptr;
+
   serve::FleetMetrics m;
   const std::string mix_title =
       "Continuous batching, " + cfg.traffic.mix.name + " mix, batch " +
@@ -116,7 +131,7 @@ int main(int argc, char** argv) {
             : mix_title + ", " + std::to_string(opts.replicas) +
                   " replicas, " +
                   serve::balancer_policy_name(opts.balancer);
-    serve::FleetResult fr = serve::FleetSim(fleet_cfg).run();
+    serve::FleetResult fr = serve::FleetSim(fleet_cfg).run(obs_ptr);
     fr.to_table(fleet_title).render(std::cout);
     std::cout << "\nLoad imbalance (max/mean routed) "
               << util::fmt_fixed(fr.load_imbalance, 2)
@@ -137,7 +152,7 @@ int main(int argc, char** argv) {
     }
     m = std::move(fr.fleet);
   } else {
-    m = serve::ServingSim(cfg).run();
+    m = serve::ServingSim(cfg).run(obs_ptr);
     m.to_table(mix_title).render(std::cout);
   }
 
@@ -168,6 +183,16 @@ int main(int argc, char** argv) {
        m.preemptions > 0);
   if (!pressured && !opts.fleet()) {
     std::cout << "(increase --rate or --requests to exercise backpressure)\n";
+  }
+  if (opts.observed()) {
+    serve::write_exports(*obs, opts.trace_out, opts.metrics_out);
+    if (!opts.trace_out.empty()) {
+      std::cout << "Wrote trace-event JSON to " << opts.trace_out
+                << " (load at https://ui.perfetto.dev)\n";
+    }
+    if (!opts.metrics_out.empty()) {
+      std::cout << "Wrote Prometheus metrics to " << opts.metrics_out << "\n";
+    }
   }
   const bool ok = m.completed == m.offered - m.rejected &&
                   (opts.fleet() ? m.completed == cfg.traffic.num_requests

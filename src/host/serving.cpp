@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "serve/observe.hpp"
 #include "serve/serving_sim.hpp"
 #include "workload/scenario.hpp"
 
@@ -92,10 +93,18 @@ std::vector<ServeResult> Host::flush(
   return run_flush(scheduler, autoscale.max_replicas, balancer, &autoscale);
 }
 
+std::vector<ServeResult> Host::flush_observed(
+    const serve::SchedulerConfig& scheduler, std::uint32_t replicas,
+    serve::BalancerPolicy balancer) {
+  serve::Observer observer(std::max<std::uint32_t>(replicas, 1),
+                           arch_.frequency_hz);
+  return run_flush(scheduler, replicas, balancer, nullptr, &observer);
+}
+
 std::vector<ServeResult> Host::run_flush(
     const serve::SchedulerConfig& scheduler, std::uint32_t replicas,
     serve::BalancerPolicy balancer,
-    const serve::AutoscalerConfig* autoscale) {
+    const serve::AutoscalerConfig* autoscale, serve::Observer* observer) {
   std::vector<ServeResult> results = std::move(pending_);
   pending_.clear();
   if (results.empty()) return results;
@@ -124,9 +133,9 @@ std::vector<ServeResult> Host::run_flush(
     serve::FleetConfig fleet_cfg =
         serve::FleetConfig::homogeneous(cfg, replicas, balancer);
     if (autoscale != nullptr) fleet_cfg.autoscale = *autoscale;
-    metrics = serve::FleetSim(fleet_cfg, costs()).run().fleet;
+    metrics = serve::FleetSim(fleet_cfg, costs()).run(observer).fleet;
   } else {
-    metrics = serve::ServingSim(cfg, costs()).run();
+    metrics = serve::ServingSim(cfg, costs()).run(observer);
   }
   if (metrics.requests.size() != results.size()) {
     throw std::logic_error("serve layer lost request records");
@@ -154,6 +163,15 @@ std::vector<ServeResult> Host::run_flush(
     if (rec.decode_tokens > 0 && out.decode_ms > 0) {
       out.decode_tokens_per_s =
           1e3 * static_cast<double>(rec.decode_tokens) / out.decode_ms;
+    }
+  }
+  if (observer != nullptr) {
+    // std::map iteration gives the categories sorted by name, so the
+    // breakdown order is deterministic.
+    for (ServeResult& out : results) {
+      for (const auto& [cat, cycles] : observer->breakdown(out.replica)) {
+        out.replica_breakdown_ms.emplace_back(cat, arch_.cycles_to_ms(cycles));
+      }
     }
   }
   return results;

@@ -20,6 +20,7 @@
 #include <functional>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/arch_config.hpp"
@@ -73,6 +74,11 @@ struct ServeResult {
   /// autoscaler's current live set under flush(..., autoscale, ...) —
   /// always > `replica` (the live set is the index prefix).
   std::uint32_t live_replicas = 1;
+  /// Cycle-accounting breakdown of the replica that served this request,
+  /// as (category, milliseconds) sorted by category name. Filled only by
+  /// flush_observed(); the category totals tile the replica's whole run
+  /// timeline (serve/observe.hpp), so summing them yields the makespan.
+  std::vector<std::pair<std::string, double>> replica_breakdown_ms;
 };
 
 class Host {
@@ -115,6 +121,16 @@ class Host {
                                  serve::BalancerPolicy balancer =
                                      serve::BalancerPolicy::kRoundRobin);
 
+  /// Like flush(scheduler, replicas, balancer), but runs the fleet with a
+  /// serve::Observer attached and fills each result's
+  /// replica_breakdown_ms with the serving replica's cycle-accounting
+  /// breakdown. Observation is pure bookkeeping — every timing field
+  /// matches the plain flush() byte for byte.
+  std::vector<ServeResult> flush_observed(
+      const serve::SchedulerConfig& scheduler = {},
+      std::uint32_t replicas = 1,
+      serve::BalancerPolicy balancer = serve::BalancerPolicy::kRoundRobin);
+
   const Tokenizer& tokenizer() const { return tokenizer_; }
   std::uint32_t eos_id() const { return tokenizer_.eos_id(); }
   std::size_t pending() const { return pending_.size(); }
@@ -130,7 +146,8 @@ class Host {
   std::vector<ServeResult> run_flush(
       const serve::SchedulerConfig& scheduler, std::uint32_t replicas,
       serve::BalancerPolicy balancer,
-      const serve::AutoscalerConfig* autoscale);
+      const serve::AutoscalerConfig* autoscale,
+      serve::Observer* observer = nullptr);
 
   /// Realized decode-step count of a generation (>= 1; EOS counts).
   static std::uint32_t decode_steps(const ServeResult& result);

@@ -84,6 +84,17 @@ SchedulerCliOptions parse_scheduler_cli(const util::Cli& cli,
     opts.autoscale.eval_interval_ms = interval_ms;
   }
 
+  for (const char* flag : {"trace-out", "metrics-out"}) {
+    if (!cli.has(flag)) continue;
+    const std::string path = cli.get_or(flag, "");
+    if (path.empty()) {
+      throw std::invalid_argument(
+          std::string("--") + flag +
+          " needs a file path (--" + flag + "=<path>)");
+    }
+    (flag[0] == 't' ? opts.trace_out : opts.metrics_out) = path;
+  }
+
   if (const auto balancer = cli.get("balancer")) {
     if (opts.replicas < 2 && !opts.autoscale.enabled) {
       throw std::invalid_argument(

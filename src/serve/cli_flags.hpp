@@ -37,6 +37,14 @@ struct SchedulerCliOptions {
   /// --min-replicas/--max-replicas/--scale-interval-ms). enabled == false
   /// unless --autoscale was given.
   AutoscalerConfig autoscale;
+  /// Observability exports (serve/observe.hpp), legal with any replica /
+  /// autoscale combination. Empty (the default) disables the observer
+  /// entirely — the run's output stays byte-identical to an unobserved
+  /// binary. --trace-out writes Chrome/Perfetto trace-event JSON,
+  /// --metrics-out a Prometheus text exposition; both are keyed off
+  /// simulated cycles only, so the files are byte-stable across re-runs.
+  std::string trace_out;
+  std::string metrics_out;
 
   /// True when the run departs from the legacy whole-footprint accounting
   /// — the CLI surfaces add paging/preemption columns and summary lines
@@ -54,6 +62,9 @@ struct SchedulerCliOptions {
   std::uint32_t fleet_width() const {
     return autoscale.enabled ? autoscale.max_replicas : replicas;
   }
+
+  /// True when the run should attach an Observer and write exports.
+  bool observed() const { return !trace_out.empty() || !metrics_out.empty(); }
 };
 
 /// Parses --policy/--chunk-tokens/--preempt/--kv-block-tokens/--replicas/
@@ -71,7 +82,9 @@ struct SchedulerCliOptions {
 ///    an explicit --replicas (the autoscaler sizes the fleet between
 ///    --min-replicas and --max-replicas; a fixed width contradicts it);
 ///  - --min-replicas/--max-replicas/--scale-interval-ms require
-///    --autoscale, need 1 <= min <= max, and the interval must be > 0.
+///    --autoscale, need 1 <= min <= max, and the interval must be > 0;
+///  - --trace-out/--metrics-out need a non-empty =<path> value (they are
+///    legal with every replica / autoscale combination).
 /// Throws std::invalid_argument with an actionable message on violation.
 SchedulerCliOptions parse_scheduler_cli(const util::Cli& cli,
                                         const std::string& default_policy =

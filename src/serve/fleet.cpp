@@ -6,6 +6,7 @@
 #include <string>
 #include <utility>
 
+#include "serve/observe.hpp"
 #include "serve/replica.hpp"
 #include "util/stats.hpp"
 
@@ -303,6 +304,20 @@ sim::Task autoscaler_proc(FleetRun& run) {
     const std::uint32_t to = d.delta > 0 ? run.live + 1 : run.live - 1;
     run.scale_log.push_back(
         {run.engine.now(), now_ms, run.live, to, d.trigger});
+    if (run.shared.observer != nullptr) {
+      // Scale-up activates replica index `live` (the prefix grows by one);
+      // scale-down deactivates index `to` (== live - 1), which then drains.
+      const sim::Cycles at = run.engine.now();
+      if (d.delta > 0) {
+        run.shared.observer->record(LifecycleEvent::kScaleUp, at, kNoRequest,
+                                    run.live, run.live, to);
+      } else {
+        run.shared.observer->record(LifecycleEvent::kScaleDown, at,
+                                    kNoRequest, to, run.live, to);
+        run.shared.observer->record(LifecycleEvent::kDrain, at, kNoRequest,
+                                    to);
+      }
+    }
     run.live = to;
     run.shared.live_replicas = to;
   }
@@ -367,8 +382,17 @@ std::uint64_t occupied_cycles(
 
 }  // namespace
 
-FleetResult FleetSim::run() const {
+FleetResult FleetSim::run() const { return run(nullptr); }
+
+FleetResult FleetSim::run(Observer* observer) const {
+  if (observer != nullptr &&
+      observer->replicas() != config_.replicas.size()) {
+    throw std::invalid_argument(
+        "FleetSim::run observer must be built for the fleet width (" +
+        std::to_string(config_.replicas.size()) + " replicas)");
+  }
   FleetRun run(config_, costs_);
+  run.shared.observer = observer;
   const auto route = [&run]() -> detail::Replica& { return run.route(); };
   // Control plane first: at a shared instant the scale decision lands
   // before that cycle's routing (either order is deterministic; this one
@@ -508,6 +532,7 @@ FleetResult FleetSim::run() const {
   for (auto& r : run.replicas) {
     result.replicas.push_back(detail::finalize_metrics(*r));
   }
+  if (observer != nullptr) observer->finalize(makespan);
   for (const FleetMetrics& rm : result.replicas) {
     m.requests.insert(m.requests.end(), rm.requests.begin(),
                       rm.requests.end());

@@ -194,6 +194,16 @@ class FleetSim {
   /// Simulates the whole fleet to completion and returns its results.
   FleetResult run() const;
 
+  /// Same run with an observer attached (serve/observe.hpp): every
+  /// replica's lifecycle events and cycle-accounting spans — plus the
+  /// autoscaler's scale/drain decisions — are recorded into it, and the
+  /// observer is finalized (per-replica tiling asserted, exports unlocked)
+  /// before returning. `observer` may be null (identical to run()); when
+  /// non-null it must be freshly constructed for the fleet width at the
+  /// fleet clock. Observation is pure bookkeeping: the returned result is
+  /// identical to an unobserved run's.
+  FleetResult run(Observer* observer) const;
+
  private:
   void validate();
 

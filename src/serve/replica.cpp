@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "serve/observe.hpp"
+
 namespace looplynx::serve::detail {
 
 Request& Replica::make_request(workload::Scenario shape) {
@@ -14,6 +16,10 @@ Request& Replica::make_request(workload::Scenario shape) {
       std::make_unique<Request>(engine, shared.injected++, std::move(shape)));
   requests.back()->live_at_route = shared.live_replicas;
   ++routed;
+  if (shared.observer != nullptr) {
+    shared.observer->record(LifecycleEvent::kRoute, engine.now(),
+                            requests.back()->id, id, shared.live_replicas);
+  }
   return *requests.back();
 }
 
@@ -38,13 +44,25 @@ void Replica::record_completion(Request& r) {
   e2e_ms.push_back(ms(r.completed - r.arrival));
   queue_wait_ms.push_back(ms(r.admitted - r.arrival));
   if (ttft <= cfg.slo.ttft_ms && token <= cfg.slo.token_ms) ++good;
+  if (shared.observer != nullptr) {
+    shared.observer->record(LifecycleEvent::kFinish, engine.now(), r.id, id,
+                            r.decoded, r.preempt_count);
+  }
 }
 
 sim::Task request_proc(Replica& f, Request& r) {
+  Observer* const obs = f.shared.observer;
   r.arrival = f.engine.now();
+  if (obs != nullptr) {
+    obs->record(LifecycleEvent::kArrive, r.arrival, r.id, f.id,
+                r.shape.prefill, r.shape.decode);
+  }
   if (!f.queue.push(&r)) {
     r.state = RequestState::kRejected;
     ++f.rejected;
+    if (obs != nullptr) {
+      obs->record(LifecycleEvent::kReject, f.engine.now(), r.id, f.id, 0);
+    }
     r.done.set();
     co_return;
   }
@@ -56,6 +74,9 @@ sim::Task request_proc(Replica& f, Request& r) {
       // Popped by the scheduler but impossible to admit (footprint larger
       // than the whole KV budget).
       ++f.rejected;
+      if (obs != nullptr) {
+        obs->record(LifecycleEvent::kReject, f.engine.now(), r.id, f.id, 1);
+      }
       r.done.set();
       co_return;
     }
@@ -65,14 +86,27 @@ sim::Task request_proc(Replica& f, Request& r) {
     if (r.step_tokens > 0) {
       // Prefill chunk: advance the cursor. A partial chunk leaves the
       // request in the prefill class; the final chunk emits token #1.
+      if (obs != nullptr && r.recovering && r.prompt_done == 0) {
+        obs->record(LifecycleEvent::kRecomputeStart, f.engine.now(), r.id,
+                    f.id, r.prefill_target());
+      }
       r.prompt_done += r.step_tokens;
       ++r.prefill_chunks;
       f.total_tokens += r.step_tokens;
+      if (obs != nullptr) {
+        obs->record(r.prefill_chunks == 1 ? LifecycleEvent::kFirstChunk
+                                          : LifecycleEvent::kChunk,
+                    f.engine.now(), r.id, f.id, r.step_tokens, r.prompt_done);
+      }
       if (r.recovering && r.prefilled()) {
         // Post-preemption recompute done: the dropped KV is rebuilt and
         // admission of new competitors may resume.
         r.recovering = false;
         --f.recovering;
+        if (obs != nullptr) {
+          obs->record(LifecycleEvent::kRecomputeEnd, f.engine.now(), r.id,
+                      f.id, r.prompt_done);
+        }
       }
     } else {
       ++r.decoded;
@@ -84,6 +118,11 @@ sim::Task request_proc(Replica& f, Request& r) {
     // the host has already seen (emitted_token), which only rebuilds KV.
     if (r.step_tokens == 0 || (r.prefilled() && !r.emitted_token)) {
       const sim::Cycles now = f.engine.now();
+      if (obs != nullptr) {
+        obs->record(r.decoded == 0 ? LifecycleEvent::kFirstToken
+                                   : LifecycleEvent::kDecode,
+                    now, r.id, f.id, r.decoded);
+      }
       if (r.decoded == 0) {
         r.first_token = now;
         if (f.shared.ttft_window != nullptr) {
@@ -137,6 +176,10 @@ void admit_from_queue(Replica& f) {
     ++f.shared.active;
     f.peak_active = std::max(f.peak_active, f.active);
     f.shared.peak_active = std::max(f.shared.peak_active, f.shared.active);
+    if (f.shared.observer != nullptr) {
+      f.shared.observer->record(LifecycleEvent::kAdmit, r->admitted, r->id,
+                                f.id, f.active);
+    }
     f.runnable.push_back(r);
   }
 }
@@ -157,6 +200,10 @@ void preempt_victim(Replica& f, Request& v) {
   if (!v.recovering) {
     v.recovering = true;
     ++f.recovering;
+  }
+  if (f.shared.observer != nullptr) {
+    f.shared.observer->record(LifecycleEvent::kPreempt, f.engine.now(), v.id,
+                              f.id, dropped, v.preempt_count);
   }
 }
 
@@ -242,6 +289,7 @@ void ensure_kv_blocks(Replica& f, std::vector<ScheduledStep>& batch,
 }  // namespace
 
 sim::Task scheduler_proc(Replica& f) {
+  Observer* const obs = f.shared.observer;
   while (true) {
     // While a preempted request is still rebuilding its KV, hold new
     // admissions: a newcomer would compete for the very blocks the victim
@@ -293,8 +341,19 @@ sim::Task scheduler_proc(Replica& f) {
       if (f.shared.arrivals_done() && f.queue.empty() && f.runnable.empty()) {
         break;
       }
+      if (obs != nullptr) {
+        // Classified at sleep time: a non-empty queue means admitted work
+        // is blocked on KV blocks (kv-stall), an empty one that there is
+        // nothing to do yet (scheduler-idle). A wait still open at run end
+        // is reclassified as drain by Observer::finalize().
+        obs->begin_wait(f.id,
+                        f.queue.empty() ? category::kSchedulerIdle
+                                        : category::kKvStall,
+                        f.engine.now());
+      }
       co_await f.work.wait();
       f.work.reset();
+      if (obs != nullptr) obs->end_wait(f.id, f.engine.now());
       continue;
     }
 
@@ -325,6 +384,12 @@ sim::Task scheduler_proc(Replica& f) {
         f.costs.decode_batch_cycles(decode_positions);
 
     sim::Cycles offset = f.cfg.scheduler.iteration_overhead_cycles;
+    if (obs != nullptr && offset > 0) {
+      // Host-side iteration overhead opens the span ledger; together with
+      // the placements below and the egress sync tail, the iteration's
+      // spans tile [rec.start, rec.start + egress] exactly.
+      obs->add_span(f.id, category::kHostSync, rec.start, rec.start + offset);
+    }
     sim::Cycles prefill_span = 0;
     const bool decodes_first =
         f.cfg.scheduler.policy != BatchPolicy::kPrefillPriority;
@@ -334,7 +399,13 @@ sim::Task scheduler_proc(Replica& f) {
         r->step_cycles = decode_group;
         r->step_tokens = 0;
       }
-      if (!decodes.empty()) offset += decode_group;
+      if (!decodes.empty()) {
+        if (obs != nullptr && decode_group > 0) {
+          obs->add_span(f.id, category::kDecode, rec.start + offset,
+                        rec.start + offset + decode_group);
+        }
+        offset += decode_group;
+      }
     };
     auto place_prefills = [&] {
       for (const ScheduledStep& s : prefills) {
@@ -343,6 +414,19 @@ sim::Task scheduler_proc(Replica& f) {
         r->step_cycles =
             f.costs.prefill_chunk_cycles(r->prompt_done, s.prompt_tokens);
         r->step_tokens = s.prompt_tokens;
+        if (obs != nullptr && r->step_cycles > 0) {
+          // Classified from the request's pre-execution state: a recovery
+          // re-prefill is recompute; a chunk covering the whole prompt at
+          // once is plain prefill; anything else is chunked prefill.
+          const char* cat =
+              r->recovering ? category::kRecompute
+              : (r->prompt_done == 0 &&
+                 s.prompt_tokens == r->prompt_remaining())
+                  ? category::kPrefill
+                  : category::kChunkedPrefill;
+          obs->add_span(f.id, cat, rec.start + offset,
+                        rec.start + offset + r->step_cycles);
+        }
         offset += r->step_cycles;
         prefill_span += r->step_cycles;
       }
@@ -368,6 +452,10 @@ sim::Task scheduler_proc(Replica& f) {
     // Tokens become host-visible at batch egress + one PCIe sync; members
     // wait out the tail of the batch so the latch fires at that instant.
     const sim::Cycles egress = offset + f.costs.host_sync_cycles();
+    if (obs != nullptr && egress > offset) {
+      obs->add_span(f.id, category::kHostSync, rec.start + offset,
+                    rec.start + egress);
+    }
     for (const ScheduledStep& s : batch) {
       Request* r = s.request;
       r->post_step_cycles = egress - (r->step_offset + r->step_cycles);
@@ -388,9 +476,18 @@ sim::Task scheduler_proc(Replica& f) {
       }
     }
   }
+  // Anything after the loop's last activity is drain: finalize() extends
+  // [exit, makespan] — non-empty whenever another replica (or a closed-loop
+  // client's think time) outlives this one.
+  if (obs != nullptr) obs->mark_exit(f.id, f.engine.now());
 }
 
 FleetMetrics finalize_metrics(Replica& f) {
+  if (f.shared.observer != nullptr) {
+    f.shared.observer->set_kv_stats(f.id, f.kv.capacity_blocks(),
+                                    f.kv.peak_used_blocks(),
+                                    f.kv.block_tokens());
+  }
   FleetMetrics m;
   m.offered = f.routed;
   m.completed = f.completed;

@@ -33,6 +33,10 @@
 #include "sim/task.hpp"
 #include "util/stats.hpp"
 
+namespace looplynx::serve {
+class Observer;  // serve/observe.hpp — optional lifecycle/cycle recorder
+}
+
 namespace looplynx::serve::detail {
 
 /// Fleet-wide counters shared by every replica of one run. Request ids are
@@ -56,6 +60,13 @@ struct FleetShared {
   /// evaluation never re-scans completed records. Null on static runs:
   /// no samples, no behavior change.
   util::SlidingWindow* ttft_window = nullptr;
+  /// When non-null, the engine room records lifecycle events and cycle-
+  /// accounting spans here (serve/observe.hpp). Same contract as
+  /// ttft_window: pure bookkeeping on the simulated clock — no engine
+  /// events — so attaching an observer cannot change a run's schedule or
+  /// metrics. Null (the default) means zero observability overhead and
+  /// byte-identical output to an unobserved build.
+  Observer* observer = nullptr;
 
   bool arrivals_done() const { return injected >= target; }
 };

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "serve/observe.hpp"
 #include "serve/replica.hpp"
 
 namespace looplynx::serve {
@@ -31,12 +32,19 @@ ServingSim::ServingSim(const ServingConfig& config, core::StepCostModel costs)
   }
 }
 
-FleetMetrics ServingSim::run() const {
+FleetMetrics ServingSim::run() const { return run(nullptr); }
+
+FleetMetrics ServingSim::run(Observer* observer) const {
+  if (observer != nullptr && observer->replicas() != 1) {
+    throw std::invalid_argument(
+        "ServingSim::run observer must be built for 1 replica");
+  }
   // Engine first: unfinished coroutine frames (none in a lone-replica run,
   // but the shared machinery allows them) are destroyed with it, after
   // every object they reference.
   sim::Engine engine;
   detail::FleetShared shared;
+  shared.observer = observer;
   shared.target = config_.traffic.num_requests;
   detail::Replica replica(engine, config_, costs_, shared, /*id=*/0);
   replica.requests.reserve(shared.target);
@@ -56,7 +64,9 @@ FleetMetrics ServingSim::run() const {
   }
   engine.run();
 
-  return detail::finalize_metrics(replica);
+  FleetMetrics metrics = detail::finalize_metrics(replica);
+  if (observer != nullptr) observer->finalize(engine.now());
+  return metrics;
 }
 
 }  // namespace looplynx::serve

@@ -38,6 +38,8 @@
 
 namespace looplynx::serve {
 
+class Observer;  // serve/observe.hpp
+
 struct ServingConfig {
   core::ArchConfig arch = core::ArchConfig::two_node();
   model::ModelConfig model = model::gpt2_medium();
@@ -70,6 +72,15 @@ class ServingSim {
 
   /// Simulates the whole fleet to completion and returns its metrics.
   FleetMetrics run() const;
+
+  /// Same run with an observer attached (serve/observe.hpp): the engine
+  /// room records lifecycle events and cycle-accounting spans into it, and
+  /// the observer is finalized (tiling asserted, exports unlocked) before
+  /// returning. `observer` may be null (identical to run()); when non-null
+  /// it must be freshly constructed for 1 replica at this config's clock.
+  /// Observation is pure bookkeeping: the returned metrics are identical
+  /// to an unobserved run's.
+  FleetMetrics run(Observer* observer) const;
 
  private:
   ServingConfig config_;

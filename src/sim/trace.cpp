@@ -1,6 +1,8 @@
 #include "sim/trace.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <stdexcept>
 
 namespace looplynx::sim {
 
@@ -59,21 +61,119 @@ void Trace::print_summary(std::ostream& os) const {
   }
 }
 
-void Trace::export_chrome_trace(std::ostream& os,
-                                double frequency_hz) const {
-  const double us_per_cycle = 1e6 / frequency_hz;
-  os << "{\"traceEvents\":[";
-  bool first = true;
-  for (const Span& span : spans_) {
-    if (!first) os << ',';
-    first = false;
-    os << "{\"name\":\"" << span.category
-       << "\",\"cat\":\"mdk\",\"ph\":\"X\",\"pid\":0,\"tid\":0"
-       << ",\"ts\":" << static_cast<double>(span.begin) * us_per_cycle
-       << ",\"dur\":"
-       << static_cast<double>(span.end - span.begin) * us_per_cycle << "}";
+void Trace::export_chrome_trace(std::ostream& os) const {
+  if (!keep_spans_) {
+    throw std::logic_error(
+        "Trace::export_chrome_trace requires keep_spans: construct the "
+        "trace with Trace(/*keep_spans=*/true)");
   }
-  os << "]}";
+  ChromeTraceWriter writer(os);
+  for (const Span& span : spans_) {
+    writer.complete(span.category, "trace", /*pid=*/0, /*tid=*/0, span.begin,
+                    span.end);
+  }
+  writer.finish();
+}
+
+ChromeTraceWriter::ChromeTraceWriter(std::ostream& os) : os_(&os) {
+  *os_ << "{\"traceEvents\":[";
+}
+
+ChromeTraceWriter::~ChromeTraceWriter() { finish(); }
+
+void ChromeTraceWriter::finish() {
+  if (finished_) return;
+  finished_ = true;
+  // The time-unit declaration keeps cycle-count timestamps self-describing.
+  *os_ << "],\"otherData\":{\"clock\":\"simulated-cycles\","
+          "\"timeUnit\":\"1 trace-us == 1 cycle\"}}\n";
+}
+
+std::string ChromeTraceWriter::json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void ChromeTraceWriter::begin_event() {
+  if (!first_) *os_ << ',';
+  first_ = false;
+  *os_ << '\n';
+}
+
+void ChromeTraceWriter::complete(const std::string& name,
+                                 const std::string& cat, std::uint32_t pid,
+                                 std::uint32_t tid, Cycles begin, Cycles end) {
+  if (end < begin) end = begin;
+  begin_event();
+  *os_ << "{\"name\":\"" << json_escape(name) << "\",\"cat\":\""
+       << json_escape(cat) << "\",\"ph\":\"X\",\"pid\":" << pid
+       << ",\"tid\":" << tid << ",\"ts\":" << begin
+       << ",\"dur\":" << (end - begin) << "}";
+}
+
+void ChromeTraceWriter::instant(const std::string& name,
+                                const std::string& cat, std::uint32_t pid,
+                                std::uint32_t tid, Cycles at, char scope) {
+  begin_event();
+  *os_ << "{\"name\":\"" << json_escape(name) << "\",\"cat\":\""
+       << json_escape(cat) << "\",\"ph\":\"i\",\"s\":\"" << scope
+       << "\",\"pid\":" << pid << ",\"tid\":" << tid << ",\"ts\":" << at
+       << "}";
+}
+
+void ChromeTraceWriter::async_event(char phase, const std::string& name,
+                                    const std::string& cat, std::uint32_t pid,
+                                    std::uint64_t id, Cycles at) {
+  begin_event();
+  *os_ << "{\"name\":\"" << json_escape(name) << "\",\"cat\":\""
+       << json_escape(cat) << "\",\"ph\":\"" << phase << "\",\"id\":" << id
+       << ",\"pid\":" << pid << ",\"tid\":0,\"ts\":" << at << "}";
+}
+
+void ChromeTraceWriter::async_begin(const std::string& name,
+                                    const std::string& cat, std::uint32_t pid,
+                                    std::uint64_t id, Cycles at) {
+  async_event('b', name, cat, pid, id, at);
+}
+
+void ChromeTraceWriter::async_instant(const std::string& name,
+                                      const std::string& cat,
+                                      std::uint32_t pid, std::uint64_t id,
+                                      Cycles at) {
+  async_event('n', name, cat, pid, id, at);
+}
+
+void ChromeTraceWriter::async_end(const std::string& name,
+                                  const std::string& cat, std::uint32_t pid,
+                                  std::uint64_t id, Cycles at) {
+  async_event('e', name, cat, pid, id, at);
+}
+
+void ChromeTraceWriter::process_name(std::uint32_t pid,
+                                     const std::string& name) {
+  begin_event();
+  *os_ << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+       << ",\"tid\":0,\"args\":{\"name\":\"" << json_escape(name) << "\"}}";
 }
 
 }  // namespace looplynx::sim

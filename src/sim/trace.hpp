@@ -55,14 +55,72 @@ class Trace {
   void print_summary(std::ostream& os) const;
 
   /// Exports retained spans as a Chrome-tracing (chrome://tracing /
-  /// Perfetto) JSON document. Cycle timestamps are converted to
-  /// microseconds at `frequency_hz`. Requires keep_spans.
-  void export_chrome_trace(std::ostream& os, double frequency_hz) const;
+  /// Perfetto) JSON document on one track (pid 0 / tid 0). Timestamps are
+  /// raw simulated cycles (1 trace-µs == 1 cycle) — integers, so the
+  /// export is byte-identical across compilers and build modes. Throws
+  /// std::logic_error unless the trace was built with keep_spans.
+  void export_chrome_trace(std::ostream& os) const;
 
  private:
   bool keep_spans_;
   std::map<std::string, Cycles> totals_;
   std::vector<Span> spans_;
+};
+
+/// Minimal streaming writer for the Chrome trace-event JSON format
+/// (chrome://tracing / https://ui.perfetto.dev), shared by
+/// Trace::export_chrome_trace and the serve-layer observer export.
+///
+/// Determinism contract: every timestamp is a raw simulated-cycle count
+/// emitted as an integer (the document declares 1 trace-µs == 1 cycle in
+/// otherData), so the bytes produced depend only on the event sequence —
+/// no doubles, no locale, no wall clock. finish() closes the document and
+/// is idempotent; the destructor calls it.
+class ChromeTraceWriter {
+ public:
+  explicit ChromeTraceWriter(std::ostream& os);
+  ChromeTraceWriter(const ChromeTraceWriter&) = delete;
+  ChromeTraceWriter& operator=(const ChromeTraceWriter&) = delete;
+  ~ChromeTraceWriter();
+
+  /// Duration event ("ph":"X") on track (pid, tid) over [begin, end].
+  void complete(const std::string& name, const std::string& cat,
+                std::uint32_t pid, std::uint32_t tid, Cycles begin,
+                Cycles end);
+
+  /// Instant event ("ph":"i"); `scope` is "t" (thread), "p" (process) or
+  /// "g" (global).
+  void instant(const std::string& name, const std::string& cat,
+               std::uint32_t pid, std::uint32_t tid, Cycles at,
+               char scope = 't');
+
+  /// Async span events ("ph":"b"/"n"/"e"), correlated by `id` within
+  /// `cat`.
+  void async_begin(const std::string& name, const std::string& cat,
+                   std::uint32_t pid, std::uint64_t id, Cycles at);
+  void async_instant(const std::string& name, const std::string& cat,
+                     std::uint32_t pid, std::uint64_t id, Cycles at);
+  void async_end(const std::string& name, const std::string& cat,
+                 std::uint32_t pid, std::uint64_t id, Cycles at);
+
+  /// Metadata event naming a process track in the viewer.
+  void process_name(std::uint32_t pid, const std::string& name);
+
+  /// Writes the closing brackets (idempotent; no events may follow).
+  void finish();
+
+  /// Escapes a string for embedding in a JSON string literal.
+  static std::string json_escape(const std::string& s);
+
+ private:
+  void begin_event();  // comma separation between events
+  void async_event(char phase, const std::string& name,
+                   const std::string& cat, std::uint32_t pid,
+                   std::uint64_t id, Cycles at);
+
+  std::ostream* os_;
+  bool first_ = true;
+  bool finished_ = false;
 };
 
 /// RAII helper: measures engine.now() at construction and attributes the

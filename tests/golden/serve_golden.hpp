@@ -1,12 +1,18 @@
-// Checked-in SHA-256 of the canonical serve-layer determinism sweep.
-// Regenerate with tools/regen_determinism_golden.sh after an *intentional*
-// serve-layer behavior change — never to paper over an unexplained diff
-// (that diff IS the determinism regression the fixture exists to catch).
+// Checked-in SHA-256 digests of the canonical serve-layer determinism
+// sweep and the canonical observed export. Regenerate with
+// tools/regen_determinism_golden.sh after an *intentional* serve-layer
+// behavior change — never to paper over an unexplained diff (that diff
+// IS the determinism regression the fixture exists to catch).
 #pragma once
 
 namespace looplynx::golden {
 
 inline constexpr char kServeSweepSha256[] =
     "cf29e60925ba80b757830c239ca3a536e0690809e5f44f4f6a154386f21faa41";
+
+/// Canonical Chrome-trace + Prometheus exports of two observed sweep
+/// points; pins every byte both exporters emit (DESIGN.md §7).
+inline constexpr char kObserveExportSha256[] =
+    "64b5e4cbd55c373b537d077f4bfb23cfdc18650d5465d832f531e2b2f04280d1";
 
 }  // namespace looplynx::golden

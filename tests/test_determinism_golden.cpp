@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <sstream>
 #include <string>
 
 #include "core/arch_config.hpp"
@@ -30,6 +31,7 @@
 #include "serve/autoscaler.hpp"
 #include "serve/fleet.hpp"
 #include "serve/kv_block.hpp"
+#include "serve/observe.hpp"
 #include "serve/serving_sim.hpp"
 #include "tests/golden/serve_golden.hpp"
 #include "util/sha256.hpp"
@@ -242,6 +244,63 @@ std::string canonical_sweep() {
   return out;
 }
 
+/// The canonical *observed* export: two sweep points re-run with an
+/// Observer attached — the paged-recompute single (preempt/recompute
+/// lifecycle traffic) and the queue-policy autoscaled fleet (scale/drain
+/// instants) — serialized through both exporters. Every byte of both
+/// formats is pinned: trace-event timestamps, Prometheus line order,
+/// histogram bucketing, the lot (DESIGN.md §7 determinism rules).
+std::string canonical_observed_export() {
+  std::string out;
+  const auto export_both = [&out](const Observer& obs,
+                                  const std::string& tag) {
+    std::ostringstream trace, prom;
+    obs.write_chrome_trace(trace);
+    obs.write_prometheus(prom);
+    out += "==== " + tag + " chrome-trace\n" + trace.str() + "\n";
+    out += "==== " + tag + " prometheus\n" + prom.str();
+  };
+  {
+    ServingConfig cfg = golden_base();
+    cfg.scheduler.policy = BatchPolicy::kChunkedMixed;
+    cfg.scheduler.max_tokens_per_iter = 16;
+    cfg.scheduler.preempt = PreemptPolicy::kRecomputeYoungest;
+    cfg.kv_block_tokens = 4;
+    cfg.kv_budget_bytes_per_node = token_budget(cfg, 288);
+    cfg.traffic.arrival_rate_per_s = 1200.0;
+    Observer obs(1, cfg.arch.frequency_hz);
+    ServingSim(cfg).run(&obs);
+    export_both(obs, "single-paged-recompute");
+  }
+  {
+    ServingConfig base = golden_base();
+    base.traffic.process = ArrivalProcess::kBursty;
+    base.traffic.num_requests = 48;
+    base.traffic.arrival_rate_per_s = 400.0;
+    base.traffic.burst_factor = 4.0;
+    base.traffic.burst_fraction = 0.25;
+    base.traffic.burst_period_s = 0.05;
+    base.scheduler.max_in_flight = 6;
+    FleetConfig cfg = FleetConfig::homogeneous(
+        base, 3, BalancerPolicy::kJoinShortestQueue);
+    cfg.autoscale.enabled = true;
+    cfg.autoscale.policy = ScalePolicy::kQueueDepth;
+    cfg.autoscale.min_replicas = 1;
+    cfg.autoscale.max_replicas = 3;
+    cfg.autoscale.eval_interval_ms = 2.0;
+    cfg.autoscale.ttft_window_ms = 10.0;
+    cfg.autoscale.queue_high = 1.5;
+    cfg.autoscale.queue_low = 0.25;
+    cfg.autoscale.up_evals = 1;
+    cfg.autoscale.down_evals = 2;
+    cfg.autoscale.cooldown_evals = 1;
+    Observer obs(3, base.arch.frequency_hz);
+    FleetSim(cfg).run(&obs);
+    export_both(obs, "fleet-autoscale-queue");
+  }
+  return out;
+}
+
 TEST(DeterminismGolden, CanonicalSweepMatchesCheckedInDigest) {
   const std::string sweep = canonical_sweep();
   const std::string digest = util::sha256_hex(sweep);
@@ -259,11 +318,30 @@ TEST(DeterminismGolden, CanonicalSweepMatchesCheckedInDigest) {
          "regression landed.";
 }
 
+TEST(DeterminismGolden, CanonicalObservedExportMatchesCheckedInDigest) {
+  const std::string text = canonical_observed_export();
+  const std::string digest = util::sha256_hex(text);
+  if (std::getenv("GOLDEN_PRINT") != nullptr) {
+    std::fputs(text.c_str(), stdout);
+    std::printf("SHA256-OBSERVE %s\n", digest.c_str());
+    GTEST_SKIP() << "GOLDEN_PRINT set: emitted canonical exports, skipped "
+                    "the digest comparison";
+  }
+  EXPECT_EQ(digest, golden::kObserveExportSha256)
+      << "The canonical observed export changed. An intentional exporter "
+         "or scheduling change moves this hash — inspect it (GOLDEN_PRINT=1 "
+         "./test_determinism_golden) and regenerate with "
+         "tools/regen_determinism_golden.sh; anything else is a "
+         "determinism regression in the observability path.";
+}
+
 /// The suite itself must be reproducible within one process (fresh cost
 /// probes, fresh engines): if this fails, the digest above is noise.
 TEST(DeterminismGolden, CanonicalSweepIsReproducibleInProcess) {
   EXPECT_EQ(util::sha256_hex(canonical_sweep()),
             util::sha256_hex(canonical_sweep()));
+  EXPECT_EQ(util::sha256_hex(canonical_observed_export()),
+            util::sha256_hex(canonical_observed_export()));
 }
 
 /// Known-answer test for the hasher itself (FIPS 180-4 vectors), so a

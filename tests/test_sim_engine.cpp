@@ -1,11 +1,13 @@
 // Unit tests for the discrete-event engine and coroutine Task plumbing.
 #include <gtest/gtest.h>
 
+#include <sstream>
 #include <stdexcept>
 #include <vector>
 
 #include "sim/engine.hpp"
 #include "sim/task.hpp"
+#include "sim/trace.hpp"
 
 namespace looplynx::sim {
 namespace {
@@ -224,6 +226,112 @@ TEST(EngineTest, EventCountsAreTracked) {
   eng.run();
   // Each root: one start event + one delay-resume event.
   EXPECT_EQ(eng.events_processed(), 4u);
+}
+
+// ---- sim::Trace span accounting (the Fig. 5 breakdown machinery) ----
+
+TEST(TraceTest, CategoryTotalsAccumulate) {
+  Trace trace;
+  trace.add("attn", 0, 100);
+  trace.add("attn", 100, 150);
+  trace.add("mlp", 150, 400);
+  trace.add_cycles("host", 10);
+  EXPECT_EQ(trace.total("attn"), 150u);
+  EXPECT_EQ(trace.total("mlp"), 250u);
+  EXPECT_EQ(trace.total("host"), 10u);
+  EXPECT_EQ(trace.total("missing"), 0u);
+  EXPECT_EQ(trace.grand_total(), 410u);
+  EXPECT_DOUBLE_EQ(trace.fraction("mlp"), 250.0 / 410.0);
+}
+
+TEST(TraceTest, BackwardsSpanClampsToZeroWidth) {
+  Trace trace;
+  trace.add("x", 50, 10);  // end < begin must not underflow the total
+  EXPECT_EQ(trace.total("x"), 0u);
+}
+
+TEST(TraceTest, KeepSpansRetainsSpanListAndDefaultDoesNot) {
+  Trace bare;
+  bare.add("a", 0, 5);
+  EXPECT_TRUE(bare.spans().empty());  // totals-only mode
+
+  Trace kept(/*keep_spans=*/true);
+  kept.add("a", 0, 5);
+  kept.add("b", 5, 9);
+  ASSERT_EQ(kept.spans().size(), 2u);
+  EXPECT_EQ(kept.spans()[1].category, "b");
+  EXPECT_EQ(kept.spans()[1].begin, 5u);
+  EXPECT_EQ(kept.spans()[1].end, 9u);
+}
+
+TEST(TraceTest, AdjacentSpansTileTheTimeline) {
+  // The serve-layer observer's tiling identity rests on this: category
+  // totals of back-to-back spans sum exactly to the covered interval.
+  Trace trace(/*keep_spans=*/true);
+  const Cycles edges[] = {0, 7, 7, 19, 64, 101};
+  const char* cats[] = {"a", "b", "c", "a", "b"};
+  for (std::size_t i = 0; i + 1 < std::size(edges); ++i) {
+    trace.add(cats[i], edges[i], edges[i + 1]);
+  }
+  EXPECT_EQ(trace.grand_total(), 101u);
+  EXPECT_EQ(trace.total("a") + trace.total("b") + trace.total("c"), 101u);
+}
+
+TEST(TraceTest, MergeSumsTotals) {
+  Trace a, b;
+  a.add("x", 0, 10);
+  b.add("x", 0, 5);
+  b.add("y", 5, 6);
+  a.merge(b);
+  EXPECT_EQ(a.total("x"), 15u);
+  EXPECT_EQ(a.total("y"), 1u);
+}
+
+TEST(TraceTest, ChromeExportRequiresKeepSpans) {
+  Trace trace;  // totals-only: nothing to export
+  trace.add("a", 0, 5);
+  std::ostringstream os;
+  EXPECT_THROW(trace.export_chrome_trace(os), std::logic_error);
+}
+
+TEST(TraceTest, ChromeExportEmitsIntegerCycleTimestamps) {
+  Trace trace(/*keep_spans=*/true);
+  trace.add("prefill", 0, 40);
+  trace.add("decode", 40, 100);
+  std::ostringstream os;
+  trace.export_chrome_trace(os);
+  const std::string json = os.str();
+  // Valid trace-event envelope with the cycle-clock declaration...
+  EXPECT_NE(json.find("{\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"clock\":\"simulated-cycles\""), std::string::npos);
+  // ...and one complete event per span, timestamps as raw cycle counts.
+  EXPECT_NE(json.find("\"name\":\"prefill\""), std::string::npos);
+  EXPECT_NE(
+      json.find("\"ph\":\"X\",\"pid\":0,\"tid\":0,\"ts\":40,\"dur\":60"),
+      std::string::npos);
+  // Byte-determinism: a second export is identical.
+  std::ostringstream os2;
+  trace.export_chrome_trace(os2);
+  EXPECT_EQ(json, os2.str());
+}
+
+TEST(TraceTest, ChromeTraceWriterEscapesJsonStrings) {
+  EXPECT_EQ(ChromeTraceWriter::json_escape("a\"b\\c\nd"),
+            "a\\\"b\\\\c\\u000ad");
+}
+
+TEST(TraceTest, ScopedSpanRecordsElapsedEngineCycles) {
+  Engine eng;
+  Trace trace;
+  struct Proc {
+    static Task run(Engine& eng, Trace& trace) {
+      ScopedSpan span(trace, eng, "work");
+      co_await eng.delay(25);
+    }
+  };
+  eng.spawn(Proc::run(eng, trace));
+  eng.run();
+  EXPECT_EQ(trace.total("work"), 25u);
 }
 
 }  // namespace

@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text-exposition file (the serve layer's
+--metrics-out output) against the exposition-format grammar:
+
+ - every non-comment line is `name{labels} value` (or bare `name value`)
+   with a legal metric name, legal label names, properly quoted label
+   values, and a parseable float/integer value;
+ - every sample is preceded by `# HELP` and `# TYPE` lines for its metric
+   family, and the TYPE is one of counter|gauge|histogram|summary|untyped;
+ - counters never carry negative values;
+ - histogram families are complete: bucket counts are nondecreasing in
+   `le` order, an `le="+Inf"` bucket exists, and it equals `_count`.
+
+Used by the CI determinism job as a smoke gate on the exporter, and
+runnable locally:
+
+    ./build/serve_load --requests=16 --metrics-out=/tmp/m.prom
+    python3 tools/check_prom.py /tmp/m.prom
+"""
+import re
+import sys
+
+METRIC_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)$")
+LABEL_PAIR_RE = re.compile(
+    r'^(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<val>(?:[^"\\]|\\.)*)"$')
+TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+def family_of(name):
+    """Histogram/summary series map to their family name."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def parse_value(text):
+    if text in ("+Inf", "-Inf", "NaN"):
+        return float(text.replace("Inf", "inf").replace("NaN", "nan"))
+    return float(text)  # raises ValueError on garbage
+
+
+def check(path):
+    errors = []
+    helped, typed = {}, {}
+    # family -> list of (le, count); family -> {"count": v, "sum": v}
+    buckets, totals = {}, {}
+    with open(path, encoding="utf-8") as fh:
+        for lineno, raw in enumerate(fh, 1):
+            line = raw.rstrip("\n")
+            if not line:
+                continue
+
+            def err(msg):
+                errors.append(f"{path}:{lineno}: {msg}: {line!r}")
+
+            if line.startswith("# HELP "):
+                parts = line.split(" ", 3)
+                if len(parts) < 4 or not METRIC_RE.match(parts[2]):
+                    err("malformed HELP line")
+                else:
+                    helped[parts[2]] = parts[3]
+                continue
+            if line.startswith("# TYPE "):
+                parts = line.split(" ")
+                if len(parts) != 4 or not METRIC_RE.match(parts[2]):
+                    err("malformed TYPE line")
+                elif parts[3] not in TYPES:
+                    err(f"unknown metric type {parts[3]!r}")
+                elif parts[2] not in helped:
+                    err("TYPE before HELP")
+                else:
+                    typed[parts[2]] = parts[3]
+                continue
+            if line.startswith("#"):
+                continue  # free-form comment
+
+            m = SAMPLE_RE.match(line)
+            if not m:
+                err("unparseable sample line")
+                continue
+            name, fam = m.group("name"), family_of(m.group("name"))
+            if fam not in typed:
+                err(f"sample for {fam!r} without a preceding TYPE")
+                continue
+            labels = {}
+            if m.group("labels") is not None:
+                for pair in filter(None, m.group("labels").split(",")):
+                    pm = LABEL_PAIR_RE.match(pair)
+                    if not pm:
+                        err(f"malformed label pair {pair!r}")
+                        break
+                    labels[pm.group("key")] = pm.group("val")
+            try:
+                value = parse_value(m.group("value"))
+            except ValueError:
+                err(f"unparseable sample value {m.group('value')!r}")
+                continue
+            kind = typed[fam]
+            if kind == "counter" and value < 0:
+                err("negative counter value")
+            if kind == "histogram":
+                if name.endswith("_bucket"):
+                    if "le" not in labels:
+                        err("histogram bucket without an le label")
+                    else:
+                        buckets.setdefault(fam, []).append(
+                            (labels["le"], value))
+                elif name.endswith("_count"):
+                    totals.setdefault(fam, {})["count"] = value
+                elif name.endswith("_sum"):
+                    totals.setdefault(fam, {})["sum"] = value
+                else:
+                    err("bare sample inside a histogram family")
+
+    for fam, series in sorted(buckets.items()):
+        les = [le for le, _ in series]
+        if "+Inf" not in les:
+            errors.append(f"{path}: histogram {fam} lacks an le=\"+Inf\" "
+                          "bucket")
+            continue
+        counts = [v for _, v in series]
+        if any(cur > nxt for cur, nxt in zip(counts, counts[1:])):
+            errors.append(f"{path}: histogram {fam} bucket counts decrease "
+                          "(buckets must be cumulative)")
+        inf_count = dict(series)["+Inf"]
+        total = totals.get(fam, {}).get("count")
+        if total is None:
+            errors.append(f"{path}: histogram {fam} lacks a _count series")
+        elif total != inf_count:
+            errors.append(f"{path}: histogram {fam} _count {total} != "
+                          f"le=\"+Inf\" bucket {inf_count}")
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    errors = []
+    for path in argv[1:]:
+        errors += check(path)
+    for e in errors:
+        print(f"error: {e}", file=sys.stderr)
+    if errors:
+        print(f"{len(errors)} exposition-format violation(s)",
+              file=sys.stderr)
+        return 1
+    print(f"ok: {len(argv) - 1} file(s) conform to the exposition format")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

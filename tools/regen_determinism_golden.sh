@@ -1,12 +1,13 @@
 #!/usr/bin/env bash
-# Regenerates the checked-in digest of the canonical serve-layer
-# determinism sweep (tests/golden/serve_golden.hpp).
+# Regenerates the checked-in digests of the canonical serve-layer
+# determinism sweep and the canonical observed export
+# (tests/golden/serve_golden.hpp).
 #
 # Run this ONLY after an intentional serve-layer behavior change, and
-# review the canonical sweep diff first:
+# review the canonical text diff first:
 #
 #   GOLDEN_PRINT=1 ./build/test_determinism_golden   # inspect the text
-#   tools/regen_determinism_golden.sh [build-dir]    # rewrite the digest
+#   tools/regen_determinism_golden.sh [build-dir]    # rewrite the digests
 #
 # A hash that moved without an intentional change is a determinism
 # regression — fix the regression, do not regenerate over it.
@@ -18,28 +19,40 @@ header="$repo/tests/golden/serve_golden.hpp"
 
 cmake --build "$build_dir" --target test_determinism_golden -j >/dev/null
 
-hash="$(GOLDEN_PRINT=1 "$build_dir/test_determinism_golden" \
+sweep_hash="$(GOLDEN_PRINT=1 "$build_dir/test_determinism_golden" \
           --gtest_filter='DeterminismGolden.CanonicalSweepMatchesCheckedInDigest' \
           --gtest_brief=1 | sed -n 's/^SHA256 //p')"
-if [[ ! "$hash" =~ ^[0-9a-f]{64}$ ]]; then
-  echo "error: could not extract a SHA-256 from the golden test output" >&2
-  exit 1
-fi
+observe_hash="$(GOLDEN_PRINT=1 "$build_dir/test_determinism_golden" \
+          --gtest_filter='DeterminismGolden.CanonicalObservedExportMatchesCheckedInDigest' \
+          --gtest_brief=1 | sed -n 's/^SHA256-OBSERVE //p')"
+for hash in "$sweep_hash" "$observe_hash"; do
+  if [[ ! "$hash" =~ ^[0-9a-f]{64}$ ]]; then
+    echo "error: could not extract a SHA-256 from the golden test output" >&2
+    exit 1
+  fi
+done
 
 cat > "$header" <<EOF
-// Checked-in SHA-256 of the canonical serve-layer determinism sweep.
-// Regenerate with tools/regen_determinism_golden.sh after an *intentional*
-// serve-layer behavior change — never to paper over an unexplained diff
-// (that diff IS the determinism regression the fixture exists to catch).
+// Checked-in SHA-256 digests of the canonical serve-layer determinism
+// sweep and the canonical observed export. Regenerate with
+// tools/regen_determinism_golden.sh after an *intentional* serve-layer
+// behavior change — never to paper over an unexplained diff (that diff
+// IS the determinism regression the fixture exists to catch).
 #pragma once
 
 namespace looplynx::golden {
 
 inline constexpr char kServeSweepSha256[] =
-    "$hash";
+    "$sweep_hash";
+
+/// Canonical Chrome-trace + Prometheus exports of two observed sweep
+/// points; pins every byte both exporters emit (DESIGN.md §7).
+inline constexpr char kObserveExportSha256[] =
+    "$observe_hash";
 
 }  // namespace looplynx::golden
 EOF
 
 echo "wrote $header"
-echo "digest $hash"
+echo "sweep   $sweep_hash"
+echo "observe $observe_hash"
