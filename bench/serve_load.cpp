@@ -11,8 +11,9 @@
 //   ./serve_load [--nodes=2] [--model=gpt2-medium] [--requests=64]
 //                [--seed=1] [--stride=64]
 //                [--policy=prefill|decode|chunked] [--chunk-tokens=0]
-//                [--preempt=none|recompute] [--kv-block-tokens=1]
-//                [--kv-budget-mb=0] [--replicas=1] [--balancer=rr|jsq|kv]
+//                [--preempt=none|recompute|cost-aware] [--kv-block-tokens=1]
+//                [--kv-budget-mb=0] [--prefix-cache] [--kv-swap]
+//                [--replicas=1] [--balancer=rr|jsq|kv]
 //                [--autoscale=queue|slo|hybrid] [--min-replicas=1]
 //                [--max-replicas=4] [--scale-interval-ms=50]
 //                [--trace-out=PATH] [--metrics-out=PATH]
@@ -26,7 +27,12 @@
 // sweep can actually exercise block pressure. --replicas=N shards each
 // sweep point across N identical replicas routed by --balancer
 // (round-robin, join-shortest-queue, or KV-aware; requires --replicas>=2).
-// --autoscale=P replaces the fixed width with a deterministic control
+// --prefix-cache turns on content-addressed prefix caching: full prompt
+// blocks are published into a hash-chained shared cache at prefill commit
+// and later requests with an identical prompt prefix skip the cached
+// tokens at admission (the table grows hit-rate / saved-prefill columns);
+// --kv-swap adds the swap-to-host eviction tier on top. --autoscale=P
+// replaces the fixed width with a deterministic control
 // loop that grows/shrinks the live replica set between --min-replicas and
 // --max-replicas every --scale-interval-ms (policies: queue depth, SLO
 // p99 TTFT, or hybrid); the table then adds mean-live / replica-seconds /
@@ -72,10 +78,14 @@ void print_usage() {
       "  --policy=P           prefill|decode|chunked (default prefill)\n"
       "  --chunk-tokens=N     per-iteration token budget; requires\n"
       "                       --policy=chunked (chunked defaults to 64)\n"
-      "  --preempt=P          none|recompute (default none)\n"
+      "  --preempt=P          none|recompute|cost-aware (default none)\n"
       "  --kv-block-tokens=N  KV paging granularity, >= 1 (default 1)\n"
       "  --kv-budget-mb=N     per-node KV HBM budget override (default 0 =\n"
       "                       architecture default)\n"
+      "  --prefix-cache[=B]   content-addressed prefix caching (bare = on;\n"
+      "                       =off spells the byte-identical default)\n"
+      "  --kv-swap            swap-to-host eviction tier; requires\n"
+      "                       --prefix-cache\n"
       "  --replicas=N         fleet width, >= 1 (default 1 = single "
       "replica)\n"
       "  --balancer=B         rr|jsq|kv; requires --replicas >= 2 or "
@@ -148,6 +158,9 @@ int main(int argc, char** argv) {
   if (kv_budget_mb > 0) {
     title += ", kv-budget " + std::to_string(kv_budget_mb) + " MiB";
   }
+  if (opts.cached()) {
+    title += opts.kv_swap ? ", prefix-cache+swap" : ", prefix-cache";
+  }
   if (opts.fleet()) {
     if (opts.autoscale.enabled) {
       title += ", autoscale " +
@@ -169,6 +182,10 @@ int main(int argc, char** argv) {
   if (opts.paged()) {
     header.push_back("in-flt");
     header.push_back("preempt");
+  }
+  if (opts.cached()) {
+    header.push_back("hit%");
+    header.push_back("saved ms");
   }
   if (opts.fleet()) {
     header.push_back("imbal");
@@ -209,6 +226,8 @@ int main(int argc, char** argv) {
         cfg.scheduler.preempt = opts.preempt;
         cfg.kv_block_tokens = opts.kv_block_tokens;
         cfg.kv_budget_bytes_per_node = kv_budget_mb << 20;
+        cfg.prefix_cache = opts.prefix_cache;
+        cfg.kv_swap = opts.kv_swap;
         serve::FleetMetrics m;
         double imbalance = 0, ttft_spread = 0;
         double mean_live = 0, replica_s = 0;
@@ -251,6 +270,10 @@ int main(int argc, char** argv) {
           row.push_back(util::fmt_int(m.peak_in_flight));
           row.push_back(util::fmt_int(static_cast<long long>(m.preemptions)));
         }
+        if (opts.cached()) {
+          row.push_back(util::fmt_fixed(100.0 * m.cache_hit_rate, 1));
+          row.push_back(util::fmt_fixed(m.saved_prefill_ms, 1));
+        }
         if (opts.fleet()) {
           row.push_back(util::fmt_fixed(imbalance, 2));
           row.push_back(util::fmt_fixed(ttft_spread, 1));
@@ -287,6 +310,18 @@ int main(int argc, char** argv) {
         "tight --kv-budget-mb the in-flt column rises and decode batches\n"
         "fill out; the price is the preempt column — evicted requests\n"
         "re-run their sequence as chunked prefill when the pool runs dry.\n";
+  }
+  if (opts.cached()) {
+    std::cout <<
+        "With --prefix-cache full prompt blocks are published into a\n"
+        "hash-chained shared cache at prefill commit; later requests whose\n"
+        "prompt shares a prefix skip the cached tokens at admission. hit%\n"
+        "is the fraction of looked-up prompt tokens served from cache and\n"
+        "saved ms the prefill compute those tokens would have cost. The\n"
+        "seeded mixes draw independent prompt contents, so hit rates stay\n"
+        "low here — the multi-turn chat scenario (examples/chat_cache) is\n"
+        "where shared system prompts and growing conversation prefixes\n"
+        "make the cache pay for itself.\n";
   }
   if (opts.fleet()) {
     std::cout <<

@@ -1,0 +1,194 @@
+// Prefix-cache walkthrough: the multi-turn chatbot workload the
+// content-addressed prefix cache (DESIGN.md §8) is built for, served
+// three ways at the same seed and the same per-node HBM budget — cache
+// off, cache on, and cache on with the swap-to-host eviction tier.
+//
+// Every turn of a conversation replays the whole conversation so far
+// (system prompt, then each earlier user message and assistant reply)
+// before appending the new user message — that replayed history is what
+// production chat traffic re-prefills on every turn. With
+// --prefix-cache the earlier turns' prompt blocks are already published
+// under the same content hashes, so admission skips them and only the
+// genuinely new tail is prefilled.
+//
+// The point this example pins (and exits nonzero if it ever stops
+// holding): at an equal HBM budget the cache-on run executes at least
+// 30% fewer prefill cycles than the cache-off run, while serving at
+// least as many requests within SLO. The saving is not an accounting
+// trick — prefill_cycles counts the cycles the engine actually spent in
+// prefill iterations, on both runs.
+//
+//   ./chat_cache [--conversations=8] [--turns=4] [--system-tokens=96]
+//                [--user-tokens=24] [--reply-tokens=48]
+//                [--rate=8] [--seed=21] [--help]
+//
+// Deterministic: same flags, byte-identical output (seeded arrival
+// times, seeded content ids, deterministic cache eviction order).
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "core/arch_config.hpp"
+#include "core/step_cost.hpp"
+#include "model/config.hpp"
+#include "serve/kv_block.hpp"
+#include "serve/serving_sim.hpp"
+#include "serve/traffic.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+void print_usage() {
+  std::cout <<
+      "chat_cache: multi-turn chatbot traffic served cache-off vs\n"
+      "cache-on vs cache-on+swap at one HBM budget.\n"
+      "\n"
+      "  --conversations=N    concurrent conversations (default 8)\n"
+      "  --turns=N            requests per conversation (default 4)\n"
+      "  --system-tokens=N    shared system-prompt length (default 96)\n"
+      "  --user-tokens=N      new user-message tokens per turn (default "
+      "24)\n"
+      "  --reply-tokens=N     assistant reply length per turn (default "
+      "48)\n"
+      "  --rate=R             Poisson arrival rate per second (default 8)\n"
+      "  --seed=N             arrival-time seed (default 21)\n"
+      "  --help               this text\n"
+      "\n"
+      "Flags accept --key=value and --key value forms.\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace looplynx;
+  const util::Cli cli(argc, argv);
+  if (cli.has("help")) {
+    print_usage();
+    return 0;
+  }
+
+  serve::ChatTrafficConfig chat;
+  chat.conversations =
+      static_cast<std::uint32_t>(cli.get_int_or("conversations", 8));
+  chat.turns = static_cast<std::uint32_t>(cli.get_int_or("turns", 4));
+  chat.system_prompt_tokens =
+      static_cast<std::uint32_t>(cli.get_int_or("system-tokens", 96));
+  chat.user_turn_tokens =
+      static_cast<std::uint32_t>(cli.get_int_or("user-tokens", 24));
+  chat.reply_tokens =
+      static_cast<std::uint32_t>(cli.get_int_or("reply-tokens", 48));
+
+  serve::ServingConfig base;
+  base.arch = core::ArchConfig::two_node();
+  base.model = model::gpt2_medium();
+  // Arrival *times* are Poisson; the shapes replay the turn-major chat
+  // script, so every conversation's turn t is injected before any turn
+  // t+1 and its history blocks are (usually) already published when the
+  // next turn arrives.
+  base.traffic.process = serve::ArrivalProcess::kPoisson;
+  base.traffic.scripted_shapes = serve::chat_turn_shapes(chat);
+  base.traffic.num_requests =
+      static_cast<std::uint32_t>(base.traffic.scripted_shapes.size());
+  base.traffic.arrival_rate_per_s = cli.get_double_or("rate", 8.0);
+  base.traffic.seed = static_cast<std::uint64_t>(cli.get_int_or("seed", 21));
+  base.scheduler.max_batch = 8;
+  base.scheduler.policy = serve::BatchPolicy::kChunkedMixed;
+  base.scheduler.max_tokens_per_iter = 64;
+  base.scheduler.preempt = serve::PreemptPolicy::kRecomputeYoungest;
+  base.kv_block_tokens = 16;
+  // The finite budget all three runs share: roughly six average turns'
+  // worth of live KV. Tight enough that the cache's retained blocks
+  // compete with live requests for the pool — both eviction tiers fire,
+  // and the swap run visibly beats plain eviction by swapping history
+  // back in instead of re-prefilling it — yet loose enough that the
+  // cache-off run is not preemption-bound (the comparison is prefill
+  // work, not thrashing behavior).
+  const double mean_turn_tokens =
+      (static_cast<double>(chat.system_prompt_tokens) +
+       (static_cast<double>(chat.turns - 1) / 2.0 + 1.0) *
+           static_cast<double>(chat.user_turn_tokens + chat.reply_tokens));
+  serve::KvBlockManager probe(base.arch, base.model, 1);
+  base.kv_budget_bytes_per_node = static_cast<std::uint64_t>(
+      6.0 * mean_turn_tokens *
+      static_cast<double>(probe.bytes_per_token_per_node()));
+  // The SLO the goodput pin is judged on: clears the longest turn's
+  // intrinsic chunked-prefill TTFT with queueing headroom.
+  base.slo.ttft_ms = 2500.0;
+  base.slo.token_ms = 400.0;
+
+  const core::StepCostModel costs(base.arch, base.model, 64);
+
+  const auto run = [&](bool cache, bool swap) {
+    serve::ServingConfig cfg = base;
+    cfg.prefix_cache = cache;
+    cfg.kv_swap = swap;
+    return serve::ServingSim(cfg, costs).run();
+  };
+  const serve::FleetMetrics off = run(false, false);
+  const serve::FleetMetrics on = run(true, false);
+  const serve::FleetMetrics swap = run(true, true);
+
+  const std::string shape_desc =
+      std::to_string(chat.conversations) + " conv x " +
+      std::to_string(chat.turns) + " turns, sys " +
+      std::to_string(chat.system_prompt_tokens) + " tok";
+  off.to_table("Chat traffic, prefix cache OFF (" + shape_desc + ")")
+      .render(std::cout);
+  std::cout << "\n";
+  on.to_table("Chat traffic, prefix cache ON").render(std::cout);
+  std::cout << "\n";
+  swap.to_table("Chat traffic, prefix cache ON + KV swap").render(std::cout);
+
+  const auto prefill_ms = [&](const serve::FleetMetrics& m) {
+    return base.arch.cycles_to_ms(m.prefill_cycles);
+  };
+  std::cout << "\nPrefill actually executed: off "
+            << util::fmt_fixed(prefill_ms(off), 1) << " ms, on "
+            << util::fmt_fixed(prefill_ms(on), 1) << " ms, on+swap "
+            << util::fmt_fixed(prefill_ms(swap), 1) << " ms.\n";
+  std::cout << "Cache-on hit rate "
+            << util::fmt_percent(on.cache_hit_rate, 1) << " ("
+            << on.cache_hit_tokens << " of " << on.cache_lookup_tokens
+            << " prompt tokens), saving "
+            << util::fmt_fixed(on.saved_prefill_ms, 1)
+            << " ms of prefill compute.\n";
+  std::cout << "Swap tier: " << swap.cache_swap_out_blocks
+            << " block(s) swapped out, " << swap.cache_swap_in_blocks
+            << " swapped back, "
+            << util::fmt_fixed(swap.cache_swap_ms, 2) << " ms of DMA.\n";
+
+  // The pinned claims.
+  bool ok = true;
+  const double ratio = static_cast<double>(on.prefill_cycles) /
+                       static_cast<double>(off.prefill_cycles);
+  if (!(ratio <= 0.70)) {
+    std::cout << "FAIL: cache-on run executed "
+              << util::fmt_percent(ratio, 1)
+              << " of the cache-off prefill cycles (pin: <= 70%)\n";
+    ok = false;
+  }
+  if (on.slo_good < off.slo_good) {
+    std::cout << "FAIL: cache-on run served fewer requests within SLO than "
+                 "cache-off\n";
+    ok = false;
+  }
+  if (on.cache_hit_tokens == 0) {
+    std::cout << "FAIL: chat traffic produced no cache hits (vacuous run)\n";
+    ok = false;
+  }
+  const auto conserved = [](const serve::FleetMetrics& m) {
+    return m.completed + m.rejected == m.offered;
+  };
+  if (!conserved(off) || !conserved(on) || !conserved(swap)) {
+    std::cout << "FAIL: request conservation violated\n";
+    ok = false;
+  }
+  if (ok) {
+    std::cout << "\nPIN HOLDS: cache-on executed "
+              << util::fmt_percent(1.0 - ratio, 1)
+              << " fewer prefill cycles at the same HBM budget, with SLO "
+                 "goodput no worse.\n";
+  }
+  return ok ? 0 : 1;
+}

@@ -10,6 +10,9 @@
 // admission books only the prompt's blocks, decode blocks grow on demand,
 // and the youngest request is evicted-and-recomputed when the pool runs
 // dry — the same HBM budget then carries visibly more concurrent streams.
+// --prefix-cache adds content-addressed prefix caching on top (prompt
+// blocks published at prefill commit, admission skips cached prefixes);
+// --kv-swap adds the swap-to-host eviction tier.
 // With --replicas=N the burst instead lands on a fleet of N such
 // deployments routed by --balancer (rr|jsq|kv); with --autoscale the
 // fleet sizes itself between --min-replicas and --max-replicas on the
@@ -18,7 +21,9 @@
 //   ./continuous_batching [--requests=12] [--batch=8] [--rate=12]
 //                         [--policy=prefill|decode|chunked]
 //                         [--chunk-tokens=0] [--seed=7]
-//                         [--preempt=none|recompute] [--kv-block-tokens=1]
+//                         [--preempt=none|recompute|cost-aware]
+//                         [--kv-block-tokens=1]
+//                         [--prefix-cache] [--kv-swap]
 //                         [--replicas=1] [--balancer=rr|jsq|kv]
 //                         [--autoscale=queue|slo|hybrid]
 //                         [--min-replicas=1] [--max-replicas=4]
@@ -50,8 +55,12 @@ void print_usage() {
       "  --policy=P           prefill|decode|chunked (default prefill)\n"
       "  --chunk-tokens=N     per-iteration token budget; requires\n"
       "                       --policy=chunked (chunked defaults to 64)\n"
-      "  --preempt=P          none|recompute (default none)\n"
+      "  --preempt=P          none|recompute|cost-aware (default none)\n"
       "  --kv-block-tokens=N  KV paging granularity, >= 1 (default 1)\n"
+      "  --prefix-cache[=B]   content-addressed prefix caching (bare = on;\n"
+      "                       =off spells the byte-identical default)\n"
+      "  --kv-swap            swap-to-host eviction tier; requires\n"
+      "                       --prefix-cache\n"
       "  --replicas=N         fleet width, >= 1 (default 1)\n"
       "  --balancer=B         rr|jsq|kv; requires --replicas >= 2 or "
       "--autoscale\n"
@@ -95,6 +104,8 @@ int main(int argc, char** argv) {
   cfg.scheduler.max_tokens_per_iter = opts.chunk_tokens;
   cfg.scheduler.preempt = opts.preempt;
   cfg.kv_block_tokens = opts.kv_block_tokens;
+  cfg.prefix_cache = opts.prefix_cache;
+  cfg.kv_swap = opts.kv_swap;
   // Shrink the KV budget so roughly 8 average requests fit at once: the
   // scheduler demonstrably interleaves 8+ concurrent streams, while the
   // stragglers beyond that back up in the queue on KV slots — the
@@ -171,6 +182,17 @@ int main(int argc, char** argv) {
     std::cout << "Paged KV (" << m.kv_block_tokens << " tok/block): "
               << m.preemptions << " preemption(s) recomputed "
               << m.recompute_tokens << " token(s) of dropped KV.\n";
+  }
+  if (opts.cached()) {
+    std::cout << "Prefix cache: " << m.cache_hit_tokens << " of "
+              << m.cache_lookup_tokens << " looked-up prompt token(s) hit ("
+              << util::fmt_fixed(100.0 * m.cache_hit_rate, 1) << "%), "
+              << util::fmt_fixed(m.saved_prefill_ms, 1)
+              << " ms of prefill saved. The burst draws independent prompt\n"
+              << "contents, so hits come only from preempted requests "
+                 "re-admitting over\ntheir own published blocks; see "
+                 "examples/chat_cache for the multi-turn\nscenario the cache "
+                 "is built for.\n";
   }
   // Under the default whole-footprint reservation the demo must show
   // admission stalls; under preempt=recompute admission is deliberately

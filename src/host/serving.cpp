@@ -160,6 +160,7 @@ std::vector<ServeResult> Host::run_flush(
     out.prefill_chunks = rec.prefill_chunks;
     out.max_token_gap_ms = rec.max_token_gap_ms;
     out.preemptions = rec.preemptions;
+    out.cached_prefix_tokens = rec.cached_prefix_tokens;
     if (rec.decode_tokens > 0 && out.decode_ms > 0) {
       out.decode_tokens_per_s =
           1e3 * static_cast<double>(rec.decode_tokens) / out.decode_ms;

@@ -59,10 +59,14 @@ struct ServeResult {
   /// Worst gap between consecutive streamed tokens — the jitter chunked
   /// prefill bounds when other requests' prompts land mid-generation.
   double max_token_gap_ms = 0;
-  /// Times the fleet preempted this request under
-  /// serve::PreemptPolicy::kRecomputeYoungest (KV dropped, sequence
-  /// re-prefilled before decoding resumed); 0 under the default policy.
+  /// Times the fleet preempted this request under the recompute preemption
+  /// policies (KV dropped, sequence re-prefilled before decoding resumed);
+  /// 0 under the default policy.
   std::uint32_t preemptions = 0;
+  /// Prompt tokens admission skipped via the serve layer's
+  /// content-addressed prefix cache (serve::ServingConfig::prefix_cache);
+  /// 0 with the cache off or on a clean miss.
+  std::uint32_t cached_prefix_tokens = 0;
   /// True when fleet admission control shed this request: the generation
   /// above is still valid, but every timing field is zero/meaningless.
   bool rejected = false;

@@ -84,6 +84,22 @@ SchedulerCliOptions parse_scheduler_cli(const util::Cli& cli,
     opts.autoscale.eval_interval_ms = interval_ms;
   }
 
+  // Bare --prefix-cache / --kv-swap mean "on"; =off (or =0/=false/=no)
+  // spells the default explicitly so CI can pin `--prefix-cache=off` output
+  // byte-identical to a no-flag run.
+  if (cli.has("prefix-cache")) {
+    opts.prefix_cache = cli.get_bool_or("prefix-cache", true);
+  }
+  if (cli.has("kv-swap")) {
+    opts.kv_swap = cli.get_bool_or("kv-swap", true);
+  }
+  if (opts.kv_swap && !opts.prefix_cache) {
+    throw std::invalid_argument(
+        "--kv-swap requires --prefix-cache: swap-to-host is an eviction "
+        "tier of the prefix cache, so without the cache it would silently "
+        "do nothing");
+  }
+
   for (const char* flag : {"trace-out", "metrics-out"}) {
     if (!cli.has(flag)) continue;
     const std::string path = cli.get_or(flag, "");

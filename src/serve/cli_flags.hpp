@@ -1,7 +1,8 @@
 // Shared parsing + cross-validation of the serving command-line flags
 // (--policy, --chunk-tokens, --preempt, --kv-block-tokens, --replicas,
-// --balancer, --autoscale and its --min-replicas/--max-replicas/
-// --scale-interval-ms companions) for the CLI surfaces (bench/serve_load,
+// --balancer, --prefix-cache, --kv-swap, --autoscale and its
+// --min-replicas/--max-replicas/--scale-interval-ms companions) for the
+// CLI surfaces (bench/serve_load,
 // examples/continuous_batching, examples/autoscale_serving), so the
 // binaries' flag semantics cannot drift and invalid combinations are
 // rejected loudly instead of silently doing something else.
@@ -37,6 +38,12 @@ struct SchedulerCliOptions {
   /// --min-replicas/--max-replicas/--scale-interval-ms). enabled == false
   /// unless --autoscale was given.
   AutoscalerConfig autoscale;
+  /// Content-addressed prefix caching (--prefix-cache; =off to spell the
+  /// default explicitly). false means no cache object is ever constructed
+  /// — byte-identical to a build without the feature.
+  bool prefix_cache = false;
+  /// Swap-to-host eviction tier (--kv-swap; requires --prefix-cache).
+  bool kv_swap = false;
   /// Observability exports (serve/observe.hpp), legal with any replica /
   /// autoscale combination. Empty (the default) disables the observer
   /// entirely — the run's output stays byte-identical to an unobserved
@@ -56,6 +63,11 @@ struct SchedulerCliOptions {
   /// True when the run is a multi-replica fleet (fleet surfaces add
   /// balance columns only then, for the same byte-stability reason).
   bool fleet() const { return replicas > 1 || autoscale.enabled; }
+
+  /// True when the run constructs a prefix cache — CLI surfaces add
+  /// hit-rate/saved-prefill columns only then (same byte-stability rule
+  /// as paged()).
+  bool cached() const { return prefix_cache; }
 
   /// Replica pool size the surfaces should build: the autoscaler's
   /// ceiling when autoscaling, the fixed width otherwise.
@@ -83,6 +95,11 @@ struct SchedulerCliOptions {
 ///    --min-replicas and --max-replicas; a fixed width contradicts it);
 ///  - --min-replicas/--max-replicas/--scale-interval-ms require
 ///    --autoscale, need 1 <= min <= max, and the interval must be > 0;
+///  - --prefix-cache takes an optional on/off value (bare == on; =off/=0
+///    spells the byte-identical default explicitly, which the CI identity
+///    gate exercises);
+///  - --kv-swap requires --prefix-cache (swap is a cache eviction tier;
+///    alone it would silently do nothing);
 ///  - --trace-out/--metrics-out need a non-empty =<path> value (they are
 ///    legal with every replica / autoscale combination).
 /// Throws std::invalid_argument with an actionable message on violation.

@@ -119,6 +119,12 @@ void FleetSim::validate() {
       throw std::invalid_argument(
           "kv_block_tokens must be >= 1 (1 = token-granular)" + where);
     }
+    if (r.kv_swap && !r.prefix_cache) {
+      throw std::invalid_argument(
+          "kv_swap requires prefix_cache (swap is an eviction tier of the "
+          "prefix cache; without the cache there is nothing to swap)" +
+          where);
+    }
     if (r.arch.frequency_hz != frequency) {
       // The engine advances one cycle-granular clock; replicas in another
       // clock domain would need cycle-rate conversion the fleet does not
@@ -460,7 +466,10 @@ FleetResult FleetSim::run(Observer* observer) const {
     m.kv_peak_frag_tokens += r->kv.peak_frag_tokens();
     m.preemptions += r->preemptions;
     m.recompute_tokens += r->recompute_tokens;
-    m.kv_blocks_in_use_at_end += r->kv.used_blocks();
+    // kv_blocks_in_use_at_end is summed from the finalized per-replica
+    // metrics below: finalize_metrics drains each replica's prefix cache
+    // first, so reading used_blocks() here would count retained cache
+    // blocks as leaks.
     result.routed.push_back(r->routed);
   }
   m.offered = run.shared.injected;
@@ -536,6 +545,28 @@ FleetResult FleetSim::run(Observer* observer) const {
   for (const FleetMetrics& rm : result.replicas) {
     m.requests.insert(m.requests.end(), rm.requests.begin(),
                       rm.requests.end());
+    m.kv_blocks_in_use_at_end += rm.kv_blocks_in_use_at_end;
+    m.prefix_cache = m.prefix_cache || rm.prefix_cache;
+    m.kv_swap = m.kv_swap || rm.kv_swap;
+    m.cache_lookups += rm.cache_lookups;
+    m.cache_lookup_tokens += rm.cache_lookup_tokens;
+    m.cache_hit_requests += rm.cache_hit_requests;
+    m.cache_hit_tokens += rm.cache_hit_tokens;
+    m.saved_prefill_cycles += rm.saved_prefill_cycles;
+    m.saved_prefill_ms += rm.saved_prefill_ms;
+    m.cache_insert_blocks += rm.cache_insert_blocks;
+    m.cache_evict_blocks += rm.cache_evict_blocks;
+    m.cache_cow_events += rm.cache_cow_events;
+    m.cache_dedup_blocks += rm.cache_dedup_blocks;
+    m.cache_swap_out_blocks += rm.cache_swap_out_blocks;
+    m.cache_swap_in_blocks += rm.cache_swap_in_blocks;
+    m.cache_swap_ms += rm.cache_swap_ms;
+    m.cache_blocks_at_end += rm.cache_blocks_at_end;
+    m.prefill_cycles += rm.prefill_cycles;
+  }
+  if (m.cache_lookup_tokens > 0) {
+    m.cache_hit_rate = static_cast<double>(m.cache_hit_tokens) /
+                       static_cast<double>(m.cache_lookup_tokens);
   }
   std::sort(m.requests.begin(), m.requests.end(),
             [](const RequestRecord& a, const RequestRecord& b) {

@@ -29,9 +29,13 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <vector>
 
 #include "core/arch_config.hpp"
+#include "core/step_cost.hpp"
 #include "model/config.hpp"
+#include "workload/scenario.hpp"
 
 namespace looplynx::serve {
 
@@ -94,6 +98,15 @@ class KvBlockManager {
   /// bug (a tampered or double-released list).
   void release_all(KvBlockList& list);
 
+  /// Moves `blocks` *full* blocks (blocks x block_tokens committed tokens)
+  /// out of `list` without touching the pool — pure ownership transfer,
+  /// used when the prefix cache takes over a request's completed prompt
+  /// blocks. used_blocks()/live_tokens()/fragmentation are invariant
+  /// across a transfer (the new owner holds exactly what `list` gave up);
+  /// transferring more full blocks than `list` holds is clamped and
+  /// counted in over_release_events() like a bad release.
+  void transfer_out(KvBlockList& list, std::uint32_t blocks);
+
   // ---- Statistics for FleetMetrics ----
   std::uint32_t peak_used_blocks() const { return peak_used_blocks_; }
   std::uint64_t stall_events() const { return stall_events_; }
@@ -128,6 +141,206 @@ class KvBlockManager {
   std::uint64_t peak_frag_tokens_ = 0;
   std::uint64_t stall_events_ = 0;
   std::uint64_t over_release_events_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Content-addressed prefix cache (the vLLM paging model's sharing half).
+// ---------------------------------------------------------------------------
+
+/// Sentinel chain hash: the parent of a prompt's first block, and the
+/// tail_hash of a request that owns no cached blocks yet.
+inline constexpr std::uint64_t kNoBlockHash = 0x10071f9ccafe5eedULL;
+
+/// Per-request cache state, owned by serve::Request. Records which cached
+/// blocks the request holds references on (admission hits plus its own
+/// commits), how many prompt tokens those cover, and the partial-tail
+/// registration it must withdraw on release. Plain data; every mutation
+/// goes through PrefixCache so refcounts cannot drift.
+struct CacheBinding {
+  /// Prefill tokens skipped at admission: block-aligned chain hits plus
+  /// any copy-on-write partial-tail tokens. The request's prefill cursor
+  /// starts here.
+  std::uint32_t cached_tokens = 0;
+  /// Block-aligned prefix owned by the cache on this request's behalf
+  /// (== chain.size() x block_tokens). The request's private KvBlockList
+  /// covers positions >= owned_tokens only.
+  std::uint32_t owned_tokens = 0;
+  /// Chain hash of the deepest cache-owned block (parent for the next
+  /// commit); kNoBlockHash at depth 0.
+  std::uint64_t tail_hash = kNoBlockHash;
+  /// Every cached block this request holds one reference on, root-first.
+  std::vector<std::uint64_t> chain;
+  /// Set while this request's in-HBM partial tail block is registered as
+  /// a copy-on-write source.
+  bool partial_registered = false;
+  std::uint64_t partial_parent = kNoBlockHash;
+  std::uint64_t partial_hash = 0;
+};
+
+/// What an admission-time lookup skipped (accounting only; the binding
+/// carries the state).
+struct PrefixHit {
+  std::uint32_t cached_tokens = 0;  // prefill tokens skipped in total
+  std::uint32_t chain_blocks = 0;   // full cached blocks hit
+  std::uint32_t swapped_in = 0;     // of those, restored from host DRAM
+  bool cow = false;                 // partial tail resolved by copy-on-write
+};
+
+/// Content-addressed prefix cache over one replica's KvBlockManager.
+///
+/// Prompt content is identified by hash chains: block i's chain hash is
+/// hash(parent chain hash, the block's deterministic token ids from
+/// workload::prompt_token_id), so equal prompt prefixes — and only equal
+/// prefixes — collide on purpose. A hit turns the shared prefix's prefill
+/// cycles into refcount increments; blocks whose refcount drops to zero
+/// stay resident ("cached-idle") until pool pressure reclaims them.
+///
+/// Invariants:
+///  - Cache-owned blocks are counted once in the KvBlockManager no matter
+///    how many requests share them; commit is an ownership *transfer*
+///    (KvBlockManager::transfer_out), never an allocation, so commits
+///    cannot fail or deadlock against admission.
+///  - Only full blocks of *prompt* content enter the hash table, and a
+///    lookup never covers the whole prefill target (at least one token is
+///    always prefilled), so first-chunk/TTFT semantics survive a total
+///    hit. Partial tails are shared contentually: a divergent or
+///    extending continuation resolves to a private copy at admission
+///    (copy-on-write), priced as saved prefill, and is only valid while
+///    the owner still holds the physical block.
+///  - Reclaim is cost-aware and leaf-only: among refcount-zero blocks
+///    with no cached children, the cheapest-to-rebuild (by
+///    StepCostModel::recompute_cycles over the block's position span) is
+///    evicted first, deterministically tie-broken by insertion order then
+///    hash. With the swap tier enabled a victim whose rebuild costs more
+///    than a host round-trip is swapped out over the DMA/PCIe model
+///    instead of discarded, and restored (and re-priced) on its next hit.
+///  - Swap transfer cycles accumulate in a ledger the scheduler drains
+///    into the observer's `kv-swap` category each iteration, so the
+///    cycle-accounting tiling identity holds with swapping active.
+///  - drain() releases every resident block back to the pool and throws
+///    if any refcount is still live — the end-state blocks-in-use == 0
+///    invariant keeps holding with the cache on.
+class PrefixCache {
+ public:
+  PrefixCache(KvBlockManager& kv, const core::StepCostModel& costs,
+              bool swap_enabled);
+
+  /// Deterministic content hash of prompt positions [start, start + count)
+  /// of `scenario` (ids from workload::prompt_token_id with `unique` as
+  /// the per-request fallback stream).
+  static std::uint64_t content_hash(const workload::Scenario& scenario,
+                                    std::uint64_t unique, std::uint32_t start,
+                                    std::uint32_t count);
+
+  /// Chain step: hash(parent, content).
+  static std::uint64_t chain_next(std::uint64_t parent, std::uint64_t content);
+
+  /// Admission-time lookup: walks the prompt's hash chain, takes one
+  /// reference per hit block (restoring swapped blocks when the pool
+  /// allows), resolves at most one partial-tail copy-on-write hit, and
+  /// fills `binding`. Covers at most min(prompt, prefill_target - 1)
+  /// tokens. Call release() exactly once per successful acquire.
+  PrefixHit acquire(const workload::Scenario& scenario, std::uint64_t unique,
+                    std::uint32_t prompt_tokens, std::uint32_t prefill_target,
+                    CacheBinding& binding);
+
+  /// Called as the prefill cursor advances: commits every newly completed
+  /// full prompt block in [binding.owned_tokens, min(prompt_done,
+  /// prompt_tokens)) by transferring it out of `list` (or, when a
+  /// concurrent request committed identical content first, by releasing
+  /// the duplicate block and sharing the existing one), and registers the
+  /// partial tail as a copy-on-write source once the prompt is fully
+  /// prefilled.
+  void commit(const workload::Scenario& scenario, std::uint64_t unique,
+              std::uint32_t prompt_done, std::uint32_t prompt_tokens,
+              KvBlockList& list, CacheBinding& binding);
+
+  /// Drops one reference per bound block and withdraws the partial-tail
+  /// registration (request completion or preemption). Refcount-zero
+  /// blocks stay cached-idle until reclaimed.
+  void release(CacheBinding& binding);
+
+  /// Tries to free `blocks` pool blocks by reclaiming cached-idle leaves,
+  /// cheapest-to-rebuild first (swap-out instead of discard when the swap
+  /// tier is on and the round-trip is cheaper than the rebuild). Returns
+  /// the number actually freed; callers retry their try_grow either way.
+  std::uint32_t reclaim(std::uint32_t blocks);
+
+  /// End-of-run teardown: returns every resident cache-owned block to the
+  /// pool. Throws std::logic_error if any reference is still live — a
+  /// request leaked its binding.
+  void drain();
+
+  /// Swap transfer cycles accrued since the last call (out + in). The
+  /// scheduler drains this every iteration into a `kv-swap` span so the
+  /// observer's tiling identity holds.
+  sim::Cycles take_pending_swap_cycles();
+
+  /// One-way host transfer price of one full block: PCIe turnaround plus
+  /// the block's bytes at the HBM channel rate (the DMA engine's burst
+  /// model). A swap round-trip costs twice this.
+  sim::Cycles swap_transfer_cycles() const { return swap_transfer_cycles_; }
+
+  /// Rebuild price of the block covering positions
+  /// [depth x block_tokens, ...): what reclaim weighs against the swap
+  /// round-trip.
+  sim::Cycles rebuild_cycles(std::uint32_t depth) const;
+
+  bool swap_enabled() const { return swap_enabled_; }
+
+  // ---- Statistics for FleetMetrics ----
+  std::uint32_t resident_blocks() const { return resident_blocks_; }
+  std::uint64_t insert_blocks() const { return insert_blocks_; }
+  std::uint64_t evict_blocks() const { return evict_blocks_; }
+  std::uint64_t swap_out_blocks() const { return swap_out_blocks_; }
+  std::uint64_t swap_in_blocks() const { return swap_in_blocks_; }
+  std::uint64_t cow_events() const { return cow_events_; }
+  std::uint64_t dedup_blocks() const { return dedup_blocks_; }
+  sim::Cycles swap_cycles_total() const { return swap_cycles_total_; }
+
+ private:
+  struct CachedBlock {
+    std::uint64_t parent = kNoBlockHash;
+    std::uint32_t depth = 0;      // 0-based chain depth
+    std::uint32_t refcount = 0;   // live sharers
+    /// *Resident* cached blocks whose parent is this one. Counting only
+    /// resident children is what keeps reclaim livelock-free: a parent
+    /// whose children are all swapped out must stay evictable/swappable,
+    /// or refcount-0 chains could pin the pool forever (the scheduler's
+    /// oldest-waiter unwedge path relies on reclaim always being able to
+    /// unwind unreferenced resident chains leaf-first).
+    std::uint32_t children = 0;
+    std::uint64_t inserted = 0;   // insertion tick (reclaim tie-break)
+    bool resident = true;         // false = swapped to host DRAM
+  };
+  struct PartialTail {
+    std::uint64_t hash = 0;       // chain_next(parent, content of k tokens)
+    std::uint32_t tokens = 0;     // k, 1 <= k < block_tokens
+    std::uint64_t owner = 0;      // registering request (validity scope)
+  };
+
+  void take_ref(std::uint64_t hash, CacheBinding& binding);
+  bool restore(std::uint64_t hash, CachedBlock& block);
+
+  KvBlockManager& kv_;
+  const core::StepCostModel& costs_;
+  bool swap_enabled_ = false;
+  sim::Cycles swap_transfer_cycles_ = 0;
+  // Keyed by chain hash; std::map for deterministic reclaim scans. 64-bit
+  // content hashes are treated as collision-free (documented model
+  // assumption, same as vLLM's).
+  std::map<std::uint64_t, CachedBlock> blocks_;
+  std::map<std::uint64_t, std::vector<PartialTail>> partials_;  // by parent
+  std::uint64_t tick_ = 0;              // insertion counter
+  std::uint32_t resident_blocks_ = 0;   // cache-owned blocks in HBM
+  std::uint64_t insert_blocks_ = 0;
+  std::uint64_t evict_blocks_ = 0;
+  std::uint64_t swap_out_blocks_ = 0;
+  std::uint64_t swap_in_blocks_ = 0;
+  std::uint64_t cow_events_ = 0;
+  std::uint64_t dedup_blocks_ = 0;
+  sim::Cycles pending_swap_cycles_ = 0;
+  sim::Cycles swap_cycles_total_ = 0;
 };
 
 }  // namespace looplynx::serve

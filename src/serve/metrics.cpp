@@ -63,6 +63,32 @@ util::Table FleetMetrics::to_table(const std::string& title) const {
                    " tok recomputed, " + util::fmt_fixed(recompute_ms, 1) +
                    " ms"});
   }
+  // Cache rows only when the run actually constructed a prefix cache, for
+  // the same byte-stability reason as the paging rows above.
+  if (prefix_cache) {
+    t.add_row({"prefix cache",
+               util::fmt_percent(cache_hit_rate, 1) + " hit rate, " +
+                   util::fmt_int(static_cast<long long>(cache_hit_tokens)) +
+                   " tok cached, " + util::fmt_fixed(saved_prefill_ms, 1) +
+                   " ms prefill saved"});
+    t.add_row({"cache blocks",
+               util::fmt_int(static_cast<long long>(cache_insert_blocks)) +
+                   " inserted, " +
+                   util::fmt_int(static_cast<long long>(cache_evict_blocks)) +
+                   " evicted, " +
+                   util::fmt_int(static_cast<long long>(cache_cow_events)) +
+                   " CoW, " +
+                   util::fmt_int(static_cast<long long>(cache_dedup_blocks)) +
+                   " dedup"});
+    if (kv_swap) {
+      t.add_row({"KV swap",
+                 util::fmt_int(static_cast<long long>(cache_swap_out_blocks)) +
+                     " out / " +
+                     util::fmt_int(
+                         static_cast<long long>(cache_swap_in_blocks)) +
+                     " in, " + util::fmt_fixed(cache_swap_ms, 1) + " ms DMA"});
+    }
+  }
   if (kv_over_release_events > 0) {
     // Loud only when broken: a clamped over-release is an accounting bug.
     t.add_row({"KV over-releases (BUG)",

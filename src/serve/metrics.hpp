@@ -28,6 +28,10 @@ struct RequestRecord {
   /// Times the scheduler preempted this request (KV blocks dropped and the
   /// sequence re-run as prefill); 0 under PreemptPolicy::kNone.
   std::uint32_t preemptions = 0;
+  /// Prompt tokens admission skipped via the content-addressed prefix
+  /// cache (ServingConfig::prefix_cache); 0 with the cache off or on a
+  /// clean miss.
+  std::uint32_t cached_prefix_tokens = 0;
   /// Live replica count when the balancer routed this request (1 for
   /// single-replica runs, the fleet width for static fleets). Under
   /// autoscaling the live set is the index prefix [0, live), so
@@ -123,6 +127,36 @@ struct FleetMetrics {
   std::uint64_t recompute_tokens = 0;
   /// Pipeline time those drops re-pay (StepCostModel::recompute_cycles).
   double recompute_ms = 0;
+
+  // ---- Content-addressed prefix cache (ServingConfig::prefix_cache) ----
+  bool prefix_cache = false;  // cache constructed for this run
+  bool kv_swap = false;       // swap-to-host eviction tier enabled
+  std::uint64_t cache_lookups = 0;        // admissions that consulted it
+  std::uint64_t cache_lookup_tokens = 0;  // prompt tokens offered to lookup
+  std::uint64_t cache_hit_requests = 0;   // admissions with >= 1 hit token
+  std::uint64_t cache_hit_tokens = 0;     // prefill tokens skipped
+  /// cache_hit_tokens / cache_lookup_tokens — the token-weighted hit rate
+  /// (0 when the cache is off or nothing was offered).
+  double cache_hit_rate = 0;
+  /// Prefill pipeline cycles the hits skipped
+  /// (StepCostModel::prefill_cycles over each hit prefix), and the same in
+  /// milliseconds — the cache's direct saving.
+  std::uint64_t saved_prefill_cycles = 0;
+  double saved_prefill_ms = 0;
+  std::uint64_t cache_insert_blocks = 0;   // blocks published to the cache
+  std::uint64_t cache_evict_blocks = 0;    // cached-idle blocks discarded
+  std::uint64_t cache_cow_events = 0;      // partial-tail copy-on-write hits
+  std::uint64_t cache_dedup_blocks = 0;    // concurrent identical commits
+  std::uint64_t cache_swap_out_blocks = 0; // evictions routed to host DRAM
+  std::uint64_t cache_swap_in_blocks = 0;  // swapped blocks restored on hit
+  double cache_swap_ms = 0;                // total DMA transfer time paid
+  /// Cache-owned blocks still resident when the run drained (a gauge of
+  /// retained reusable state, not a leak — drain() returns them all).
+  std::uint64_t cache_blocks_at_end = 0;
+  /// Prefill-class pipeline cycles actually executed (whole prompts,
+  /// chunks and recompute re-runs) — the figure the cache shrinks; always
+  /// populated so cache-on/off runs can be compared directly.
+  std::uint64_t prefill_cycles = 0;
 
   /// Per-request outcomes; empty unless requested via the ServingConfig.
   std::vector<RequestRecord> requests;

@@ -40,6 +40,10 @@ const char* lifecycle_event_name(LifecycleEvent kind) {
       return "scale-down";
     case LifecycleEvent::kDrain:
       return "drain";
+    case LifecycleEvent::kCacheHit:
+      return "cache-hit";
+    case LifecycleEvent::kCacheMiss:
+      return "cache-miss";
   }
   return "unknown";
 }

@@ -56,6 +56,8 @@ enum class LifecycleEvent : std::uint8_t {
   kScaleUp,        // autoscaler activated a replica (a = from, b = to)
   kScaleDown,      // autoscaler deactivated a replica (a = from, b = to)
   kDrain,          // deactivated replica begins draining admitted work
+  kCacheHit,       // prefix-cache admission hit (a = tokens, b = blocks)
+  kCacheMiss,      // prefix-cache admission found nothing cached
 };
 
 /// Stable CLI/export-facing event names ("route", "first-token", ...).
@@ -82,6 +84,7 @@ inline constexpr char kDecode[] = "decode";            // decode group pass
 inline constexpr char kRecompute[] = "recompute";      // post-preempt rebuild
 inline constexpr char kHostSync[] = "host-sync";       // overhead + PCIe sync
 inline constexpr char kKvStall[] = "kv-stall";  // idle w/ queued, unadmittable
+inline constexpr char kKvSwap[] = "kv-swap";  // cache block DMA to/from host
 inline constexpr char kSchedulerIdle[] = "scheduler-idle";  // idle, no work
 inline constexpr char kDrain[] = "drain";  // trailing idle until run end
 }  // namespace category
@@ -90,8 +93,9 @@ inline constexpr char kDrain[] = "drain";  // trailing idle until run end
 /// iteration order, so metric line sets are stable across runs.
 inline constexpr const char* kCategories[] = {
     category::kChunkedPrefill, category::kDecode,  category::kDrain,
-    category::kHostSync,       category::kKvStall, category::kPrefill,
-    category::kRecompute,      category::kSchedulerIdle,
+    category::kHostSync,       category::kKvStall, category::kKvSwap,
+    category::kPrefill,        category::kRecompute,
+    category::kSchedulerIdle,
 };
 
 /// One run's observability state. Construct with the run's replica pool

@@ -27,10 +27,20 @@ enum class PreemptPolicy : std::uint8_t {
   /// request always drains to completion — livelock-free by construction
   /// (see ensure_kv_blocks in serving_sim.cpp).
   kRecomputeYoungest,
+  /// Same admission discipline and eviction *eligibility* as
+  /// kRecomputeYoungest (only strictly-younger decode-phase block holders
+  /// can be victims — the property the livelock-freedom argument rests
+  /// on), but the victim is chosen cost-aware: the candidate whose KV is
+  /// cheapest to rebuild (StepCostModel::recompute_cycles over its live
+  /// KV length), tie-broken youngest-first so ties reproduce the legacy
+  /// choice. Minimizes the recompute bill each eviction signs instead of
+  /// minimizing lost *age*.
+  kRecomputeCostAware,
 };
 
-/// CLI-facing preemption names ("none" | "recompute"), shared by the bench
-/// and example surfaces. Throws std::invalid_argument on an unknown name.
+/// CLI-facing preemption names ("none" | "recompute" | "cost-aware"),
+/// shared by the bench and example surfaces. Throws std::invalid_argument
+/// on an unknown name.
 PreemptPolicy parse_preempt_policy(const std::string& name);
 const char* preempt_policy_name(PreemptPolicy policy);
 

@@ -26,6 +26,9 @@ Request& Replica::make_request(workload::Scenario shape) {
 void Replica::record_completion(Request& r) {
   r.state = RequestState::kFinished;
   r.completed = engine.now();
+  // Cache references go back first (the blocks stay cached-idle for later
+  // requests); only the private list returns blocks to the pool.
+  if (cache) cache->release(r.cache);
   kv.release_all(r.kv);
   --active;
   --shared.active;
@@ -93,6 +96,15 @@ sim::Task request_proc(Replica& f, Request& r) {
       r.prompt_done += r.step_tokens;
       ++r.prefill_chunks;
       f.total_tokens += r.step_tokens;
+      if (f.cache) {
+        // Publish every newly completed full prompt block: ownership moves
+        // from the private list to the cache (no pool effect), so later
+        // requests with the same prefix admit straight onto it. Recovery
+        // re-prefills publish too — the dedup path re-shares the blocks
+        // the preemption walked away from.
+        f.cache->commit(r.shape, r.id, r.prompt_done, r.shape.prefill, r.kv,
+                        r.cache);
+      }
       if (obs != nullptr) {
         obs->record(r.prefill_chunks == 1 ? LifecycleEvent::kFirstChunk
                                           : LifecycleEvent::kChunk,
@@ -151,12 +163,41 @@ sim::Task request_proc(Replica& f, Request& r) {
 
 namespace {
 
+/// Coverage of `tokens` absolute KV positions expressed against the
+/// request's *private* block list: the cache-owned prefix covers positions
+/// [0, cache.owned_tokens), so the private list only needs what lies
+/// beyond it. With the cache off (or a clean miss) owned_tokens is 0 and
+/// this is the identity — every legacy call site goes through here
+/// unchanged.
+std::uint32_t private_tokens(const Request& r, std::uint32_t tokens) {
+  return tokens > r.cache.owned_tokens ? tokens - r.cache.owned_tokens : 0;
+}
+
+/// try_grow with cache pressure relief: when the pool cannot supply the
+/// missing blocks, cached-idle blocks are reclaimed first (cost-aware,
+/// swap tier permitting), then the one grow attempt runs — a single stall
+/// count either way, so kv_stall_events keeps its meaning with the cache
+/// on. Byte-identical to a bare try_grow when no cache exists.
+bool cache_aware_grow(Replica& f, KvBlockList& list, std::uint32_t tokens) {
+  if (f.cache) {
+    const std::uint32_t want = f.kv.blocks_for(tokens);
+    const std::uint32_t missing = want > list.blocks ? want - list.blocks : 0;
+    if (missing > f.kv.free_blocks()) {
+      f.cache->reclaim(missing - f.kv.free_blocks());
+    }
+  }
+  return f.kv.try_grow(list, tokens);
+}
+
 /// Admits queued requests in FIFO order while the KV manager and the
 /// in-flight budget have room. A head request that can never fit is
 /// rejected so it cannot wedge the queue. Under PreemptPolicy::kNone the
 /// whole lifetime footprint (prefill + decode) is reserved up front — no
-/// mid-flight eviction can ever be needed; under kRecomputeYoungest only
-/// the prompt's blocks gate admission and decode blocks grow on demand.
+/// mid-flight eviction can ever be needed; under the recompute policies
+/// only the prompt's blocks gate admission and decode blocks grow on
+/// demand. With the prefix cache on, the prompt's hash chain is looked up
+/// first and the private reservation shrinks by the cache-owned prefix —
+/// a hit turns those tokens' prefill into reference counts.
 void admit_from_queue(Replica& f) {
   while (!f.queue.empty() && f.active < f.cfg.scheduler.max_in_flight) {
     Request* r = f.queue.front();
@@ -168,7 +209,38 @@ void admit_from_queue(Replica& f) {
     }
     const std::uint32_t admit_tokens =
         f.paged_admission() ? r->shape.prefill : r->shape.total();
-    if (!f.kv.try_grow(r->kv, admit_tokens)) break;  // KV backpressure
+    if (f.cache) {
+      const PrefixHit hit = f.cache->acquire(
+          r->shape, r->id, r->shape.prefill, r->prefill_target(), r->cache);
+      if (!cache_aware_grow(f, r->kv, private_tokens(*r, admit_tokens))) {
+        // KV backpressure: hand the references back — a queued request
+        // holds no cache state, so the hit blocks stay reclaimable while
+        // it waits.
+        f.cache->release(r->cache);
+        break;
+      }
+      ++f.cache_lookups;
+      f.cache_lookup_tokens += r->shape.prefill;
+      r->cached_prefix = hit.cached_tokens;
+      // The prefill cursor starts past the cached prefix: those positions'
+      // KV already exists, so chunked prefill only runs the private tail.
+      r->prompt_done = hit.cached_tokens;
+      if (hit.cached_tokens > 0) {
+        ++f.cache_hit_requests;
+        f.cache_hit_tokens += hit.cached_tokens;
+        f.cache_saved_prefill_cycles +=
+            f.costs.prefill_cycles(hit.cached_tokens);
+      }
+      if (f.shared.observer != nullptr) {
+        f.shared.observer->record(hit.cached_tokens > 0
+                                      ? LifecycleEvent::kCacheHit
+                                      : LifecycleEvent::kCacheMiss,
+                                  f.engine.now(), r->id, f.id,
+                                  hit.cached_tokens, hit.chain_blocks);
+      }
+    } else if (!f.kv.try_grow(r->kv, admit_tokens)) {
+      break;  // KV backpressure
+    }
     f.queue.pop();
     r->admitted = f.engine.now();
     r->state = RequestState::kRunning;
@@ -190,6 +262,12 @@ void admit_from_queue(Replica& f) {
 /// scheduled. Tokens the host already saw are not re-emitted.
 void preempt_victim(Replica& f, Request& v) {
   const std::uint32_t dropped = v.kv_len();
+  // The victim forfeits its cache references along with its private
+  // blocks: the shared blocks stay cached-idle (a later request — or the
+  // victim's own recompute, via the commit dedup path — re-shares them),
+  // but the re-prefill itself runs privately over the whole [0, dropped)
+  // span, which is exactly what `dropped` prices.
+  if (f.cache) f.cache->release(v.cache);
   f.kv.release_all(v.kv);
   ++f.preemptions;
   ++v.preempt_count;
@@ -214,14 +292,30 @@ std::uint32_t step_need(const ScheduledStep& s) {
                         : s.request->kv_len() + 1;
 }
 
-/// Youngest (highest-id) block holder in `pool` strictly younger than
-/// `than_id`. Seeds from and returns `best` so scans over several pools
-/// compose.
-Request* youngest_holder(const std::vector<Request*>& pool,
-                         std::uint32_t than_id, Request* best) {
+/// Victim preference among *eligible* candidates. Eligibility (a block
+/// holder strictly younger than the starved request) is the caller's check
+/// and identical under both recompute policies — the livelock-freedom
+/// argument rests on it; only the choice differs. kRecomputeYoungest takes
+/// the youngest (highest id); kRecomputeCostAware takes the candidate
+/// whose live KV is cheapest to rebuild (StepCostModel::recompute_cycles),
+/// tie-broken youngest so equal-cost ties reproduce the legacy choice.
+bool better_victim(const Replica& f, const Request& c, const Request& best) {
+  if (f.cfg.scheduler.preempt == PreemptPolicy::kRecomputeCostAware) {
+    const sim::Cycles cc = f.costs.recompute_cycles(c.kv_len());
+    const sim::Cycles bc = f.costs.recompute_cycles(best.kv_len());
+    if (cc != bc) return cc < bc;
+  }
+  return c.id > best.id;
+}
+
+/// Preferred victim among block holders in `pool` strictly younger than
+/// `than_id` (better_victim decides preference). Seeds from and returns
+/// `best` so scans over several pools compose.
+Request* pick_victim(const Replica& f, const std::vector<Request*>& pool,
+                     std::uint32_t than_id, Request* best) {
   for (Request* c : pool) {
     if (c->kv.blocks > 0 && c->id > than_id &&
-        (best == nullptr || c->id > best->id)) {
+        (best == nullptr || better_victim(f, *c, *best))) {
       best = c;
     }
   }
@@ -252,16 +346,16 @@ void ensure_kv_blocks(Replica& f, std::vector<ScheduledStep>& batch,
     const bool is_prefill = batch[i].is_prefill();
     const std::uint32_t need = step_need(batch[i]);
     bool secured = true;
-    while (!f.kv.try_grow(r->kv, need)) {
+    while (!cache_aware_grow(f, r->kv, private_tokens(*r, need))) {
       Request* victim = nullptr;
       std::size_t victim_pos = batch.size();
       if (!is_prefill) {
-        victim = youngest_holder(f.runnable, r->id,
-                                 youngest_holder(deferred, r->id, nullptr));
+        victim = pick_victim(f, f.runnable, r->id,
+                             pick_victim(f, deferred, r->id, nullptr));
         for (std::size_t j = i + 1; j < batch.size(); ++j) {
           Request* c = batch[j].request;
           if (c->kv.blocks > 0 && c->id > r->id &&
-              (victim == nullptr || c->id > victim->id)) {
+              (victim == nullptr || better_victim(f, *c, *victim))) {
             victim = c;
             victim_pos = j;
           }
@@ -324,10 +418,11 @@ sim::Task scheduler_proc(Replica& f) {
         std::vector<Request*> lone{oldest};
         batch = f.sched.select(lone);
         const std::uint32_t need = step_need(batch.front());
-        while (!f.kv.try_grow(oldest->kv, need)) {
+        while (!cache_aware_grow(f, oldest->kv,
+                                 private_tokens(*oldest, need))) {
           // Everyone else in runnable is strictly younger than oldest, so
           // the age-ordered scan doubles as an "anyone but me" scan here.
-          Request* victim = youngest_holder(f.runnable, oldest->id, nullptr);
+          Request* victim = pick_victim(f, f.runnable, oldest->id, nullptr);
           // A missing victim would mean oldest is the sole block holder,
           // but then its grow would have succeeded (admission checked
           // can_ever_fit on the whole footprint).
@@ -390,6 +485,21 @@ sim::Task scheduler_proc(Replica& f) {
       // spans tile [rec.start, rec.start + egress] exactly.
       obs->add_span(f.id, category::kHostSync, rec.start, rec.start + offset);
     }
+    if (f.cache) {
+      // Swap transfers accrued since the last iteration (reclaim
+      // swap-outs, admission swap-ins) occupy the pipeline before compute
+      // — the DMA engine owns the HBM channels for the duration — and
+      // land in their own `kv-swap` category, keeping the tiling identity
+      // exact. Zero (and span-free) whenever the swap tier never fired.
+      const sim::Cycles swap = f.cache->take_pending_swap_cycles();
+      if (swap > 0) {
+        if (obs != nullptr) {
+          obs->add_span(f.id, category::kKvSwap, rec.start + offset,
+                        rec.start + offset + swap);
+        }
+        offset += swap;
+      }
+    }
     sim::Cycles prefill_span = 0;
     const bool decodes_first =
         f.cfg.scheduler.policy != BatchPolicy::kPrefillPriority;
@@ -429,6 +539,7 @@ sim::Task scheduler_proc(Replica& f) {
         }
         offset += r->step_cycles;
         prefill_span += r->step_cycles;
+        f.prefill_cycles_executed += r->step_cycles;
       }
     };
     if (decodes_first) {
@@ -523,6 +634,34 @@ FleetMetrics finalize_metrics(Replica& f) {
   m.kv_peak_occupancy = f.kv.peak_occupancy();
   m.kv_stall_events = f.kv.stall_events();
   m.kv_over_release_events = f.kv.over_release_events();
+  m.prefix_cache = f.cfg.prefix_cache;
+  m.kv_swap = f.cfg.kv_swap;
+  m.prefill_cycles = f.prefill_cycles_executed;
+  if (f.cache) {
+    m.cache_lookups = f.cache_lookups;
+    m.cache_lookup_tokens = f.cache_lookup_tokens;
+    m.cache_hit_requests = f.cache_hit_requests;
+    m.cache_hit_tokens = f.cache_hit_tokens;
+    if (f.cache_lookup_tokens > 0) {
+      m.cache_hit_rate = static_cast<double>(f.cache_hit_tokens) /
+                         static_cast<double>(f.cache_lookup_tokens);
+    }
+    m.saved_prefill_cycles = f.cache_saved_prefill_cycles;
+    m.saved_prefill_ms = f.cfg.arch.cycles_to_ms(f.cache_saved_prefill_cycles);
+    m.cache_insert_blocks = f.cache->insert_blocks();
+    m.cache_evict_blocks = f.cache->evict_blocks();
+    m.cache_cow_events = f.cache->cow_events();
+    m.cache_dedup_blocks = f.cache->dedup_blocks();
+    m.cache_swap_out_blocks = f.cache->swap_out_blocks();
+    m.cache_swap_in_blocks = f.cache->swap_in_blocks();
+    m.cache_swap_ms = f.cfg.arch.cycles_to_ms(f.cache->swap_cycles_total());
+    m.cache_blocks_at_end = f.cache->resident_blocks();
+    // Teardown BEFORE the leak gauge below: drain() returns every
+    // cache-owned resident block to the pool (and throws if a request
+    // leaked a reference), so kv_blocks_in_use_at_end keeps meaning
+    // "private blocks someone forgot to release" — pinned at 0.
+    f.cache->drain();
+  }
   m.kv_blocks_in_use_at_end = f.kv.used_blocks();
   m.preempt = f.cfg.scheduler.preempt;
   m.kv_block_tokens = f.kv.block_tokens();
@@ -542,6 +681,7 @@ FleetMetrics finalize_metrics(Replica& f) {
       rec.decode_tokens = r->decoded;
       rec.prefill_chunks = r->prefill_chunks;
       rec.preemptions = r->preempt_count;
+      rec.cached_prefix_tokens = r->cached_prefix;
       rec.live_replicas = r->live_at_route;
       rec.rejected = r->state == RequestState::kRejected;
       if (!rec.rejected) {

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "core/step_cost.hpp"
@@ -88,7 +89,12 @@ struct Replica {
         kv(cfg_.arch, cfg_.model, cfg_.kv_budget_bytes_per_node,
            cfg_.kv_block_tokens),
         sched(cfg_.scheduler),
-        work(engine_) {}
+        work(engine_) {
+    // Off = absent: when the flag is unset no PrefixCache object exists and
+    // the engine room never branches into cache code — the run's event
+    // sequence (and every output byte) is identical to a cache-less build.
+    if (cfg_.prefix_cache) cache.emplace(kv, costs_, cfg_.kv_swap);
+  }
   Replica(const Replica&) = delete;
   Replica& operator=(const Replica&) = delete;
 
@@ -102,9 +108,12 @@ struct Replica {
   KvBlockManager kv;
   Scheduler sched;
   sim::Signal work;  // arrivals and completions nudge the scheduler
+  /// Content-addressed prefix cache over `kv`; engaged only when
+  /// cfg.prefix_cache is set (see the ctor note — off means absent).
+  std::optional<PrefixCache> cache;
 
   bool paged_admission() const {
-    return cfg.scheduler.preempt == PreemptPolicy::kRecomputeYoungest;
+    return cfg.scheduler.preempt != PreemptPolicy::kNone;
   }
 
   std::vector<std::unique_ptr<Request>> requests;
@@ -128,6 +137,17 @@ struct Replica {
   std::uint64_t recompute_tokens = 0;     // KV dropped -> re-run as prefill
   sim::Cycles recompute_cycles = 0;       // pipeline cost of those re-runs
   std::uint32_t recovering = 0;  // preempted requests not yet re-prefilled
+  /// Prefill-class pipeline cycles actually executed (whole prompts,
+  /// chunks and recompute re-runs alike) — the figure the prefix cache
+  /// shrinks, and what the chat-cache pin compares across runs.
+  sim::Cycles prefill_cycles_executed = 0;
+
+  // ---- Prefix-cache counters (all 0 when `cache` is absent) ----
+  std::uint64_t cache_lookups = 0;        // admissions that consulted it
+  std::uint64_t cache_lookup_tokens = 0;  // prompt tokens offered to lookup
+  std::uint64_t cache_hit_requests = 0;   // admissions with >= 1 hit token
+  std::uint64_t cache_hit_tokens = 0;     // prefill tokens skipped
+  sim::Cycles cache_saved_prefill_cycles = 0;  // prefill_cycles(hit) saved
 
   // ---- Latency samples (ms, one per completed request) ----
   std::vector<double> ttft_ms, token_ms, e2e_ms, queue_wait_ms;

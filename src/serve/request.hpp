@@ -61,6 +61,18 @@ struct Request {
   std::uint32_t prefill_chunks = 0;  // prefill steps taken (1 == unchunked)
   KvBlockList kv;                  // grown-on-demand KV block holdings
 
+  // ---- Content-addressed prefix cache (ServingConfig::prefix_cache) ----
+  /// References this request holds on shared cache blocks; empty when the
+  /// cache is off or missed. Every mutation goes through PrefixCache
+  /// (acquire/commit/release) so refcounts cannot drift. `kv` above covers
+  /// only positions >= cache.owned_tokens.
+  CacheBinding cache;
+  /// Admission-time hit size (prefill tokens skipped), kept after the
+  /// binding is released so RequestRecord can report it. A preemption
+  /// forfeits the hit (the re-prefill runs privately) but the admission
+  /// figure stands — it is what admission actually saved.
+  std::uint32_t cached_prefix = 0;
+
   // ---- Preemption / recompute ----
   /// Decode tokens folded back into the prefill phase by the last
   /// preemption: their KV was dropped, so the prefill target stretches to

@@ -29,8 +29,9 @@ const char* batch_policy_name(BatchPolicy policy) {
 PreemptPolicy parse_preempt_policy(const std::string& name) {
   if (name == "none") return PreemptPolicy::kNone;
   if (name == "recompute") return PreemptPolicy::kRecomputeYoungest;
+  if (name == "cost-aware") return PreemptPolicy::kRecomputeCostAware;
   throw std::invalid_argument("unknown preempt policy \"" + name +
-                              "\" (expected none|recompute)");
+                              "\" (expected none|recompute|cost-aware)");
 }
 
 const char* preempt_policy_name(PreemptPolicy policy) {
@@ -39,6 +40,8 @@ const char* preempt_policy_name(PreemptPolicy policy) {
       return "none";
     case PreemptPolicy::kRecomputeYoungest:
       return "recompute-youngest";
+    case PreemptPolicy::kRecomputeCostAware:
+      return "recompute-cost-aware";
   }
   return "unknown";
 }

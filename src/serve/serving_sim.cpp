@@ -26,6 +26,11 @@ ServingSim::ServingSim(const ServingConfig& config, core::StepCostModel costs)
     throw std::invalid_argument(
         "kv_block_tokens must be >= 1 (1 = token-granular)");
   }
+  if (config_.kv_swap && !config_.prefix_cache) {
+    throw std::invalid_argument(
+        "kv_swap requires prefix_cache (swap is an eviction tier of the "
+        "prefix cache; without the cache there is nothing to swap)");
+  }
   if (!config_.traffic.explicit_arrivals.empty()) {
     config_.traffic.num_requests = static_cast<std::uint32_t>(
         config_.traffic.explicit_arrivals.size());

@@ -53,6 +53,18 @@ struct ServingConfig {
   std::uint32_t kv_block_tokens = 1;
   /// Probe stride for the StepCostModel (1 = exact per-position costs).
   std::uint32_t cost_probe_stride = 64;
+  /// Content-addressed prefix caching (serve/kv_block.hpp PrefixCache):
+  /// admission skips prompt tokens whose KV is already cached, completed
+  /// prompt blocks are published for later requests, and refcount-zero
+  /// blocks stay cached-idle until pool pressure reclaims them. false (the
+  /// default) constructs no cache at all — the run is byte-identical to a
+  /// build without the feature.
+  bool prefix_cache = false;
+  /// Swap-to-host eviction tier: a reclaimed cache block whose prefill
+  /// rebuild costs more than a DMA round-trip moves to host DRAM instead
+  /// of being discarded, and is restored (transfer priced into the next
+  /// iteration's `kv-swap` span) when hit again. Requires prefix_cache.
+  bool kv_swap = false;
   SloConfig slo;
   /// Fill FleetMetrics::requests with per-request outcomes.
   bool keep_request_records = false;

@@ -13,6 +13,12 @@ TrafficGen::TrafficGen(TrafficConfig config, double frequency_hz)
   if (config_.mix.entries.empty()) {
     throw std::invalid_argument("traffic mix has no scenarios");
   }
+  if (!config_.scripted_shapes.empty()) {
+    // A script defines both shapes and request count; arrival times still
+    // come from the configured process.
+    config_.num_requests =
+        static_cast<std::uint32_t>(config_.scripted_shapes.size());
+  }
   if (config_.process != ArrivalProcess::kClosedLoop &&
       config_.arrival_rate_per_s <= 0) {
     throw std::invalid_argument("open-loop arrival rate must be positive");
@@ -39,7 +45,63 @@ sim::Cycles TrafficGen::exponential_cycles(double mean_s) {
 }
 
 workload::Scenario TrafficGen::next_shape() {
+  if (!config_.scripted_shapes.empty()) {
+    const workload::Scenario& s =
+        config_.scripted_shapes[script_cursor_ % config_.scripted_shapes.size()];
+    ++script_cursor_;
+    return s;
+  }
   return config_.mix.sample(rng_.next_double());
+}
+
+std::vector<workload::Scenario> chat_turn_shapes(const ChatTrafficConfig& c) {
+  if (c.conversations == 0 || c.turns == 0) {
+    throw std::invalid_argument("chat traffic needs conversations, turns >= 1");
+  }
+  if (c.system_prompt_tokens == 0 || c.user_turn_tokens == 0 ||
+      c.reply_tokens == 0) {
+    throw std::invalid_argument(
+        "chat traffic needs nonzero system/user/reply token counts");
+  }
+  // Content streams: one shared system-prompt seed, plus per-conversation
+  // per-turn seeds for user messages and assistant replies. SplitMix64
+  // expansion keeps streams decorrelated and platform-independent.
+  util::SplitMix64 sys_sm(c.content_seed);
+  const std::uint64_t system_seed = sys_sm.next();
+  const auto stream_seed = [&](std::uint32_t conv, std::uint32_t turn,
+                               bool reply) {
+    util::SplitMix64 sm(c.content_seed ^
+                        (0x9e3779b97f4a7c15ULL * (conv + 1)) ^
+                        (0xbf58476d1ce4e5b9ULL * (2ULL * turn + (reply ? 1 : 0))));
+    return sm.next();
+  };
+
+  std::vector<workload::Scenario> script;
+  script.reserve(static_cast<std::size_t>(c.conversations) * c.turns);
+  // Turn-major: every conversation's turn t precedes any turn t+1, so a
+  // turn's history has (usually) been prefilled — and cached — by the time
+  // the follow-up arrives.
+  for (std::uint32_t turn = 0; turn < c.turns; ++turn) {
+    for (std::uint32_t conv = 0; conv < c.conversations; ++conv) {
+      workload::Scenario s;
+      s.prompt_segments.push_back({system_seed, c.system_prompt_tokens});
+      for (std::uint32_t j = 0; j < turn; ++j) {
+        s.prompt_segments.push_back(
+            {stream_seed(conv, j, false), c.user_turn_tokens});
+        s.prompt_segments.push_back(
+            {stream_seed(conv, j, true), c.reply_tokens});
+      }
+      s.prompt_segments.push_back(
+          {stream_seed(conv, turn, false), c.user_turn_tokens});
+      s.prefill = s.segment_tokens();
+      s.decode = c.reply_tokens;
+      s.name = "[chat c" + std::to_string(conv) + " t" +
+               std::to_string(turn) + " " + std::to_string(s.prefill) + ":" +
+               std::to_string(s.decode) + "]";
+      script.push_back(std::move(s));
+    }
+  }
+  return script;
 }
 
 std::vector<Arrival> TrafficGen::open_loop_schedule() {

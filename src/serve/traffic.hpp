@@ -17,6 +17,7 @@
 // on.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -50,6 +51,15 @@ struct TrafficConfig {
   /// Must be sorted by time; overrides `process` and `num_requests`.
   std::vector<Arrival> explicit_arrivals;
 
+  /// When non-empty, arrival i takes `scripted_shapes[i]` instead of a mix
+  /// sample and `num_requests` is the script length — arrival *times* are
+  /// still drawn from `process`. This is how ordered workloads (multi-turn
+  /// conversations, where turn t must arrive before turn t+1) ride the
+  /// open-loop processes; `chat_turn_shapes` below builds such a script.
+  /// Ignored when `explicit_arrivals` is set. Empty (the default) leaves
+  /// the sampling path — and its RNG draw sequence — untouched.
+  std::vector<workload::Scenario> scripted_shapes;
+
   // ---- Open-loop (Poisson / bursty) ----
   double arrival_rate_per_s = 4.0;  // nominal mean arrival rate
 
@@ -62,6 +72,32 @@ struct TrafficConfig {
   std::uint32_t clients = 8;
   double think_time_s = 0.25;  // mean exponential think time
 };
+
+/// Multi-turn chatbot traffic: `conversations` independent conversations,
+/// each `turns` requests long, all sharing one `system_prompt_tokens`
+/// system prompt. Turn t's prompt replays the full conversation so far —
+/// system prompt, then (user message, assistant reply) for every earlier
+/// turn, then the new user message — expressed as `PromptSegment`s whose
+/// seeds make the replayed content *identical* to what the earlier turns
+/// prefilled (and, for the reply segments, to what they decoded). Under
+/// the content-addressed prefix cache this makes turn t's entire history a
+/// cache hit; without the cache it is exactly the re-prefill bill
+/// production chat traffic pays today. `content_seed` keys all content, so
+/// two configs with the same seed share system prompts across runs.
+struct ChatTrafficConfig {
+  std::uint32_t conversations = 8;
+  std::uint32_t turns = 4;                  // requests per conversation
+  std::uint32_t system_prompt_tokens = 96;  // shared by every conversation
+  std::uint32_t user_turn_tokens = 24;      // new user message per turn
+  std::uint32_t reply_tokens = 48;          // decode length per turn
+  std::uint64_t content_seed = 0x1007cace5eedULL;
+};
+
+/// Builds the turn-major request script for `ChatTrafficConfig`: requests
+/// c0t0, c1t0, ..., c0t1, c1t1, ... so every conversation's turn t is
+/// scheduled before any turn t+1. Feed it to
+/// `TrafficConfig::scripted_shapes`.
+std::vector<workload::Scenario> chat_turn_shapes(const ChatTrafficConfig& c);
 
 class TrafficGen {
  public:
@@ -87,6 +123,7 @@ class TrafficGen {
   TrafficConfig config_;
   double frequency_hz_;
   util::Rng rng_;
+  std::size_t script_cursor_ = 0;  // next scripted_shapes entry to serve
 };
 
 }  // namespace looplynx::serve

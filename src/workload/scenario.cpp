@@ -1,6 +1,32 @@
 #include "workload/scenario.hpp"
 
+#include "util/rng.hpp"
+
 namespace looplynx::workload {
+
+namespace {
+
+// One SplitMix64 step keyed on (stream, position): cheap, constexpr-grade
+// mixing with no cross-platform variance. The +1 keeps stream 0 position 0
+// away from the SplitMix64 fixed-ish low-entropy seed.
+std::uint64_t mix(std::uint64_t stream, std::uint64_t pos) {
+  util::SplitMix64 sm(stream * 0x9e3779b97f4a7c15ULL + pos + 1);
+  return sm.next();
+}
+
+}  // namespace
+
+std::uint64_t prompt_token_id(const Scenario& scenario, std::uint64_t unique,
+                              std::uint32_t pos) {
+  std::uint32_t base = 0;
+  for (const PromptSegment& seg : scenario.prompt_segments) {
+    if (pos < base + seg.tokens) return mix(seg.seed, pos - base);
+    base += seg.tokens;
+  }
+  // Beyond the segment map (or no map at all): content unique to this
+  // request, salted so it cannot collide with a segment stream.
+  return mix(unique ^ 0xc2b2ae3d27d4eb4fULL, pos);
+}
 
 Scenario make_scenario(std::uint32_t prefill, std::uint32_t decode) {
   return Scenario{"[" + std::to_string(prefill) + ":" +

@@ -8,16 +8,51 @@
 
 namespace looplynx::workload {
 
+/// A span of prompt content with a deterministic identity: token id at
+/// offset `o` within the segment is a pure function of (seed, o). Two
+/// segments with the same seed carry the *same tokens*, which is what the
+/// serve layer's content-addressed prefix cache keys on — a shared system
+/// prompt is one segment reused across every conversation. Segments never
+/// affect costs or scheduling; they only define prompt content identity.
+struct PromptSegment {
+  std::uint64_t seed = 0;     // content identity of this span
+  std::uint32_t tokens = 0;   // span length in prompt positions
+};
+
 struct Scenario {
   std::string name;          // e.g. "[64:512]"
   std::uint32_t prefill = 0;
   std::uint32_t decode = 0;
 
+  /// Optional prompt content map. Empty (the default, and every pre-cache
+  /// scenario) means the prompt content is unique to each request — the
+  /// prefix cache then never matches across requests, so legacy mixes are
+  /// unaffected by construction. When non-empty, the segment token counts
+  /// must sum to `prefill` (checked by `prompt_token_id`'s callers).
+  std::vector<PromptSegment> prompt_segments;
+
   std::uint32_t total() const { return prefill + decode; }
+
+  /// Sum of segment lengths (0 when the prompt has no content map).
+  std::uint32_t segment_tokens() const {
+    std::uint32_t n = 0;
+    for (const PromptSegment& s : prompt_segments) n += s.tokens;
+    return n;
+  }
 };
 
 /// Builds the "[p:d]" display name.
 Scenario make_scenario(std::uint32_t prefill, std::uint32_t decode);
+
+/// Deterministic token id at prompt position `pos`. Positions covered by
+/// `prompt_segments` derive from the owning segment's seed; positions
+/// beyond the segment map (or the whole prompt, when the map is empty)
+/// derive from `unique` — callers pass a per-request unique value so
+/// unmapped content never collides across requests. Pure and
+/// platform-independent (SplitMix64), so the prefix-cache hash chains it
+/// feeds are byte-reproducible.
+std::uint64_t prompt_token_id(const Scenario& scenario, std::uint64_t unique,
+                              std::uint32_t pos);
 
 /// The Fig. 8 sweep: prefill in {32, 64, 128} x decode in {32, 128, 512}.
 /// Long-decode columns model chatbots/code generation; short-decode columns

@@ -13,6 +13,12 @@ inline constexpr char kServeSweepSha256[] =
 /// Canonical Chrome-trace + Prometheus exports of two observed sweep
 /// points; pins every byte both exporters emit (DESIGN.md §7).
 inline constexpr char kObserveExportSha256[] =
-    "64b5e4cbd55c373b537d077f4bfb23cfdc18650d5465d832f531e2b2f04280d1";
+    "62ef3a28a5e92a498a12705b3fbf6f0efcc93d6caf4004af86d55d10aefaff1f";
+
+/// Canonical prefix-cache sweep (multi-turn chat traffic through the
+/// content-addressed cache, eviction tiers included); pins the cache
+/// counters and every request's cached-prefix split (DESIGN.md §8).
+inline constexpr char kCacheSweepSha256[] =
+    "7a4e973f0aff16e7527525a95b1d088dc6da75186032d8cbe9ee05b60c863782";
 
 }  // namespace looplynx::golden

@@ -33,6 +33,7 @@
 #include "serve/kv_block.hpp"
 #include "serve/observe.hpp"
 #include "serve/serving_sim.hpp"
+#include "serve/traffic.hpp"
 #include "tests/golden/serve_golden.hpp"
 #include "util/sha256.hpp"
 #include "workload/mix.hpp"
@@ -109,6 +110,33 @@ void serialize(std::string& out, const std::string& tag,
            " " + std::to_string(e.to) + " " +
            scale_trigger_name(e.trigger) + "\n";
   }
+}
+
+/// Cache-point serialization: the base record plus every prefix-cache
+/// counter and the per-request cached-prefix split. Only the cache sweep
+/// uses this — the pre-cache sweeps keep their exact serialization (and
+/// digest).
+void serialize_cache(std::string& out, const std::string& tag,
+                     const FleetMetrics& m) {
+  serialize(out, tag, m);
+  out += "cache " + std::to_string(m.cache_lookups) + " " +
+         std::to_string(m.cache_lookup_tokens) + " " +
+         std::to_string(m.cache_hit_requests) + " " +
+         std::to_string(m.cache_hit_tokens) + " " +
+         std::to_string(m.saved_prefill_cycles) + " " +
+         std::to_string(m.prefill_cycles) + "\n";
+  out += "cacheblk " + std::to_string(m.cache_insert_blocks) + " " +
+         std::to_string(m.cache_evict_blocks) + " " +
+         std::to_string(m.cache_cow_events) + " " +
+         std::to_string(m.cache_dedup_blocks) + " " +
+         std::to_string(m.cache_swap_out_blocks) + " " +
+         std::to_string(m.cache_swap_in_blocks) + " " +
+         std::to_string(m.cache_blocks_at_end) + "\n";
+  out += "cachedreq";
+  for (const RequestRecord& r : m.requests) {
+    out += " " + std::to_string(r.cached_prefix_tokens);
+  }
+  out += "\n";
 }
 
 model::ModelConfig golden_model() {
@@ -244,6 +272,62 @@ std::string canonical_sweep() {
   return out;
 }
 
+/// The canonical *cache* sweep: multi-turn chat traffic (the only traffic
+/// whose prompt contents repeat across requests) through the
+/// content-addressed prefix cache — plain, under the cost-aware preempt
+/// policy, with the swap tier, and across a fleet. Pins the full cache
+/// counter set and every request's cached-prefix split on top of the base
+/// record; kept separate from canonical_sweep() so the pre-cache digest
+/// never moves.
+std::string canonical_cache_sweep() {
+  std::string out;
+  const auto chat_base = [] {
+    ServingConfig cfg = golden_base();
+    ChatTrafficConfig chat;
+    chat.conversations = 3;
+    chat.turns = 3;
+    chat.system_prompt_tokens = 24;
+    chat.user_turn_tokens = 8;
+    chat.reply_tokens = 8;
+    cfg.traffic.scripted_shapes = chat_turn_shapes(chat);
+    cfg.traffic.num_requests =
+        static_cast<std::uint32_t>(cfg.traffic.scripted_shapes.size());
+    cfg.traffic.arrival_rate_per_s = 900.0;
+    cfg.scheduler.policy = BatchPolicy::kChunkedMixed;
+    cfg.scheduler.max_tokens_per_iter = 16;
+    cfg.kv_block_tokens = 4;
+    cfg.prefix_cache = true;
+    return cfg;
+  };
+  {
+    ServingConfig cfg = chat_base();
+    serialize_cache(out, "cache-chat-whole-footprint", ServingSim(cfg).run());
+  }
+  {
+    ServingConfig cfg = chat_base();
+    cfg.scheduler.preempt = PreemptPolicy::kRecomputeYoungest;
+    cfg.kv_budget_bytes_per_node = token_budget(cfg, 96);
+    serialize_cache(out, "cache-chat-paged-youngest", ServingSim(cfg).run());
+  }
+  {
+    ServingConfig cfg = chat_base();
+    cfg.scheduler.preempt = PreemptPolicy::kRecomputeCostAware;
+    cfg.kv_budget_bytes_per_node = token_budget(cfg, 96);
+    cfg.kv_swap = true;
+    serialize_cache(out, "cache-chat-swap-cost-aware", ServingSim(cfg).run());
+  }
+  {
+    ServingConfig base = chat_base();
+    base.scheduler.preempt = PreemptPolicy::kRecomputeYoungest;
+    base.kv_budget_bytes_per_node = token_budget(base, 96);
+    const FleetConfig cfg =
+        FleetConfig::homogeneous(base, 2, BalancerPolicy::kJoinShortestQueue);
+    const FleetResult r = FleetSim(cfg).run();
+    serialize_cache(out, "cache-chat-fleet-jsq-2", r.fleet);
+  }
+  return out;
+}
+
 /// The canonical *observed* export: two sweep points re-run with an
 /// Observer attached — the paged-recompute single (preempt/recompute
 /// lifecycle traffic) and the queue-policy autoscaled fleet (scale/drain
@@ -335,6 +419,23 @@ TEST(DeterminismGolden, CanonicalObservedExportMatchesCheckedInDigest) {
          "determinism regression in the observability path.";
 }
 
+TEST(DeterminismGolden, CanonicalCacheSweepMatchesCheckedInDigest) {
+  const std::string text = canonical_cache_sweep();
+  const std::string digest = util::sha256_hex(text);
+  if (std::getenv("GOLDEN_PRINT") != nullptr) {
+    std::fputs(text.c_str(), stdout);
+    std::printf("SHA256-CACHE %s\n", digest.c_str());
+    GTEST_SKIP() << "GOLDEN_PRINT set: emitted canonical cache sweep, "
+                    "skipped the digest comparison";
+  }
+  EXPECT_EQ(digest, golden::kCacheSweepSha256)
+      << "The canonical prefix-cache sweep changed. An intentional cache "
+         "or scheduling change moves this hash — inspect it (GOLDEN_PRINT=1 "
+         "./test_determinism_golden) and regenerate with "
+         "tools/regen_determinism_golden.sh; anything else is a "
+         "determinism regression in the cache path.";
+}
+
 /// The suite itself must be reproducible within one process (fresh cost
 /// probes, fresh engines): if this fails, the digest above is noise.
 TEST(DeterminismGolden, CanonicalSweepIsReproducibleInProcess) {
@@ -342,6 +443,8 @@ TEST(DeterminismGolden, CanonicalSweepIsReproducibleInProcess) {
             util::sha256_hex(canonical_sweep()));
   EXPECT_EQ(util::sha256_hex(canonical_observed_export()),
             util::sha256_hex(canonical_observed_export()));
+  EXPECT_EQ(util::sha256_hex(canonical_cache_sweep()),
+            util::sha256_hex(canonical_cache_sweep()));
 }
 
 /// Known-answer test for the hasher itself (FIPS 180-4 vectors), so a

@@ -30,6 +30,7 @@
 #include "serve/fleet.hpp"
 #include "serve/kv_block.hpp"
 #include "serve/serving_sim.hpp"
+#include "serve/traffic.hpp"
 #include "workload/mix.hpp"
 
 namespace looplynx::serve {
@@ -59,6 +60,13 @@ struct MatrixPoint {
   bool autoscale = false;
   ScalePolicy scale_policy = ScalePolicy::kHybrid;
   std::uint32_t min_replicas = 1;
+  /// Content-addressed prefix cache / swap tier (ServingConfig flags).
+  bool prefix_cache = false;
+  bool kv_swap = false;
+  /// Replace the skewed mix with multi-turn chat traffic (scripted
+  /// shapes whose replayed histories actually share content — the only
+  /// traffic where cache invariants are non-vacuous across requests).
+  bool chat = false;
 };
 
 /// The matrix: every batch policy, both preempt policies, every balancer,
@@ -111,6 +119,32 @@ std::vector<MatrixPoint> matrix() {
                     .rate = 900.0,
                     .autoscale = true,
                     .scale_policy = ScalePolicy::kHybrid});
+  points.push_back({.name = "cache-chat-paged-preempt",
+                    .policy = BatchPolicy::kChunkedMixed,
+                    .chunk_tokens = 16,
+                    .preempt = PreemptPolicy::kRecomputeYoungest,
+                    .kv_block_tokens = 4,
+                    .kv_budget_tokens = 96,
+                    .rate = 1200.0,
+                    .prefix_cache = true,
+                    .chat = true});
+  points.push_back({.name = "cache-swap-cost-aware",
+                    .policy = BatchPolicy::kChunkedMixed,
+                    .chunk_tokens = 16,
+                    .preempt = PreemptPolicy::kRecomputeCostAware,
+                    .kv_block_tokens = 4,
+                    .kv_budget_tokens = 96,
+                    .replicas = 1,
+                    .rate = 1200.0,
+                    .prefix_cache = true,
+                    .kv_swap = true,
+                    .chat = true});
+  points.push_back({.name = "cache-unpaged-whole-footprint",
+                    .policy = BatchPolicy::kDecodePriority,
+                    .kv_block_tokens = 4,
+                    .kv_budget_tokens = 128,
+                    .prefix_cache = true,
+                    .chat = true});
   points.push_back({.name = "autoscale-hybrid-floor2",
                     .policy = BatchPolicy::kChunkedMixed,
                     .chunk_tokens = 24,
@@ -135,6 +169,21 @@ FleetConfig build_config(const MatrixPoint& p, std::uint64_t seed) {
   base.traffic.num_requests = 32;
   base.traffic.arrival_rate_per_s = p.rate;
   base.traffic.seed = seed;
+  if (p.chat) {
+    // Small enough for the 256-token context window: longest prompt is
+    // 24 + 2 x (8 + 8) + 8 = 64 tokens, +8 decode.
+    ChatTrafficConfig chat;
+    chat.conversations = 3;
+    chat.turns = 3;
+    chat.system_prompt_tokens = 24;
+    chat.user_turn_tokens = 8;
+    chat.reply_tokens = 8;
+    base.traffic.scripted_shapes = chat_turn_shapes(chat);
+    base.traffic.num_requests =
+        static_cast<std::uint32_t>(base.traffic.scripted_shapes.size());
+  }
+  base.prefix_cache = p.prefix_cache;
+  base.kv_swap = p.kv_swap;
   if (p.bursty) {
     base.traffic.process = ArrivalProcess::kBursty;
     base.traffic.burst_factor = 4.0;
@@ -278,12 +327,31 @@ TEST(ServeInvariants, MatrixHoldsAcrossSeeds) {
 TEST(ServeInvariants, PreemptingPointsActuallyPreempt) {
   std::uint64_t preemptions = 0;
   for (const MatrixPoint& p : matrix()) {
-    if (p.preempt != PreemptPolicy::kRecomputeYoungest) continue;
+    if (p.preempt == PreemptPolicy::kNone) continue;
     for (const std::uint64_t seed : {1ull, 7ull, 13ull}) {
       preemptions += FleetSim(build_config(p, seed)).run().fleet.preemptions;
     }
   }
   EXPECT_GT(preemptions, 0u);
+}
+
+/// The cache-on matrix points must actually hit (and, under pool
+/// pressure, exercise the eviction tiers) for at least one seed —
+/// otherwise the blocks-in-use == 0 drain invariant above never sees a
+/// populated cache.
+TEST(ServeInvariants, CachePointsActuallyHitAndReclaim) {
+  std::uint64_t hit_tokens = 0, tier_events = 0;
+  for (const MatrixPoint& p : matrix()) {
+    if (!p.prefix_cache) continue;
+    for (const std::uint64_t seed : {1ull, 7ull, 13ull}) {
+      const FleetMetrics m = FleetSim(build_config(p, seed)).run().fleet;
+      EXPECT_TRUE(m.prefix_cache);
+      hit_tokens += m.cache_hit_tokens;
+      tier_events += m.cache_evict_blocks + m.cache_swap_out_blocks;
+    }
+  }
+  EXPECT_GT(hit_tokens, 0u);
+  EXPECT_GT(tier_events, 0u);
 }
 
 /// And the autoscaled points must actually scale for at least one seed —

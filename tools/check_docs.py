@@ -10,8 +10,8 @@ Three checks, run by CI's `docs` job (and runnable locally):
 
 2. Flag drift — every `--flag` printed by the serving binaries' --help
    (HELP_BINARIES: serve_load, continuous_batching, fleet_serving,
-   autoscale_serving) must appear in README.md, so the flag reference
-   table cannot silently fall behind the real CLI.
+   autoscale_serving, chat_cache) must appear in README.md, so the flag
+   reference table cannot silently fall behind the real CLI.
 
 3. Snippet smoke — every `./build/...` command quoted in README.md's
    fenced ```sh blocks is re-run and must exit 0, so quoted commands
@@ -32,7 +32,7 @@ import sys
 REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 DOCS = ["README.md", "DESIGN.md", "ROADMAP.md"]
 HELP_BINARIES = ["serve_load", "continuous_batching", "fleet_serving",
-                 "autoscale_serving"]
+                 "autoscale_serving", "chat_cache"]
 
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 FLAG_RE = re.compile(r"--[a-z][a-z0-9-]*")

@@ -25,7 +25,10 @@ sweep_hash="$(GOLDEN_PRINT=1 "$build_dir/test_determinism_golden" \
 observe_hash="$(GOLDEN_PRINT=1 "$build_dir/test_determinism_golden" \
           --gtest_filter='DeterminismGolden.CanonicalObservedExportMatchesCheckedInDigest' \
           --gtest_brief=1 | sed -n 's/^SHA256-OBSERVE //p')"
-for hash in "$sweep_hash" "$observe_hash"; do
+cache_hash="$(GOLDEN_PRINT=1 "$build_dir/test_determinism_golden" \
+          --gtest_filter='DeterminismGolden.CanonicalCacheSweepMatchesCheckedInDigest' \
+          --gtest_brief=1 | sed -n 's/^SHA256-CACHE //p')"
+for hash in "$sweep_hash" "$observe_hash" "$cache_hash"; do
   if [[ ! "$hash" =~ ^[0-9a-f]{64}$ ]]; then
     echo "error: could not extract a SHA-256 from the golden test output" >&2
     exit 1
@@ -50,9 +53,16 @@ inline constexpr char kServeSweepSha256[] =
 inline constexpr char kObserveExportSha256[] =
     "$observe_hash";
 
+/// Canonical prefix-cache sweep (multi-turn chat traffic through the
+/// content-addressed cache, eviction tiers included); pins the cache
+/// counters and every request's cached-prefix split (DESIGN.md §8).
+inline constexpr char kCacheSweepSha256[] =
+    "$cache_hash";
+
 }  // namespace looplynx::golden
 EOF
 
 echo "wrote $header"
 echo "sweep   $sweep_hash"
 echo "observe $observe_hash"
+echo "cache   $cache_hash"
