@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "core/arch_config.hpp"
@@ -87,6 +88,18 @@ class StepCostModel {
   /// per-token. Equals step_cycles(pos) for a single-element batch.
   sim::Cycles decode_batch_cycles(
       const std::vector<std::uint32_t>& positions) const;
+
+  /// Pipeline occupancy of co-scheduled prefill chunks that share each
+  /// weight-stream pass (SchedulerConfig::share_prefill_weights). Each
+  /// chunk is {start, tokens}: prompt positions [start, start + tokens).
+  /// The chunks advance in lockstep wavefronts — wavefront w runs position
+  /// start + w of every chunk still active — and each wavefront is priced
+  /// like a decode group: max(stream, members x mac) for the shared MP
+  /// pass plus every member's KV-dependent residual. Equals
+  /// prefill_chunk_cycles(start, tokens) for a single chunk.
+  sim::Cycles prefill_group_cycles(
+      const std::vector<std::pair<std::uint32_t, std::uint32_t>>& chunks)
+      const;
 
   /// Number of modeled positions (== model max_seq_len).
   std::uint32_t max_positions() const {

@@ -33,9 +33,14 @@ const char* balancer_policy_name(BalancerPolicy policy) {
 }
 
 std::uint32_t LoadBalancer::pick(const std::vector<ReplicaLoad>& loads) {
-  const auto n = static_cast<std::uint32_t>(loads.size());
   std::uint32_t n_active = 0;
   for (const ReplicaLoad& l : loads) n_active += l.active ? 1 : 0;
+  return pick(loads, n_active);
+}
+
+std::uint32_t LoadBalancer::pick(const std::vector<ReplicaLoad>& loads,
+                                 std::uint32_t n_active) {
+  const auto n = static_cast<std::uint32_t>(loads.size());
   if (n_active == 0) return 0;  // unreachable: autoscale min_replicas >= 1
   switch (policy_) {
     case BalancerPolicy::kRoundRobin: {
@@ -240,6 +245,10 @@ struct FleetRun {
   std::uint32_t live;  // live replica set is the index prefix [0, live)
   util::SlidingWindow ttft_window;
   std::vector<ScaleEvent> scale_log;
+  /// Reused load-snapshot buffer for route(): refreshed in place per
+  /// arrival, so steady-state routing never allocates. The live count is
+  /// the active count (active == index < live), handed to pick() directly.
+  std::vector<LoadBalancer::ReplicaLoad> loads;
 
   /// One routing decision: snapshot every replica's load, ask the
   /// balancer. Pure bookkeeping — no engine events, so a 1-replica fleet
@@ -247,16 +256,15 @@ struct FleetRun {
   /// prefix are masked: a draining replica keeps its admitted work but
   /// receives nothing new.
   detail::Replica& route() {
-    std::vector<LoadBalancer::ReplicaLoad> loads;
-    loads.reserve(replicas.size());
+    loads.resize(replicas.size());
     for (std::size_t i = 0; i < replicas.size(); ++i) {
       const auto& r = replicas[i];
-      loads.push_back({r->outstanding(),
-                       static_cast<std::uint64_t>(r->kv.free_blocks()) *
-                           r->kv.block_tokens(),
-                       static_cast<std::uint32_t>(i) < live});
+      loads[i] = {r->outstanding(),
+                  static_cast<std::uint64_t>(r->kv.free_blocks()) *
+                      r->kv.block_tokens(),
+                  static_cast<std::uint32_t>(i) < live};
     }
-    return *replicas[balancer.pick(loads)];
+    return *replicas[balancer.pick(loads, live)];
   }
 
   /// True once the arrival stream is exhausted and every routed request
@@ -329,7 +337,8 @@ sim::Task autoscaler_proc(FleetRun& run) {
   }
 }
 
-void append(std::vector<double>& pool, const std::vector<double>& samples) {
+template <typename T>
+void append(std::vector<T>& pool, const std::vector<T>& samples) {
   pool.insert(pool.end(), samples.begin(), samples.end());
 }
 
@@ -359,12 +368,12 @@ std::uint64_t occupied_cycles(
   // Drain extension: a request routed inside a span pins the replica until
   // it finishes (rejected requests resolve at arrival). Requests are only
   // routed while live, so each belongs to the last span starting at or
-  // before its arrival.
-  for (const auto& r : rep.requests) {
-    const sim::Cycles finish =
-        r->state == RequestState::kFinished ? r->completed : r->arrival;
+  // before its arrival. The retirement log covers every resolved request;
+  // order does not matter here.
+  for (const detail::FinishedRequest& r : rep.finished) {
+    const sim::Cycles finish = r.rejected ? r.arrival : r.completed;
     for (std::size_t s = spans.size(); s-- > 0;) {
-      if (spans[s].first <= r->arrival) {
+      if (spans[s].first <= r.arrival) {
         spans[s].second = std::max(spans[s].second, finish);
         break;
       }
@@ -399,6 +408,9 @@ FleetResult FleetSim::run(Observer* observer) const {
   }
   FleetRun run(config_, costs_);
   run.shared.observer = observer;
+  run.shared.scheduler_drives =
+      observer == nullptr && !config_.autoscale.enabled &&
+      config_.traffic.process != ArrivalProcess::kClosedLoop;
   const auto route = [&run]() -> detail::Replica& { return run.route(); };
   // Control plane first: at a shared instant the scale decision lands
   // before that cycle's routing (either order is deterministic; this one
@@ -431,17 +443,18 @@ FleetResult FleetSim::run(Observer* observer) const {
 
   // Pool the per-request latency samples (and sum the counters) BEFORE
   // finalize_metrics moves each replica's vectors into its own summary.
-  std::vector<double> ttft, token, e2e, queue_wait, gap;
+  std::vector<double> token;
+  std::vector<sim::Cycles> ttft, e2e, queue_wait, gap;
   std::uint64_t good = 0;
   sim::Cycles busy = 0, decode_stall = 0, recompute = 0;
   FleetMetrics& m = result.fleet;
   double batch_members = 0;
   for (const auto& r : run.replicas) {
-    append(ttft, r->ttft_ms);
+    append(ttft, r->ttft_cycles);
     append(token, r->token_ms);
-    append(e2e, r->e2e_ms);
-    append(queue_wait, r->queue_wait_ms);
-    append(gap, r->gap_ms);
+    append(e2e, r->e2e_cycles);
+    append(queue_wait, r->queue_wait_cycles);
+    append(gap, r->gap_cycles);
     good += r->good;
     busy += r->busy_cycles;
     decode_stall += r->decode_stall_cycles;
@@ -450,9 +463,11 @@ FleetResult FleetSim::run(Observer* observer) const {
     m.rejected += r->rejected;
     m.decode_tokens += r->decode_tokens;
     m.total_tokens += r->total_tokens;
-    m.iterations += r->sched.iterations().size();
+    m.iterations += r->sched.iteration_count();
+    // Keep the multiply-back through mean_batch_size(): the quotient and
+    // product round-trip bit-identically, preserving the pooled mean.
     batch_members += r->sched.mean_batch_size() *
-                     static_cast<double>(r->sched.iterations().size());
+                     static_cast<double>(r->sched.iteration_count());
     m.prefill_chunk_steps += r->prefill_chunk_steps;
     m.chunked_prompts += r->chunked_prompts;
     m.decode_stall_iterations += r->decode_stall_iterations;
@@ -485,11 +500,12 @@ FleetResult FleetSim::run(Observer* observer) const {
         static_cast<double>(busy) /
         (static_cast<double>(makespan) * static_cast<double>(n));
   }
-  m.ttft_ms = util::percentile_summary(std::move(ttft));
+  const core::ArchConfig& arch = config_.replicas.front().arch;
+  m.ttft_ms = detail::cycle_summary_ms(std::move(ttft), arch);
   m.token_ms = util::percentile_summary(std::move(token));
-  m.e2e_ms = util::percentile_summary(std::move(e2e));
-  m.queue_wait_ms = util::percentile_summary(std::move(queue_wait));
-  m.inter_token_gap_ms = util::percentile_summary(std::move(gap));
+  m.e2e_ms = detail::cycle_summary_ms(std::move(e2e), arch);
+  m.queue_wait_ms = detail::cycle_summary_ms(std::move(queue_wait), arch);
+  m.inter_token_gap_ms = detail::cycle_summary_ms(std::move(gap), arch);
   if (m.iterations > 0) {
     m.mean_batch_size = batch_members / static_cast<double>(m.iterations);
   }

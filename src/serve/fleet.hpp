@@ -92,6 +92,12 @@ class LoadBalancer {
   /// balancer — what keeps static-fleet sweeps byte-stable.
   std::uint32_t pick(const std::vector<ReplicaLoad>& loads);
 
+  /// Same pick with the active count supplied by the caller — the fleet
+  /// keeps it incrementally (the live prefix size), so the per-arrival
+  /// counting scan disappears from the routing hot path.
+  std::uint32_t pick(const std::vector<ReplicaLoad>& loads,
+                     std::uint32_t n_active);
+
   BalancerPolicy policy() const { return policy_; }
 
  private:

@@ -5,6 +5,20 @@
 
 #include "serve/observe.hpp"
 
+// Arena release protocol. A Request occupies a recycled SlotMap slot, so
+// every retirement path must erase exactly once, and only after nobody
+// holds a pointer that will be dereferenced again:
+//  - Reject paths (queue-full at arrival; pop-reject): the request's own
+//    root process releases the slot right after done.set() — signals
+//    *schedule* waiters through the engine queue (never resume them
+//    synchronously), so destroying the request there is safe, and no list
+//    or batch ever held it.
+//  - Finished batch members: released by scheduler_proc in the post-latch
+//    requeue walk, NOT by request_proc. The scheduler still holds stale
+//    Request* in its batch vector when a member finishes, and an arrival
+//    landing on the same cycle could recycle the slot before the scheduler
+//    resumes — so the scheduler, the last holder, erases.
+
 namespace looplynx::serve::detail {
 
 Request& Replica::make_request(workload::Scenario shape) {
@@ -12,15 +26,33 @@ Request& Replica::make_request(workload::Scenario shape) {
     throw std::invalid_argument("traffic shape " + shape.name +
                                 " exceeds the model context window");
   }
-  requests.push_back(
-      std::make_unique<Request>(engine, shared.injected++, std::move(shape)));
-  requests.back()->live_at_route = shared.live_replicas;
+  auto [slot, r] = pool.emplace(engine, shared.injected++, std::move(shape));
+  r.self = slot;
+  r.live_at_route = shared.live_replicas;
   ++routed;
   if (shared.observer != nullptr) {
-    shared.observer->record(LifecycleEvent::kRoute, engine.now(),
-                            requests.back()->id, id, shared.live_replicas);
+    shared.observer->record(LifecycleEvent::kRoute, engine.now(), r.id, id,
+                            shared.live_replicas);
   }
-  return *requests.back();
+  return r;
+}
+
+void Replica::retire(const Request& r) {
+  FinishedRequest fr;
+  fr.id = r.id;
+  fr.prefill_tokens = r.shape.prefill;
+  fr.decoded = r.decoded;
+  fr.prefill_chunks = r.prefill_chunks;
+  fr.preempt_count = r.preempt_count;
+  fr.cached_prefix = r.cached_prefix;
+  fr.live_at_route = r.live_at_route;
+  fr.rejected = r.state == RequestState::kRejected;
+  fr.arrival = r.arrival;
+  fr.admitted = r.admitted;
+  fr.first_token = r.first_token;
+  fr.completed = r.completed;
+  fr.max_token_gap = r.max_token_gap;
+  finished.push_back(fr);
 }
 
 void Replica::record_completion(Request& r) {
@@ -30,6 +62,7 @@ void Replica::record_completion(Request& r) {
   // requests); only the private list returns blocks to the pool.
   if (cache) cache->release(r.cache);
   kv.release_all(r.kv);
+  age.unlink(&r);
   --active;
   --shared.active;
   ++completed;
@@ -42,15 +75,34 @@ void Replica::record_completion(Request& r) {
       r.decoded > 0 ? ms(r.completed - r.first_token) /
                           static_cast<double>(r.decoded)
                     : 0.0;
-  ttft_ms.push_back(ttft);
+  ttft_cycles.push_back(r.first_token - r.arrival);
   token_ms.push_back(token);
-  e2e_ms.push_back(ms(r.completed - r.arrival));
-  queue_wait_ms.push_back(ms(r.admitted - r.arrival));
+  e2e_cycles.push_back(r.completed - r.arrival);
+  queue_wait_cycles.push_back(r.admitted - r.arrival);
   if (ttft <= cfg.slo.ttft_ms && token <= cfg.slo.token_ms) ++good;
   if (shared.observer != nullptr) {
     shared.observer->record(LifecycleEvent::kFinish, engine.now(), r.id, id,
                             r.decoded, r.preempt_count);
   }
+  retire(r);
+}
+
+void enqueue_request_event(void* replica, void* request) {
+  // Mirrors the scheduler-driven prefix of request_proc below, minus the
+  // observer branches (scheduler_drives implies no observer) and the
+  // coroutine frame.
+  Replica& f = *static_cast<Replica*>(replica);
+  Request& r = *static_cast<Request*>(request);
+  r.arrival = f.engine.now();
+  if (!f.queue.push(&r)) {
+    r.state = RequestState::kRejected;
+    ++f.rejected;
+    f.retire(r);
+    r.done.set();
+    f.pool.erase(r.self);  // never entered a list; nobody else holds it
+    return;
+  }
+  f.work.set();
 }
 
 sim::Task request_proc(Replica& f, Request& r) {
@@ -66,10 +118,21 @@ sim::Task request_proc(Replica& f, Request& r) {
     if (obs != nullptr) {
       obs->record(LifecycleEvent::kReject, f.engine.now(), r.id, f.id, 0);
     }
+    f.retire(r);
     r.done.set();
+    f.pool.erase(r.self);  // never entered a list; nobody else holds it
     co_return;
   }
   f.work.set();
+  if (f.shared.scheduler_drives) {
+    // Scheduler-driven stepping: the scheduler advances this request
+    // through every iteration itself (same bookkeeping, same order, same
+    // timestamps — see FleetShared::scheduler_drives), so the root process
+    // is done the moment the request is enqueued. The scheduler also owns
+    // the retirement paths: pop-rejects and completions both record, set
+    // `done` and recycle the slot from scheduler_proc.
+    co_return;
+  }
   while (true) {
     co_await r.grant.wait();
     r.grant.reset();
@@ -80,7 +143,9 @@ sim::Task request_proc(Replica& f, Request& r) {
       if (obs != nullptr) {
         obs->record(LifecycleEvent::kReject, f.engine.now(), r.id, f.id, 1);
       }
+      f.retire(r);
       r.done.set();
+      f.pool.erase(r.self);  // popped off the queue; no list holds it
       co_return;
     }
     // Wait for this request's turn through the time-shared pipeline, then
@@ -147,7 +212,7 @@ sim::Task request_proc(Replica& f, Request& r) {
       if (r.emitted_token) {
         const sim::Cycles gap = now - r.last_token;
         r.max_token_gap = std::max(r.max_token_gap, gap);
-        f.gap_ms.push_back(f.ms(gap));
+        f.gap_cycles.push_back(gap);
       }
       r.emitted_token = true;
       r.last_token = now;
@@ -204,7 +269,21 @@ void admit_from_queue(Replica& f) {
     if (!f.kv.can_ever_fit(r->shape.total())) {
       f.queue.pop();
       r->state = RequestState::kRejected;
-      r->grant.set();  // resumes the root process, which records the drop
+      if (f.shared.scheduler_drives) {
+        // The root process already returned; the drop is recorded here and
+        // the slot recycled directly (popped off the queue, no list holds
+        // it, and `done` has no waiters under open-loop traffic).
+        ++f.rejected;
+        if (f.shared.observer != nullptr) {
+          f.shared.observer->record(LifecycleEvent::kReject, f.engine.now(),
+                                    r->id, f.id, 1);
+        }
+        f.retire(*r);
+        r->done.set();
+        f.pool.erase(r->self);
+      } else {
+        r->grant.set();  // resumes the root process, which records the drop
+      }
       continue;
     }
     const std::uint32_t admit_tokens =
@@ -252,7 +331,9 @@ void admit_from_queue(Replica& f) {
       f.shared.observer->record(LifecycleEvent::kAdmit, r->admitted, r->id,
                                 f.id, f.active);
     }
-    f.runnable.push_back(r);
+    f.ready.push_back(r);
+    // FIFO admission over monotone ids keeps the age list id-sorted.
+    f.age.push_back(r);
   }
 }
 
@@ -283,6 +364,13 @@ void preempt_victim(Replica& f, Request& v) {
     f.shared.observer->record(LifecycleEvent::kPreempt, f.engine.now(), v.id,
                               f.id, dropped, v.preempt_count);
   }
+  // A victim waiting on the ready queue flipped class in place (its prompt
+  // cursor reset, so a prefilled decode or mid-chunk prompt became a fresh
+  // prompt); re-file it at its stamp position so the class lists keep
+  // mirroring the legacy single ready list, where it simply kept its spot.
+  // Victims on a deferred list or inside the batch (ready_class == none)
+  // are classified when they are next pushed.
+  if (v.ready_class != kReadyNone) f.ready.refile(&v);
 }
 
 /// KV tokens a step must have covered before it runs: a decode appends one
@@ -308,18 +396,33 @@ bool better_victim(const Replica& f, const Request& c, const Request& best) {
   return c.id > best.id;
 }
 
-/// Preferred victim among block holders in `pool` strictly younger than
-/// `than_id` (better_victim decides preference). Seeds from and returns
-/// `best` so scans over several pools compose.
-Request* pick_victim(const Replica& f, const std::vector<Request*>& pool,
-                     std::uint32_t than_id, Request* best) {
-  for (Request* c : pool) {
-    if (c->kv.blocks > 0 && c->id > than_id &&
-        (best == nullptr || better_victim(f, *c, *best))) {
-      best = c;
+/// Preferred victim among eligible block holders: strictly younger than
+/// `than_id`, not yet secured this iteration, and actually holding blocks.
+/// One walk of the id-sorted age list covers every legacy pool (runnable,
+/// deferred, unsecured later batch members) — all admitted unfinished
+/// requests are on it, and `secured` excludes exactly the members the
+/// legacy scans skipped. Both policies pick a unique victim (max id, or
+/// strict-min rebuild cost with max-id ties), so scan structure cannot
+/// change the choice.
+Request* find_victim(const Replica& f, std::uint32_t than_id) {
+  if (f.cfg.scheduler.preempt == PreemptPolicy::kRecomputeCostAware) {
+    Request* best = nullptr;
+    for (Request* c = f.age.head; c != nullptr;
+         c = c->link_next[kAgeChannel]) {
+      if (c->id > than_id && c->kv.blocks > 0 && !c->secured &&
+          (best == nullptr || better_victim(f, *c, *best))) {
+        best = c;
+      }
     }
+    return best;
   }
-  return best;
+  // kRecomputeYoungest: the list is ascending in id, so the first eligible
+  // holder walking back from the tail is the youngest — usually first try.
+  for (Request* c = f.age.tail; c != nullptr; c = c->link_prev[kAgeChannel]) {
+    if (c->id <= than_id) break;  // everything before it is older still
+    if (c->kv.blocks > 0 && !c->secured) return c;
+  }
+  return nullptr;
 }
 
 /// Grants every batch member the KV blocks its step writes into. Only
@@ -339,45 +442,53 @@ Request* pick_victim(const Replica& f, const std::vector<Request*>& pool,
 /// construction. Members that cannot be satisfied land in `deferred` (NOT
 /// back in runnable) so the caller can re-select schedulable work this
 /// iteration without re-picking them.
+///
+/// Removals (a deferred member, a batch-member victim) null their entry and
+/// one order-preserving compaction pass runs at the end — the legacy
+/// mid-loop erase(begin() + i) was quadratic in the batch size. Position
+/// bookkeeping rides on the requests themselves: `batch_pos` locates a
+/// victim's entry, `secured` marks members whose blocks are already pinned
+/// for this iteration (never victims). Both are scrubbed before returning.
 void ensure_kv_blocks(Replica& f, std::vector<ScheduledStep>& batch,
-                      std::vector<Request*>& deferred) {
-  for (std::size_t i = 0; i < batch.size();) {
+                      RequestList<kReadyChannel>& deferred) {
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    batch[i].request->batch_pos = static_cast<std::int32_t>(i);
+  }
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (batch[i].request == nullptr) continue;  // victimized earlier member
     Request* r = batch[i].request;
     const bool is_prefill = batch[i].is_prefill();
     const std::uint32_t need = step_need(batch[i]);
-    bool secured = true;
+    bool ok = true;
     while (!cache_aware_grow(f, r->kv, private_tokens(*r, need))) {
-      Request* victim = nullptr;
-      std::size_t victim_pos = batch.size();
-      if (!is_prefill) {
-        victim = pick_victim(f, f.runnable, r->id,
-                             pick_victim(f, deferred, r->id, nullptr));
-        for (std::size_t j = i + 1; j < batch.size(); ++j) {
-          Request* c = batch[j].request;
-          if (c->kv.blocks > 0 && c->id > r->id &&
-              (victim == nullptr || better_victim(f, *c, *victim))) {
-            victim = c;
-            victim_pos = j;
-          }
-        }
-      }
+      Request* victim = is_prefill ? nullptr : find_victim(f, r->id);
       if (victim == nullptr) {
         // Every block is pinned by older or already-secured requests;
         // they keep progressing and release at completion, so r just
         // sits this iteration out.
         deferred.push_back(r);
-        batch.erase(batch.begin() + i);
-        secured = false;
+        batch[i].request = nullptr;
+        r->batch_pos = -1;
+        ok = false;
         break;
       }
       preempt_victim(f, *victim);
-      if (victim_pos < batch.size()) {
-        batch.erase(batch.begin() + victim_pos);
-        f.runnable.push_back(victim);
+      if (victim->batch_pos >= 0) {
+        batch[victim->batch_pos].request = nullptr;
+        victim->batch_pos = -1;
+        f.ready.push_back(victim);
       }
     }
-    if (secured) ++i;
+    if (ok) r->secured = true;
   }
+  std::size_t keep = 0;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (batch[i].request == nullptr) continue;
+    batch[i].request->secured = false;
+    batch[i].request->batch_pos = -1;
+    batch[keep++] = batch[i];
+  }
+  batch.resize(keep);
 }
 
 }  // namespace
@@ -390,50 +501,61 @@ sim::Task scheduler_proc(Replica& f) {
     // needs back, and (being youngest) immediately become the next victim
     // — admission-pause is what keeps recompute counts bounded.
     if (f.recovering == 0) admit_from_queue(f);
-    std::vector<ScheduledStep> batch = f.sched.select(f.runnable);
+    f.sched.select(f.ready, f.batch);
     if (f.paged_admission()) {
       // Deferred members sit out this iteration; re-select until the
-      // batch has schedulable work or runnable is exhausted (each pass
-      // moves at least one request to deferred, so this terminates). A
-      // block-starved re-prefill must not shadow runnable decodes — the
+      // batch has schedulable work or the ready pool is exhausted (each
+      // pass moves at least one request to deferred, so this terminates).
+      // A block-starved re-prefill must not shadow runnable decodes — the
       // decodes are what free the blocks it is waiting for.
-      std::vector<Request*> deferred;
-      ensure_kv_blocks(f, batch, deferred);
-      while (batch.empty() && !f.runnable.empty()) {
-        batch = f.sched.select(f.runnable);
-        ensure_kv_blocks(f, batch, deferred);
+      RequestList<kReadyChannel> deferred;
+      ensure_kv_blocks(f, f.batch, deferred);
+      while (f.batch.empty() && !f.ready.empty()) {
+        f.sched.select(f.ready, f.batch);
+        ensure_kv_blocks(f, f.batch, deferred);
       }
-      f.runnable.insert(f.runnable.end(), deferred.begin(), deferred.end());
-      if (batch.empty() && !f.runnable.empty()) {
+      // Deferred members rejoin at the back in deferral order (classified
+      // fresh at push time — a deferred member may have been victimized
+      // while sitting out), exactly the legacy splice-to-back.
+      for (Request* r = deferred.head; r != nullptr;) {
+        Request* next = r->link_next[kReadyChannel];
+        r->link_prev[kReadyChannel] = nullptr;
+        r->link_next[kReadyChannel] = nullptr;
+        f.ready.push_back(r);
+        r = next;
+      }
+      deferred.head = nullptr;
+      deferred.tail = nullptr;
+      if (f.batch.empty() && !f.ready.empty()) {
         // Everything runnable is block-starved prefill: every block is
         // parked on half-rebuilt prompts and no decode exists to evict or
         // finish. Grant the oldest waiter eviction rights regardless of
         // step kind or age — it drains to completion and unwedges the
         // fleet (this cannot cascade: it fires only when nothing else is
         // schedulable, and always advances the oldest request).
-        Request* oldest = f.runnable.front();
-        for (Request* c : f.runnable) {
-          if (c->id < oldest->id) oldest = c;
-        }
-        std::vector<Request*> lone{oldest};
-        batch = f.sched.select(lone);
-        const std::uint32_t need = step_need(batch.front());
+        // Every admitted unfinished request is runnable here, so the age
+        // list's head IS the oldest runnable — no scan.
+        Request* oldest = f.age.head;
+        f.ready.unlink(oldest);
+        ReadyQueue lone;
+        lone.push_back(oldest);
+        f.sched.select(lone, f.batch);
+        const std::uint32_t need = step_need(f.batch.front());
         while (!cache_aware_grow(f, oldest->kv,
                                  private_tokens(*oldest, need))) {
-          // Everyone else in runnable is strictly younger than oldest, so
+          // Everyone else runnable is strictly younger than oldest, so
           // the age-ordered scan doubles as an "anyone but me" scan here.
-          Request* victim = pick_victim(f, f.runnable, oldest->id, nullptr);
+          Request* victim = find_victim(f, oldest->id);
           // A missing victim would mean oldest is the sole block holder,
           // but then its grow would have succeeded (admission checked
           // can_ever_fit on the whole footprint).
           if (victim == nullptr) break;
           preempt_victim(f, *victim);
         }
-        std::erase(f.runnable, oldest);
       }
     }
-    if (batch.empty()) {
-      if (f.shared.arrivals_done() && f.queue.empty() && f.runnable.empty()) {
+    if (f.batch.empty()) {
+      if (f.shared.arrivals_done() && f.queue.empty() && f.ready.empty()) {
         break;
       }
       if (obs != nullptr) {
@@ -454,7 +576,6 @@ sim::Task scheduler_proc(Replica& f) {
 
     IterationRecord rec;
     rec.start = f.engine.now();
-    sim::CountdownLatch latch(f.engine, batch.size());
 
     // Decode members share one weight-stream pass (each streamed block is
     // applied to every member's vector), so they occupy the pipeline as a
@@ -462,21 +583,21 @@ sim::Task scheduler_proc(Replica& f) {
     // chunk resuming at its request's cursor against the KV already
     // cached. The priority class also goes first through the pipeline
     // within the iteration.
-    std::vector<ScheduledStep> prefills;
-    std::vector<Request*> decodes;
-    std::vector<std::uint32_t> decode_positions;
-    for (const ScheduledStep& s : batch) {
+    f.prefills.clear();
+    f.decodes.clear();
+    f.decode_positions.clear();
+    for (const ScheduledStep& s : f.batch) {
       if (s.is_prefill()) {
-        prefills.push_back(s);
+        f.prefills.push_back(s);
         rec.prompt_tokens += s.prompt_tokens;
       } else {
-        decodes.push_back(s.request);
-        decode_positions.push_back(
+        f.decodes.push_back(s.request);
+        f.decode_positions.push_back(
             std::min(s.request->kv_len(), f.costs.max_positions() - 1));
       }
     }
     const sim::Cycles decode_group =
-        f.costs.decode_batch_cycles(decode_positions);
+        f.costs.decode_batch_cycles(f.decode_positions);
 
     sim::Cycles offset = f.cfg.scheduler.iteration_overhead_cycles;
     if (obs != nullptr && offset > 0) {
@@ -504,12 +625,12 @@ sim::Task scheduler_proc(Replica& f) {
     const bool decodes_first =
         f.cfg.scheduler.policy != BatchPolicy::kPrefillPriority;
     auto place_decodes = [&] {
-      for (Request* r : decodes) {
+      for (Request* r : f.decodes) {
         r->step_offset = offset;
         r->step_cycles = decode_group;
         r->step_tokens = 0;
       }
-      if (!decodes.empty()) {
+      if (!f.decodes.empty()) {
         if (obs != nullptr && decode_group > 0) {
           obs->add_span(f.id, category::kDecode, rec.start + offset,
                         rec.start + offset + decode_group);
@@ -518,7 +639,42 @@ sim::Task scheduler_proc(Replica& f) {
       }
     };
     auto place_prefills = [&] {
-      for (const ScheduledStep& s : prefills) {
+      if (f.cfg.scheduler.share_prefill_weights && f.prefills.size() > 1) {
+        // Batched prefill weight sharing: the group's chunks advance in
+        // lockstep wavefronts, sharing each weight-stream pass the way the
+        // decode group does, instead of each chunk re-streaming the whole
+        // weight set back to back.
+        f.prefill_chunk_spans.clear();
+        for (const ScheduledStep& s : f.prefills) {
+          f.prefill_chunk_spans.emplace_back(s.request->prompt_done,
+                                             s.prompt_tokens);
+        }
+        const sim::Cycles group =
+            f.costs.prefill_group_cycles(f.prefill_chunk_spans);
+        bool all_recompute = true;
+        bool all_whole = true;
+        for (const ScheduledStep& s : f.prefills) {
+          Request* r = s.request;
+          r->step_offset = offset;
+          r->step_cycles = group;
+          r->step_tokens = s.prompt_tokens;
+          all_recompute &= r->recovering;
+          all_whole &= r->prompt_done == 0 &&
+                       s.prompt_tokens == r->prompt_remaining();
+        }
+        if (obs != nullptr && group > 0) {
+          const char* cat = all_recompute ? category::kRecompute
+                            : all_whole   ? category::kPrefill
+                                          : category::kChunkedPrefill;
+          obs->add_span(f.id, cat, rec.start + offset,
+                        rec.start + offset + group);
+        }
+        offset += group;
+        prefill_span += group;
+        f.prefill_cycles_executed += group;
+        return;
+      }
+      for (const ScheduledStep& s : f.prefills) {
         Request* r = s.request;
         r->step_offset = offset;
         r->step_cycles =
@@ -550,13 +706,13 @@ sim::Task scheduler_proc(Replica& f) {
       place_decodes();
     }
 
-    rec.prefills = static_cast<std::uint32_t>(prefills.size());
-    rec.decodes = static_cast<std::uint32_t>(decodes.size());
+    rec.prefills = static_cast<std::uint32_t>(f.prefills.size());
+    rec.decodes = static_cast<std::uint32_t>(f.decodes.size());
     // Prompt work in an iteration delays every co-scheduled decode's token
     // by its full span (tokens are host-visible only at batch egress,
     // regardless of pipeline order) — the head-of-line blocking chunking
     // bounds to one chunk.
-    if (!decodes.empty() && rec.prompt_tokens > 0) {
+    if (!f.decodes.empty() && rec.prompt_tokens > 0) {
       ++f.decode_stall_iterations;
       f.decode_stall_cycles += prefill_span;
     }
@@ -567,23 +723,81 @@ sim::Task scheduler_proc(Replica& f) {
       obs->add_span(f.id, category::kHostSync, rec.start + offset,
                     rec.start + egress);
     }
-    for (const ScheduledStep& s : batch) {
-      Request* r = s.request;
-      r->post_step_cycles = egress - (r->step_offset + r->step_cycles);
-      r->latch = &latch;
-      r->grant.set();
+    if (f.shared.scheduler_drives) {
+      // One engine event for the whole iteration: the per-member grant
+      // wake and the two delays each member-step would pay collapse into a
+      // single sleep to egress. The bookkeeping both halves perform is the
+      // member-driven path's, verbatim and in the same order — batch order
+      // here equals pipeline-slot time order there (prefill offsets are
+      // cumulative, decode members share one slot and the engine breaks
+      // ties FIFO), and the prefix cache's LRU runs on insertion ticks, so
+      // committing at grant time instead of chunk-egress time is
+      // indistinguishable.
+      for (const ScheduledStep& s : f.batch) {
+        Request* r = s.request;
+        if (r->step_tokens > 0) {
+          r->prompt_done += r->step_tokens;
+          ++r->prefill_chunks;
+          f.total_tokens += r->step_tokens;
+          if (f.cache) {
+            f.cache->commit(r->shape, r->id, r->prompt_done, r->shape.prefill,
+                            r->kv, r->cache);
+          }
+          if (r->recovering && r->prefilled()) {
+            r->recovering = false;
+            --f.recovering;
+          }
+        } else {
+          ++r->decoded;
+        }
+      }
+      co_await f.engine.delay(egress);
+      // Token emission at batch egress + PCIe sync, member by member in
+      // batch order — exactly the order the member processes resumed in.
+      const sim::Cycles now = f.engine.now();
+      for (const ScheduledStep& s : f.batch) {
+        Request* r = s.request;
+        if (r->step_tokens == 0 || (r->prefilled() && !r->emitted_token)) {
+          if (r->decoded == 0) r->first_token = now;
+          if (r->emitted_token) {
+            const sim::Cycles gap = now - r->last_token;
+            r->max_token_gap = std::max(r->max_token_gap, gap);
+            f.gap_cycles.push_back(gap);
+          }
+          r->emitted_token = true;
+          r->last_token = now;
+        }
+        if (r->finished()) {
+          f.record_completion(*r);
+          f.work.set();  // freed KV slots may unblock the queue head
+          r->done.set();
+        }
+      }
+    } else {
+      sim::CountdownLatch latch(f.engine, f.batch.size());
+      for (const ScheduledStep& s : f.batch) {
+        Request* r = s.request;
+        r->post_step_cycles = egress - (r->step_offset + r->step_cycles);
+        r->latch = &latch;
+        r->grant.set();
+      }
+      co_await latch.wait();
     }
-    co_await latch.wait();
     rec.span = f.engine.now() - rec.start;
     f.busy_cycles += rec.span;
     f.sched.record(rec);
 
-    // Unfinished members rejoin the runnable pool in batch order, keeping
-    // the FIFO discipline deterministic.
-    for (const ScheduledStep& s : batch) {
-      if (s.request->state == RequestState::kRunning &&
-          !s.request->finished()) {
-        f.runnable.push_back(s.request);
+    // Unfinished members rejoin the ready pool in batch order, keeping
+    // the FIFO discipline deterministic. Finished members already ran
+    // record_completion (their root process does it synchronously after
+    // the latch count-down), so the scheduler — the last pointer holder —
+    // recycles their slots here.
+    for (const ScheduledStep& s : f.batch) {
+      Request* r = s.request;
+      if (r->state == RequestState::kRunning && !r->finished()) {
+        f.ready.push_back(r);
+      } else {
+        f.pool.erase(r->self);
       }
     }
   }
@@ -591,6 +805,37 @@ sim::Task scheduler_proc(Replica& f) {
   // [exit, makespan] — non-empty whenever another replica (or a closed-loop
   // client's think time) outlives this one.
   if (obs != nullptr) obs->mark_exit(f.id, f.engine.now());
+}
+
+util::PercentileSummary cycle_summary_ms(std::vector<sim::Cycles> cycles,
+                                         const core::ArchConfig& arch) {
+  util::PercentileSummary s;
+  if (cycles.empty()) return s;
+  util::radix_sort(cycles);
+  // cycles_to_ms multiplies by a positive constant — monotone, so the
+  // converted values come out ascending-sorted and every accumulation
+  // below sees exactly the sequence percentile_summary would have built:
+  // the mean sums the converted samples in ascending order, and each
+  // percentile interpolates between the two converted neighbors. No
+  // intermediate double vector is materialized (for the inter-token gap
+  // series that vector would be millions of elements).
+  double sum = 0.0;
+  for (sim::Cycles c : cycles) sum += arch.cycles_to_ms(c);
+  s.count = cycles.size();
+  s.mean = sum / static_cast<double>(cycles.size());
+  const auto interp = [&](double p) {
+    const double rank =
+        (p / 100.0) * static_cast<double>(cycles.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const auto hi = std::min(lo + 1, cycles.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return arch.cycles_to_ms(cycles[lo]) * (1.0 - frac) +
+           arch.cycles_to_ms(cycles[hi]) * frac;
+  };
+  s.p50 = interp(50.0);
+  s.p95 = interp(95.0);
+  s.p99 = interp(99.0);
+  return s;
 }
 
 FleetMetrics finalize_metrics(Replica& f) {
@@ -618,12 +863,13 @@ FleetMetrics finalize_metrics(Replica& f) {
                       static_cast<double>(f.engine.now());
   }
   m.slo_good = f.good;
-  m.ttft_ms = util::percentile_summary(std::move(f.ttft_ms));
+  m.ttft_ms = cycle_summary_ms(std::move(f.ttft_cycles), f.cfg.arch);
   m.token_ms = util::percentile_summary(std::move(f.token_ms));
-  m.e2e_ms = util::percentile_summary(std::move(f.e2e_ms));
-  m.queue_wait_ms = util::percentile_summary(std::move(f.queue_wait_ms));
-  m.inter_token_gap_ms = util::percentile_summary(std::move(f.gap_ms));
-  m.iterations = f.sched.iterations().size();
+  m.e2e_ms = cycle_summary_ms(std::move(f.e2e_cycles), f.cfg.arch);
+  m.queue_wait_ms =
+      cycle_summary_ms(std::move(f.queue_wait_cycles), f.cfg.arch);
+  m.inter_token_gap_ms = cycle_summary_ms(std::move(f.gap_cycles), f.cfg.arch);
+  m.iterations = f.sched.iteration_count();
   m.mean_batch_size = f.sched.mean_batch_size();
   m.prefill_chunk_steps = f.prefill_chunk_steps;
   m.chunked_prompts = f.chunked_prompts;
@@ -672,23 +918,29 @@ FleetMetrics finalize_metrics(Replica& f) {
   m.recompute_tokens = f.recompute_tokens;
   m.recompute_ms = f.cfg.arch.cycles_to_ms(f.recompute_cycles);
   if (f.cfg.keep_request_records) {
-    m.requests.reserve(f.requests.size());
-    for (const auto& r : f.requests) {
+    // The retirement log is in completion order; records went out in
+    // creation (== id) order before, so sort by id to match byte for byte.
+    std::sort(f.finished.begin(), f.finished.end(),
+              [](const FinishedRequest& a, const FinishedRequest& b) {
+                return a.id < b.id;
+              });
+    m.requests.reserve(f.finished.size());
+    for (const FinishedRequest& r : f.finished) {
       RequestRecord rec;
-      rec.id = r->id;
+      rec.id = r.id;
       rec.replica = f.id;
-      rec.prefill_tokens = r->shape.prefill;
-      rec.decode_tokens = r->decoded;
-      rec.prefill_chunks = r->prefill_chunks;
-      rec.preemptions = r->preempt_count;
-      rec.cached_prefix_tokens = r->cached_prefix;
-      rec.live_replicas = r->live_at_route;
-      rec.rejected = r->state == RequestState::kRejected;
+      rec.prefill_tokens = r.prefill_tokens;
+      rec.decode_tokens = r.decoded;
+      rec.prefill_chunks = r.prefill_chunks;
+      rec.preemptions = r.preempt_count;
+      rec.cached_prefix_tokens = r.cached_prefix;
+      rec.live_replicas = r.live_at_route;
+      rec.rejected = r.rejected;
       if (!rec.rejected) {
-        rec.queue_wait_ms = f.ms(r->admitted - r->arrival);
-        rec.ttft_ms = f.ms(r->first_token - r->arrival);
-        rec.e2e_ms = f.ms(r->completed - r->arrival);
-        rec.max_token_gap_ms = f.ms(r->max_token_gap);
+        rec.queue_wait_ms = f.ms(r.admitted - r.arrival);
+        rec.ttft_ms = f.ms(r.first_token - r.arrival);
+        rec.e2e_ms = f.ms(r.completed - r.arrival);
+        rec.max_token_gap_ms = f.ms(r.max_token_gap);
       }
       m.requests.push_back(rec);
     }

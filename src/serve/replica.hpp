@@ -32,6 +32,7 @@
 #include "sim/engine.hpp"
 #include "sim/sync.hpp"
 #include "sim/task.hpp"
+#include "util/slot_map.hpp"
 #include "util/stats.hpp"
 
 namespace looplynx::serve {
@@ -68,8 +69,42 @@ struct FleetShared {
   /// metrics. Null (the default) means zero observability overhead and
   /// byte-identical output to an unobserved build.
   Observer* observer = nullptr;
+  /// When set (the bench-critical open-loop unobserved configuration), the
+  /// scheduler advances every batch member itself — one engine event per
+  /// iteration instead of three per member-step (grant wake + two delays).
+  /// Each request's root process exits right after enqueueing, and the
+  /// scheduler performs the per-step bookkeeping inline with computed
+  /// timestamps. Byte-identical to the member-driven path: all bookkeeping
+  /// runs in the same order (batch order == pipeline-slot time order) with
+  /// the same timestamps, and the prefix cache orders its LRU by insertion
+  /// tick, not wall time. Harnesses must leave this false when an observer
+  /// is attached (records interleave with other events at intermediate
+  /// times), when the autoscaler's TTFT window is live (samples are pushed
+  /// at emission instants), or under closed-loop traffic (clients re-submit
+  /// on the done signal, so completion-wake order feeds back into arrivals).
+  bool scheduler_drives = false;
 
   bool arrivals_done() const { return injected >= target; }
+};
+
+/// Plain-data snapshot of a retired request, appended the moment it
+/// completes or is rejected. The Request object itself is recycled into the
+/// arena right away; everything read after the run — RequestRecords,
+/// the fleet timeline's occupancy integral — comes from this log.
+struct FinishedRequest {
+  std::uint32_t id = 0;
+  std::uint32_t prefill_tokens = 0;
+  std::uint32_t decoded = 0;
+  std::uint32_t prefill_chunks = 0;
+  std::uint32_t preempt_count = 0;
+  std::uint32_t cached_prefix = 0;
+  std::uint32_t live_at_route = 1;
+  bool rejected = false;
+  sim::Cycles arrival = 0;
+  sim::Cycles admitted = 0;
+  sim::Cycles first_token = 0;
+  sim::Cycles completed = 0;
+  sim::Cycles max_token_gap = 0;
 };
 
 /// Everything one replica owns for one run. Lives on the harness run()'s
@@ -116,8 +151,31 @@ struct Replica {
     return cfg.scheduler.preempt != PreemptPolicy::kNone;
   }
 
-  std::vector<std::unique_ptr<Request>> requests;
-  std::vector<Request*> runnable;  // admitted, awaiting an iteration turn
+  /// Flat request arena: requests live in recycled slots with stable
+  /// addresses (coroutines hold Request& across suspension) and zero
+  /// steady-state allocation. Whoever retires a request erases its slot —
+  /// see the release protocol notes in replica.cpp.
+  util::SlotMap<Request> pool;
+  /// Admitted requests awaiting an iteration turn, FIFO by stamp and
+  /// pre-split into the scheduler's selection classes (see ReadyQueue). A
+  /// request sits on at most one kReadyChannel list at a time (a ready
+  /// class list, an iteration's deferred list, or the fallback's lone
+  /// list).
+  ReadyQueue ready;
+  /// Every admitted, unfinished request in ascending id order (per-replica
+  /// admission is FIFO over monotone ids) — the preemption policies' age
+  /// scan. head is the oldest, tail the youngest.
+  RequestList<kAgeChannel> age;
+  /// Retirement log, appended at completion/rejection; finalize_metrics
+  /// sorts it by id so records come out in the legacy creation order.
+  std::vector<FinishedRequest> finished;
+
+  // ---- Reused per-iteration scratch (no steady-state reallocation) ----
+  std::vector<ScheduledStep> batch;
+  std::vector<ScheduledStep> prefills;
+  std::vector<Request*> decodes;
+  std::vector<std::uint32_t> decode_positions;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> prefill_chunk_spans;
 
   // ---- Progress counters ----
   std::uint32_t routed = 0;     // requests the balancer sent here
@@ -149,10 +207,20 @@ struct Replica {
   std::uint64_t cache_hit_tokens = 0;     // prefill tokens skipped
   sim::Cycles cache_saved_prefill_cycles = 0;  // prefill_cycles(hit) saved
 
-  // ---- Latency samples (ms, one per completed request) ----
-  std::vector<double> ttft_ms, token_ms, e2e_ms, queue_wait_ms;
-  // Gaps between consecutive host-visible tokens, pooled replica-wide.
-  std::vector<double> gap_ms;
+  // ---- Latency samples (one per completed request) ----
+  /// Mean decode-token latency in ms. This is the one latency series that
+  /// must stay in the double domain: each sample divides a cycle span by
+  /// the request's decode count, so there is no single integer key whose
+  /// order matches the converted values.
+  std::vector<double> token_ms;
+  /// TTFT / end-to-end / queue-wait spans and inter-token gaps, kept in raw
+  /// cycles and summarized through cycle_summary_ms — the integers
+  /// radix-sort in O(n) where the legacy per-sample ms doubles paid a
+  /// comparison sort that dominated finalize.
+  std::vector<sim::Cycles> ttft_cycles, e2e_cycles, queue_wait_cycles;
+  /// Gaps between consecutive host-visible tokens, pooled replica-wide
+  /// (one sample per decode-class token, the largest population by far).
+  std::vector<sim::Cycles> gap_cycles;
 
   /// Requests routed here and not yet finished or rejected — the "queued +
   /// running" load the join-shortest-queue balancer compares. Counted from
@@ -164,11 +232,16 @@ struct Replica {
 
   double ms(sim::Cycles c) const { return cfg.arch.cycles_to_ms(c); }
 
-  /// Creates a request routed to this replica. The id comes from the
-  /// fleet-wide counter; the caller spawns request_proc for it.
+  /// Creates a request routed to this replica in a recycled arena slot.
+  /// The id comes from the fleet-wide counter; the caller spawns
+  /// request_proc for it.
   Request& make_request(workload::Scenario shape);
 
   void record_completion(Request& r);
+
+  /// Appends the retirement snapshot for `r` (state and timestamps must be
+  /// final). Does not touch the arena — slot release is the caller's move.
+  void retire(const Request& r);
 };
 
 /// Root process of one request on its replica. Parks on its grant signal;
@@ -184,10 +257,26 @@ sim::Task request_proc(Replica& f, Request& r);
 /// per replica (eviction never crosses replicas — each owns its KV pool).
 sim::Task scheduler_proc(Replica& f);
 
+/// Engine callback (`Engine::schedule_call`) that performs the fast
+/// path's entire root-process body — stamp arrival, enqueue (or reject
+/// when the queue is full), signal work — without a coroutine frame.
+/// `replica`/`request` are the type-erased Replica* / Request*. Only
+/// valid when FleetShared::scheduler_drives is set.
+void enqueue_request_event(void* replica, void* request);
+
 /// Builds this replica's FleetMetrics after engine.run() returned. Moves
 /// the latency sample vectors out of the replica — harnesses that pool
 /// samples fleet-wide must copy them first.
 FleetMetrics finalize_metrics(Replica& f);
+
+/// Percentile summary of integer cycle-domain latency samples, reported in
+/// milliseconds. Radix-sorts the cycles and converts ascending: cycles_to_ms
+/// is a monotone non-decreasing map, so the converted sequence is exactly
+/// the ascending-sorted ms sequence and the mean/percentile arithmetic
+/// reproduces util::percentile_summary over the per-sample ms values bit
+/// for bit — at O(n) instead of a comparison sort over millions of doubles.
+util::PercentileSummary cycle_summary_ms(std::vector<sim::Cycles> cycles,
+                                         const core::ArchConfig& arch);
 
 /// Open-loop injector shared by both harnesses: replays the pre-generated
 /// arrival schedule, asking `route()` (signature `Replica&()`) for the
@@ -204,7 +293,15 @@ sim::Task arrivals_proc(sim::Engine& engine, TrafficGen& traffic,
     if (a.at > engine.now()) co_await engine.delay(a.at - engine.now());
     Replica& rep = route();
     Request& r = rep.make_request(a.shape);
-    engine.spawn(request_proc(rep, r));
+    if (rep.shared.scheduler_drives) {
+      // The fast path's root process would only enqueue the request and
+      // exit (the scheduler drives every later step), so skip the
+      // coroutine frame entirely: a callback event in the exact queue
+      // position the spawned root's first resumption would occupy.
+      engine.schedule_call(0, &enqueue_request_event, &rep, &r);
+    } else {
+      engine.spawn(request_proc(rep, r));
+    }
   }
 }
 

@@ -46,11 +46,9 @@ const char* preempt_policy_name(PreemptPolicy policy) {
   return "unknown";
 }
 
-std::vector<ScheduledStep> Scheduler::select(
-    std::vector<Request*>& runnable) const {
-  std::vector<ScheduledStep> batch;
-  if (runnable.empty()) return batch;
-  batch.reserve(std::min<std::size_t>(runnable.size(), config_.max_batch));
+void Scheduler::select(ReadyQueue& ready,
+                       std::vector<ScheduledStep>& batch) const {
+  batch.clear();
 
   const std::uint32_t whole_budget =
       config_.max_tokens_per_iter == 0
@@ -65,42 +63,60 @@ std::vector<ScheduledStep> Scheduler::select(
     // long prompt spreads across iterations while decodes keep flowing
     // every iteration. Among prefills, *partially prefilled* prompts go
     // before fresh ones (FIFO within each subclass): a mid-chunk prompt
-    // re-queued at the back of runnable would otherwise be overtaken by
-    // younger prompts, interleaving chunks across all waiting prompts and
-    // ballooning every TTFT toward the sum of all prefills — while each
-    // mid-chunk prompt pins its full KV reservation the whole time.
-    for (Request* r : runnable) {
+    // re-queued at the back of the ready pool would otherwise be overtaken
+    // by younger prompts, interleaving chunks across all waiting prompts
+    // and ballooning every TTFT toward the sum of all prefills — while
+    // each mid-chunk prompt pins its full KV reservation the whole time.
+    // The three passes are exactly ReadyQueue's class lists, so each walk
+    // visits only members it can select. Selected members stay linked
+    // until the single unlink pass below.
+    for (Request* r = ready.decodes.head; r != nullptr;
+         r = r->link_next[kReadyChannel]) {
       if (full() || tokens_left == 0) break;
-      if (!r->prefilled()) continue;
       batch.push_back({r, 0});
       --tokens_left;
     }
-    for (const bool want_started : {true, false}) {
-      for (Request* r : runnable) {
-        if (full() || tokens_left == 0) break;
-        if (r->prefilled() || (r->prompt_done > 0) != want_started) continue;
-        const std::uint32_t chunk =
-            std::min(tokens_left, r->prompt_remaining());
-        batch.push_back({r, chunk});
-        tokens_left -= chunk;
-      }
+    for (Request* r = ready.started.head; r != nullptr;
+         r = r->link_next[kReadyChannel]) {
+      if (full() || tokens_left == 0) break;
+      const std::uint32_t chunk =
+          std::min(tokens_left, r->prompt_remaining());
+      batch.push_back({r, chunk});
+      tokens_left -= chunk;
+    }
+    for (Request* r = ready.fresh.head; r != nullptr;
+         r = r->link_next[kReadyChannel]) {
+      if (full() || tokens_left == 0) break;
+      const std::uint32_t chunk =
+          std::min(tokens_left, r->prompt_remaining());
+      batch.push_back({r, chunk});
+      tokens_left -= chunk;
     }
   } else {
-    const bool prefill_first =
-        config_.policy == BatchPolicy::kPrefillPriority;
-    // Two passes over the FIFO-ordered runnable list: the priority class
-    // first, then the other class into the remaining slots. Prompts run
-    // whole under these policies; the token budget only bounds how many
-    // members fit.
+    // Priority class first, then the other class into the remaining
+    // slots. Prompts run whole under these policies; the token budget
+    // only bounds how many members fit. The prefill class spans two lists
+    // (started + fresh); a stamp-ordered merge walk visits them in the
+    // exact order the legacy single ready list interleaved them.
     bool prefill_selected = false;
-    for (const int pass : {0, 1}) {
-      const bool want_prefill = (pass == 0) == prefill_first;
-      for (Request* r : runnable) {
-        if (full()) break;
-        if (r->prefilled() == want_prefill) continue;
-        const std::uint32_t need = want_prefill ? r->prompt_remaining() : 1;
+    const auto decode_pass = [&] {
+      for (Request* r = ready.decodes.head; r != nullptr;
+           r = r->link_next[kReadyChannel]) {
+        if (full() || tokens_left == 0) break;  // every decode costs 1
+        batch.push_back({r, 0});
+        --tokens_left;
+      }
+    };
+    const auto prefill_pass = [&] {
+      Request* a = ready.started.head;
+      Request* b = ready.fresh.head;
+      while ((a != nullptr || b != nullptr) && !full()) {
+        Request* r = (b == nullptr ||
+                      (a != nullptr && a->ready_stamp < b->ready_stamp))
+                         ? a
+                         : b;
+        const std::uint32_t need = r->prompt_remaining();
         if (need > tokens_left) {
-          if (!want_prefill) break;  // every decode costs 1: none fit now
           // The FIFO-head prompt doesn't fit this iteration. If it can
           // *never* fit (larger than the whole budget), run it now — over
           // budget, but without other prompt work — rather than starve
@@ -114,26 +130,65 @@ std::vector<ScheduledStep> Scheduler::select(
           }
           break;
         }
-        batch.push_back({r, want_prefill ? need : 0});
-        prefill_selected |= want_prefill;
+        batch.push_back({r, need});
+        prefill_selected = true;
         tokens_left -= need;
+        if (r == a) {
+          a = a->link_next[kReadyChannel];
+        } else {
+          b = b->link_next[kReadyChannel];
+        }
       }
+    };
+    if (config_.policy == BatchPolicy::kPrefillPriority) {
+      prefill_pass();
+      decode_pass();
+    } else {
+      decode_pass();
+      prefill_pass();
     }
   }
 
-  std::erase_if(runnable, [&](Request* r) {
-    return std::any_of(batch.begin(), batch.end(), [&](const ScheduledStep& s) {
-      return s.request == r;
-    });
-  });
+  for (const ScheduledStep& s : batch) ready.unlink(s.request);
+}
+
+std::vector<ScheduledStep> Scheduler::select(
+    std::vector<Request*>& runnable) const {
+  ReadyQueue ready;
+  for (Request* r : runnable) ready.push_back(r);
+  std::vector<ScheduledStep> batch;
+  select(ready, batch);
+  // Unselected requests keep their relative order (a stamp-ordered merge
+  // of the class lists reconstructs it), matching the legacy erase_if
+  // behavior; hooks are scrubbed so callers can reuse requests.
+  runnable.clear();
+  Request* heads[3] = {ready.decodes.head, ready.started.head,
+                       ready.fresh.head};
+  while (true) {
+    int pick = -1;
+    for (int i = 0; i < 3; ++i) {
+      if (heads[i] != nullptr &&
+          (pick < 0 || heads[i]->ready_stamp < heads[pick]->ready_stamp)) {
+        pick = i;
+      }
+    }
+    if (pick < 0) break;
+    Request* r = heads[pick];
+    heads[pick] = r->link_next[kReadyChannel];
+    r->link_prev[kReadyChannel] = nullptr;
+    r->link_next[kReadyChannel] = nullptr;
+    r->ready_class = kReadyNone;
+    runnable.push_back(r);
+  }
   return batch;
 }
 
 double Scheduler::mean_batch_size() const {
-  if (iterations_.empty()) return 0.0;
-  double acc = 0.0;
-  for (const IterationRecord& it : iterations_) acc += it.batch_size();
-  return acc / static_cast<double>(iterations_.size());
+  if (iteration_count_ == 0) return 0.0;
+  // batch_members_ stays below 2^53, so the double conversion is exact and
+  // the quotient is bit-identical to the legacy per-record accumulation.
+  return static_cast<double>(batch_members_) /
+         static_cast<double>(iteration_count_);
 }
 
 }  // namespace looplynx::serve

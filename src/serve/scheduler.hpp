@@ -96,6 +96,12 @@ struct SchedulerConfig {
   /// Host-side batch assembly cost added to every iteration, on top of the
   /// per-stage scheduler overhead already inside the node model.
   sim::Cycles iteration_overhead_cycles = 0;
+  /// Batched prefill weight sharing: an iteration's co-scheduled prefill
+  /// chunks share each weight-stream pass the way the decode group does
+  /// (core::StepCostModel::prefill_group_cycles), instead of each chunk
+  /// re-streaming the full weight set. Off by default: the pricing change
+  /// moves every downstream timestamp, so runs opt in explicitly.
+  bool share_prefill_weights = false;
 };
 
 /// One selected token-step: a decode (prompt_tokens == 0) or a prefill
@@ -125,22 +131,35 @@ class Scheduler {
 
   const SchedulerConfig& config() const { return config_; }
 
-  /// Selects this iteration's batch from `runnable` (admitted requests not
-  /// currently mid-step), honoring the policy, max_batch and the token
-  /// budget. Selected requests are removed from `runnable`; relative FIFO
-  /// order within each class is preserved.
+  /// Selects this iteration's batch from the class-indexed ready pool
+  /// (admitted requests not currently mid-step) into `batch`, which is
+  /// cleared first and reused across iterations so steady-state selection
+  /// never allocates. Honors the policy, max_batch and the token budget.
+  /// Selected requests are unlinked from `ready`; relative FIFO order
+  /// within each class is preserved. Each selection pass walks only its
+  /// own class list, so the cost is O(batch), not O(ready size).
+  void select(ReadyQueue& ready, std::vector<ScheduledStep>& batch) const;
+
+  /// Vector-based convenience overload (tests / offline analysis): same
+  /// selection semantics; selected requests are removed from `runnable`.
   std::vector<ScheduledStep> select(std::vector<Request*>& runnable) const;
 
-  void record(IterationRecord record) { iterations_.push_back(record); }
-  const std::vector<IterationRecord>& iterations() const {
-    return iterations_;
+  /// Folds one finished iteration into the aggregate counters. The hot
+  /// path does not keep per-iteration records — a million-request sweep
+  /// runs hundreds of thousands of iterations, and the only downstream
+  /// consumers are the count and the mean batch size.
+  void record(const IterationRecord& record) {
+    ++iteration_count_;
+    batch_members_ += record.batch_size();
   }
+  std::uint64_t iteration_count() const { return iteration_count_; }
 
   double mean_batch_size() const;
 
  private:
   SchedulerConfig config_;
-  std::vector<IterationRecord> iterations_;
+  std::uint64_t iteration_count_ = 0;
+  std::uint64_t batch_members_ = 0;  // sum of batch_size() over iterations
 };
 
 }  // namespace looplynx::serve

@@ -23,16 +23,22 @@ Engine::RootId Engine::spawn(Task task) {
   const RootId id = roots_.size();
   schedule(0, task.handle());
   roots_.push_back(std::move(task));
+  live_roots_.push_back(id);
   return id;
 }
 
 void Engine::sweep_finished_roots() {
-  for (Task& root : roots_) {
+  std::size_t keep = 0;
+  for (std::size_t i = 0; i < live_roots_.size(); ++i) {
+    Task& root = roots_[live_roots_[i]];
     if (root.valid() && root.done()) {
       root.rethrow_if_failed();
       root = Task{};  // free the frame; done() stays true for this id
+    } else {
+      live_roots_[keep++] = live_roots_[i];
     }
   }
+  live_roots_.resize(keep);
 }
 
 bool Engine::root_done(RootId id) const {
@@ -45,7 +51,11 @@ std::uint64_t Engine::run(std::uint64_t max_events) {
     Item item = queue_.top();
     queue_.pop();
     now_ = item.time;
-    item.handle.resume();
+    if (item.handle) {
+      item.handle.resume();
+    } else {
+      dispatch_call(item.seq);
+    }
     ++processed;
     ++events_;
   }
@@ -58,12 +68,37 @@ bool Engine::run_until(Cycles time) {
     Item item = queue_.top();
     queue_.pop();
     now_ = item.time;
-    item.handle.resume();
+    if (item.handle) {
+      item.handle.resume();
+    } else {
+      dispatch_call(item.seq);
+    }
     ++events_;
   }
   now_ = time;
   check_root_failures();
   return queue_.empty();
+}
+
+void Engine::dispatch_call(std::uint64_t seq) {
+  // Zero-delay callbacks (the only current use) fire in registration
+  // order, so the match is at the head cursor; the cursor dodges the
+  // O(pending) erase a front pop would cost. Out-of-order matches (mixed
+  // delays) fall back to a scan + erase.
+  for (std::size_t i = calls_head_; i < calls_.size(); ++i) {
+    if (calls_[i].seq != seq) continue;
+    const CallItem c = calls_[i];
+    if (i == calls_head_) {
+      if (++calls_head_ == calls_.size()) {
+        calls_.clear();
+        calls_head_ = 0;
+      }
+    } else {
+      calls_.erase(calls_.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+    c.fn(c.a, c.b);
+    return;
+  }
 }
 
 void Engine::check_root_failures() {

@@ -49,6 +49,22 @@ class Engine {
   /// Schedules `h` to resume at absolute time `time` (>= now).
   void schedule_at(Cycles time, std::coroutine_handle<> h);
 
+  /// Schedules a plain callback `delay` cycles from now — the
+  /// allocation-free alternative to spawning a coroutine root for a
+  /// one-shot event. The callback occupies exactly the queue position the
+  /// spawned root's first resumption would have (same clock, same
+  /// tie-break sequence number), so swapping one for the other cannot
+  /// reorder any event. Used by the serve layer's scheduler-driven fast
+  /// path, where per-request root processes would otherwise be created
+  /// only to enqueue the request and exit.
+  void schedule_call(Cycles delay, void (*fn)(void*, void*), void* a,
+                     void* b) {
+    // The payload lives in a side table keyed by the event's sequence
+    // number so Item (copied on every heap sift) stays three words.
+    calls_.push_back(CallItem{seq_, fn, a, b});
+    queue_.push(Item{now_ + delay, seq_++, {}});
+  }
+
   /// Identifier for a spawned root process.
   using RootId = std::size_t;
 
@@ -90,22 +106,40 @@ class Engine {
   struct Item {
     Cycles time;
     std::uint64_t seq;
-    std::coroutine_handle<> handle;
+    std::coroutine_handle<> handle;  // null for callback items
     bool operator>(const Item& other) const noexcept {
       if (time != other.time) return time > other.time;
       return seq > other.seq;
     }
   };
 
+  /// Pending schedule_call payload, keyed by the event's seq. The table
+  /// holds only not-yet-fired callbacks (a handful at any instant), so the
+  /// linear lookup on dispatch is cheaper than widening every Item.
+  struct CallItem {
+    std::uint64_t seq;
+    void (*fn)(void*, void*);
+    void* a;
+    void* b;
+  };
+
+  /// Pops and runs the callback registered under `seq`.
+  void dispatch_call(std::uint64_t seq);
+
   void check_root_failures();
 
   /// Frees frames of completed root processes so long simulations (which
   /// spawn one short-lived process per kernel invocation) stay bounded in
-  /// memory. Ids stay valid: a swept root reads as done.
+  /// memory. Ids stay valid: a swept root reads as done. Only roots still
+  /// holding a frame (live_roots_) are visited, so total sweep work is
+  /// O(peak live roots) per sweep instead of O(all roots ever spawned).
   void sweep_finished_roots();
 
   std::priority_queue<Item, std::vector<Item>, std::greater<Item>> queue_;
+  std::vector<CallItem> calls_;
+  std::size_t calls_head_ = 0;  // first not-yet-fired entry in calls_
   std::vector<Task> roots_;
+  std::vector<RootId> live_roots_;  // roots whose frame is not yet freed
   Cycles now_ = 0;
   std::uint64_t seq_ = 0;
   std::uint64_t events_ = 0;

@@ -158,6 +158,11 @@ class Barrier {
 /// Countdown latch for fork/join of concurrently spawned sub-processes:
 /// spawn N tasks that each call count_down() when finished; the joiner
 /// co_awaits wait(). Single-use.
+///
+/// The first waiter parks in an inline slot — the overwhelmingly common
+/// single-joiner case (one latch per scheduler iteration, the scheduler its
+/// only waiter) then never touches the heap. Extra waiters overflow into a
+/// vector; release order stays arrival order either way.
 class CountdownLatch {
  public:
   CountdownLatch(Engine& engine, std::size_t count)
@@ -168,8 +173,14 @@ class CountdownLatch {
   void count_down() {
     assert(remaining_ > 0 && "count_down past zero");
     if (--remaining_ == 0) {
-      for (std::coroutine_handle<> h : waiters_) engine_->schedule(0, h);
-      waiters_.clear();
+      if (first_waiter_) {
+        engine_->schedule(0, first_waiter_);
+        first_waiter_ = nullptr;
+      }
+      for (std::coroutine_handle<> h : overflow_waiters_) {
+        engine_->schedule(0, h);
+      }
+      overflow_waiters_.clear();
     }
   }
 
@@ -177,7 +188,11 @@ class CountdownLatch {
     CountdownLatch* latch;
     bool await_ready() const noexcept { return latch->remaining_ == 0; }
     void await_suspend(std::coroutine_handle<> h) {
-      latch->waiters_.push_back(h);
+      if (!latch->first_waiter_) {
+        latch->first_waiter_ = h;
+      } else {
+        latch->overflow_waiters_.push_back(h);
+      }
     }
     void await_resume() const noexcept {}
   };
@@ -188,7 +203,8 @@ class CountdownLatch {
  private:
   Engine* engine_;
   std::size_t remaining_;
-  std::vector<std::coroutine_handle<>> waiters_;
+  std::coroutine_handle<> first_waiter_ = nullptr;
+  std::vector<std::coroutine_handle<>> overflow_waiters_;
 };
 
 /// Runs `task` then counts down `latch` — the fork half of fork/join.
@@ -200,6 +216,14 @@ inline Task run_then_count_down(Task task, CountdownLatch& latch) {
 
 /// One-shot broadcast event. wait() suspends until set() is called; waits
 /// after set() complete immediately. reset() re-arms the signal.
+///
+/// Waiters are *scheduled*, never resumed synchronously: set() enqueues
+/// each waiter through the engine's event queue, so the object a waiter was
+/// parked on may be destroyed as soon as set() returns (the serve arena
+/// recycles request slots on exactly this guarantee). The first waiter
+/// parks inline — a request's grant/done signals have at most one waiter,
+/// so steady-state request recycling never touches the heap; extra waiters
+/// overflow into a vector, and release order stays arrival order.
 class Signal {
  public:
   explicit Signal(Engine& engine) : engine_(&engine) {}
@@ -210,7 +234,11 @@ class Signal {
     Signal* signal;
     bool await_ready() const noexcept { return signal->set_; }
     void await_suspend(std::coroutine_handle<> h) {
-      signal->waiters_.push_back(h);
+      if (!signal->first_waiter_) {
+        signal->first_waiter_ = h;
+      } else {
+        signal->overflow_waiters_.push_back(h);
+      }
     }
     void await_resume() const noexcept {}
   };
@@ -220,8 +248,14 @@ class Signal {
   void set() {
     if (set_) return;
     set_ = true;
-    for (std::coroutine_handle<> h : waiters_) engine_->schedule(0, h);
-    waiters_.clear();
+    if (first_waiter_) {
+      engine_->schedule(0, first_waiter_);
+      first_waiter_ = nullptr;
+    }
+    for (std::coroutine_handle<> h : overflow_waiters_) {
+      engine_->schedule(0, h);
+    }
+    overflow_waiters_.clear();
   }
 
   void reset() noexcept { set_ = false; }
@@ -230,7 +264,8 @@ class Signal {
  private:
   Engine* engine_;
   bool set_ = false;
-  std::vector<std::coroutine_handle<>> waiters_;
+  std::coroutine_handle<> first_waiter_ = nullptr;
+  std::vector<std::coroutine_handle<>> overflow_waiters_;
 };
 
 }  // namespace looplynx::sim

@@ -9,11 +9,93 @@
 // code with blocking FIFO reads/writes, scheduled by the surrounding runtime.
 #pragma once
 
+#include <array>
 #include <coroutine>
+#include <cstddef>
 #include <exception>
+#include <new>
 #include <utility>
 
 namespace looplynx::sim {
+
+namespace detail {
+
+// ASan must keep seeing real malloc/free so a use-after-free of a coroutine
+// frame is still caught in the sanitizer CI legs; the pool only engages in
+// plain builds, where it is what makes per-request spawns allocation-free.
+#if defined(__SANITIZE_ADDRESS__)
+inline constexpr bool kPoolTaskFrames = false;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+inline constexpr bool kPoolTaskFrames = false;
+#else
+inline constexpr bool kPoolTaskFrames = true;
+#endif
+#else
+inline constexpr bool kPoolTaskFrames = true;
+#endif
+
+/// Size-bucketed free-list recycler for Task coroutine frames. A serving
+/// sweep spawns one short-lived root frame per request — identical in size
+/// run after run — so recycling by exact size makes steady-state spawns
+/// allocation-free. Thread-local (the simulator is single-threaded per
+/// engine); frames never outlive the thread, and leftover free-list nodes
+/// are returned to the heap at thread exit.
+class FrameArena {
+ public:
+  static FrameArena& instance() {
+    thread_local FrameArena arena;
+    return arena;
+  }
+
+  void* allocate(std::size_t size) {
+    for (Bucket& b : buckets_) {
+      if (b.size == size && b.head != nullptr) {
+        Node* n = b.head;
+        b.head = n->next;
+        return n;
+      }
+    }
+    return ::operator new(size);
+  }
+
+  void deallocate(void* p, std::size_t size) {
+    if (size >= sizeof(Node)) {
+      for (Bucket& b : buckets_) {
+        if (b.size == size || b.size == 0) {
+          b.size = size;
+          Node* n = static_cast<Node*>(p);
+          n->next = b.head;
+          b.head = n;
+          return;
+        }
+      }
+    }
+    ::operator delete(p);  // more distinct frame sizes than buckets
+  }
+
+  ~FrameArena() {
+    for (Bucket& b : buckets_) {
+      while (b.head != nullptr) {
+        Node* n = b.head;
+        b.head = n->next;
+        ::operator delete(n);
+      }
+    }
+  }
+
+ private:
+  struct Node {
+    Node* next;
+  };
+  struct Bucket {
+    std::size_t size = 0;
+    Node* head = nullptr;
+  };
+  std::array<Bucket, 32> buckets_{};
+};
+
+}  // namespace detail
 
 class [[nodiscard]] Task {
  public:
@@ -23,6 +105,21 @@ class [[nodiscard]] Task {
   struct promise_type {
     std::coroutine_handle<> continuation = std::noop_coroutine();
     std::exception_ptr exception;
+
+    static void* operator new(std::size_t size) {
+      if constexpr (detail::kPoolTaskFrames) {
+        return detail::FrameArena::instance().allocate(size);
+      } else {
+        return ::operator new(size);
+      }
+    }
+    static void operator delete(void* p, std::size_t size) {
+      if constexpr (detail::kPoolTaskFrames) {
+        detail::FrameArena::instance().deallocate(p, size);
+      } else {
+        ::operator delete(p);
+      }
+    }
 
     Task get_return_object() noexcept {
       return Task{Handle::from_promise(*this)};

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 namespace looplynx::util {
 
@@ -37,8 +38,8 @@ double max_of(std::span<const double> values) {
 
 namespace {
 
-/// Linear-interpolated percentile over an already-sorted, non-empty vector.
-double sorted_percentile(const std::vector<double>& sorted, double p) {
+/// Linear-interpolated percentile over an already-sorted, non-empty range.
+double sorted_percentile(std::span<const double> sorted, double p) {
   const double rank =
       (p / 100.0) * static_cast<double>(sorted.size() - 1);
   const auto lo = static_cast<std::size_t>(rank);
@@ -55,16 +56,73 @@ double percentile(std::vector<double> values, double p) {
   return sorted_percentile(values, p);
 }
 
+void sort_ascending(std::vector<double>& values) {
+  if (values.size() < 4096) {
+    std::sort(values.begin(), values.end());
+    return;
+  }
+  for (double v : values) {
+    if (!(v >= 0.0) || std::signbit(v) || !std::isfinite(v)) {
+      std::sort(values.begin(), values.end());
+      return;
+    }
+  }
+  std::vector<std::uint64_t> keys(values.size());
+  std::memcpy(keys.data(), values.data(), values.size() * sizeof(double));
+  radix_sort(keys);
+  std::memcpy(values.data(), keys.data(), values.size() * sizeof(double));
+}
+
 PercentileSummary percentile_summary(std::vector<double> values) {
   PercentileSummary s;
   if (values.empty()) return s;
-  std::sort(values.begin(), values.end());
+  sort_ascending(values);
   s.count = values.size();
   s.mean = mean(values);
   s.p50 = sorted_percentile(values, 50.0);
   s.p95 = sorted_percentile(values, 95.0);
   s.p99 = sorted_percentile(values, 99.0);
   return s;
+}
+
+PercentileSummary percentile_summary_presorted(
+    std::span<const double> sorted) {
+  PercentileSummary s;
+  if (sorted.empty()) return s;
+  s.count = sorted.size();
+  s.mean = mean(sorted);
+  s.p50 = sorted_percentile(sorted, 50.0);
+  s.p95 = sorted_percentile(sorted, 95.0);
+  s.p99 = sorted_percentile(sorted, 99.0);
+  return s;
+}
+
+void radix_sort(std::vector<std::uint64_t>& keys) {
+  // Comparison sort is the better deal until the counting tables pay off.
+  if (keys.size() < 4096) {
+    std::sort(keys.begin(), keys.end());
+    return;
+  }
+  std::uint64_t max_key = 0;
+  for (std::uint64_t k : keys) max_key = std::max(max_key, k);
+  std::vector<std::uint64_t> buf(keys.size());
+  std::vector<std::size_t> count(1u << 16);
+  std::vector<std::uint64_t>* src = &keys;
+  std::vector<std::uint64_t>* dst = &buf;
+  for (unsigned shift = 0; shift < 64 && (max_key >> shift) != 0;
+       shift += 16) {
+    std::fill(count.begin(), count.end(), 0);
+    for (std::uint64_t k : *src) ++count[(k >> shift) & 0xffff];
+    std::size_t total = 0;
+    for (std::size_t& c : count) {
+      const std::size_t n = c;
+      c = total;
+      total += n;
+    }
+    for (std::uint64_t k : *src) (*dst)[count[(k >> shift) & 0xffff]++] = k;
+    std::swap(src, dst);
+  }
+  if (src != &keys) keys.swap(buf);
 }
 
 void SlidingWindow::push(double at, double value) {

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <span>
 #include <vector>
@@ -37,6 +38,24 @@ struct PercentileSummary {
 };
 
 PercentileSummary percentile_summary(std::vector<double> values);
+
+/// percentile_summary over samples the caller already sorted ascending —
+/// same mean-accumulation and interpolation arithmetic, so the result is
+/// bit-identical to percentile_summary on any permutation of `sorted`.
+PercentileSummary percentile_summary_presorted(std::span<const double> sorted);
+
+/// In-place ascending LSD radix sort (16-bit digits, high passes skipped
+/// once the maximum key is exhausted). The serve layer's million-sample
+/// cycle-domain latency vectors sort here in O(n) instead of O(n log n);
+/// small inputs fall back to std::sort.
+void radix_sort(std::vector<std::uint64_t>& keys);
+
+/// Ascending sort of doubles, radix-accelerated when every value is
+/// finite and non-negative with a clear sign bit (IEEE-754 orders such
+/// values exactly like their u64 bit patterns; equal values have equal
+/// bits, so the result is indistinguishable from std::sort). Anything
+/// else — negatives, -0.0, NaN, small inputs — falls back to std::sort.
+void sort_ascending(std::vector<double>& values);
 
 /// Time-stamped sample window for rolling-percentile control signals (the
 /// serve-layer autoscaler's p99 TTFT). Samples enter in non-decreasing

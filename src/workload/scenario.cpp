@@ -29,9 +29,11 @@ std::uint64_t prompt_token_id(const Scenario& scenario, std::uint64_t unique,
 }
 
 Scenario make_scenario(std::uint32_t prefill, std::uint32_t decode) {
-  return Scenario{"[" + std::to_string(prefill) + ":" +
-                      std::to_string(decode) + "]",
-                  prefill, decode};
+  Scenario s;
+  s.name = "[" + std::to_string(prefill) + ":" + std::to_string(decode) + "]";
+  s.prefill = prefill;
+  s.decode = decode;
+  return s;
 }
 
 std::vector<Scenario> fig8_scenarios() {

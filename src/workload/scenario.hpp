@@ -20,9 +20,12 @@ struct PromptSegment {
 };
 
 struct Scenario {
-  std::string name;          // e.g. "[64:512]"
+  // The two shape integers lead the layout so that a Request embedding a
+  // Scenario can keep them inside its first (scheduler-hot) cache line;
+  // the cold identity fields (name, segment map) follow.
   std::uint32_t prefill = 0;
   std::uint32_t decode = 0;
+  std::string name;          // e.g. "[64:512]"
 
   /// Optional prompt content map. Empty (the default, and every pre-cache
   /// scenario) means the prompt content is unique to each request — the
