@@ -14,6 +14,7 @@
 //                [--preempt=none|recompute|cost-aware] [--kv-block-tokens=1]
 //                [--kv-budget-mb=0] [--prefix-cache] [--kv-swap]
 //                [--replicas=1] [--balancer=rr|jsq|kv]
+//                [--roles=prefill,decode,...] [--kv-link-gbps=100]
 //                [--autoscale=queue|slo|hybrid] [--min-replicas=1]
 //                [--max-replicas=4] [--scale-interval-ms=50]
 //                [--trace-out=PATH] [--metrics-out=PATH]
@@ -90,6 +91,13 @@ void print_usage() {
       "replica)\n"
       "  --balancer=B         rr|jsq|kv; requires --replicas >= 2 or "
       "--autoscale\n"
+      "  --roles=R,R,...      per-replica roles (general|prefill|decode):\n"
+      "                       disaggregated fleet — prefill replicas ship\n"
+      "                       finished prompts' KV to decode replicas over\n"
+      "                       a ring fabric; requires --replicas >= 2 with\n"
+      "                       a matching role count\n"
+      "  --kv-link-gbps=G     KV-migration link rate in GB/s, > 0 (default\n"
+      "                       100); requires --roles\n"
       "  --autoscale=P        queue|slo|hybrid (bare = hybrid): autoscale\n"
       "                       the fleet between --min-replicas and\n"
       "                       --max-replicas; conflicts with --replicas\n"
@@ -174,6 +182,14 @@ int main(int argc, char** argv) {
                serve::balancer_policy_name(opts.balancer);
     }
   }
+  if (opts.disaggregated()) {
+    title += ", roles ";
+    for (std::size_t i = 0; i < opts.roles.size(); ++i) {
+      if (i > 0) title += "/";
+      title += serve::replica_role_name(opts.roles[i]);
+    }
+    title += ", kv-link " + util::fmt_fixed(opts.kv_link_gbps, 0) + " GB/s";
+  }
   util::Table t(title);
   std::vector<std::string> header = {
       "mix", "req/s in", "batch", "done/shed", "tok/s",
@@ -196,6 +212,11 @@ int main(int argc, char** argv) {
     header.push_back("q-wait p50");
     header.push_back("q-wait p99");
     header.push_back("gap p50");
+  }
+  if (opts.disaggregated()) {
+    header.push_back("migr");
+    header.push_back("mig MB");
+    header.push_back("steal");
   }
   if (opts.autoscale.enabled) {
     header.push_back("live avg");
@@ -241,6 +262,12 @@ int main(int argc, char** argv) {
           serve::FleetConfig fleet_cfg = serve::FleetConfig::homogeneous(
               cfg, opts.fleet_width(), opts.balancer);
           fleet_cfg.autoscale = opts.autoscale;
+          if (opts.disaggregated()) {
+            fleet_cfg.roles = opts.roles;
+            // GB/s (decimal) -> bytes per fleet-clock cycle.
+            fleet_cfg.kv_link.bytes_per_cycle =
+                opts.kv_link_gbps * 1e9 / arch.frequency_hz;
+          }
           serve::FleetResult fr =
               serve::FleetSim(fleet_cfg, costs).run(point_obs);
           imbalance = fr.load_imbalance;
@@ -280,6 +307,14 @@ int main(int argc, char** argv) {
           row.push_back(util::fmt_fixed(m.queue_wait_ms.p50, 1));
           row.push_back(util::fmt_fixed(m.queue_wait_ms.p99, 1));
           row.push_back(util::fmt_fixed(m.inter_token_gap_ms.p50, 2));
+        }
+        if (opts.disaggregated()) {
+          row.push_back(
+              util::fmt_int(static_cast<long long>(m.kv_migrations)));
+          row.push_back(util::fmt_fixed(
+              static_cast<double>(m.kv_migrate_wire_bytes) / (1 << 20), 1));
+          row.push_back(
+              util::fmt_int(static_cast<long long>(m.work_steals)));
         }
         if (opts.autoscale.enabled) {
           row.push_back(util::fmt_fixed(mean_live, 2));
@@ -330,6 +365,16 @@ int main(int argc, char** argv) {
         "perfectly even) and TTFT sprd is the max-min per-replica p99 TTFT\n"
         "in ms — --balancer=jsq/kv exist to shrink both on skewed mixes\n"
         "where round-robin piles heavy requests onto one replica.\n";
+  }
+  if (opts.disaggregated()) {
+    std::cout <<
+        "With --roles the fleet is disaggregated: fresh arrivals route\n"
+        "only to non-decode replicas; when a prompt's last chunk finishes\n"
+        "on a prefill replica its KV block list ships to the least-loaded\n"
+        "decode replica over the ring fabric (migr migrations moving\n"
+        "mig MB = bytes x hops at --kv-link-gbps), so long prompts never\n"
+        "queue behind running decodes. steal counts queued requests an\n"
+        "idle replica pulled from a backed-up neighbor on the same links.\n";
   }
   if (opts.autoscale.enabled) {
     std::cout <<

@@ -10,6 +10,7 @@
 // probe_stride == 1 the table is exact.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <utility>
 #include <vector>
@@ -72,6 +73,18 @@ class StepCostModel {
   /// PCIe turnaround the host pays once per scheduler iteration (the cost
   /// continuous batching amortizes across the batch).
   sim::Cycles host_sync_cycles() const { return arch_.host_sync_cycles; }
+
+  /// DMA price of landing `bytes` of migrated KV state in this replica's
+  /// HBM (disaggregated prefill/decode fleets): one host round-trip to
+  /// program the engine, the descriptor setup, then the burst at HBM
+  /// write bandwidth. Same shape as the prefix cache's swap pricing — the
+  /// wire time is charged separately by the net::RingFabric links.
+  sim::Cycles kv_ingest_cycles(std::uint64_t bytes) const {
+    return arch_.host_sync_cycles + arch_.dma_setup_cycles +
+           static_cast<sim::Cycles>(
+               std::ceil(static_cast<double>(bytes) /
+                         arch_.hbm_bytes_per_cycle()));
+  }
 
   /// Analytic single-token Fused-MP bounds, per node: cycles to stream one
   /// token's weights from HBM, and cycles for the MAC array to consume

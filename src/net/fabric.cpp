@@ -30,6 +30,13 @@ sim::Task RingFabric::send(std::size_t from, Datapack pack) {
   co_await rx_[to]->put(pack);
 }
 
+sim::Task RingFabric::transfer(std::size_t from, std::size_t to,
+                               Datapack pack) {
+  for (std::size_t node = from; node != to; node = (node + 1) % num_nodes()) {
+    co_await links_[node]->send(pack.bytes);
+  }
+}
+
 std::uint64_t RingFabric::total_bytes() const {
   std::uint64_t total = 0;
   for (const auto& l : links_) total += l->total_bytes();

@@ -37,6 +37,15 @@ class RingFabric {
   /// then deposits the pack into the successor's receive FIFO.
   sim::Task send(std::size_t from, Datapack pack);
 
+  /// Point-to-point transfer `from` -> `to`: serializes the pack on every
+  /// link along the ring path (so total_bytes() counts bytes x hops) and
+  /// completes when the last hop's wire time has elapsed. Unlike send(),
+  /// intermediate nodes cut through — nothing lands in rx() FIFOs — which
+  /// is what a DMA-style bulk move (serve-layer KV migration) wants: the
+  /// caller owns delivery, and a deep multi-hop burst cannot deadlock on a
+  /// bounded router FIFO nobody drains.
+  sim::Task transfer(std::size_t from, std::size_t to, Datapack pack);
+
   /// Total bytes moved over all links.
   std::uint64_t total_bytes() const;
 

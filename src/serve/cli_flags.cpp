@@ -120,6 +120,52 @@ SchedulerCliOptions parse_scheduler_cli(const util::Cli& cli,
     }
     opts.balancer = parse_balancer_policy(*balancer);
   }
+
+  if (cli.has("roles")) {
+    if (opts.autoscale.enabled) {
+      throw std::invalid_argument(
+          "--roles conflicts with --autoscale: the live-prefix mask "
+          "scales replicas in index order, which would silently drop "
+          "whole role classes (e.g. every decode replica)");
+    }
+    if (opts.replicas < 2) {
+      throw std::invalid_argument(
+          "--roles requires --replicas >= 2: KV migration ships blocks "
+          "between replicas, so a single-replica fleet has nowhere to "
+          "ship");
+    }
+    const std::string spec = cli.get_or("roles", "");
+    std::size_t start = 0;
+    while (start <= spec.size()) {
+      const std::size_t comma = spec.find(',', start);
+      const std::string item =
+          spec.substr(start, comma == std::string::npos ? std::string::npos
+                                                        : comma - start);
+      opts.roles.push_back(parse_replica_role(item));
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+    if (opts.roles.size() != opts.replicas) {
+      throw std::invalid_argument(
+          "--roles must name every replica: got " +
+          std::to_string(opts.roles.size()) + " roles for --replicas=" +
+          std::to_string(opts.replicas));
+    }
+  }
+  if (cli.has("kv-link-gbps") && !opts.disaggregated()) {
+    throw std::invalid_argument(
+        "--kv-link-gbps requires --roles: the KV-migration fabric only "
+        "exists on a disaggregated fleet, so the flag would silently do "
+        "nothing");
+  }
+  if (opts.disaggregated()) {
+    opts.kv_link_gbps = cli.get_double_or("kv-link-gbps", 100.0);
+    if (!(opts.kv_link_gbps > 0)) {
+      throw std::invalid_argument(
+          "--kv-link-gbps must be > 0 (a zero-rate link never delivers a "
+          "migration)");
+    }
+  }
   return opts;
 }
 

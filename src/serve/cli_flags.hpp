@@ -1,6 +1,7 @@
 // Shared parsing + cross-validation of the serving command-line flags
 // (--policy, --chunk-tokens, --preempt, --kv-block-tokens, --replicas,
-// --balancer, --prefix-cache, --kv-swap, --autoscale and its
+// --balancer, --prefix-cache, --kv-swap, --roles, --kv-link-gbps,
+// --autoscale and its
 // --min-replicas/--max-replicas/--scale-interval-ms companions) for the
 // CLI surfaces (bench/serve_load,
 // examples/continuous_batching, examples/autoscale_serving), so the
@@ -44,6 +45,16 @@ struct SchedulerCliOptions {
   bool prefix_cache = false;
   /// Swap-to-host eviction tier (--kv-swap; requires --prefix-cache).
   bool kv_swap = false;
+  /// Disaggregated prefill/decode fleet (--roles=prefill,decode,...): one
+  /// role per replica, comma-separated, count must equal --replicas.
+  /// Empty (the default) means a symmetric fleet — no ring fabric is ever
+  /// constructed and output is byte-identical to a build without the
+  /// feature.
+  std::vector<ReplicaRole> roles;
+  /// KV-migration link rate (--kv-link-gbps, GB/s decimal): prices each
+  /// ring hop via hw::StreamLinkConfig. Only meaningful with --roles;
+  /// defaults to 100 GB/s when roles are set, stays 0 otherwise.
+  double kv_link_gbps = 0;
   /// Observability exports (serve/observe.hpp), legal with any replica /
   /// autoscale combination. Empty (the default) disables the observer
   /// entirely — the run's output stays byte-identical to an unobserved
@@ -77,6 +88,11 @@ struct SchedulerCliOptions {
 
   /// True when the run should attach an Observer and write exports.
   bool observed() const { return !trace_out.empty() || !metrics_out.empty(); }
+
+  /// True when the run is a disaggregated prefill/decode fleet — CLI
+  /// surfaces add migration columns and summary lines only then (same
+  /// byte-stability rule as paged()/cached()).
+  bool disaggregated() const { return !roles.empty(); }
 };
 
 /// Parses --policy/--chunk-tokens/--preempt/--kv-block-tokens/--replicas/
@@ -101,7 +117,13 @@ struct SchedulerCliOptions {
 ///  - --kv-swap requires --prefix-cache (swap is a cache eviction tier;
 ///    alone it would silently do nothing);
 ///  - --trace-out/--metrics-out need a non-empty =<path> value (they are
-///    legal with every replica / autoscale combination).
+///    legal with every replica / autoscale combination);
+///  - --roles=<role>,... (general|prefill|decode) requires an explicit
+///    --replicas >= 2 with a matching role count, needs at least one
+///    decode and one non-decode role, and conflicts with --autoscale (the
+///    live-prefix mask would drop whole role classes);
+///  - --kv-link-gbps requires --roles (the fabric only exists on a
+///    disaggregated fleet) and must be > 0.
 /// Throws std::invalid_argument with an actionable message on violation.
 SchedulerCliOptions parse_scheduler_cli(const util::Cli& cli,
                                         const std::string& default_policy =

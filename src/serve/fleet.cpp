@@ -6,6 +6,7 @@
 #include <string>
 #include <utility>
 
+#include "net/fabric.hpp"
 #include "serve/observe.hpp"
 #include "serve/replica.hpp"
 #include "util/stats.hpp"
@@ -28,6 +29,26 @@ const char* balancer_policy_name(BalancerPolicy policy) {
       return "join-shortest-queue";
     case BalancerPolicy::kKvAware:
       return "kv-aware";
+  }
+  return "unknown";
+}
+
+ReplicaRole parse_replica_role(const std::string& name) {
+  if (name == "general") return ReplicaRole::kGeneral;
+  if (name == "prefill") return ReplicaRole::kPrefill;
+  if (name == "decode") return ReplicaRole::kDecode;
+  throw std::invalid_argument("unknown replica role \"" + name +
+                              "\" (expected general|prefill|decode)");
+}
+
+const char* replica_role_name(ReplicaRole role) {
+  switch (role) {
+    case ReplicaRole::kGeneral:
+      return "general";
+    case ReplicaRole::kPrefill:
+      return "prefill";
+    case ReplicaRole::kDecode:
+      return "decode";
   }
   return "unknown";
 }
@@ -174,6 +195,47 @@ void FleetSim::validate() {
           "autoscale up_evals/down_evals must be >= 1");
     }
   }
+  if (config_.disaggregated()) {
+    if (config_.roles.size() != config_.replicas.size()) {
+      throw std::invalid_argument(
+          "roles must name every replica (" +
+          std::to_string(config_.roles.size()) + " roles for " +
+          std::to_string(config_.replicas.size()) + " replicas)");
+    }
+    if (config_.replicas.size() < 2) {
+      throw std::invalid_argument(
+          "disaggregation needs at least 2 replicas (KV migration ships "
+          "blocks between nodes; a 1-node fleet has nowhere to ship)");
+    }
+    std::size_t decode = 0;
+    for (ReplicaRole r : config_.roles) {
+      decode += r == ReplicaRole::kDecode ? 1 : 0;
+    }
+    if (decode == 0) {
+      throw std::invalid_argument(
+          "roles need at least one decode replica (prefill replicas "
+          "migrate every finished prompt; with no decode target nothing "
+          "would ever decode)");
+    }
+    if (decode == config_.roles.size()) {
+      throw std::invalid_argument(
+          "roles need at least one non-decode replica (decode replicas "
+          "receive no fresh arrivals; an all-decode fleet would serve "
+          "nothing)");
+    }
+    if (as.enabled) {
+      // The live set is the index prefix [0, live); scaling it would
+      // silently drop whole role classes (e.g. every decode replica).
+      throw std::invalid_argument(
+          "roles cannot combine with autoscale (the live-prefix mask and "
+          "static role assignment contradict each other)");
+    }
+    if (!(config_.kv_link.bytes_per_cycle > 0)) {
+      throw std::invalid_argument(
+          "disaggregation needs kv_link.bytes_per_cycle > 0 (KV migration "
+          "is priced on the ring fabric; a zero-rate link never delivers)");
+    }
+  }
 }
 
 FleetSim::FleetSim(const FleetConfig& config) : config_(config) {
@@ -232,12 +294,31 @@ struct FleetRun {
           engine, cfg_.replicas[i], costs[i], shared,
           static_cast<std::uint32_t>(i)));
     }
+    // Disaggregation plumbing is off = absent: with roles unset neither
+    // the fabric nor the shared directory exists and every replica keeps
+    // its null `disagg`, so no migration branch can fire and the event
+    // sequence stays byte-identical to a symmetric fleet.
+    if (cfg_.disaggregated()) {
+      fabric = std::make_unique<net::RingFabric>(
+          engine, cfg_.replicas.size(), cfg_.kv_link);
+      disagg = std::make_unique<detail::DisaggShared>();
+      disagg->fabric = fabric.get();
+      disagg->replicas.reserve(replicas.size());
+      for (std::size_t i = 0; i < replicas.size(); ++i) {
+        disagg->replicas.push_back(replicas[i].get());
+        replicas[i]->role = cfg_.roles[i];
+        replicas[i]->disagg = disagg.get();
+      }
+    }
   }
 
   const FleetConfig& cfg;
   sim::Engine engine;
   detail::FleetShared shared;
   std::vector<std::unique_ptr<detail::Replica>> replicas;
+  /// KV-migration ring (disaggregated fleets only; null otherwise).
+  std::unique_ptr<net::RingFabric> fabric;
+  std::unique_ptr<detail::DisaggShared> disagg;
   TrafficGen traffic;
   LoadBalancer balancer;
 
@@ -254,17 +335,25 @@ struct FleetRun {
   /// balancer. Pure bookkeeping — no engine events, so a 1-replica fleet
   /// replays ServingSim's exact event sequence. Replicas outside the live
   /// prefix are masked: a draining replica keeps its admitted work but
-  /// receives nothing new.
+  /// receives nothing new. On a disaggregated fleet decode-role replicas
+  /// are masked too — they receive work only by KV migration, never fresh
+  /// arrivals (without disagg the mask reduces to the live prefix and the
+  /// routable count to `live`, so symmetric routing is untouched).
   detail::Replica& route() {
     loads.resize(replicas.size());
+    std::uint32_t routable = 0;
     for (std::size_t i = 0; i < replicas.size(); ++i) {
       const auto& r = replicas[i];
+      const bool active =
+          static_cast<std::uint32_t>(i) < live &&
+          (disagg == nullptr || cfg.roles[i] != ReplicaRole::kDecode);
+      routable += active ? 1 : 0;
       loads[i] = {r->outstanding(),
                   static_cast<std::uint64_t>(r->kv.free_blocks()) *
                       r->kv.block_tokens(),
-                  static_cast<std::uint32_t>(i) < live};
+                  active};
     }
-    return *replicas[balancer.pick(loads, live)];
+    return *replicas[balancer.pick(loads, routable)];
   }
 
   /// True once the arrival stream is exhausted and every routed request
@@ -410,6 +499,7 @@ FleetResult FleetSim::run(Observer* observer) const {
   run.shared.observer = observer;
   run.shared.scheduler_drives =
       observer == nullptr && !config_.autoscale.enabled &&
+      !config_.disaggregated() &&
       config_.traffic.process != ArrivalProcess::kClosedLoop;
   const auto route = [&run]() -> detail::Replica& { return run.route(); };
   // Control plane first: at a shared instant the scale decision lands
@@ -516,6 +606,10 @@ FleetResult FleetSim::run(Observer* observer) const {
   m.preempt = config_.replicas.front().scheduler.preempt;
   m.kv_block_tokens = run.replicas.front()->kv.block_tokens();
 
+  result.disaggregated = config_.disaggregated();
+  result.roles = config_.roles;
+  if (run.fabric != nullptr) result.fabric_bytes = run.fabric->total_bytes();
+
   // ---- Live-replica accounting (trivial for static fleets: every
   // replica live for the whole makespan) ----
   result.autoscaled = config_.autoscale.enabled;
@@ -579,6 +673,14 @@ FleetResult FleetSim::run(Observer* observer) const {
     m.cache_swap_ms += rm.cache_swap_ms;
     m.cache_blocks_at_end += rm.cache_blocks_at_end;
     m.prefill_cycles += rm.prefill_cycles;
+    m.kv_migrations += rm.kv_migrations;
+    m.kv_migrated_blocks += rm.kv_migrated_blocks;
+    m.kv_migrate_wire_bytes += rm.kv_migrate_wire_bytes;
+    m.kv_migrate_ingest_ms += rm.kv_migrate_ingest_ms;
+    m.work_steals += rm.work_steals;
+    m.steal_wire_bytes += rm.steal_wire_bytes;
+    m.handoffs_in += rm.handoffs_in;
+    m.handoffs_out += rm.handoffs_out;
   }
   if (m.cache_lookup_tokens > 0) {
     m.cache_hit_rate = static_cast<double>(m.cache_hit_tokens) /
@@ -616,28 +718,37 @@ FleetResult FleetSim::run(Observer* observer) const {
 
 util::Table FleetResult::to_table(const std::string& title) const {
   util::Table t(title);
-  t.set_header({"replica", "routed", "done/shed", "goodput", "TTFT p50",
-                "TTFT p99", "tok p99", "in-flt", "busy", "KV peak",
-                "preempt"});
-  const auto row = [&](const std::string& name, const FleetMetrics& m,
-                       std::uint64_t routed_count) {
-    t.add_row({name, util::fmt_int(static_cast<long long>(routed_count)),
-               util::fmt_int(static_cast<long long>(m.completed)) + "/" +
-                   util::fmt_int(static_cast<long long>(m.rejected)),
-               util::fmt_fixed(m.goodput_req_s, 2),
-               util::fmt_fixed(m.ttft_ms.p50, 1),
-               util::fmt_fixed(m.ttft_ms.p99, 1),
-               util::fmt_fixed(m.token_ms.p99, 2),
-               util::fmt_int(m.peak_in_flight),
-               util::fmt_percent(m.busy_fraction, 1),
-               util::fmt_percent(m.kv_peak_occupancy, 1),
-               util::fmt_int(static_cast<long long>(m.preemptions))});
+  // The role column exists only on disaggregated fleets, so symmetric
+  // output stays byte-identical with disaggregation compiled in.
+  std::vector<std::string> header = {
+      "replica", "routed",  "done/shed", "goodput", "TTFT p50", "TTFT p99",
+      "tok p99", "in-flt",  "busy",      "KV peak", "preempt"};
+  if (disaggregated) header.insert(header.begin() + 1, "role");
+  t.set_header(header);
+  const auto row = [&](const std::string& name, const std::string& role,
+                       const FleetMetrics& m, std::uint64_t routed_count) {
+    std::vector<std::string> cells = {
+        name, util::fmt_int(static_cast<long long>(routed_count)),
+        util::fmt_int(static_cast<long long>(m.completed)) + "/" +
+            util::fmt_int(static_cast<long long>(m.rejected)),
+        util::fmt_fixed(m.goodput_req_s, 2),
+        util::fmt_fixed(m.ttft_ms.p50, 1),
+        util::fmt_fixed(m.ttft_ms.p99, 1),
+        util::fmt_fixed(m.token_ms.p99, 2),
+        util::fmt_int(m.peak_in_flight),
+        util::fmt_percent(m.busy_fraction, 1),
+        util::fmt_percent(m.kv_peak_occupancy, 1),
+        util::fmt_int(static_cast<long long>(m.preemptions))};
+    if (disaggregated) cells.insert(cells.begin() + 1, role);
+    t.add_row(cells);
   };
   for (std::size_t i = 0; i < replicas.size(); ++i) {
-    row(std::to_string(i), replicas[i], routed[i]);
+    const std::string role =
+        disaggregated ? replica_role_name(roles[i]) : "";
+    row(std::to_string(i), role, replicas[i], routed[i]);
   }
   t.add_separator();
-  row("fleet", fleet, fleet.offered);
+  row("fleet", "-", fleet, fleet.offered);
   return t;
 }
 

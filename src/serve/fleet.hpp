@@ -6,9 +6,13 @@
 // scheduler, KV budget, even a different ArchConfig) on ONE shared
 // sim::Engine, and a LoadBalancer that routes every arrival of a single
 // TrafficGen stream to a replica the moment it lands. Replicas never share
-// KV or pipeline state — a request lives and dies on the replica it was
-// routed to (no migration), so each replica's scheduling, paging and
-// preemption behavior is exactly ServingSim's.
+// KV or pipeline state — in a symmetric fleet a request lives and dies on
+// the replica it was routed to, so each replica's scheduling, paging and
+// preemption behavior is exactly ServingSim's. Disaggregated fleets
+// (FleetConfig::roles) relax exactly one thing: a finished prompt's KV can
+// move, whole, from a prefill replica to a decode replica over a timed
+// net::RingFabric (and an idle replica can steal queued work the same
+// way) — the pools themselves are still never shared.
 //
 // Invariants:
 //  - Determinism: a FleetConfig fully determines FleetResult. All
@@ -32,12 +36,32 @@
 #include <vector>
 
 #include "core/step_cost.hpp"
+#include "hw/link.hpp"
 #include "serve/autoscaler.hpp"
 #include "serve/metrics.hpp"
 #include "serve/serving_sim.hpp"
 #include "util/table.hpp"
 
 namespace looplynx::serve {
+
+/// Replica specialization in a disaggregated fleet (FleetConfig::roles).
+/// General replicas behave exactly like the symmetric fleets of PR 4-8.
+enum class ReplicaRole : std::uint8_t {
+  /// Takes fresh arrivals and runs both phases to completion (legacy).
+  kGeneral,
+  /// Takes fresh arrivals; once a prompt's last chunk has run, its KV
+  /// block list is shipped to the least-loaded decode replica over the
+  /// fleet's net::RingFabric and decoding continues there.
+  kPrefill,
+  /// Never routed fresh arrivals: serves migrated-in decode phases (and
+  /// whatever it steals from a whale-stuck neighbor when idle).
+  kDecode,
+};
+
+/// CLI-facing role names ("general" | "prefill" | "decode"), shared by the
+/// bench and example surfaces. Throws std::invalid_argument on unknown.
+ReplicaRole parse_replica_role(const std::string& name);
+const char* replica_role_name(ReplicaRole role);
 
 /// How the fleet balancer picks a replica for each arrival.
 enum class BalancerPolicy : std::uint8_t {
@@ -121,6 +145,19 @@ struct FleetConfig {
   /// first autoscale.min_replicas of them live.
   AutoscalerConfig autoscale;
 
+  /// Disaggregated prefill/decode roles, one per replica. Empty (the
+  /// default) keeps the fleet symmetric and constructs NO fabric — output
+  /// stays byte-identical to a role-less build. Non-empty requires
+  /// size() == replicas.size(), at least one routable (prefill/general)
+  /// and one decode replica, and no autoscaling (role pools don't scale
+  /// yet). DESIGN.md §10.
+  std::vector<ReplicaRole> roles;
+  /// Per-link pricing of the KV-migration ring (one simplex link per
+  /// replica, replica i -> i+1 mod N). Only read when `roles` is set.
+  hw::StreamLinkConfig kv_link;
+
+  bool disaggregated() const { return !roles.empty(); }
+
   /// N identical replicas of `base`; the fleet traffic is base.traffic.
   static FleetConfig homogeneous(
       const ServingConfig& base, std::uint32_t n,
@@ -176,6 +213,18 @@ struct FleetResult {
   /// examples/autoscale_serving.cpp).
   std::uint64_t replica_cycles = 0;
   double replica_seconds = 0;  // replica_cycles / frequency
+
+  // ---- Disaggregation (FleetConfig::roles; defaults describe a
+  // symmetric fleet so role-less runs keep byte-identical tables) ----
+  /// True when the fleet ran with roles; gates the extra table column and
+  /// the CLI surfaces' migration prose.
+  bool disaggregated = false;
+  /// The roles the fleet ran with (empty when symmetric), replica order.
+  std::vector<ReplicaRole> roles;
+  /// Every byte the net::RingFabric's links carried (bytes x hops —
+  /// multi-hop paths serialize on every link they cross). Equals the sum
+  /// of per-replica kv_migrate_wire_bytes + steal_wire_bytes.
+  std::uint64_t fabric_bytes = 0;
 
   /// Per-replica + fleet summary table for examples and reports. The
   /// autoscale fields are reported as prose by the CLI surfaces (gated on

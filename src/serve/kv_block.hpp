@@ -64,6 +64,11 @@ class KvBlockManager {
   std::uint64_t bytes_per_token_per_node() const { return bytes_per_token_; }
 
   std::uint32_t block_tokens() const { return block_tokens_; }
+  /// Bytes one full block occupies on one node — the unit the KV-migration
+  /// fabric ships and the conservation tests count.
+  std::uint64_t block_bytes() const {
+    return static_cast<std::uint64_t>(block_tokens_) * bytes_per_token_;
+  }
   std::uint32_t capacity_blocks() const { return capacity_blocks_; }
   /// Block-rounded token capacity (per node — the head-wise partition makes
   /// every node's occupancy identical).

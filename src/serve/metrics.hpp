@@ -38,6 +38,14 @@ struct RequestRecord {
   /// `replica < live_replicas` always — pinned by the invariant harness.
   std::uint32_t live_replicas = 1;
   bool rejected = false;
+  /// Request's KV blocks were shipped to a decode-role replica when its
+  /// prompt finished (disaggregated fleets only). `replica` above records
+  /// where the request *finished*, so migrated records always carry a
+  /// decode-role replica id — pinned by the invariant harness.
+  bool migrated = false;
+  /// Request was handed to an idle neighbor by work stealing while still
+  /// queued (disaggregated fleets only).
+  bool stolen = false;
   double queue_wait_ms = 0;
   double ttft_ms = 0;  // arrival -> prefill egress
   double e2e_ms = 0;   // arrival -> completion
@@ -157,6 +165,22 @@ struct FleetMetrics {
   /// chunks and recompute re-runs) — the figure the cache shrinks; always
   /// populated so cache-on/off runs can be compared directly.
   std::uint64_t prefill_cycles = 0;
+
+  // ---- Disaggregated prefill/decode (FleetConfig::roles) ----
+  /// All zero on symmetric fleets (roles unset => no fabric, no migration).
+  std::uint64_t kv_migrations = 0;        // prompts shipped prefill -> decode
+  std::uint64_t kv_migrated_blocks = 0;   // KV blocks those shipments moved
+  std::uint64_t kv_migrate_wire_bytes = 0;  // bytes x hops on the ring fabric
+  double kv_migrate_ingest_ms = 0;  // receiver-side DMA-in time paid
+  std::uint64_t work_steals = 0;          // queued requests handed to idle peers
+  std::uint64_t steal_wire_bytes = 0;     // prompt-shipment bytes x hops
+  /// Requests this replica received from / shipped to peers (migrations +
+  /// steals, counted at delivery). Per-replica conservation becomes
+  /// completed + rejected + handoffs_out == offered + handoffs_in, which
+  /// reduces to the legacy identity on symmetric fleets (both 0);
+  /// fleet-wide the two sums are equal — nothing is lost on the wire.
+  std::uint64_t handoffs_in = 0;
+  std::uint64_t handoffs_out = 0;
 
   /// Per-request outcomes; empty unless requested via the ServingConfig.
   std::vector<RequestRecord> requests;

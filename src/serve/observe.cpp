@@ -44,6 +44,10 @@ const char* lifecycle_event_name(LifecycleEvent kind) {
       return "cache-hit";
     case LifecycleEvent::kCacheMiss:
       return "cache-miss";
+    case LifecycleEvent::kKvMigrate:
+      return "kv-migrate";
+    case LifecycleEvent::kSteal:
+      return "steal";
   }
   return "unknown";
 }

@@ -58,6 +58,10 @@ enum class LifecycleEvent : std::uint8_t {
   kDrain,          // deactivated replica begins draining admitted work
   kCacheHit,       // prefix-cache admission hit (a = tokens, b = blocks)
   kCacheMiss,      // prefix-cache admission found nothing cached
+  kKvMigrate,      // KV blocks landed from a prefill replica (a = blocks,
+                   // b = source replica); recorded on the receiving replica
+  kSteal,          // queued request stolen by an idle replica (a = source
+                   // replica); recorded on the thief at delivery
 };
 
 /// Stable CLI/export-facing event names ("route", "first-token", ...).
@@ -85,6 +89,7 @@ inline constexpr char kRecompute[] = "recompute";      // post-preempt rebuild
 inline constexpr char kHostSync[] = "host-sync";       // overhead + PCIe sync
 inline constexpr char kKvStall[] = "kv-stall";  // idle w/ queued, unadmittable
 inline constexpr char kKvSwap[] = "kv-swap";  // cache block DMA to/from host
+inline constexpr char kKvMigrate[] = "kv-migrate";  // migrated-KV ingest DMA
 inline constexpr char kSchedulerIdle[] = "scheduler-idle";  // idle, no work
 inline constexpr char kDrain[] = "drain";  // trailing idle until run end
 }  // namespace category
@@ -92,9 +97,9 @@ inline constexpr char kDrain[] = "drain";  // trailing idle until run end
 /// Every category in canonical (lexicographic) order — the exporters'
 /// iteration order, so metric line sets are stable across runs.
 inline constexpr const char* kCategories[] = {
-    category::kChunkedPrefill, category::kDecode,  category::kDrain,
-    category::kHostSync,       category::kKvStall, category::kKvSwap,
-    category::kPrefill,        category::kRecompute,
+    category::kChunkedPrefill, category::kDecode,    category::kDrain,
+    category::kHostSync,       category::kKvMigrate, category::kKvStall,
+    category::kKvSwap,         category::kPrefill,   category::kRecompute,
     category::kSchedulerIdle,
 };
 

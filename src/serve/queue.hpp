@@ -24,8 +24,24 @@ class RequestQueue {
     return true;
   }
 
+  /// Enqueues past the capacity bound. Hand-off arrivals only (KV
+  /// migration / work stealing): the request cleared admission control on
+  /// the replica it was routed to, so the transfer must not re-expose it
+  /// to load shedding — dropping it here would lose a request the fleet
+  /// already committed to.
+  void force_push(Request* request) {
+    queue_.push_back(request);
+    if (queue_.size() > peak_depth_) peak_depth_ = queue_.size();
+    if (queue_.size() > window_peak_depth_) window_peak_depth_ = queue_.size();
+  }
+
   Request* front() const { return queue_.empty() ? nullptr : queue_.front(); }
   void pop() { queue_.pop_front(); }
+
+  /// Youngest queued request — what a work-stealing neighbor takes (FIFO
+  /// fairness for everything the victim keeps).
+  Request* back() const { return queue_.empty() ? nullptr : queue_.back(); }
+  void pop_back() { queue_.pop_back(); }
 
   bool empty() const { return queue_.empty(); }
   std::size_t depth() const { return queue_.size(); }

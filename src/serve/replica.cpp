@@ -28,6 +28,8 @@ Request& Replica::make_request(workload::Scenario shape) {
   }
   auto [slot, r] = pool.emplace(engine, shared.injected++, std::move(shape));
   r.self = slot;
+  r.owner = this;
+  r.home = this;
   r.live_at_route = shared.live_replicas;
   ++routed;
   if (shared.observer != nullptr) {
@@ -47,6 +49,8 @@ void Replica::retire(const Request& r) {
   fr.cached_prefix = r.cached_prefix;
   fr.live_at_route = r.live_at_route;
   fr.rejected = r.state == RequestState::kRejected;
+  fr.migrated = r.migrated;
+  fr.stolen = r.stolen;
   fr.arrival = r.arrival;
   fr.admitted = r.admitted;
   fr.first_token = r.first_token;
@@ -136,83 +140,88 @@ sim::Task request_proc(Replica& f, Request& r) {
   while (true) {
     co_await r.grant.wait();
     r.grant.reset();
+    // A hand-off (KV migration, work steal) re-homes the request between
+    // grants, so every grant's bookkeeping reads the replica serving it
+    // NOW. Symmetric fleets never re-home: h is f for the request's whole
+    // life and this block is byte-for-byte the legacy body.
+    Replica& h = *r.home;
     if (r.state == RequestState::kRejected) {
       // Popped by the scheduler but impossible to admit (footprint larger
       // than the whole KV budget).
-      ++f.rejected;
+      ++h.rejected;
       if (obs != nullptr) {
-        obs->record(LifecycleEvent::kReject, f.engine.now(), r.id, f.id, 1);
+        obs->record(LifecycleEvent::kReject, h.engine.now(), r.id, h.id, 1);
       }
-      f.retire(r);
+      h.retire(r);
       r.done.set();
-      f.pool.erase(r.self);  // popped off the queue; no list holds it
+      r.owner->pool.erase(r.self);  // popped off the queue; no list holds it
       co_return;
     }
     // Wait for this request's turn through the time-shared pipeline, then
     // occupy it for the step.
-    co_await f.engine.delay(r.step_offset + r.step_cycles);
+    co_await h.engine.delay(r.step_offset + r.step_cycles);
     if (r.step_tokens > 0) {
       // Prefill chunk: advance the cursor. A partial chunk leaves the
       // request in the prefill class; the final chunk emits token #1.
       if (obs != nullptr && r.recovering && r.prompt_done == 0) {
-        obs->record(LifecycleEvent::kRecomputeStart, f.engine.now(), r.id,
-                    f.id, r.prefill_target());
+        obs->record(LifecycleEvent::kRecomputeStart, h.engine.now(), r.id,
+                    h.id, r.prefill_target());
       }
       r.prompt_done += r.step_tokens;
       ++r.prefill_chunks;
-      f.total_tokens += r.step_tokens;
-      if (f.cache) {
+      h.total_tokens += r.step_tokens;
+      if (h.cache) {
         // Publish every newly completed full prompt block: ownership moves
         // from the private list to the cache (no pool effect), so later
         // requests with the same prefix admit straight onto it. Recovery
         // re-prefills publish too — the dedup path re-shares the blocks
         // the preemption walked away from.
-        f.cache->commit(r.shape, r.id, r.prompt_done, r.shape.prefill, r.kv,
+        h.cache->commit(r.shape, r.id, r.prompt_done, r.shape.prefill, r.kv,
                         r.cache);
       }
       if (obs != nullptr) {
         obs->record(r.prefill_chunks == 1 ? LifecycleEvent::kFirstChunk
                                           : LifecycleEvent::kChunk,
-                    f.engine.now(), r.id, f.id, r.step_tokens, r.prompt_done);
+                    h.engine.now(), r.id, h.id, r.step_tokens, r.prompt_done);
       }
       if (r.recovering && r.prefilled()) {
         // Post-preemption recompute done: the dropped KV is rebuilt and
         // admission of new competitors may resume.
         r.recovering = false;
-        --f.recovering;
+        --h.recovering;
         if (obs != nullptr) {
-          obs->record(LifecycleEvent::kRecomputeEnd, f.engine.now(), r.id,
-                      f.id, r.prompt_done);
+          obs->record(LifecycleEvent::kRecomputeEnd, h.engine.now(), r.id,
+                      h.id, r.prompt_done);
         }
       }
     } else {
       ++r.decoded;
     }
     // The token reaches the host only at batch egress + PCIe sync.
-    co_await f.engine.delay(r.post_step_cycles);
+    co_await h.engine.delay(r.post_step_cycles);
     // A decode step always emits a token. A final prefill chunk emits
     // token #1 — unless this was a post-preemption re-prefill of tokens
     // the host has already seen (emitted_token), which only rebuilds KV.
     if (r.step_tokens == 0 || (r.prefilled() && !r.emitted_token)) {
-      const sim::Cycles now = f.engine.now();
+      const sim::Cycles now = h.engine.now();
       if (obs != nullptr) {
         obs->record(r.decoded == 0 ? LifecycleEvent::kFirstToken
                                    : LifecycleEvent::kDecode,
-                    now, r.id, f.id, r.decoded);
+                    now, r.id, h.id, r.decoded);
       }
       if (r.decoded == 0) {
         r.first_token = now;
-        if (f.shared.ttft_window != nullptr) {
+        if (h.shared.ttft_window != nullptr) {
           // Autoscaler SLO signal, fed at emission (not completion) so the
           // control loop sees the tail as it forms. Pure bookkeeping — no
           // engine events, so attaching a window cannot change timing.
-          f.shared.ttft_window->push(f.ms(now), f.ms(now - r.arrival));
+          h.shared.ttft_window->push(h.ms(now), h.ms(now - r.arrival));
         }
       }
       if (r.emitted_token) {
         const sim::Cycles gap = now - r.last_token;
         r.max_token_gap = std::max(r.max_token_gap, gap);
-        f.gap_cycles.push_back(gap);
+        h.gap_cycles.push_back(gap);
       }
       r.emitted_token = true;
       r.last_token = now;
@@ -221,8 +230,9 @@ sim::Task request_proc(Replica& f, Request& r) {
     r.latch->count_down();  // batch barrier: everyone reaches egress together
     if (finished) break;
   }
-  f.record_completion(r);
-  f.work.set();  // freed KV slots may unblock the queue head
+  Replica& h = *r.home;  // where the request actually finished
+  h.record_completion(r);
+  h.work.set();  // freed KV slots may unblock the queue head
   r.done.set();
 }
 
@@ -288,7 +298,18 @@ void admit_from_queue(Replica& f) {
     }
     const std::uint32_t admit_tokens =
         f.paged_admission() ? r->shape.prefill : r->shape.total();
-    if (f.cache) {
+    if (r->migrated) {
+      // Migrated-in decode phase: the KV landed whole, so admission must
+      // cover everything already cached (prompt + any pre-migration decode
+      // tokens), and the prefix-cache lookup is skipped — the prompt is
+      // fully prefilled and an acquire would reset its cursor. The ingest
+      // DMA was already deposited in the kv-migrate ledger at delivery.
+      const std::uint32_t need =
+          f.paged_admission() ? r->kv_len() : r->shape.total();
+      if (!cache_aware_grow(f, r->kv, need)) {
+        break;  // KV backpressure: retry when a completion frees blocks
+      }
+    } else if (f.cache) {
       const PrefixHit hit = f.cache->acquire(
           r->shape, r->id, r->shape.prefill, r->prefill_target(), r->cache);
       if (!cache_aware_grow(f, r->kv, private_tokens(*r, admit_tokens))) {
@@ -321,7 +342,9 @@ void admit_from_queue(Replica& f) {
       break;  // KV backpressure
     }
     f.queue.pop();
-    r->admitted = f.engine.now();
+    // A migrated request was admitted once already (queue-wait is the time
+    // before its FIRST admission); everything else stamps now.
+    if (!r->migrated) r->admitted = f.engine.now();
     r->state = RequestState::kRunning;
     ++f.active;
     ++f.shared.active;
@@ -332,8 +355,18 @@ void admit_from_queue(Replica& f) {
                                 f.id, f.active);
     }
     f.ready.push_back(r);
-    // FIFO admission over monotone ids keeps the age list id-sorted.
-    f.age.push_back(r);
+    if (r->migrated || r->stolen) {
+      // Hand-off arrivals can land out of id order; the preemption age
+      // scans rely on the list staying id-sorted, so insert in place.
+      Request* pos = f.age.tail;
+      while (pos != nullptr && pos->id > r->id) {
+        pos = pos->link_prev[kAgeChannel];
+      }
+      f.age.insert_after(pos, r);
+    } else {
+      // FIFO admission over monotone ids keeps the age list id-sorted.
+      f.age.push_back(r);
+    }
   }
 }
 
@@ -491,7 +524,129 @@ void ensure_kv_blocks(Replica& f, std::vector<ScheduledStep>& batch,
   batch.resize(keep);
 }
 
+// ---- Disaggregation (FleetConfig::roles; every call site is gated on
+// f.disagg != nullptr, so symmetric fleets never reach this code) ----
+
+/// Least-loaded decode replica that could ever hold `r`'s full footprint;
+/// ties keep the lowest index (scan order). Null when no decode replica
+/// can take it — the prefill replica then just decodes it locally.
+Replica* pick_migration_target(Replica& f, const Request& r) {
+  Replica* best = nullptr;
+  for (Replica* d : f.disagg->replicas) {
+    if (d->role != ReplicaRole::kDecode) continue;
+    if (!d->kv.can_ever_fit(r.shape.total())) continue;
+    if (best == nullptr || d->outstanding() < best->outstanding()) best = d;
+  }
+  return best;
+}
+
+/// Detaches `r` from the prefill replica and launches the KV transfer. The
+/// request leaves this replica entirely: cache references return (release
+/// resets the binding, so the decode side starts clean), the private
+/// blocks go back to the pool — the fabric ships a byte-for-byte copy, not
+/// block identities — and the admitted-set counters drop until the decode
+/// replica re-admits it at delivery. `r`'s root process is parked on its
+/// grant signal throughout; the next grant comes from `dst`'s scheduler.
+void begin_migration(Replica& f, Request& r, Replica& dst) {
+  const std::uint32_t blocks = f.kv.blocks_for(r.kv_len());
+  if (f.cache) f.cache->release(r.cache);
+  f.kv.release_all(r.kv);
+  f.age.unlink(&r);
+  r.state = RequestState::kQueued;
+  r.migrated = true;
+  --f.active;
+  --f.shared.active;
+  ++f.migrations_out;
+  f.migrated_blocks_out += blocks;
+  f.engine.spawn(migrate_proc(f, dst, r, blocks));
+}
+
+/// One steal attempt by an idle replica about to park: takes the youngest
+/// queued request from the deepest backlog among prefill/general peers
+/// (threshold two — never empties a victim that could start the work as
+/// soon as its current batch drains; ties keep the lowest index). At most
+/// one steal in flight per thief, and a request is stolen at most once.
+void maybe_steal(Replica& f) {
+  if (f.steal_inflight || !f.queue.empty()) return;
+  Replica* victim = nullptr;
+  for (Replica* v : f.disagg->replicas) {
+    if (v == &f || v->role == ReplicaRole::kDecode) continue;
+    if (v->queue.depth() < 2) continue;
+    Request* b = v->queue.back();
+    if (b->state != RequestState::kQueued || b->migrated || b->stolen) {
+      continue;
+    }
+    if (!f.kv.can_ever_fit(b->shape.total())) continue;
+    if (victim == nullptr || v->queue.depth() > victim->queue.depth()) {
+      victim = v;
+    }
+  }
+  if (victim == nullptr) return;
+  Request* r = victim->queue.back();
+  victim->queue.pop_back();
+  r->stolen = true;
+  ++victim->steals_out;
+  f.steal_inflight = true;
+  f.engine.spawn(steal_proc(f, *victim, *r));
+}
+
 }  // namespace
+
+sim::Task migrate_proc(Replica& src, Replica& dst, Request& r,
+                       std::uint32_t blocks) {
+  net::RingFabric& fabric = *src.disagg->fabric;
+  const std::size_t n = fabric.num_nodes();
+  const std::size_t hops = (dst.id + n - src.id) % n;
+  const std::uint64_t block_bytes = src.kv.block_bytes();
+  for (std::uint32_t b = 0; b < blocks; ++b) {
+    net::Datapack pack;
+    pack.bytes = block_bytes;
+    pack.src_node = src.id;
+    pack.block = b;
+    pack.last = b + 1 == blocks;
+    co_await fabric.transfer(src.id, dst.id, pack);
+  }
+  src.migrate_wire_bytes += block_bytes * blocks * hops;
+  // Delivery: re-home, deposit the landing DMA in dst's kv-migrate ledger
+  // (drained into the breakdown at its next iteration), and enqueue past
+  // the capacity bound — the request cleared admission control once and
+  // must not be re-exposed to load shedding.
+  r.home = &dst;
+  ++src.handoffs_out;
+  ++dst.handoffs_in;
+  ++dst.migrations_in;
+  dst.pending_migrate_cycles += dst.costs.kv_ingest_cycles(block_bytes *
+                                                           blocks);
+  if (dst.shared.observer != nullptr) {
+    dst.shared.observer->record(LifecycleEvent::kKvMigrate, dst.engine.now(),
+                                r.id, dst.id, blocks, src.id);
+  }
+  dst.queue.force_push(&r);
+  dst.work.set();
+}
+
+sim::Task steal_proc(Replica& thief, Replica& victim, Request& r) {
+  net::RingFabric& fabric = *thief.disagg->fabric;
+  const std::size_t n = fabric.num_nodes();
+  const std::size_t hops = (thief.id + n - victim.id) % n;
+  net::Datapack pack;
+  pack.bytes = static_cast<std::uint64_t>(r.shape.prefill) * 4;  // token ids
+  pack.src_node = victim.id;
+  pack.last = true;
+  co_await fabric.transfer(victim.id, thief.id, pack);
+  thief.steal_wire_bytes += pack.bytes * hops;
+  r.home = &thief;
+  ++victim.handoffs_out;
+  ++thief.handoffs_in;
+  ++thief.steals_in;
+  thief.steal_inflight = false;
+  if (thief.shared.observer != nullptr) {
+    thief.shared.observer->record(LifecycleEvent::kSteal, thief.engine.now(),
+                                  r.id, thief.id, victim.id);
+  }
+  thief.queue.force_push(&r);
+  thief.work.set();
+}
 
 sim::Task scheduler_proc(Replica& f) {
   Observer* const obs = f.shared.observer;
@@ -555,9 +710,18 @@ sim::Task scheduler_proc(Replica& f) {
       }
     }
     if (f.batch.empty()) {
-      if (f.shared.arrivals_done() && f.queue.empty() && f.ready.empty()) {
+      if (f.shared.arrivals_done() && f.queue.empty() && f.ready.empty() &&
+          f.disagg == nullptr) {
+        // Disaggregated replicas never take this exit: a hand-off can
+        // still land as long as any peer holds work (a prompt finishing
+        // later will pick this decode replica as its target). They park
+        // below instead — when the whole fleet drains no event wakes them
+        // again, the engine runs out of work, and the parked coroutines
+        // are destroyed un-resumed with the run frame (their open wait
+        // becomes drain in the observer).
         break;
       }
+      if (f.disagg != nullptr) maybe_steal(f);
       if (obs != nullptr) {
         // Classified at sleep time: a non-empty queue means admitted work
         // is blocked on KV blocks (kv-stall), an empty one that there is
@@ -620,6 +784,19 @@ sim::Task scheduler_proc(Replica& f) {
         }
         offset += swap;
       }
+    }
+    if (f.disagg != nullptr && f.pending_migrate_cycles > 0) {
+      // Migrated-KV ingest DMA deposited since the last iteration occupies
+      // the pipeline before compute, exactly like the swap ledger above;
+      // its own `kv-migrate` category keeps the tiling identity exact.
+      const sim::Cycles mig = f.pending_migrate_cycles;
+      f.pending_migrate_cycles = 0;
+      f.migrate_ingest_cycles += mig;
+      if (obs != nullptr) {
+        obs->add_span(f.id, category::kKvMigrate, rec.start + offset,
+                      rec.start + offset + mig);
+      }
+      offset += mig;
     }
     sim::Cycles prefill_span = 0;
     const bool decodes_first =
@@ -795,9 +972,24 @@ sim::Task scheduler_proc(Replica& f) {
     for (const ScheduledStep& s : f.batch) {
       Request* r = s.request;
       if (r->state == RequestState::kRunning && !r->finished()) {
+        if (f.disagg != nullptr && f.role == ReplicaRole::kPrefill &&
+            r->prefilled() && !r->migrated) {
+          // The prompt's last chunk just ran (token #1 — the TTFT stamp —
+          // already went out at this iteration's egress): ship the KV to a
+          // decode replica instead of decoding here. No viable target
+          // means the prompt decodes locally, gracefully.
+          Replica* dst = pick_migration_target(f, *r);
+          if (dst != nullptr) {
+            begin_migration(f, *r, *dst);
+            continue;
+          }
+        }
         f.ready.push_back(r);
       } else {
-        f.pool.erase(r->self);
+        // Retired members recycle through the arena that allocated them —
+        // under disaggregation the request may have finished replicas away
+        // from its slot's owner.
+        r->owner->pool.erase(r->self);
       }
     }
   }
@@ -917,6 +1109,18 @@ FleetMetrics finalize_metrics(Replica& f) {
   m.preemptions = f.preemptions;
   m.recompute_tokens = f.recompute_tokens;
   m.recompute_ms = f.cfg.arch.cycles_to_ms(f.recompute_cycles);
+  if (f.disagg != nullptr) {
+    // Out-side counters only: the fleet sums per-replica metrics, so
+    // counting both ends would double every migration/steal.
+    m.kv_migrations = f.migrations_out;
+    m.kv_migrated_blocks = f.migrated_blocks_out;
+    m.kv_migrate_wire_bytes = f.migrate_wire_bytes;
+    m.kv_migrate_ingest_ms = f.cfg.arch.cycles_to_ms(f.migrate_ingest_cycles);
+    m.work_steals = f.steals_out;
+    m.steal_wire_bytes = f.steal_wire_bytes;
+    m.handoffs_in = f.handoffs_in;
+    m.handoffs_out = f.handoffs_out;
+  }
   if (f.cfg.keep_request_records) {
     // The retirement log is in completion order; records went out in
     // creation (== id) order before, so sort by id to match byte for byte.
@@ -936,6 +1140,8 @@ FleetMetrics finalize_metrics(Replica& f) {
       rec.cached_prefix_tokens = r.cached_prefix;
       rec.live_replicas = r.live_at_route;
       rec.rejected = r.rejected;
+      rec.migrated = r.migrated;
+      rec.stolen = r.stolen;
       if (!rec.rejected) {
         rec.queue_wait_ms = f.ms(r.admitted - r.arrival);
         rec.ttft_ms = f.ms(r.first_token - r.arrival);

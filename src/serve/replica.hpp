@@ -22,6 +22,8 @@
 #include <vector>
 
 #include "core/step_cost.hpp"
+#include "net/fabric.hpp"
+#include "serve/fleet.hpp"
 #include "serve/kv_block.hpp"
 #include "serve/metrics.hpp"
 #include "serve/queue.hpp"
@@ -87,6 +89,19 @@ struct FleetShared {
   bool arrivals_done() const { return injected >= target; }
 };
 
+/// Shared state of one disaggregated fleet run (FleetConfig::roles). Off =
+/// absent: symmetric fleets never construct one — Replica::disagg stays
+/// null, no fabric exists, and every disaggregation branch in the engine
+/// room is dead, which is what keeps role-less output byte-identical.
+struct DisaggShared {
+  /// The timed KV-migration ring (one simplex link per replica). Owned by
+  /// the fleet run frame alongside the engine.
+  net::RingFabric* fabric = nullptr;
+  /// Every replica of the run in fleet order — migration target and
+  /// work-steal victim picks scan this (deterministic index tie-breaks).
+  std::vector<Replica*> replicas;
+};
+
 /// Plain-data snapshot of a retired request, appended the moment it
 /// completes or is rejected. The Request object itself is recycled into the
 /// arena right away; everything read after the run — RequestRecords,
@@ -100,6 +115,8 @@ struct FinishedRequest {
   std::uint32_t cached_prefix = 0;
   std::uint32_t live_at_route = 1;
   bool rejected = false;
+  bool migrated = false;  // KV shipped to a decode replica mid-flight
+  bool stolen = false;    // taken from a neighbor's queue while Queued
   sim::Cycles arrival = 0;
   sim::Cycles admitted = 0;
   sim::Cycles first_token = 0;
@@ -146,6 +163,11 @@ struct Replica {
   /// Content-addressed prefix cache over `kv`; engaged only when
   /// cfg.prefix_cache is set (see the ctor note — off means absent).
   std::optional<PrefixCache> cache;
+
+  // ---- Disaggregation (set by the fleet harness before any process
+  // spawns; both stay at their defaults on symmetric/single runs) ----
+  ReplicaRole role = ReplicaRole::kGeneral;
+  DisaggShared* disagg = nullptr;
 
   bool paged_admission() const {
     return cfg.scheduler.preempt != PreemptPolicy::kNone;
@@ -200,6 +222,33 @@ struct Replica {
   /// shrinks, and what the chat-cache pin compares across runs.
   sim::Cycles prefill_cycles_executed = 0;
 
+  // ---- Disaggregation counters (all 0 when `disagg` is absent) ----
+  std::uint64_t migrations_out = 0;  // prompts whose KV this replica shipped
+  std::uint64_t migrations_in = 0;   // migrated KV lists landed here
+  std::uint64_t migrated_blocks_out = 0;  // KV blocks shipped out
+  /// Bytes this replica's migrations put on the wire: payload x hops —
+  /// multi-hop paths serialize on every link crossed, and the fabric's
+  /// total_bytes() counts them the same way (conservation invariant).
+  std::uint64_t migrate_wire_bytes = 0;
+  std::uint64_t steals_out = 0;       // queued requests neighbors took
+  std::uint64_t steals_in = 0;        // queued requests this replica took
+  std::uint64_t steal_wire_bytes = 0;  // prompt bytes x hops (thief side)
+  /// Ingest-DMA ledger: migrate_proc deposits the landing price here; the
+  /// scheduler drains it into the iteration offset (and a `kv-migrate`
+  /// span when observed) exactly like the prefix cache's swap ledger, so
+  /// the tiling identity holds with migration active.
+  sim::Cycles pending_migrate_cycles = 0;
+  sim::Cycles migrate_ingest_cycles = 0;  // drained total, for metrics
+  /// Hand-offs that re-homed a request here / away from here (migrations +
+  /// steals, counted at delivery). Balance outstanding(): a migrated
+  /// request stays the source's load until it lands.
+  std::uint32_t handoffs_in = 0;
+  std::uint32_t handoffs_out = 0;
+  /// True while this replica's one permitted in-flight steal is on the
+  /// wire (prevents an idle replica from draining a whole neighbor queue
+  /// before the first stolen request even lands).
+  bool steal_inflight = false;
+
   // ---- Prefix-cache counters (all 0 when `cache` is absent) ----
   std::uint64_t cache_lookups = 0;        // admissions that consulted it
   std::uint64_t cache_lookup_tokens = 0;  // prompt tokens offered to lookup
@@ -225,9 +274,12 @@ struct Replica {
   /// Requests routed here and not yet finished or rejected — the "queued +
   /// running" load the join-shortest-queue balancer compares. Counted from
   /// routing (not queue push) so same-cycle burst arrivals are visible to
-  /// the very next routing decision.
+  /// the very next routing decision. Hand-offs (KV migration / work
+  /// stealing) re-home the load at delivery time; both counters are 0 on
+  /// symmetric fleets, reducing to the legacy routed - resolved.
   std::uint32_t outstanding() const {
-    return routed - static_cast<std::uint32_t>(completed + rejected);
+    return routed + handoffs_in - handoffs_out -
+           static_cast<std::uint32_t>(completed + rejected);
   }
 
   double ms(sim::Cycles c) const { return cfg.arch.cycles_to_ms(c); }
@@ -256,6 +308,21 @@ sim::Task request_proc(Replica& f, Request& r);
 /// replica has drained. Livelock-freedom under kRecomputeYoungest holds
 /// per replica (eviction never crosses replicas — each owns its KV pool).
 sim::Task scheduler_proc(Replica& f);
+
+/// KV migration transfer (disaggregated fleets): ships `blocks` Datapacks
+/// of `r`'s KV from `src` to `dst` over the fleet fabric, then re-homes
+/// the request — r.home = dst, ingest price into dst's kv-migrate ledger,
+/// force-push into dst's queue, work nudge. Spawned by src's scheduler at
+/// the prompt's last chunk; r's KV blocks on `src` were already released
+/// (the descriptor-only fabric moves bytes, not block identities).
+sim::Task migrate_proc(Replica& src, Replica& dst, Request& r,
+                       std::uint32_t blocks);
+
+/// Work-steal transfer: ships `r`'s prompt token ids from `victim`'s
+/// queue to the idle `thief`, then re-homes and enqueues it there. No KV
+/// moves (the request was still Queued), so nothing lands in the
+/// kv-migrate ledger — the wire time on the shared fabric is the price.
+sim::Task steal_proc(Replica& thief, Replica& victim, Request& r);
 
 /// Engine callback (`Engine::schedule_call`) that performs the fast
 /// path's entire root-process body — stamp arrival, enqueue (or reject

@@ -27,6 +27,10 @@
 
 namespace looplynx::serve {
 
+namespace detail {
+struct Replica;
+}  // namespace detail
+
 /// Intrusive-list hook channels in Request. A request can be linked on one
 /// list per channel at a time; membership is part of the scheduler's state
 /// machine, not a container copy.
@@ -160,6 +164,23 @@ struct Request {
   bool finished() const { return prefilled() && decoded >= shape.decode; }
 
   sim::CountdownLatch* latch = nullptr;  // batch barrier of the iteration
+
+  // ---- Disaggregated fleets (FleetConfig::roles) ----
+  /// The replica whose arena slot this request occupies (== where the
+  /// balancer routed it). Fixed for life: whoever retires the request
+  /// erases through owner->pool, however many replicas it visited.
+  detail::Replica* owner = nullptr;
+  /// The replica currently scheduling this request. Equals `owner` until a
+  /// KV migration or work steal re-homes it; the root process re-reads it
+  /// after every grant so bookkeeping lands on the serving replica.
+  detail::Replica* home = nullptr;
+  /// KV migrated to a decode replica after the prompt's last chunk. At
+  /// most once per request — a preemption on the decode side recomputes
+  /// locally rather than shipping KV again.
+  bool migrated = false;
+  /// Stolen from a neighbor's admission queue while still Queued (work
+  /// stealing); at most once — a stolen request is never re-stolen.
+  bool stolen = false;
 
   sim::Signal grant;  // one set() == one iteration turn
   sim::Signal done;   // completion/rejection broadcast (closed-loop clients)

@@ -13,12 +13,19 @@ inline constexpr char kServeSweepSha256[] =
 /// Canonical Chrome-trace + Prometheus exports of two observed sweep
 /// points; pins every byte both exporters emit (DESIGN.md §7).
 inline constexpr char kObserveExportSha256[] =
-    "62ef3a28a5e92a498a12705b3fbf6f0efcc93d6caf4004af86d55d10aefaff1f";
+    "ab758665507bb3d07ce56bd8bab72d4630a1727f2e3704aba549957f1f95d018";
 
 /// Canonical prefix-cache sweep (multi-turn chat traffic through the
 /// content-addressed cache, eviction tiers included); pins the cache
 /// counters and every request's cached-prefix split (DESIGN.md §8).
 inline constexpr char kCacheSweepSha256[] =
     "7a4e973f0aff16e7527525a95b1d088dc6da75186032d8cbe9ee05b60c863782";
+
+/// Canonical disaggregated prefill/decode sweep (role splits with KV
+/// migration and work stealing over the ring fabric); pins the migration
+/// counters, fabric byte totals and every request's migrated/stolen
+/// split (DESIGN.md §10).
+inline constexpr char kDisaggSweepSha256[] =
+    "106df0c5e9352710e7f76e41dbfa8dfa84a98ddcd9450869096fb1a1a1e8ba6d";
 
 }  // namespace looplynx::golden

@@ -134,7 +134,47 @@ void serialize_cache(std::string& out, const std::string& tag,
          std::to_string(m.cache_blocks_at_end) + "\n";
   out += "cachedreq";
   for (const RequestRecord& r : m.requests) {
-    out += " " + std::to_string(r.cached_prefix_tokens);
+    // Plain appends: GCC 12's -Wrestrict false-positive (PR105651).
+    out += " ";
+    out += std::to_string(r.cached_prefix_tokens);
+  }
+  out += "\n";
+}
+
+/// Disaggregated-point serialization: the base fleet record plus the
+/// migration/steal counters, the fabric byte total and every request's
+/// migrated/stolen split. Only the disagg sweep uses this — the symmetric
+/// sweeps keep their exact serialization (and digest).
+void serialize_disagg(std::string& out, const std::string& tag,
+                      const FleetResult& r) {
+  serialize(out, tag, r);
+  out += "roles";
+  for (const ReplicaRole role : r.roles) {
+    out += " ";
+    out += replica_role_name(role);
+  }
+  out += "\n";
+  // Plain appends: GCC 12's -Wrestrict false-positive (PR105651).
+  const FleetMetrics& m = r.fleet;
+  out += "migrate ";
+  out += std::to_string(m.kv_migrations);
+  out += " ";
+  out += std::to_string(m.kv_migrated_blocks);
+  out += " ";
+  out += std::to_string(m.kv_migrate_wire_bytes);
+  out += " ";
+  out += std::to_string(r.fabric_bytes);
+  out += " ";
+  out += hex(m.kv_migrate_ingest_ms);
+  out += "\n";
+  out += "steal ";
+  out += std::to_string(m.work_steals);
+  out += " ";
+  out += std::to_string(m.steal_wire_bytes);
+  out += "\n";
+  out += "handoff";
+  for (const RequestRecord& req : m.requests) {
+    out += req.migrated ? " M" : (req.stolen ? " S" : " -");
   }
   out += "\n";
 }
@@ -328,6 +368,49 @@ std::string canonical_cache_sweep() {
   return out;
 }
 
+/// The canonical *disaggregated* sweep: prefill/decode role splits with
+/// KV migration (and, on the jsq point, work stealing) over the ring
+/// fabric. Pins the migration counters, fabric byte totals and every
+/// request's migrated/stolen split on top of the base fleet record; kept
+/// separate from canonical_sweep() so the symmetric digest never moves.
+std::string canonical_disagg_sweep() {
+  std::string out;
+  const auto disagg_base = [](std::uint32_t n) {
+    FleetConfig cfg = FleetConfig::homogeneous(
+        golden_base(), n, BalancerPolicy::kJoinShortestQueue);
+    // 64-byte hops at a modest rate so migrations take visible wire time.
+    cfg.kv_link.bytes_per_cycle = 16.0;
+    return cfg;
+  };
+  {
+    FleetConfig cfg = disagg_base(2);
+    cfg.roles = {ReplicaRole::kPrefill, ReplicaRole::kDecode};
+    serialize_disagg(out, "disagg-1p1d-jsq", FleetSim(cfg).run());
+  }
+  {
+    FleetConfig cfg = disagg_base(3);
+    cfg.roles = {ReplicaRole::kPrefill, ReplicaRole::kPrefill,
+                 ReplicaRole::kDecode};
+    cfg.balancer = BalancerPolicy::kRoundRobin;
+    serialize_disagg(out, "disagg-2p1d-rr", FleetSim(cfg).run());
+  }
+  {
+    // Paged + chunked prefill on the prefill side: migration fires on the
+    // *last* chunk, and block-granular lists cross the fabric.
+    ServingConfig base = golden_base();
+    base.scheduler.policy = BatchPolicy::kChunkedMixed;
+    base.scheduler.max_tokens_per_iter = 16;
+    base.kv_block_tokens = 4;
+    FleetConfig cfg = FleetConfig::homogeneous(
+        base, 3, BalancerPolicy::kJoinShortestQueue);
+    cfg.kv_link.bytes_per_cycle = 16.0;
+    cfg.roles = {ReplicaRole::kPrefill, ReplicaRole::kGeneral,
+                 ReplicaRole::kDecode};
+    serialize_disagg(out, "disagg-paged-mixed-roles", FleetSim(cfg).run());
+  }
+  return out;
+}
+
 /// The canonical *observed* export: two sweep points re-run with an
 /// Observer attached — the paged-recompute single (preempt/recompute
 /// lifecycle traffic) and the queue-policy autoscaled fleet (scale/drain
@@ -419,6 +502,23 @@ TEST(DeterminismGolden, CanonicalObservedExportMatchesCheckedInDigest) {
          "determinism regression in the observability path.";
 }
 
+TEST(DeterminismGolden, CanonicalDisaggSweepMatchesCheckedInDigest) {
+  const std::string text = canonical_disagg_sweep();
+  const std::string digest = util::sha256_hex(text);
+  if (std::getenv("GOLDEN_PRINT") != nullptr) {
+    std::fputs(text.c_str(), stdout);
+    std::printf("SHA256-DISAGG %s\n", digest.c_str());
+    GTEST_SKIP() << "GOLDEN_PRINT set: emitted canonical disagg sweep, "
+                    "skipped the digest comparison";
+  }
+  EXPECT_EQ(digest, golden::kDisaggSweepSha256)
+      << "The canonical disaggregated sweep changed. An intentional "
+         "migration or scheduling change moves this hash — inspect it "
+         "(GOLDEN_PRINT=1 ./test_determinism_golden) and regenerate with "
+         "tools/regen_determinism_golden.sh; anything else is a "
+         "determinism regression in the disaggregation path.";
+}
+
 TEST(DeterminismGolden, CanonicalCacheSweepMatchesCheckedInDigest) {
   const std::string text = canonical_cache_sweep();
   const std::string digest = util::sha256_hex(text);
@@ -445,6 +545,8 @@ TEST(DeterminismGolden, CanonicalSweepIsReproducibleInProcess) {
             util::sha256_hex(canonical_observed_export()));
   EXPECT_EQ(util::sha256_hex(canonical_cache_sweep()),
             util::sha256_hex(canonical_cache_sweep()));
+  EXPECT_EQ(util::sha256_hex(canonical_disagg_sweep()),
+            util::sha256_hex(canonical_disagg_sweep()));
 }
 
 /// Known-answer test for the hasher itself (FIPS 180-4 vectors), so a

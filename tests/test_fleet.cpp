@@ -438,6 +438,115 @@ TEST(FleetCliTest, RejectsBalancerWithoutFleet) {
                std::invalid_argument);
 }
 
+TEST(FleetCliTest, ParsesRolesAndKvLink) {
+  const SchedulerCliOptions disagg = parse_scheduler_cli(
+      make_cli({"--replicas=3", "--roles=prefill,general,decode"}));
+  ASSERT_EQ(disagg.roles.size(), 3u);
+  EXPECT_EQ(disagg.roles[0], ReplicaRole::kPrefill);
+  EXPECT_EQ(disagg.roles[1], ReplicaRole::kGeneral);
+  EXPECT_EQ(disagg.roles[2], ReplicaRole::kDecode);
+  EXPECT_TRUE(disagg.disaggregated());
+  // --kv-link-gbps defaults to 100 GB/s whenever roles are set.
+  EXPECT_EQ(disagg.kv_link_gbps, 100.0);
+
+  const SchedulerCliOptions tuned = parse_scheduler_cli(
+      make_cli({"--replicas=2", "--roles=prefill,decode",
+                "--kv-link-gbps=8.5"}));
+  EXPECT_EQ(tuned.kv_link_gbps, 8.5);
+
+  // No roles => symmetric fleet; the disagg surface stays absent.
+  const SchedulerCliOptions plain =
+      parse_scheduler_cli(make_cli({"--replicas=2"}));
+  EXPECT_TRUE(plain.roles.empty());
+  EXPECT_FALSE(plain.disaggregated());
+}
+
+TEST(FleetCliTest, RejectsRolesWithoutFleet) {
+  // One replica cannot disaggregate: migration needs a distinct target.
+  EXPECT_THROW(parse_scheduler_cli(
+                   make_cli({"--roles=prefill,decode"})),
+               std::invalid_argument);
+  EXPECT_THROW(parse_scheduler_cli(
+                   make_cli({"--replicas=1", "--roles=decode"})),
+               std::invalid_argument);
+}
+
+TEST(FleetCliTest, RejectsRoleCountMismatch) {
+  EXPECT_THROW(parse_scheduler_cli(
+                   make_cli({"--replicas=3", "--roles=prefill,decode"})),
+               std::invalid_argument);
+  EXPECT_THROW(parse_scheduler_cli(
+                   make_cli({"--replicas=2",
+                             "--roles=prefill,prefill,decode"})),
+               std::invalid_argument);
+  EXPECT_THROW(parse_scheduler_cli(make_cli({"--replicas=2", "--roles="})),
+               std::invalid_argument);
+}
+
+TEST(FleetCliTest, RejectsBadRoleNamesAndLinkRates) {
+  EXPECT_THROW(parse_scheduler_cli(
+                   make_cli({"--replicas=2", "--roles=prefill,gpu"})),
+               std::invalid_argument);
+  EXPECT_THROW(parse_replica_role("encode"), std::invalid_argument);
+  // A zero- or negative-rate link never delivers a block.
+  EXPECT_THROW(parse_scheduler_cli(
+                   make_cli({"--replicas=2", "--roles=prefill,decode",
+                             "--kv-link-gbps=0"})),
+               std::invalid_argument);
+  EXPECT_THROW(parse_scheduler_cli(
+                   make_cli({"--replicas=2", "--roles=prefill,decode",
+                             "--kv-link-gbps=-4"})),
+               std::invalid_argument);
+  // --kv-link-gbps without --roles must not silently do nothing.
+  EXPECT_THROW(parse_scheduler_cli(
+                   make_cli({"--replicas=2", "--kv-link-gbps=50"})),
+               std::invalid_argument);
+}
+
+TEST(FleetCliTest, RejectsRolesWithAutoscale) {
+  // The autoscaler's live-prefix mask could park whole role classes.
+  EXPECT_THROW(parse_scheduler_cli(
+                   make_cli({"--autoscale", "--roles=prefill,decode"})),
+               std::invalid_argument);
+}
+
+TEST(FleetCliTest, RoleNamesRoundTrip) {
+  EXPECT_EQ(parse_replica_role("general"), ReplicaRole::kGeneral);
+  EXPECT_EQ(parse_replica_role("prefill"), ReplicaRole::kPrefill);
+  EXPECT_EQ(parse_replica_role("decode"), ReplicaRole::kDecode);
+  EXPECT_STREQ(replica_role_name(ReplicaRole::kGeneral), "general");
+  EXPECT_STREQ(replica_role_name(ReplicaRole::kPrefill), "prefill");
+  EXPECT_STREQ(replica_role_name(ReplicaRole::kDecode), "decode");
+}
+
+TEST(FleetSimTest, ValidatesDisaggRoleShape) {
+  ServingConfig base = base_config();
+  // Role list must cover the pool exactly.
+  FleetConfig mismatched = FleetConfig::homogeneous(base, 3);
+  mismatched.roles = {ReplicaRole::kPrefill, ReplicaRole::kDecode};
+  EXPECT_THROW(FleetSim{mismatched}, std::invalid_argument);
+
+  // At least one decode replica, at least one non-decode replica.
+  FleetConfig no_decode = FleetConfig::homogeneous(base, 2);
+  no_decode.roles = {ReplicaRole::kPrefill, ReplicaRole::kGeneral};
+  EXPECT_THROW(FleetSim{no_decode}, std::invalid_argument);
+  FleetConfig all_decode = FleetConfig::homogeneous(base, 2);
+  all_decode.roles = {ReplicaRole::kDecode, ReplicaRole::kDecode};
+  EXPECT_THROW(FleetSim{all_decode}, std::invalid_argument);
+
+  // A dead KV link can never migrate a block.
+  FleetConfig dead_link = FleetConfig::homogeneous(base, 2);
+  dead_link.roles = {ReplicaRole::kPrefill, ReplicaRole::kDecode};
+  dead_link.kv_link.bytes_per_cycle = 0;
+  EXPECT_THROW(FleetSim{dead_link}, std::invalid_argument);
+
+  // The same shape with a live link is valid.
+  FleetConfig ok = FleetConfig::homogeneous(base, 2);
+  ok.roles = {ReplicaRole::kPrefill, ReplicaRole::kDecode};
+  ok.kv_link.bytes_per_cycle = 32.0;
+  EXPECT_NO_THROW(FleetSim{ok});
+}
+
 TEST(FleetCliTest, BalancerNamesRoundTrip) {
   EXPECT_EQ(parse_balancer_policy("rr"), BalancerPolicy::kRoundRobin);
   EXPECT_EQ(parse_balancer_policy("jsq"), BalancerPolicy::kJoinShortestQueue);

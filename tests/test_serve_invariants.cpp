@@ -18,6 +18,12 @@
 //    chained from min_replicas, never outside [min, max], and the
 //    time-weighted live stats / replica-cycle cost are consistent with
 //    the log.
+//  - KV-transfer conservation (disaggregated fleets): every byte on the
+//    ring fabric is a migration or steal byte (x hops), two-replica
+//    topologies move exactly migrated-blocks x block-bytes over the wire,
+//    every migrated request finishes on a decode-role replica, and the
+//    per-replica cycle tiling (now including kv-migrate) still equals the
+//    makespan under observation.
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -29,6 +35,7 @@
 #include "serve/autoscaler.hpp"
 #include "serve/fleet.hpp"
 #include "serve/kv_block.hpp"
+#include "serve/observe.hpp"
 #include "serve/serving_sim.hpp"
 #include "serve/traffic.hpp"
 #include "workload/mix.hpp"
@@ -67,6 +74,9 @@ struct MatrixPoint {
   /// shapes whose replayed histories actually share content — the only
   /// traffic where cache invariants are non-vacuous across requests).
   bool chat = false;
+  /// Disaggregated prefill/decode roles (empty = symmetric fleet, no
+  /// fabric). Size must equal `replicas`.
+  std::vector<ReplicaRole> roles = {};
 };
 
 /// The matrix: every batch policy, both preempt policies, every balancer,
@@ -145,6 +155,36 @@ std::vector<MatrixPoint> matrix() {
                     .kv_budget_tokens = 128,
                     .prefix_cache = true,
                     .chat = true});
+  points.push_back({.name = "disagg-1p1d-jsq",
+                    .policy = BatchPolicy::kPrefillPriority,
+                    .balancer = BalancerPolicy::kJoinShortestQueue,
+                    .replicas = 2,
+                    .roles = {ReplicaRole::kPrefill, ReplicaRole::kDecode}});
+  points.push_back({.name = "disagg-2p1d-rr-bursty",
+                    .policy = BatchPolicy::kPrefillPriority,
+                    .replicas = 3,
+                    .bursty = true,
+                    .rate = 600.0,
+                    .roles = {ReplicaRole::kPrefill, ReplicaRole::kPrefill,
+                              ReplicaRole::kDecode}});
+  points.push_back({.name = "disagg-paged-chunked-pgd",
+                    .policy = BatchPolicy::kChunkedMixed,
+                    .chunk_tokens = 16,
+                    .kv_block_tokens = 4,
+                    .balancer = BalancerPolicy::kJoinShortestQueue,
+                    .replicas = 3,
+                    .rate = 1200.0,
+                    .roles = {ReplicaRole::kPrefill, ReplicaRole::kGeneral,
+                              ReplicaRole::kDecode}});
+  points.push_back({.name = "disagg-cache-chat-1p1d",
+                    .policy = BatchPolicy::kChunkedMixed,
+                    .chunk_tokens = 16,
+                    .kv_block_tokens = 4,
+                    .replicas = 2,
+                    .rate = 1200.0,
+                    .prefix_cache = true,
+                    .chat = true,
+                    .roles = {ReplicaRole::kPrefill, ReplicaRole::kDecode}});
   points.push_back({.name = "autoscale-hybrid-floor2",
                     .policy = BatchPolicy::kChunkedMixed,
                     .chunk_tokens = 24,
@@ -206,6 +246,10 @@ FleetConfig build_config(const MatrixPoint& p, std::uint64_t seed) {
   base.keep_request_records = true;
 
   FleetConfig cfg = FleetConfig::homogeneous(base, p.replicas, p.balancer);
+  if (!p.roles.empty()) {
+    cfg.roles = p.roles;
+    cfg.kv_link.bytes_per_cycle = 32.0;
+  }
   if (p.autoscale) {
     cfg.autoscale.enabled = true;
     cfg.autoscale.policy = p.scale_policy;
@@ -237,12 +281,19 @@ void check_invariants(const FleetConfig& cfg, const FleetResult& r,
   for (std::uint32_t i = 0; i < pool; ++i) {
     const FleetMetrics& rm = r.replicas[i];
     EXPECT_EQ(rm.offered, r.routed[i]);
-    EXPECT_EQ(rm.completed + rm.rejected, rm.offered);
+    // Hand-offs (KV migration / work stealing) move a routed request to a
+    // peer, so per-replica conservation carries the transfer terms; on a
+    // symmetric fleet both are 0 and this is the legacy identity.
+    EXPECT_EQ(rm.completed + rm.rejected + rm.handoffs_out,
+              rm.offered + rm.handoffs_in);
     routed_sum += r.routed[i];
     completed_sum += rm.completed;
   }
   EXPECT_EQ(routed_sum, fleet.offered);
   EXPECT_EQ(completed_sum, fleet.completed);
+  // Nothing is lost on the wire: every hand-off shipped is delivered.
+  EXPECT_EQ(fleet.handoffs_in, fleet.handoffs_out);
+  EXPECT_EQ(fleet.handoffs_out, fleet.kv_migrations + fleet.work_steals);
 
   // ---- KV block accounting ----
   EXPECT_EQ(fleet.kv_over_release_events, 0u);
@@ -274,6 +325,47 @@ void check_invariants(const FleetConfig& cfg, const FleetResult& r,
     EXPECT_GE(rec.queue_wait_ms, 0.0);
     EXPECT_LE(rec.queue_wait_ms, rec.ttft_ms);
     EXPECT_LE(rec.ttft_ms, rec.e2e_ms);
+  }
+
+  // ---- KV-transfer conservation (disaggregated fleets) ----
+  EXPECT_EQ(r.disaggregated, cfg.disaggregated());
+  if (cfg.disaggregated()) {
+    ASSERT_EQ(r.roles.size(), pool);
+    std::uint64_t migrated_records = 0, stolen_records = 0;
+    for (const RequestRecord& rec : fleet.requests) {
+      if (rec.migrated) {
+        ++migrated_records;
+        EXPECT_FALSE(rec.rejected);  // migration happens after admission
+        // Migration ships a finished prompt's KV to a decode replica, so
+        // every migrated request must have *finished* on one.
+        EXPECT_EQ(r.roles[rec.replica], ReplicaRole::kDecode)
+            << "migrated request " << rec.id
+            << " finished on non-decode replica " << rec.replica;
+      }
+      if (rec.stolen) ++stolen_records;
+    }
+    EXPECT_EQ(fleet.kv_migrations, migrated_records);
+    EXPECT_EQ(fleet.work_steals, stolen_records);
+    // Every byte the fabric carried is a migration or steal byte (each
+    // counted bytes x hops on both sides of the ledger).
+    EXPECT_EQ(r.fabric_bytes,
+              fleet.kv_migrate_wire_bytes + fleet.steal_wire_bytes);
+    if (pool == 2) {
+      // Two replicas: every migration path is exactly one hop, so the
+      // wire total is literally migrated blocks x block bytes.
+      const ServingConfig& base = cfg.replicas.front();
+      KvBlockManager probe(base.arch, base.model, 0, base.kv_block_tokens);
+      EXPECT_EQ(fleet.kv_migrate_wire_bytes,
+                fleet.kv_migrated_blocks * probe.block_bytes());
+    }
+  } else {
+    EXPECT_TRUE(r.roles.empty());
+    EXPECT_EQ(r.fabric_bytes, 0u);
+    EXPECT_EQ(fleet.kv_migrations, 0u);
+    EXPECT_EQ(fleet.kv_migrated_blocks, 0u);
+    EXPECT_EQ(fleet.kv_migrate_wire_bytes, 0u);
+    EXPECT_EQ(fleet.work_steals, 0u);
+    EXPECT_EQ(fleet.steal_wire_bytes, 0u);
   }
 
   // ---- Scale-event log ----
@@ -385,6 +477,51 @@ TEST(ServeInvariants, HundredThousandRequestSweep) {
   check_invariants(cfg, r, p.name);
   EXPECT_EQ(r.fleet.completed, 100000u);
   EXPECT_GT(r.fleet.preemptions, 0u);  // the paged pressure is non-vacuous
+}
+
+/// The disaggregated matrix points must actually migrate (and, across the
+/// steal-prone shapes, actually steal) for at least one seed — otherwise
+/// the KV-transfer conservation checks above are vacuous.
+TEST(ServeInvariants, DisaggPointsActuallyMigrate) {
+  std::uint64_t migrations = 0, blocks = 0, steals = 0;
+  for (const MatrixPoint& p : matrix()) {
+    if (p.roles.empty()) continue;
+    for (const std::uint64_t seed : {1ull, 7ull, 13ull}) {
+      const FleetMetrics m = FleetSim(build_config(p, seed)).run().fleet;
+      migrations += m.kv_migrations;
+      blocks += m.kv_migrated_blocks;
+      steals += m.work_steals;
+    }
+  }
+  EXPECT_GT(migrations, 0u);
+  EXPECT_GT(blocks, 0u);
+  // At least one matrix point x seed must exercise work stealing, or the
+  // steal-side conservation terms above are vacuous.
+  EXPECT_GT(steals, 0u);
+}
+
+/// Cycle tiling under disaggregation: with an Observer attached every
+/// replica's categories — now including kv-migrate — must still tile
+/// [0, makespan] exactly (Observer::finalize throws otherwise), and
+/// observation must not perturb the run's results.
+TEST(ServeInvariants, DisaggTilingHoldsAndObservationIsNeutral) {
+  for (const MatrixPoint& p : matrix()) {
+    if (p.roles.empty()) continue;
+    SCOPED_TRACE(p.name);
+    const FleetConfig cfg = build_config(p, /*seed=*/7);
+    const FleetResult plain = FleetSim(cfg).run();
+    Observer obs(cfg.replicas.size(), cfg.replicas.front().arch.frequency_hz);
+    const FleetResult observed = FleetSim(cfg).run(&obs);  // finalize asserts
+    EXPECT_EQ(observed.fleet.completed, plain.fleet.completed);
+    EXPECT_EQ(observed.fleet.kv_migrations, plain.fleet.kv_migrations);
+    EXPECT_EQ(observed.fleet.kv_migrated_blocks,
+              plain.fleet.kv_migrated_blocks);
+    EXPECT_EQ(observed.fleet.kv_migrate_wire_bytes,
+              plain.fleet.kv_migrate_wire_bytes);
+    EXPECT_EQ(observed.fleet.work_steals, plain.fleet.work_steals);
+    EXPECT_EQ(observed.fabric_bytes, plain.fabric_bytes);
+    EXPECT_DOUBLE_EQ(observed.fleet.duration_s, plain.fleet.duration_s);
+  }
 }
 
 /// And the autoscaled points must actually scale for at least one seed —

@@ -28,7 +28,10 @@ observe_hash="$(GOLDEN_PRINT=1 "$build_dir/test_determinism_golden" \
 cache_hash="$(GOLDEN_PRINT=1 "$build_dir/test_determinism_golden" \
           --gtest_filter='DeterminismGolden.CanonicalCacheSweepMatchesCheckedInDigest' \
           --gtest_brief=1 | sed -n 's/^SHA256-CACHE //p')"
-for hash in "$sweep_hash" "$observe_hash" "$cache_hash"; do
+disagg_hash="$(GOLDEN_PRINT=1 "$build_dir/test_determinism_golden" \
+          --gtest_filter='DeterminismGolden.CanonicalDisaggSweepMatchesCheckedInDigest' \
+          --gtest_brief=1 | sed -n 's/^SHA256-DISAGG //p')"
+for hash in "$sweep_hash" "$observe_hash" "$cache_hash" "$disagg_hash"; do
   if [[ ! "$hash" =~ ^[0-9a-f]{64}$ ]]; then
     echo "error: could not extract a SHA-256 from the golden test output" >&2
     exit 1
@@ -59,6 +62,13 @@ inline constexpr char kObserveExportSha256[] =
 inline constexpr char kCacheSweepSha256[] =
     "$cache_hash";
 
+/// Canonical disaggregated prefill/decode sweep (role splits with KV
+/// migration and work stealing over the ring fabric); pins the migration
+/// counters, fabric byte totals and every request's migrated/stolen
+/// split (DESIGN.md §10).
+inline constexpr char kDisaggSweepSha256[] =
+    "$disagg_hash";
+
 }  // namespace looplynx::golden
 EOF
 
@@ -66,3 +76,4 @@ echo "wrote $header"
 echo "sweep   $sweep_hash"
 echo "observe $observe_hash"
 echo "cache   $cache_hash"
+echo "disagg  $disagg_hash"
