@@ -15,8 +15,8 @@
 //                [--kv-budget-mb=0] [--prefix-cache] [--kv-swap]
 //                [--replicas=1] [--balancer=rr|jsq|kv]
 //                [--roles=prefill,decode,...] [--kv-link-gbps=100]
-//                [--autoscale=queue|slo|hybrid] [--min-replicas=1]
-//                [--max-replicas=4] [--scale-interval-ms=50]
+//                [--autoscale=queue|slo|hybrid] [--min-replicas=N[,N...]]
+//                [--max-replicas=N[,N...]] [--scale-interval-ms=50]
 //                [--trace-out=PATH] [--metrics-out=PATH]
 //
 // --chunk-tokens=N sets the per-iteration token budget (requires
@@ -95,14 +95,20 @@ void print_usage() {
       "                       disaggregated fleet — prefill replicas ship\n"
       "                       finished prompts' KV to decode replicas over\n"
       "                       a ring fabric; requires --replicas >= 2 with\n"
-      "                       a matching role count\n"
+      "                       a matching role count, or --autoscale (the\n"
+      "                       role list then sizes the pool and each role\n"
+      "                       tier scales independently)\n"
       "  --kv-link-gbps=G     KV-migration link rate in GB/s, > 0 (default\n"
       "                       100); requires --roles\n"
       "  --autoscale=P        queue|slo|hybrid (bare = hybrid): autoscale\n"
       "                       the fleet between --min-replicas and\n"
       "                       --max-replicas; conflicts with --replicas\n"
-      "  --min-replicas=N     autoscale floor, >= 1 (default 1)\n"
-      "  --max-replicas=N     autoscale ceiling, >= min (default 4)\n"
+      "  --min-replicas=N[,N...]  autoscale floor, >= 1 (default 1); with\n"
+      "                       --roles a comma list names one floor per\n"
+      "                       tier (distinct roles in order)\n"
+      "  --max-replicas=N[,N...]  autoscale ceiling, >= min (default 4);\n"
+      "                       with --roles a comma list names one ceiling\n"
+      "                       per tier, each equal to its tier's pool\n"
       "  --scale-interval-ms=T  control-loop period in ms, > 0 (default "
       "50)\n"
       "  --trace-out=PATH     write a Chrome/Perfetto trace-event JSON of\n"
@@ -172,11 +178,36 @@ int main(int argc, char** argv) {
   if (opts.fleet()) {
     if (opts.autoscale.enabled) {
       title += ", autoscale " +
-               std::string(serve::scale_policy_name(opts.autoscale.policy)) +
-               " " + std::to_string(opts.autoscale.min_replicas) + ".." +
-               std::to_string(opts.autoscale.max_replicas) + " @" +
-               util::fmt_fixed(opts.autoscale.eval_interval_ms, 0) + "ms, " +
-               serve::balancer_policy_name(opts.balancer);
+               std::string(serve::scale_policy_name(opts.autoscale.policy));
+      if (opts.disaggregated()) {
+        // Per-tier bounds live in the tier lists (empty = the per-tier
+        // defaults: floor 1, ceiling = tier pool).
+        const auto join = [](const std::vector<std::uint32_t>& v) {
+          std::string s;
+          for (std::size_t i = 0; i < v.size(); ++i) {
+            if (i > 0) s += ",";
+            s += std::to_string(v[i]);
+          }
+          return s;
+        };
+        title += " per-tier";
+        if (!opts.autoscale.tier_min.empty() ||
+            !opts.autoscale.tier_max.empty()) {
+          title += " " +
+                   (opts.autoscale.tier_min.empty()
+                        ? "1"
+                        : join(opts.autoscale.tier_min)) +
+                   ".." +
+                   (opts.autoscale.tier_max.empty()
+                        ? "pool"
+                        : join(opts.autoscale.tier_max));
+        }
+      } else {
+        title += " " + std::to_string(opts.autoscale.min_replicas) + ".." +
+                 std::to_string(opts.autoscale.max_replicas);
+      }
+      title += " @" + util::fmt_fixed(opts.autoscale.eval_interval_ms, 0) +
+               "ms, " + serve::balancer_policy_name(opts.balancer);
     } else {
       title += ", " + std::to_string(opts.replicas) + " replicas, " +
                serve::balancer_policy_name(opts.balancer);
@@ -384,6 +415,15 @@ int main(int argc, char** argv) {
         "static fleet burns width x makespan; the gap is the elasticity\n"
         "saving) and scale the number of grow/shrink events. Scale-down\n"
         "drains gracefully — masked replicas finish their admitted work.\n";
+    if (opts.disaggregated()) {
+      std::cout <<
+          "With --roles each role tier runs its own control loop on the\n"
+          "shared fleet clock: prefill tiers key on the rolling TTFT\n"
+          "window (first tokens form on the prefill side), decode tiers\n"
+          "on admission-queue depth, and a draining decode replica stops\n"
+          "being a KV-migration target while it finishes migrated-in\n"
+          "work.\n";
+    }
   }
   if (opts.observed()) {
     serve::write_exports(*obs, opts.trace_out, opts.metrics_out);

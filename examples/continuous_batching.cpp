@@ -16,7 +16,10 @@
 // With --replicas=N the burst instead lands on a fleet of N such
 // deployments routed by --balancer (rr|jsq|kv); with --autoscale the
 // fleet sizes itself between --min-replicas and --max-replicas on the
-// deterministic control loop (queue|slo|hybrid policies).
+// deterministic control loop (queue|slo|hybrid policies). --roles
+// disaggregates the fleet into prefill/decode tiers (KV ships over the
+// ring fabric priced by --kv-link-gbps), and composed with --autoscale
+// each role tier runs its own control loop under comma-list bounds.
 //
 //   ./continuous_batching [--requests=12] [--batch=8] [--rate=12]
 //                         [--policy=prefill|decode|chunked]
@@ -25,8 +28,10 @@
 //                         [--kv-block-tokens=1]
 //                         [--prefix-cache] [--kv-swap]
 //                         [--replicas=1] [--balancer=rr|jsq|kv]
+//                         [--roles=R,R,...] [--kv-link-gbps=100]
 //                         [--autoscale=queue|slo|hybrid]
-//                         [--min-replicas=1] [--max-replicas=4]
+//                         [--min-replicas=1[,1...]]
+//                         [--max-replicas=4[,4...]]
 //                         [--scale-interval-ms=50]
 //                         [--trace-out=PATH] [--metrics-out=PATH] [--help]
 #include <iostream>
@@ -64,10 +69,19 @@ void print_usage() {
       "  --replicas=N         fleet width, >= 1 (default 1)\n"
       "  --balancer=B         rr|jsq|kv; requires --replicas >= 2 or "
       "--autoscale\n"
+      "  --roles=R,R,...      per-replica roles, prefill|decode|general;\n"
+      "                       requires --replicas >= 2 or --autoscale (the\n"
+      "                       role list then sizes the pool)\n"
+      "  --kv-link-gbps=G     ring-fabric link bandwidth for KV migration,\n"
+      "                       > 0; requires --roles (default 100)\n"
       "  --autoscale=P        queue|slo|hybrid (bare = hybrid): autoscale\n"
       "                       the fleet; conflicts with --replicas\n"
-      "  --min-replicas=N     autoscale floor, >= 1 (default 1)\n"
-      "  --max-replicas=N     autoscale ceiling, >= min (default 4)\n"
+      "  --min-replicas=N[,N...]  autoscale floor, >= 1 (default 1); a\n"
+      "                       comma list gives per-tier floors (requires\n"
+      "                       --roles)\n"
+      "  --max-replicas=N[,N...]  autoscale ceiling, >= min (default 4);\n"
+      "                       a comma list gives per-tier ceilings, each\n"
+      "                       equal to its tier's pool (requires --roles)\n"
       "  --scale-interval-ms=T  control-loop period in ms, > 0 (default "
       "50)\n"
       "  --trace-out=PATH     write a Chrome/Perfetto trace-event JSON of\n"
@@ -133,12 +147,34 @@ int main(int argc, char** argv) {
     serve::FleetConfig fleet_cfg = serve::FleetConfig::homogeneous(
         cfg, opts.fleet_width(), opts.balancer);
     fleet_cfg.autoscale = opts.autoscale;
+    if (opts.disaggregated()) {
+      fleet_cfg.roles = opts.roles;
+      // GB/s (decimal) -> bytes per fleet-clock cycle.
+      fleet_cfg.kv_link.bytes_per_cycle =
+          opts.kv_link_gbps * 1e9 / cfg.arch.frequency_hz;
+    }
+    // Per-tier bounds print as comma lists (empty lists = the per-tier
+    // defaults); the symmetric scalars keep the legacy spelling.
+    const auto join = [](const std::vector<std::uint32_t>& v,
+                         const std::string& fallback) {
+      if (v.empty()) return fallback;
+      std::string s;
+      for (std::size_t i = 0; i < v.size(); ++i) {
+        s += (i ? "," : "") + std::to_string(v[i]);
+      }
+      return s;
+    };
+    const std::string bounds =
+        opts.disaggregated()
+            ? join(opts.autoscale.tier_min, "1") + ".." +
+                  join(opts.autoscale.tier_max, "pool")
+            : std::to_string(opts.autoscale.min_replicas) + ".." +
+                  std::to_string(opts.autoscale.max_replicas);
     const std::string fleet_title =
         opts.autoscale.enabled
             ? mix_title + ", autoscale " +
-                  serve::scale_policy_name(opts.autoscale.policy) + " " +
-                  std::to_string(opts.autoscale.min_replicas) + ".." +
-                  std::to_string(opts.autoscale.max_replicas)
+                  serve::scale_policy_name(opts.autoscale.policy) +
+                  (opts.disaggregated() ? " per-tier " : " ") + bounds
             : mix_title + ", " + std::to_string(opts.replicas) +
                   " replicas, " +
                   serve::balancer_policy_name(opts.balancer);
@@ -156,7 +192,7 @@ int main(int argc, char** argv) {
                 << "), " << util::fmt_fixed(fr.replica_seconds, 3)
                 << " replica-seconds vs "
                 << util::fmt_fixed(
-                       static_cast<double>(opts.autoscale.max_replicas) *
+                       static_cast<double>(opts.fleet_width()) *
                            fr.fleet.duration_s,
                        3)
                 << " for a static max-width fleet.\n";

@@ -38,6 +38,21 @@ const char* scale_trigger_name(ScaleTrigger trigger) {
   return "unknown";
 }
 
+AutoscalerConfig tier_autoscaler_config(const AutoscalerConfig& fleet,
+                                        std::size_t tier, bool decode_tier) {
+  AutoscalerConfig cfg = fleet;
+  if (!fleet.tier_min.empty()) {
+    cfg.min_replicas = fleet.tier_min.at(tier);
+  }
+  if (!fleet.tier_max.empty()) {
+    cfg.max_replicas = fleet.tier_max.at(tier);
+  }
+  cfg.tier_min.clear();
+  cfg.tier_max.clear();
+  if (decode_tier) cfg.policy = ScalePolicy::kQueueDepth;
+  return cfg;
+}
+
 Autoscaler::Autoscaler(const AutoscalerConfig& config, const SloConfig& slo)
     : config_(config),
       ttft_high_(config.ttft_high_ms > 0 ? config.ttft_high_ms : slo.ttft_ms),

@@ -9,11 +9,13 @@
 // records) — and decides grow / hold / shrink under the configured policy.
 //
 // Semantics the determinism tests pin:
-//  - The live replica set is always the index prefix [0, live): scale-up
-//    activates the lowest-index inactive replica, scale-down drains the
-//    highest-index live one. Combined with the LoadBalancer's
-//    lowest-active-index tie-breaks, a FleetConfig fully determines the
-//    scale-event log byte for byte.
+//  - The live replica set is always a prefix *within each tier* (replicas
+//    grouped by ReplicaRole; a symmetric fleet is one tier holding every
+//    replica, and its tier prefix IS the legacy index prefix [0, live)).
+//    Scale-up activates the lowest-index inactive replica of the tier,
+//    scale-down drains the tier's highest-index live one. Combined with
+//    the LoadBalancer's lowest-active-index tie-breaks, a FleetConfig
+//    fully determines the scale-event log byte for byte.
 //  - Draining is graceful: a deactivated replica stops receiving routed
 //    arrivals (the balancer masks it) but keeps its scheduler running
 //    until every request already routed to it has finished. Its occupancy
@@ -39,6 +41,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "serve/metrics.hpp"
 #include "sim/engine.hpp"
@@ -74,10 +77,22 @@ struct AutoscalerConfig {
   /// (byte-identical output — the CI gate's baseline).
   bool enabled = false;
   ScalePolicy policy = ScalePolicy::kHybrid;
-  /// Live-replica bounds. The fleet starts at min_replicas;
-  /// FleetConfig::replicas must hold exactly max_replicas configs.
+  /// Live-replica bounds (symmetric fleets). The fleet starts at
+  /// min_replicas; FleetConfig::replicas must hold exactly max_replicas
+  /// configs. On a disaggregated fleet these scalars are ignored — the
+  /// per-tier lists below rule.
   std::uint32_t min_replicas = 1;
   std::uint32_t max_replicas = 1;
+  /// Per-tier live bounds for disaggregated fleets, aligned with the
+  /// fleet's tier order (distinct FleetConfig::roles in first-appearance
+  /// order — `--min-replicas=2,1 --max-replicas=4,3` with
+  /// `--roles=prefill,...,decode,...`). Empty (the default) selects
+  /// min 1 / max <tier pool size> per tier; non-empty lists must name
+  /// every tier, and each tier's max must equal its pool size (the roles
+  /// list is the scale ceiling). Ignored on symmetric fleets, where the
+  /// scalar bounds above rule.
+  std::vector<std::uint32_t> tier_min;
+  std::vector<std::uint32_t> tier_max;
   /// Control-loop period on the shared fleet clock.
   double eval_interval_ms = 50.0;
 
@@ -108,15 +123,21 @@ enum class ScaleTrigger : std::uint8_t {
 };
 const char* scale_trigger_name(ScaleTrigger trigger);
 
-/// One replica-set change, in fleet-clock order. `from` -> `to` always
-/// differs by exactly one replica; the log is monotone in `at` (pinned in
-/// tests/test_serve_invariants.cpp).
+/// One live-set change, in fleet-clock order. `from` -> `to` are the
+/// *tier's* live counts and always differ by exactly one replica; the log
+/// chains per tier and is monotone in `at` (pinned in
+/// tests/test_serve_invariants.cpp). On a symmetric fleet there is exactly
+/// one tier, so `from`/`to` coincide with the fleet-wide live counts and
+/// the log is byte-identical to the pre-tier autoscaler's.
 struct ScaleEvent {
   sim::Cycles at = 0;  // fleet clock when the decision fired
   double at_ms = 0;
   std::uint32_t from = 0;
   std::uint32_t to = 0;
   ScaleTrigger trigger = ScaleTrigger::kQueueHigh;
+  /// Which tier scaled (index into FleetResult::tiers; 0 on symmetric
+  /// fleets, whose single tier is the whole fleet).
+  std::uint32_t tier = 0;
 };
 
 /// The signal snapshot one evaluation consumes.
@@ -161,5 +182,18 @@ class Autoscaler {
   std::uint32_t down_streak_ = 0;
   std::uint32_t cooldown_ = 0;
 };
+
+/// The per-tier controller config one fleet-level AutoscalerConfig
+/// expands into: shared knobs (policy, interval, watermarks, hysteresis)
+/// copied verbatim, the tier's own min/max bounds promoted into the
+/// scalar fields (tier lists empty ⇒ the scalars pass through untouched,
+/// which is exactly the symmetric single-tier case), and — for decode
+/// tiers — the policy forced to kQueueDepth: decode replicas receive no
+/// fresh arrivals, so no TTFT ever forms on them (the shared rolling
+/// window samples first tokens, which are emitted on the prefill side);
+/// their natural control signal is the migrated-in backlog depth. A pure
+/// function, unit-tested without an engine (tests/test_autoscaler.cpp).
+AutoscalerConfig tier_autoscaler_config(const AutoscalerConfig& fleet,
+                                        std::size_t tier, bool decode_tier);
 
 }  // namespace looplynx::serve

@@ -2,8 +2,48 @@
 
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 namespace looplynx::serve {
+
+namespace {
+
+/// Splits a --min-replicas/--max-replicas value into per-entry counts: a
+/// bare integer is a one-entry list (the legacy scalar form), a comma
+/// list names one bound per tier. Non-numeric entries and zeros throw —
+/// a bound of 0 would silently pin a tier empty.
+std::vector<std::uint32_t> parse_bounds_list(const std::string& flag,
+                                             const std::string& spec) {
+  std::vector<std::uint32_t> out;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    const std::size_t comma = spec.find(',', start);
+    const std::string item =
+        spec.substr(start, comma == std::string::npos ? std::string::npos
+                                                      : comma - start);
+    long long value = 0;
+    std::size_t used = 0;
+    try {
+      value = std::stoll(item, &used);
+    } catch (const std::exception&) {
+      used = item.size() + 1;  // force the error path below
+    }
+    if (used != item.size() || item.empty()) {
+      throw std::invalid_argument(
+          "--" + flag + " expects an integer or a comma list of integers, "
+          "got \"" + item + "\"");
+    }
+    if (value < 1) {
+      throw std::invalid_argument("--" + flag + " entries must be >= 1");
+    }
+    out.push_back(static_cast<std::uint32_t>(value));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
 
 SchedulerCliOptions parse_scheduler_cli(const util::Cli& cli,
                                         const std::string& default_policy) {
@@ -62,19 +102,6 @@ SchedulerCliOptions parse_scheduler_cli(const util::Cli& cli,
         "nothing");
   }
   if (opts.autoscale.enabled) {
-    const long long min_replicas = cli.get_int_or("min-replicas", 1);
-    const long long max_replicas = cli.get_int_or("max-replicas", 4);
-    if (min_replicas < 1) {
-      throw std::invalid_argument("--min-replicas must be >= 1");
-    }
-    if (max_replicas < min_replicas) {
-      throw std::invalid_argument(
-          "--min-replicas exceeds --max-replicas (" +
-          std::to_string(min_replicas) + " > " +
-          std::to_string(max_replicas) + ")");
-    }
-    opts.autoscale.min_replicas = static_cast<std::uint32_t>(min_replicas);
-    opts.autoscale.max_replicas = static_cast<std::uint32_t>(max_replicas);
     const double interval_ms = cli.get_double_or("scale-interval-ms", 50.0);
     if (!(interval_ms > 0)) {
       throw std::invalid_argument(
@@ -122,17 +149,16 @@ SchedulerCliOptions parse_scheduler_cli(const util::Cli& cli,
   }
 
   if (cli.has("roles")) {
-    if (opts.autoscale.enabled) {
+    // With --autoscale the role list itself sizes the pool (the
+    // autoscaler scales a live prefix inside each role tier), so
+    // --replicas is neither needed nor legal (it already conflicts with
+    // --autoscale above). A static disaggregated fleet still needs an
+    // explicit matching --replicas.
+    if (!opts.autoscale.enabled && opts.replicas < 2) {
       throw std::invalid_argument(
-          "--roles conflicts with --autoscale: the live-prefix mask "
-          "scales replicas in index order, which would silently drop "
-          "whole role classes (e.g. every decode replica)");
-    }
-    if (opts.replicas < 2) {
-      throw std::invalid_argument(
-          "--roles requires --replicas >= 2: KV migration ships blocks "
-          "between replicas, so a single-replica fleet has nowhere to "
-          "ship");
+          "--roles requires --replicas >= 2 or --autoscale: KV migration "
+          "ships blocks between replicas, so a single-replica fleet has "
+          "nowhere to ship");
     }
     const std::string spec = cli.get_or("roles", "");
     std::size_t start = 0;
@@ -145,11 +171,39 @@ SchedulerCliOptions parse_scheduler_cli(const util::Cli& cli,
       if (comma == std::string::npos) break;
       start = comma + 1;
     }
-    if (opts.roles.size() != opts.replicas) {
+    if (!opts.autoscale.enabled && opts.roles.size() != opts.replicas) {
       throw std::invalid_argument(
           "--roles must name every replica: got " +
           std::to_string(opts.roles.size()) + " roles for --replicas=" +
           std::to_string(opts.replicas));
+    }
+  }
+  if (opts.autoscale.enabled) {
+    // Resolved after --roles so the bounds know whether they are the
+    // legacy fleet-wide scalars (symmetric fleet) or per-tier lists
+    // (disaggregated fleet; FleetSim::validate checks the list lengths
+    // against the tier count and each ceiling against its tier's pool).
+    const std::vector<std::uint32_t> mins =
+        parse_bounds_list("min-replicas", cli.get_or("min-replicas", "1"));
+    const std::vector<std::uint32_t> maxs =
+        parse_bounds_list("max-replicas", cli.get_or("max-replicas", "4"));
+    if (opts.disaggregated()) {
+      if (cli.has("min-replicas")) opts.autoscale.tier_min = mins;
+      if (cli.has("max-replicas")) opts.autoscale.tier_max = maxs;
+    } else {
+      if (mins.size() != 1 || maxs.size() != 1) {
+        throw std::invalid_argument(
+            "--min-replicas/--max-replicas comma lists are per-tier "
+            "bounds and require --roles (a symmetric fleet has one tier)");
+      }
+      if (maxs.front() < mins.front()) {
+        throw std::invalid_argument(
+            "--min-replicas exceeds --max-replicas (" +
+            std::to_string(mins.front()) + " > " +
+            std::to_string(maxs.front()) + ")");
+      }
+      opts.autoscale.min_replicas = mins.front();
+      opts.autoscale.max_replicas = maxs.front();
     }
   }
   if (cli.has("kv-link-gbps") && !opts.disaggregated()) {

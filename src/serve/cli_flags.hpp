@@ -46,7 +46,9 @@ struct SchedulerCliOptions {
   /// Swap-to-host eviction tier (--kv-swap; requires --prefix-cache).
   bool kv_swap = false;
   /// Disaggregated prefill/decode fleet (--roles=prefill,decode,...): one
-  /// role per replica, comma-separated, count must equal --replicas.
+  /// role per replica, comma-separated; the count must equal --replicas
+  /// on a static fleet, and with --autoscale the list itself sizes the
+  /// pool (the autoscaler scales a live prefix inside each role tier).
   /// Empty (the default) means a symmetric fleet — no ring fabric is ever
   /// constructed and output is byte-identical to a build without the
   /// feature.
@@ -80,10 +82,14 @@ struct SchedulerCliOptions {
   /// as paged()).
   bool cached() const { return prefix_cache; }
 
-  /// Replica pool size the surfaces should build: the autoscaler's
-  /// ceiling when autoscaling, the fixed width otherwise.
+  /// Replica pool size the surfaces should build: the role list when a
+  /// disaggregated fleet autoscales (each tier's ceiling lives inside the
+  /// list), the autoscaler's fleet-wide ceiling on a symmetric autoscaled
+  /// fleet, the fixed width otherwise.
   std::uint32_t fleet_width() const {
-    return autoscale.enabled ? autoscale.max_replicas : replicas;
+    if (!autoscale.enabled) return replicas;
+    return roles.empty() ? autoscale.max_replicas
+                         : static_cast<std::uint32_t>(roles.size());
   }
 
   /// True when the run should attach an Observer and write exports.
@@ -111,6 +117,10 @@ struct SchedulerCliOptions {
 ///    --min-replicas and --max-replicas; a fixed width contradicts it);
 ///  - --min-replicas/--max-replicas/--scale-interval-ms require
 ///    --autoscale, need 1 <= min <= max, and the interval must be > 0;
+///    with --roles the bounds are comma lists naming one floor/ceiling
+///    per tier (distinct roles in first-appearance order; each tier's
+///    ceiling must equal its pool size), and comma lists without --roles
+///    are rejected (a symmetric fleet has a single tier);
 ///  - --prefix-cache takes an optional on/off value (bare == on; =off/=0
 ///    spells the byte-identical default explicitly, which the CI identity
 ///    gate exercises);
@@ -119,9 +129,10 @@ struct SchedulerCliOptions {
 ///  - --trace-out/--metrics-out need a non-empty =<path> value (they are
 ///    legal with every replica / autoscale combination);
 ///  - --roles=<role>,... (general|prefill|decode) requires an explicit
-///    --replicas >= 2 with a matching role count, needs at least one
-///    decode and one non-decode role, and conflicts with --autoscale (the
-///    live-prefix mask would drop whole role classes);
+///    --replicas >= 2 with a matching role count (or --autoscale, where
+///    the role list itself sizes the pool and the autoscaler runs one
+///    live-prefix control loop per role tier) and needs at least one
+///    decode and one non-decode role;
 ///  - --kv-link-gbps requires --roles (the fabric only exists on a
 ///    disaggregated fleet) and must be > 0.
 /// Throws std::invalid_argument with an actionable message on violation.

@@ -53,6 +53,60 @@ const char* replica_role_name(ReplicaRole role) {
   return "unknown";
 }
 
+namespace {
+
+/// One role class of a fleet: the tier the per-tier autoscaler controls.
+/// Tier order is first appearance in the roles list; members are fleet
+/// indices in ascending order (the tier's live set is always a prefix of
+/// them). A symmetric fleet is exactly one kGeneral tier holding every
+/// replica — which is how the tier machinery reduces to the legacy
+/// whole-fleet live prefix bit for bit.
+struct TierSpec {
+  ReplicaRole role = ReplicaRole::kGeneral;
+  std::vector<std::uint32_t> members;
+};
+
+std::vector<TierSpec> tier_spec(const std::vector<ReplicaRole>& roles,
+                                std::size_t n) {
+  std::vector<TierSpec> tiers;
+  if (roles.empty()) {
+    tiers.emplace_back();
+    tiers.front().members.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      tiers.front().members[i] = static_cast<std::uint32_t>(i);
+    }
+    return tiers;
+  }
+  for (std::size_t i = 0; i < roles.size(); ++i) {
+    std::size_t t = 0;
+    while (t < tiers.size() && tiers[t].role != roles[i]) ++t;
+    if (t == tiers.size()) {
+      tiers.emplace_back();
+      tiers.back().role = roles[i];
+    }
+    tiers[t].members.push_back(static_cast<std::uint32_t>(i));
+  }
+  return tiers;
+}
+
+/// The tier's effective live bounds: the per-tier lists when given, else
+/// min 1 / max <tier pool> on disaggregated fleets, else the legacy
+/// scalars (symmetric single tier).
+std::pair<std::uint32_t, std::uint32_t> tier_bounds(
+    const AutoscalerConfig& as, const std::vector<TierSpec>& tiers,
+    std::size_t t, bool disaggregated) {
+  const auto pool = static_cast<std::uint32_t>(tiers[t].members.size());
+  const std::uint32_t lo =
+      as.tier_min.empty() ? (disaggregated ? 1u : as.min_replicas)
+                          : as.tier_min[t];
+  const std::uint32_t hi =
+      as.tier_max.empty() ? (disaggregated ? pool : as.max_replicas)
+                          : as.tier_max[t];
+  return {lo, hi};
+}
+
+}  // namespace
+
 std::uint32_t LoadBalancer::pick(const std::vector<ReplicaLoad>& loads) {
   std::uint32_t n_active = 0;
   for (const ReplicaLoad& l : loads) n_active += l.active ? 1 : 0;
@@ -165,19 +219,6 @@ void FleetSim::validate() {
   }
   const AutoscalerConfig& as = config_.autoscale;
   if (as.enabled) {
-    if (as.min_replicas < 1) {
-      throw std::invalid_argument("autoscale min_replicas must be >= 1");
-    }
-    if (as.min_replicas > as.max_replicas) {
-      throw std::invalid_argument(
-          "autoscale min_replicas exceeds max_replicas");
-    }
-    if (as.max_replicas != config_.replicas.size()) {
-      // The replica pool is the scale ceiling: a silent mismatch would
-      // leave configured replicas unreachable (or index out of range).
-      throw std::invalid_argument(
-          "autoscale max_replicas must equal the replica pool size");
-    }
     if (!(as.eval_interval_ms > 0)) {
       throw std::invalid_argument(
           "autoscale eval_interval_ms must be > 0 (the control loop runs "
@@ -223,17 +264,65 @@ void FleetSim::validate() {
           "receive no fresh arrivals; an all-decode fleet would serve "
           "nothing)");
     }
-    if (as.enabled) {
-      // The live set is the index prefix [0, live); scaling it would
-      // silently drop whole role classes (e.g. every decode replica).
-      throw std::invalid_argument(
-          "roles cannot combine with autoscale (the live-prefix mask and "
-          "static role assignment contradict each other)");
-    }
     if (!(config_.kv_link.bytes_per_cycle > 0)) {
       throw std::invalid_argument(
           "disaggregation needs kv_link.bytes_per_cycle > 0 (KV migration "
           "is priced on the ring fabric; a zero-rate link never delivers)");
+    }
+  }
+  if (as.enabled) {
+    // Per-tier live bounds, checked after the role shape so tier pools
+    // are well-defined. A symmetric fleet is one tier bounded by the
+    // legacy scalars, so these checks reduce to the PR 5 ones exactly.
+    const std::vector<TierSpec> tiers =
+        tier_spec(config_.roles, config_.replicas.size());
+    for (const auto* list : {&as.tier_min, &as.tier_max}) {
+      if (!list->empty() && list->size() != tiers.size()) {
+        throw std::invalid_argument(
+            "autoscale per-tier bounds must name every tier: got " +
+            std::to_string(list->size()) + " entries for " +
+            std::to_string(tiers.size()) +
+            " tiers (distinct roles in first-appearance order)");
+      }
+    }
+    // Normalize: a disaggregated autoscaled fleet always runs on explicit
+    // per-tier lists (defaults min 1 / max <tier pool>), so the run-time
+    // machinery never has to guess which scalars to fall back on.
+    if (config_.disaggregated()) {
+      AutoscalerConfig& mut = config_.autoscale;
+      if (mut.tier_min.empty()) mut.tier_min.assign(tiers.size(), 1);
+      if (mut.tier_max.empty()) {
+        mut.tier_max.resize(tiers.size());
+        for (std::size_t t = 0; t < tiers.size(); ++t) {
+          mut.tier_max[t] =
+              static_cast<std::uint32_t>(tiers[t].members.size());
+        }
+      }
+    }
+    for (std::size_t t = 0; t < tiers.size(); ++t) {
+      const auto [lo, hi] =
+          tier_bounds(as, tiers, t, config_.disaggregated());
+      const std::string where =
+          config_.disaggregated()
+              ? std::string(" (tier ") + std::to_string(t) + ", " +
+                    replica_role_name(tiers[t].role) + ")"
+              : std::string();
+      if (lo < 1) {
+        throw std::invalid_argument("autoscale min_replicas must be >= 1" +
+                                    where);
+      }
+      if (lo > hi) {
+        throw std::invalid_argument(
+            "autoscale min_replicas exceeds max_replicas" + where);
+      }
+      if (hi != tiers[t].members.size()) {
+        // The replica pool is the scale ceiling — per tier, its role's
+        // member count: a silent mismatch would leave configured replicas
+        // unreachable (or index out of range).
+        throw std::invalid_argument(
+            "autoscale max_replicas must equal the replica pool size" +
+            where);
+      }
     }
   }
 }
@@ -275,16 +364,25 @@ namespace {
 /// that drained early park on their work signals and are destroyed
 /// un-resumed with the engine, after everything they reference.
 struct FleetRun {
+  /// One role class under per-tier autoscaling control: its members (fleet
+  /// indices, ascending — the live set is always their prefix), the live
+  /// count, and the (cycle, live) step timeline the occupancy accounting
+  /// replays. A symmetric fleet builds exactly one kGeneral tier holding
+  /// every replica, which reduces all tier machinery to the legacy
+  /// whole-fleet live prefix bit for bit.
+  struct Tier {
+    ReplicaRole role = ReplicaRole::kGeneral;
+    std::vector<std::uint32_t> members;
+    std::uint32_t live = 0;
+    std::vector<std::pair<sim::Cycles, std::uint32_t>> timeline;
+  };
+
   FleetRun(const FleetConfig& cfg_,
            const std::vector<core::StepCostModel>& costs)
       : cfg(cfg_),
         traffic(cfg_.traffic, cfg_.replicas.front().arch.frequency_hz),
-        balancer(cfg_.balancer),
-        live(cfg_.autoscale.enabled
-                 ? cfg_.autoscale.min_replicas
-                 : static_cast<std::uint32_t>(cfg_.replicas.size())) {
+        balancer(cfg_.balancer) {
     shared.target = cfg_.traffic.num_requests;
-    shared.live_replicas = live;
     // The window hook stays null on static runs: request_proc then never
     // touches it and the event sequence is byte-identical to PR 4.
     if (cfg_.autoscale.enabled) shared.ttft_window = &ttft_window;
@@ -294,6 +392,30 @@ struct FleetRun {
           engine, cfg_.replicas[i], costs[i], shared,
           static_cast<std::uint32_t>(i)));
     }
+    // Tier setup: each role class starts at its own live minimum (the
+    // whole pool when autoscaling is off) and every member outside the
+    // tier's live prefix starts deactivated.
+    const std::vector<TierSpec> spec =
+        tier_spec(cfg_.roles, cfg_.replicas.size());
+    tiers.reserve(spec.size());
+    std::uint32_t total_live = 0;
+    for (std::size_t t = 0; t < spec.size(); ++t) {
+      Tier tier;
+      tier.role = spec[t].role;
+      tier.members = spec[t].members;
+      tier.live = cfg_.autoscale.enabled
+                      ? tier_bounds(cfg_.autoscale, spec, t,
+                                    cfg_.disaggregated())
+                            .first
+                      : static_cast<std::uint32_t>(tier.members.size());
+      for (std::size_t p = tier.live; p < tier.members.size(); ++p) {
+        replicas[tier.members[p]]->live = false;
+      }
+      tier.timeline.emplace_back(0, tier.live);
+      total_live += tier.live;
+      tiers.push_back(std::move(tier));
+    }
+    shared.live_replicas = total_live;
     // Disaggregation plumbing is off = absent: with roles unset neither
     // the fabric nor the shared directory exists and every replica keeps
     // its null `disagg`, so no migration branch can fire and the event
@@ -323,7 +445,9 @@ struct FleetRun {
   LoadBalancer balancer;
 
   // ---- Autoscaler state (inert when cfg.autoscale.enabled is false) ----
-  std::uint32_t live;  // live replica set is the index prefix [0, live)
+  /// The per-tier live structure. Always built (a symmetric fleet is one
+  /// whole-pool tier), but only the autoscaler ever moves the live counts.
+  std::vector<Tier> tiers;
   util::SlidingWindow ttft_window;
   std::vector<ScaleEvent> scale_log;
   /// Reused load-snapshot buffer for route(): refreshed in place per
@@ -333,19 +457,19 @@ struct FleetRun {
 
   /// One routing decision: snapshot every replica's load, ask the
   /// balancer. Pure bookkeeping — no engine events, so a 1-replica fleet
-  /// replays ServingSim's exact event sequence. Replicas outside the live
-  /// prefix are masked: a draining replica keeps its admitted work but
-  /// receives nothing new. On a disaggregated fleet decode-role replicas
-  /// are masked too — they receive work only by KV migration, never fresh
-  /// arrivals (without disagg the mask reduces to the live prefix and the
-  /// routable count to `live`, so symmetric routing is untouched).
+  /// replays ServingSim's exact event sequence. Replicas outside their
+  /// tier's live prefix are masked: a draining replica keeps its admitted
+  /// work but receives nothing new. On a disaggregated fleet decode-role
+  /// replicas are masked too — they receive work only by KV migration,
+  /// never fresh arrivals (without disagg the mask reduces to the single
+  /// tier's live prefix, so symmetric routing is untouched).
   detail::Replica& route() {
     loads.resize(replicas.size());
     std::uint32_t routable = 0;
     for (std::size_t i = 0; i < replicas.size(); ++i) {
       const auto& r = replicas[i];
       const bool active =
-          static_cast<std::uint32_t>(i) < live &&
+          r->live &&
           (disagg == nullptr || cfg.roles[i] != ReplicaRole::kDecode);
       routable += active ? 1 : 0;
       loads[i] = {r->outstanding(),
@@ -368,61 +492,88 @@ struct FleetRun {
 };
 
 /// The autoscaling control loop: one evaluation every eval_interval_ms on
-/// the shared fleet clock. Reads the window-scoped signals (per-eval queue
-/// peaks, rolling-window TTFT p99), lets the Autoscaler state machine
-/// decide, and applies the decision to the live prefix — scale-up
-/// activates replica `live`, scale-down deactivates replica `live - 1`,
-/// which then drains gracefully (the mask stops new routes; its scheduler
-/// keeps running until its admitted and queued requests finish). Exits at
-/// the first evaluation after the fleet fully drains, so the makespan can
-/// trail the last completion by at most one interval.
+/// the shared fleet clock, one Autoscaler state machine per tier, all
+/// evaluated at the same instant in tier order (deterministic — a tier
+/// can grow while another shrinks on the same evaluation, and each keeps
+/// its own streaks and cooldown). Per tier the loop reads the
+/// window-scoped signals — the live members' per-eval queue peaks, and
+/// for non-decode tiers the rolling-window TTFT p99 (decode tiers are
+/// forced to the queue policy: no fresh TTFT ever forms on them, their
+/// signal is the migrated-in backlog) — and applies the decision to the
+/// tier's live prefix: scale-up activates the tier's next member,
+/// scale-down deactivates its highest live member, which then drains
+/// gracefully (the mask stops new routes AND new migration/steal
+/// hand-offs; its scheduler keeps running until its admitted, queued and
+/// migrated-in requests finish). Exits at the first evaluation after the
+/// fleet fully drains, so the makespan can trail the last completion by
+/// at most one interval. A symmetric fleet has one whole-pool tier, so
+/// this loop is byte-identical to the single-controller one it replaces.
 sim::Task autoscaler_proc(FleetRun& run) {
   const AutoscalerConfig& cfg = run.cfg.autoscale;
   const core::ArchConfig& arch = run.cfg.replicas.front().arch;
-  Autoscaler controller(cfg, run.cfg.replicas.front().slo);
+  std::vector<Autoscaler> controllers;
+  controllers.reserve(run.tiers.size());
+  for (std::size_t t = 0; t < run.tiers.size(); ++t) {
+    controllers.emplace_back(
+        tier_autoscaler_config(cfg, t,
+                               run.tiers[t].role == ReplicaRole::kDecode),
+        run.cfg.replicas.front().slo);
+  }
   const auto interval = std::max<sim::Cycles>(
       1, static_cast<sim::Cycles>(cfg.eval_interval_ms * 1e-3 *
                                   arch.frequency_hz));
+  std::vector<double> peaks(run.replicas.size(), 0.0);
   while (true) {
     co_await run.engine.delay(interval);
     if (run.drained()) co_return;
     const double now_ms = arch.cycles_to_ms(run.engine.now());
     // Take every replica's per-eval queue peak (taking from masked
     // replicas too keeps their windows fresh for reactivation), but only
-    // the live set forms the signal the controller sees.
-    double live_peaks = 0;
+    // each tier's live prefix forms the signal its controller sees.
     for (std::size_t i = 0; i < run.replicas.size(); ++i) {
-      const auto peak =
+      peaks[i] =
           static_cast<double>(run.replicas[i]->queue.take_window_peak());
-      if (static_cast<std::uint32_t>(i) < run.live) live_peaks += peak;
     }
     run.ttft_window.evict_before(now_ms - cfg.ttft_window_ms);
-    ScaleSignals signals;
-    signals.live = run.live;
-    signals.queue_per_live = live_peaks / static_cast<double>(run.live);
-    signals.ttft_samples = run.ttft_window.count();
-    signals.ttft_p99_ms = run.ttft_window.percentile(99.0);
-    const Autoscaler::Decision d = controller.evaluate(signals);
-    if (d.delta == 0) continue;
-    const std::uint32_t to = d.delta > 0 ? run.live + 1 : run.live - 1;
-    run.scale_log.push_back(
-        {run.engine.now(), now_ms, run.live, to, d.trigger});
-    if (run.shared.observer != nullptr) {
-      // Scale-up activates replica index `live` (the prefix grows by one);
-      // scale-down deactivates index `to` (== live - 1), which then drains.
-      const sim::Cycles at = run.engine.now();
-      if (d.delta > 0) {
-        run.shared.observer->record(LifecycleEvent::kScaleUp, at, kNoRequest,
-                                    run.live, run.live, to);
-      } else {
-        run.shared.observer->record(LifecycleEvent::kScaleDown, at,
-                                    kNoRequest, to, run.live, to);
-        run.shared.observer->record(LifecycleEvent::kDrain, at, kNoRequest,
-                                    to);
+    for (std::size_t t = 0; t < run.tiers.size(); ++t) {
+      FleetRun::Tier& tier = run.tiers[t];
+      double live_peaks = 0;
+      for (std::uint32_t p = 0; p < tier.live; ++p) {
+        live_peaks += peaks[tier.members[p]];
       }
+      ScaleSignals signals;
+      signals.live = tier.live;
+      signals.queue_per_live = live_peaks / static_cast<double>(tier.live);
+      signals.ttft_samples = run.ttft_window.count();
+      signals.ttft_p99_ms = run.ttft_window.percentile(99.0);
+      const Autoscaler::Decision d = controllers[t].evaluate(signals);
+      if (d.delta == 0) continue;
+      const std::uint32_t to = d.delta > 0 ? tier.live + 1 : tier.live - 1;
+      run.scale_log.push_back({run.engine.now(), now_ms, tier.live, to,
+                               d.trigger, static_cast<std::uint32_t>(t)});
+      // Scale-up activates the tier's next member (its prefix grows by
+      // one); scale-down deactivates its highest live member, which then
+      // drains. On a symmetric fleet members[p] == p, so the indices the
+      // observer sees are the legacy ones.
+      const std::uint32_t index =
+          tier.members[d.delta > 0 ? tier.live : tier.live - 1];
+      if (run.shared.observer != nullptr) {
+        const sim::Cycles at = run.engine.now();
+        if (d.delta > 0) {
+          run.shared.observer->record(LifecycleEvent::kScaleUp, at,
+                                      kNoRequest, index, tier.live, to);
+        } else {
+          run.shared.observer->record(LifecycleEvent::kScaleDown, at,
+                                      kNoRequest, index, tier.live, to);
+          run.shared.observer->record(LifecycleEvent::kDrain, at, kNoRequest,
+                                      index);
+        }
+      }
+      run.replicas[index]->live = d.delta > 0;
+      tier.live = to;
+      tier.timeline.emplace_back(run.engine.now(), to);
+      run.shared.live_replicas += static_cast<std::uint32_t>(d.delta);
     }
-    run.live = to;
-    run.shared.live_replicas = to;
   }
 }
 
@@ -432,14 +583,16 @@ void append(std::vector<T>& pool, const std::vector<T>& samples) {
 }
 
 /// Occupied replica-cycles of one replica: the union of its live intervals
-/// (from the scale timeline), each extended to the drain instant of the
-/// requests routed into it — a deactivated replica is still consuming its
-/// deployment until the work it accepted finishes. `timeline` is the
-/// (cycle, live-count) step function starting at cycle 0.
+/// (from its tier's scale timeline), each extended to the drain instant of
+/// the requests routed into it — a deactivated replica is still consuming
+/// its deployment until the work it accepted finishes. `timeline` is the
+/// tier's (cycle, live-count) step function starting at cycle 0, and
+/// `index` the replica's position within its tier (== its fleet index on a
+/// symmetric fleet, whose one tier is the whole pool).
 std::uint64_t occupied_cycles(
     const std::vector<std::pair<sim::Cycles, std::uint32_t>>& timeline,
     std::uint32_t index, sim::Cycles makespan, const detail::Replica& rep) {
-  // Intervals where the live count covers this replica's index.
+  // Intervals where the tier's live count covers this member position.
   std::vector<std::pair<sim::Cycles, sim::Cycles>> spans;
   bool open = false;
   sim::Cycles start = 0;
@@ -455,17 +608,25 @@ std::uint64_t occupied_cycles(
   if (open) spans.emplace_back(start, makespan);
   if (spans.empty()) return 0;
   // Drain extension: a request routed inside a span pins the replica until
-  // it finishes (rejected requests resolve at arrival). Requests are only
+  // it finishes (rejected requests resolve at arrival). Fresh work is only
   // routed while live, so each belongs to the last span starting at or
-  // before its arrival. The retirement log covers every resolved request;
-  // order does not matter here.
+  // before its arrival. Migrated-in/stolen work can land on a replica
+  // whose span opened after the request's fleet arrival instant (the
+  // hand-off happens later) — it pins the earliest span instead of
+  // silently dropping the extension. The retirement log covers every
+  // resolved request; order does not matter here.
   for (const detail::FinishedRequest& r : rep.finished) {
     const sim::Cycles finish = r.rejected ? r.arrival : r.completed;
+    bool matched = false;
     for (std::size_t s = spans.size(); s-- > 0;) {
       if (spans[s].first <= r.arrival) {
         spans[s].second = std::max(spans[s].second, finish);
+        matched = true;
         break;
       }
+    }
+    if (!matched) {
+      spans.front().second = std::max(spans.front().second, finish);
     }
   }
   // Drain tails can overlap the next activation: merge before summing.
@@ -494,6 +655,18 @@ FleetResult FleetSim::run(Observer* observer) const {
     throw std::invalid_argument(
         "FleetSim::run observer must be built for the fleet width (" +
         std::to_string(config_.replicas.size()) + " replicas)");
+  }
+  if (observer != nullptr && config_.disaggregated()) {
+    // Tag the exports with each replica's role so scale/drain instants
+    // and the Prometheus scale counters say WHICH tier moved. Symmetric
+    // fleets never tag, keeping their export bytes identical to
+    // pre-role builds.
+    std::vector<std::string> names;
+    names.reserve(config_.roles.size());
+    for (ReplicaRole role : config_.roles) {
+      names.emplace_back(replica_role_name(role));
+    }
+    observer->set_role_names(std::move(names));
   }
   FleetRun run(config_, costs_);
   run.shared.observer = observer;
@@ -614,14 +787,22 @@ FleetResult FleetSim::run(Observer* observer) const {
   // replica live for the whole makespan) ----
   result.autoscaled = config_.autoscale.enabled;
   result.scale_events = std::move(run.scale_log);
-  const std::uint32_t initial_live = config_.autoscale.enabled
-                                         ? config_.autoscale.min_replicas
-                                         : static_cast<std::uint32_t>(n);
+  // Fleet-wide live timeline: the per-tier scale events replayed as ±1
+  // deltas on the summed initial live count. On a symmetric fleet the one
+  // tier IS the fleet, so this reproduces the legacy (at, e.to) timeline
+  // entry for entry.
+  std::uint32_t initial_live = 0;
+  for (const FleetRun::Tier& tier : run.tiers) {
+    initial_live += tier.timeline.front().second;
+  }
   std::vector<std::pair<sim::Cycles, std::uint32_t>> timeline;
   timeline.reserve(result.scale_events.size() + 1);
   timeline.emplace_back(0, initial_live);
+  std::uint32_t running_live = initial_live;
   for (const ScaleEvent& e : result.scale_events) {
-    timeline.emplace_back(e.at, e.to);
+    running_live += e.to;
+    running_live -= e.from;
+    timeline.emplace_back(e.at, running_live);
   }
   result.min_live_replicas = initial_live;
   result.peak_live_replicas = initial_live;
@@ -640,9 +821,18 @@ FleetResult FleetSim::run(Observer* observer) const {
     result.mean_live_replicas =
         static_cast<double>(live_cycles) / static_cast<double>(makespan);
   }
-  for (std::size_t i = 0; i < n; ++i) {
-    result.replica_cycles += occupied_cycles(
-        timeline, static_cast<std::uint32_t>(i), makespan, *run.replicas[i]);
+  // Occupancy is accounted per tier: each member's live spans come from
+  // its own tier's timeline (on a symmetric fleet the tier timeline and
+  // member positions are exactly the legacy fleet-wide ones).
+  std::vector<std::uint64_t> tier_occupied(run.tiers.size(), 0);
+  for (std::size_t t = 0; t < run.tiers.size(); ++t) {
+    const FleetRun::Tier& tier = run.tiers[t];
+    for (std::size_t p = 0; p < tier.members.size(); ++p) {
+      tier_occupied[t] +=
+          occupied_cycles(tier.timeline, static_cast<std::uint32_t>(p),
+                          makespan, *run.replicas[tier.members[p]]);
+    }
+    result.replica_cycles += tier_occupied[t];
   }
   result.replica_seconds =
       static_cast<double>(result.replica_cycles) / frequency;
@@ -691,13 +881,24 @@ FleetResult FleetSim::run(Observer* observer) const {
               return a.id < b.id;
             });
 
+  // Load imbalance over the routing-eligible replicas only: on a
+  // disaggregated fleet decode replicas receive zero fresh arrivals by
+  // design, so folding them into the mean would read a healthy role split
+  // as pathological imbalance. Symmetric fleets have every replica
+  // eligible — the arithmetic (and its bits) is unchanged.
   std::uint64_t max_routed = 0, total_routed = 0;
-  for (std::uint64_t r : result.routed) {
-    max_routed = std::max(max_routed, r);
-    total_routed += r;
+  std::uint64_t eligible = 0;
+  for (std::size_t i = 0; i < result.routed.size(); ++i) {
+    if (result.disaggregated && config_.roles[i] == ReplicaRole::kDecode) {
+      continue;
+    }
+    ++eligible;
+    max_routed = std::max(max_routed, result.routed[i]);
+    total_routed += result.routed[i];
   }
   if (total_routed > 0) {
-    result.load_imbalance = static_cast<double>(max_routed) * static_cast<double>(n) /
+    result.load_imbalance = static_cast<double>(max_routed) *
+                            static_cast<double>(eligible) /
                             static_cast<double>(total_routed);
   }
   bool any = false;
@@ -713,6 +914,51 @@ FleetResult FleetSim::run(Observer* observer) const {
     }
   }
   result.ttft_p99_spread_ms = any ? hi - lo : 0.0;
+
+  // Per-tier rollups (disaggregated fleets only — symmetric results keep
+  // `tiers` empty so their tables and digests cannot move).
+  if (result.disaggregated) {
+    result.tiers.reserve(run.tiers.size());
+    for (std::size_t t = 0; t < run.tiers.size(); ++t) {
+      const FleetRun::Tier& tier = run.tiers[t];
+      FleetResult::TierStats ts;
+      ts.role = tier.role;
+      ts.members = tier.members;
+      ts.replica_cycles = tier_occupied[t];
+      ts.min_live = tier.timeline.front().second;
+      ts.peak_live = ts.min_live;
+      std::uint64_t tier_live_cycles = 0;
+      for (std::size_t i = 0; i < tier.timeline.size(); ++i) {
+        const sim::Cycles until = i + 1 < tier.timeline.size()
+                                      ? tier.timeline[i + 1].first
+                                      : makespan;
+        tier_live_cycles +=
+            static_cast<std::uint64_t>(tier.timeline[i].second) *
+            (until - tier.timeline[i].first);
+        ts.min_live = std::min(ts.min_live, tier.timeline[i].second);
+        ts.peak_live = std::max(ts.peak_live, tier.timeline[i].second);
+      }
+      if (makespan > 0) {
+        ts.mean_live = static_cast<double>(tier_live_cycles) /
+                       static_cast<double>(makespan);
+      }
+      bool tier_any = false;
+      double tier_lo = 0, tier_hi = 0;
+      for (std::uint32_t member : tier.members) {
+        const FleetMetrics& rm = result.replicas[member];
+        if (rm.completed == 0) continue;
+        if (!tier_any) {
+          tier_lo = tier_hi = rm.ttft_ms.p99;
+          tier_any = true;
+        } else {
+          tier_lo = std::min(tier_lo, rm.ttft_ms.p99);
+          tier_hi = std::max(tier_hi, rm.ttft_ms.p99);
+        }
+      }
+      ts.ttft_p99_spread_ms = tier_any ? tier_hi - tier_lo : 0.0;
+      result.tiers.push_back(std::move(ts));
+    }
+  }
   return result;
 }
 

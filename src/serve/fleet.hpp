@@ -140,17 +140,21 @@ struct FleetConfig {
   BalancerPolicy balancer = BalancerPolicy::kRoundRobin;
   /// Fleet-level autoscaling (serve/autoscaler.hpp). Disabled by default:
   /// every replica is live for the whole run and output is byte-identical
-  /// to the static fleet engine. When enabled, `replicas` must hold
-  /// exactly autoscale.max_replicas configs; the run starts with the
-  /// first autoscale.min_replicas of them live.
+  /// to the static fleet engine. When enabled on a symmetric fleet,
+  /// `replicas` must hold exactly autoscale.max_replicas configs and the
+  /// run starts with the first autoscale.min_replicas of them live. When
+  /// enabled together with `roles`, one controller runs per tier
+  /// (replicas grouped by role) and the per-tier `tier_min`/`tier_max`
+  /// bounds rule — each tier starts at its own minimum, live as a prefix
+  /// of that tier's members in fleet-index order. DESIGN.md §11.
   AutoscalerConfig autoscale;
 
   /// Disaggregated prefill/decode roles, one per replica. Empty (the
   /// default) keeps the fleet symmetric and constructs NO fabric — output
   /// stays byte-identical to a role-less build. Non-empty requires
   /// size() == replicas.size(), at least one routable (prefill/general)
-  /// and one decode replica, and no autoscaling (role pools don't scale
-  /// yet). DESIGN.md §10.
+  /// and one decode replica. Combines with `autoscale`: each role class
+  /// is an independently scaled tier (DESIGN.md §10-§11).
   std::vector<ReplicaRole> roles;
   /// Per-link pricing of the KV-migration ring (one simplex link per
   /// replica, replica i -> i+1 mod N). Only read when `roles` is set.
@@ -187,9 +191,14 @@ struct FleetResult {
 
   /// Arrivals the balancer routed to each replica (sums to fleet.offered).
   std::vector<std::uint64_t> routed;
-  /// max(routed) / mean(routed): 1.0 is a perfectly even split. The
-  /// imbalance a blind policy accumulates is the headroom JSQ/KV-aware
-  /// routing exists to reclaim.
+  /// max(routed) / mean(routed) over the *routing-eligible* replicas: 1.0
+  /// is a perfectly even split. On a disaggregated fleet decode replicas
+  /// receive zero fresh arrivals by design, so they are excluded from
+  /// both the max and the mean — including them would read a healthy
+  /// role split as pathological imbalance (the PR 9 bug this fixes). On
+  /// a symmetric fleet every replica is eligible and the metric is
+  /// unchanged bit for bit. The imbalance a blind policy accumulates is
+  /// the headroom JSQ/KV-aware routing exists to reclaim.
   double load_imbalance = 0;
   /// max - min of per-replica p99 TTFT over replicas that completed work —
   /// the tail-latency spread a skewed routing inflicts.
@@ -213,6 +222,31 @@ struct FleetResult {
   /// examples/autoscale_serving.cpp).
   std::uint64_t replica_cycles = 0;
   double replica_seconds = 0;  // replica_cycles / frequency
+
+  /// Per-tier rollup of one role class (disaggregated fleets only — the
+  /// `tiers` vector below stays empty on symmetric runs so their tables
+  /// and digests cannot move). Tier order is the distinct roles of
+  /// FleetConfig::roles in first-appearance order; `members` are fleet
+  /// indices in ascending order, and the tier's live set is always a
+  /// prefix of them.
+  struct TierStats {
+    ReplicaRole role = ReplicaRole::kGeneral;
+    std::vector<std::uint32_t> members;    // fleet indices, ascending
+    std::uint32_t min_live = 0;            // fewest live at any instant
+    std::uint32_t peak_live = 0;           // most live at any instant
+    /// Time-weighted mean of the tier's live count over the makespan.
+    double mean_live = 0;
+    /// Occupied cycles summed over the tier's members (live or draining).
+    std::uint64_t replica_cycles = 0;
+    /// max - min of per-replica p99 TTFT over the tier's members that
+    /// completed work — the spread WITHIN one role class. The fleet-wide
+    /// ttft_p99_spread_ms mixes prefill TTFTs with migrated-decode ones
+    /// and mostly measures the role split itself; this one measures
+    /// routing skew where routing actually happens.
+    double ttft_p99_spread_ms = 0;
+  };
+  /// One entry per role class on disaggregated runs; empty otherwise.
+  std::vector<TierStats> tiers;
 
   // ---- Disaggregation (FleetConfig::roles; defaults describe a
   // symmetric fleet so role-less runs keep byte-identical tables) ----

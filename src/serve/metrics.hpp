@@ -34,8 +34,11 @@ struct RequestRecord {
   std::uint32_t cached_prefix_tokens = 0;
   /// Live replica count when the balancer routed this request (1 for
   /// single-replica runs, the fleet width for static fleets). Under
-  /// autoscaling the live set is the index prefix [0, live), so
+  /// symmetric autoscaling the live set is the index prefix [0, live), so
   /// `replica < live_replicas` always — pinned by the invariant harness.
+  /// On a disaggregated fleet this sums every tier's live prefix, and the
+  /// per-replica inequality no longer holds (a request can finish on a
+  /// high-index decode replica while low-index prefill slots are dark).
   std::uint32_t live_replicas = 1;
   bool rejected = false;
   /// Request's KV blocks were shipped to a decode-role replica when its

@@ -64,6 +64,16 @@ Observer::Observer(std::uint32_t replicas, double frequency_hz)
   }
 }
 
+void Observer::set_role_names(std::vector<std::string> names) {
+  if (names.size() != per_replica_.size()) {
+    throw std::invalid_argument(
+        "Observer::set_role_names must cover every replica: got " +
+        std::to_string(names.size()) + " names for " +
+        std::to_string(per_replica_.size()) + " replicas");
+  }
+  role_names_ = std::move(names);
+}
+
 void Observer::record(LifecycleEvent kind, sim::Cycles at,
                       std::uint32_t request, std::uint32_t replica,
                       std::uint32_t a, std::uint32_t b) {
@@ -167,7 +177,9 @@ void Observer::write_chrome_trace(std::ostream& os) const {
   require_finalized("write_chrome_trace");
   sim::ChromeTraceWriter writer(os);
   for (std::uint32_t i = 0; i < replicas(); ++i) {
-    writer.process_name(i, "replica " + std::to_string(i));
+    std::string name = "replica " + std::to_string(i);
+    if (!role_names_.empty()) name += " (" + role_names_[i] + ")";
+    writer.process_name(i, name);
   }
   // One track per replica: the cycle-accounting spans, in recording order
   // (chronological per replica). Zero-width spans carry no cycles and
@@ -196,12 +208,21 @@ void Observer::write_chrome_trace(std::ostream& os) const {
         writer.instant(name, "decision", e.replica, /*tid=*/0, e.at, 't');
         writer.async_instant(name, "request", e.replica, e.request, e.at);
         break;
+      // Scale/drain instants carry the moved replica's role when the
+      // fleet is disaggregated ("scale-up (prefill)"), so a trace of a
+      // tier-autoscaled fleet says which tier the controller touched.
       case LifecycleEvent::kScaleUp:
       case LifecycleEvent::kScaleDown:
-        writer.instant(name, "decision", e.replica, /*tid=*/0, e.at, 'g');
+        writer.instant(role_names_.empty()
+                           ? name
+                           : name + " (" + role_names_[e.replica] + ")",
+                       "decision", e.replica, /*tid=*/0, e.at, 'g');
         break;
       case LifecycleEvent::kDrain:
-        writer.instant(name, "decision", e.replica, /*tid=*/0, e.at, 'p');
+        writer.instant(role_names_.empty()
+                           ? name
+                           : name + " (" + role_names_[e.replica] + ")",
+                       "decision", e.replica, /*tid=*/0, e.at, 'p');
         break;
       default:
         writer.async_instant(name, "request", e.replica, e.request, e.at);
@@ -358,9 +379,35 @@ void Observer::write_prometheus(std::ostream& os) const {
 
   os << "# HELP looplynx_scale_events_total Autoscaler live-set changes.\n";
   os << "# TYPE looplynx_scale_events_total counter\n";
-  os << "looplynx_scale_events_total{direction=\"up\"} " << scale_up << "\n";
-  os << "looplynx_scale_events_total{direction=\"down\"} " << scale_down
-     << "\n";
+  if (role_names_.empty()) {
+    os << "looplynx_scale_events_total{direction=\"up\"} " << scale_up
+       << "\n";
+    os << "looplynx_scale_events_total{direction=\"down\"} " << scale_down
+       << "\n";
+  } else {
+    // Disaggregated fleets scale per tier, so the counters carry the
+    // moved replica's role. Roles iterate in first-appearance order —
+    // the tier order the per-tier autoscalers evaluate in.
+    std::vector<std::string> order;
+    for (const std::string& role : role_names_) {
+      bool seen = false;
+      for (const std::string& o : order) seen = seen || o == role;
+      if (!seen) order.push_back(role);
+    }
+    for (const char* direction : {"up", "down"}) {
+      const LifecycleEvent kind = direction[0] == 'u'
+                                      ? LifecycleEvent::kScaleUp
+                                      : LifecycleEvent::kScaleDown;
+      for (const std::string& role : order) {
+        std::uint64_t count = 0;
+        for (const ObservedEvent& e : events_) {
+          if (e.kind == kind && role_names_[e.replica] == role) ++count;
+        }
+        os << "looplynx_scale_events_total{direction=\"" << direction
+           << "\",role=\"" << role << "\"} " << count << "\n";
+      }
+    }
+  }
 
   const auto kv_gauge = [&](const std::string& name, const std::string& help,
                             auto member) {

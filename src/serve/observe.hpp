@@ -116,6 +116,15 @@ class Observer {
   }
   double frequency_hz() const { return frequency_hz_; }
 
+  /// Tags each replica with its role name ("prefill"/"decode"/...), one
+  /// per replica. FleetSim::run calls this on disaggregated fleets; the
+  /// trace's process names and scale/drain instants then carry the role
+  /// and the Prometheus scale counters grow a role label, so exports say
+  /// WHICH tier a scale event moved. Never called on symmetric fleets —
+  /// their export bytes stay identical to pre-role builds.
+  void set_role_names(std::vector<std::string> names);
+  const std::vector<std::string>& role_names() const { return role_names_; }
+
   // ---- Recording hooks (engine room only; all O(1) bookkeeping) ----
   void record(LifecycleEvent kind, sim::Cycles at, std::uint32_t request,
               std::uint32_t replica, std::uint32_t a = 0, std::uint32_t b = 0);
@@ -181,6 +190,7 @@ class Observer {
   double frequency_hz_;
   std::uint64_t frequency_hz_int_;
   std::vector<PerReplica> per_replica_;
+  std::vector<std::string> role_names_;  // empty unless disaggregated
   std::vector<ObservedEvent> events_;
   bool finalized_ = false;
   sim::Cycles makespan_ = 0;

@@ -527,13 +527,16 @@ void ensure_kv_blocks(Replica& f, std::vector<ScheduledStep>& batch,
 // ---- Disaggregation (FleetConfig::roles; every call site is gated on
 // f.disagg != nullptr, so symmetric fleets never reach this code) ----
 
-/// Least-loaded decode replica that could ever hold `r`'s full footprint;
-/// ties keep the lowest index (scan order). Null when no decode replica
-/// can take it — the prefill replica then just decodes it locally.
+/// Least-loaded *live* decode replica that could ever hold `r`'s full
+/// footprint; ties keep the lowest index (scan order). Null when no decode
+/// replica can take it — the prefill replica then just decodes it locally.
+/// A replica the per-tier autoscaler has deactivated is skipped even
+/// mid-drain: new hand-offs would keep a draining replica occupied
+/// forever (hand-offs already in flight still land and are served).
 Replica* pick_migration_target(Replica& f, const Request& r) {
   Replica* best = nullptr;
   for (Replica* d : f.disagg->replicas) {
-    if (d->role != ReplicaRole::kDecode) continue;
+    if (d->role != ReplicaRole::kDecode || !d->live) continue;
     if (!d->kv.can_ever_fit(r.shape.total())) continue;
     if (best == nullptr || d->outstanding() < best->outstanding()) best = d;
   }
@@ -566,8 +569,10 @@ void begin_migration(Replica& f, Request& r, Replica& dst) {
 /// (threshold two — never empties a victim that could start the work as
 /// soon as its current batch drains; ties keep the lowest index). At most
 /// one steal in flight per thief, and a request is stolen at most once.
+/// A replica the autoscaler has deactivated never initiates a steal —
+/// pulling fresh work into a draining replica would stall its drain.
 void maybe_steal(Replica& f) {
-  if (f.steal_inflight || !f.queue.empty()) return;
+  if (!f.live || f.steal_inflight || !f.queue.empty()) return;
   Replica* victim = nullptr;
   for (Replica* v : f.disagg->replicas) {
     if (v == &f || v->role == ReplicaRole::kDecode) continue;

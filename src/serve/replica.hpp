@@ -53,10 +53,11 @@ struct FleetShared {
   std::uint32_t injected = 0;   // requests created fleet-wide so far
   std::uint32_t active = 0;     // admitted and unfinished, fleet-wide
   std::uint32_t peak_active = 0;
-  /// Routable replicas right now (the index prefix [0, live_replicas)).
-  /// 1 for single-replica runs, the fleet width for static fleets; the
-  /// autoscaler moves it mid-run. Snapshotted into each request at
-  /// routing time for RequestRecord::live_replicas.
+  /// Live replicas right now — the sum of every tier's live-prefix count
+  /// (a symmetric fleet is one tier, so this is the legacy index prefix
+  /// [0, live_replicas)). 1 for single-replica runs, the fleet width for
+  /// static fleets; the autoscaler moves it mid-run. Snapshotted into
+  /// each request at routing time for RequestRecord::live_replicas.
   std::uint32_t live_replicas = 1;
   /// When non-null (autoscaled fleets only), every host-visible first
   /// token pushes its (emission time ms, TTFT ms) sample here — the
@@ -168,6 +169,16 @@ struct Replica {
   // spawns; both stay at their defaults on symmetric/single runs) ----
   ReplicaRole role = ReplicaRole::kGeneral;
   DisaggShared* disagg = nullptr;
+  /// False while this replica sits outside its tier's live prefix
+  /// (autoscaled fleets only — static runs leave every replica live).
+  /// The fleet's router masks it, and on disaggregated fleets the
+  /// hand-off paths respect it too: a deactivated replica is never
+  /// picked as a KV-migration target and never initiates a steal — but
+  /// it keeps its scheduler running until everything already routed,
+  /// migrated or stolen into it has finished (graceful drain), and
+  /// in-flight hand-offs aimed at it before the scale-down still land
+  /// and are served.
+  bool live = true;
 
   bool paged_admission() const {
     return cfg.scheduler.preempt != PreemptPolicy::kNone;

@@ -22,10 +22,11 @@ inline constexpr char kCacheSweepSha256[] =
     "7a4e973f0aff16e7527525a95b1d088dc6da75186032d8cbe9ee05b60c863782";
 
 /// Canonical disaggregated prefill/decode sweep (role splits with KV
-/// migration and work stealing over the ring fabric); pins the migration
-/// counters, fabric byte totals and every request's migrated/stolen
-/// split (DESIGN.md §10).
+/// migration and work stealing over the ring fabric, plus a per-tier
+/// autoscaled point); pins the migration counters, fabric byte totals,
+/// every request's migrated/stolen split, the per-tier live stats and
+/// the tier-tagged scale log (DESIGN.md §10–§11).
 inline constexpr char kDisaggSweepSha256[] =
-    "106df0c5e9352710e7f76e41dbfa8dfa84a98ddcd9450869096fb1a1a1e8ba6d";
+    "552c06928ed3122a2f1a271f0f604dd5bc6975898a33fdf5ce918fdbf909067d";
 
 }  // namespace looplynx::golden

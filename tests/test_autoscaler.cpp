@@ -169,6 +169,82 @@ TEST(AutoscalerTest, ScalePolicyNamesRoundTrip) {
   EXPECT_STREQ(scale_trigger_name(ScaleTrigger::kTtftLow), "ttft-low");
 }
 
+// ---------------------------------------- Per-tier controller expansion
+
+TEST(TierConfigTest, PromotesTierBoundsIntoScalars) {
+  AutoscalerConfig fleet = controller_config();
+  fleet.policy = ScalePolicy::kHybrid;
+  fleet.tier_min = {1, 2};
+  fleet.tier_max = {3, 2};
+  const AutoscalerConfig prefill = tier_autoscaler_config(fleet, 0, false);
+  EXPECT_EQ(prefill.min_replicas, 1u);
+  EXPECT_EQ(prefill.max_replicas, 3u);
+  EXPECT_EQ(prefill.policy, ScalePolicy::kHybrid);
+  EXPECT_TRUE(prefill.tier_min.empty());  // lists consumed, not inherited
+  EXPECT_TRUE(prefill.tier_max.empty());
+  const AutoscalerConfig decode = tier_autoscaler_config(fleet, 1, true);
+  EXPECT_EQ(decode.min_replicas, 2u);
+  EXPECT_EQ(decode.max_replicas, 2u);
+  // Decode tiers force the queue policy: no TTFT ever forms on them.
+  EXPECT_EQ(decode.policy, ScalePolicy::kQueueDepth);
+  // Shared knobs copy verbatim.
+  EXPECT_DOUBLE_EQ(decode.queue_high, fleet.queue_high);
+  EXPECT_EQ(decode.up_evals, fleet.up_evals);
+  // A pinned tier (min == max) never moves in either direction.
+  Autoscaler pinned(decode, SloConfig{});
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(pinned.evaluate(busy(2, 50.0)).delta, 0);
+  }
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(pinned.evaluate(quiet(2)).delta, 0);
+}
+
+TEST(TierConfigTest, EmptyListsPassTheScalarsThrough) {
+  AutoscalerConfig fleet = controller_config();
+  fleet.min_replicas = 2;
+  fleet.max_replicas = 4;
+  const AutoscalerConfig only = tier_autoscaler_config(fleet, 0, false);
+  EXPECT_EQ(only.min_replicas, 2u);
+  EXPECT_EQ(only.max_replicas, 4u);
+  // The symmetric single-tier case: the policy is whatever was asked for.
+  EXPECT_EQ(only.policy, fleet.policy);
+}
+
+TEST(TierControllersTest, KeepIndependentStreaksAndCooldowns) {
+  AutoscalerConfig fleet = controller_config();  // queue policy, up 2
+  fleet.tier_min = {1, 1};
+  fleet.tier_max = {4, 4};
+  Autoscaler prefill(tier_autoscaler_config(fleet, 0, false), SloConfig{});
+  Autoscaler decode(tier_autoscaler_config(fleet, 1, true), SloConfig{});
+  // The prefill tier builds its up streak while the decode tier idles at
+  // its floor — the decode tier's quiet evals must not reset it.
+  EXPECT_EQ(prefill.evaluate(busy(1, 10.0)).delta, 0);
+  EXPECT_EQ(decode.evaluate(quiet(1)).delta, 0);
+  EXPECT_EQ(prefill.evaluate(busy(1, 10.0)).delta, +1);
+  // The prefill event starts ITS cooldown only: the decode tier is free
+  // to fire its own transition while the prefill controller holds.
+  EXPECT_EQ(prefill.evaluate(busy(2, 50.0)).delta, 0);  // cooling
+  EXPECT_EQ(decode.evaluate(busy(1, 10.0)).delta, 0);
+  EXPECT_EQ(decode.evaluate(busy(1, 10.0)).delta, +1);  // no shared cooldown
+}
+
+TEST(TierControllersTest, TiersCanMoveInOppositeDirectionsOnOneRound) {
+  AutoscalerConfig fleet = controller_config();
+  fleet.up_evals = 3;  // align with down_evals so both fire together
+  fleet.tier_min = {1, 1};
+  fleet.tier_max = {4, 4};
+  Autoscaler prefill(tier_autoscaler_config(fleet, 0, false), SloConfig{});
+  Autoscaler decode(tier_autoscaler_config(fleet, 1, true), SloConfig{});
+  // Same shared-clock eval rounds, opposite verdicts: a prompt burst
+  // hammers the prefill tier while the decode backlog drains.
+  int up_delta = 0, down_delta = 0;
+  for (int round = 0; round < 3; ++round) {
+    up_delta = prefill.evaluate(busy(1, 10.0)).delta;
+    down_delta = decode.evaluate(quiet(3)).delta;
+  }
+  EXPECT_EQ(up_delta, +1);    // the prefill tier grew...
+  EXPECT_EQ(down_delta, -1);  // ...on the round the decode tier shrank
+}
+
 // ------------------------------------------------- Masked load balancing
 
 TEST(MaskedBalancerTest, RoundRobinCyclesOverTheActiveSubset) {
@@ -424,6 +500,7 @@ void expect_identical_scaled(const FleetResult& a, const FleetResult& b) {
     EXPECT_EQ(a.scale_events[i].from, b.scale_events[i].from);
     EXPECT_EQ(a.scale_events[i].to, b.scale_events[i].to);
     EXPECT_EQ(a.scale_events[i].trigger, b.scale_events[i].trigger);
+    EXPECT_EQ(a.scale_events[i].tier, b.scale_events[i].tier);
   }
   ASSERT_EQ(a.fleet.requests.size(), b.fleet.requests.size());
   for (std::size_t i = 0; i < a.fleet.requests.size(); ++i) {
@@ -444,6 +521,21 @@ TEST(AutoscaledFleetTest, RunsAreDeterministicIncludingTheScaleLog) {
     expect_identical_scaled(a, b);
     EXPECT_EQ(a.fleet.completed + a.fleet.rejected, a.fleet.offered);
   }
+}
+
+TEST(AutoscaledFleetTest, DisaggregatedTierRunsAreDeterministic) {
+  FleetConfig cfg = bursty_autoscaled(ScalePolicy::kHybrid);
+  cfg.roles = {ReplicaRole::kPrefill, ReplicaRole::kPrefill,
+               ReplicaRole::kDecode};
+  cfg.kv_link.bytes_per_cycle = 32.0;
+  cfg.autoscale.tier_min = {1, 1};
+  cfg.autoscale.tier_max = {2, 1};
+  const FleetResult a = FleetSim(cfg).run();
+  const FleetResult b = FleetSim(cfg).run();
+  expect_identical_scaled(a, b);
+  EXPECT_EQ(a.fleet.completed + a.fleet.rejected, a.fleet.offered);
+  // Scale events carry their tier, and every tier id is in range.
+  for (const ScaleEvent& e : a.scale_events) EXPECT_LT(e.tier, 2u);
 }
 
 TEST(AutoscaledFleetTest, TheControlLoopActuallyScalesUpAndDrainsDown) {

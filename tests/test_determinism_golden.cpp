@@ -177,6 +177,26 @@ void serialize_disagg(std::string& out, const std::string& tag,
     out += req.migrated ? " M" : (req.stolen ? " S" : " -");
   }
   out += "\n";
+  // Per-tier live stats and tier-tagged scale transitions (PR 10): the
+  // base record's "scale" lines stay tier-blind so the symmetric digest
+  // cannot move; disagg points pin the tier attribution here.
+  for (const FleetResult::TierStats& t : r.tiers) {
+    out += "tier ";
+    out += replica_role_name(t.role);
+    for (const std::uint32_t member : t.members) {
+      out += " ";
+      out += std::to_string(member);
+    }
+    out += " | " + std::to_string(t.min_live) + " " +
+           std::to_string(t.peak_live) + " " + hex(t.mean_live) + " " +
+           std::to_string(t.replica_cycles) + " " +
+           hex(t.ttft_p99_spread_ms) + "\n";
+  }
+  for (const ScaleEvent& e : r.scale_events) {
+    out += "tscale " + std::to_string(e.tier) + " " + std::to_string(e.at) +
+           " " + std::to_string(e.from) + " " + std::to_string(e.to) + " " +
+           scale_trigger_name(e.trigger) + "\n";
+  }
 }
 
 model::ModelConfig golden_model() {
@@ -370,9 +390,11 @@ std::string canonical_cache_sweep() {
 
 /// The canonical *disaggregated* sweep: prefill/decode role splits with
 /// KV migration (and, on the jsq point, work stealing) over the ring
-/// fabric. Pins the migration counters, fabric byte totals and every
-/// request's migrated/stolen split on top of the base fleet record; kept
-/// separate from canonical_sweep() so the symmetric digest never moves.
+/// fabric, plus a per-tier autoscaled point. Pins the migration
+/// counters, fabric byte totals, every request's migrated/stolen split,
+/// the per-tier live stats and the tier-tagged scale log on top of the
+/// base fleet record; kept separate from canonical_sweep() so the
+/// symmetric digest never moves.
 std::string canonical_disagg_sweep() {
   std::string out;
   const auto disagg_base = [](std::uint32_t n) {
@@ -407,6 +429,38 @@ std::string canonical_disagg_sweep() {
     cfg.roles = {ReplicaRole::kPrefill, ReplicaRole::kGeneral,
                  ReplicaRole::kDecode};
     serialize_disagg(out, "disagg-paged-mixed-roles", FleetSim(cfg).run());
+  }
+  {
+    // Per-tier autoscaling (PR 10): two controllers on the shared fleet
+    // clock, tier-tagged scale events, and KV migrations crossing
+    // live-mask changes — the autoscaler's decision sequence is part of
+    // the pinned bytes.
+    ServingConfig base = golden_base();
+    base.traffic.process = ArrivalProcess::kBursty;
+    base.traffic.num_requests = 48;
+    base.traffic.arrival_rate_per_s = 400.0;
+    base.traffic.burst_factor = 4.0;
+    base.traffic.burst_fraction = 0.25;
+    base.traffic.burst_period_s = 0.05;
+    base.scheduler.max_in_flight = 6;
+    FleetConfig cfg = FleetConfig::homogeneous(
+        base, 3, BalancerPolicy::kJoinShortestQueue);
+    cfg.kv_link.bytes_per_cycle = 16.0;
+    cfg.roles = {ReplicaRole::kPrefill, ReplicaRole::kPrefill,
+                 ReplicaRole::kDecode};
+    cfg.autoscale.enabled = true;
+    cfg.autoscale.policy = ScalePolicy::kHybrid;
+    cfg.autoscale.tier_min = {1, 1};
+    cfg.autoscale.tier_max = {2, 1};
+    cfg.autoscale.eval_interval_ms = 2.0;
+    cfg.autoscale.ttft_window_ms = 10.0;
+    cfg.autoscale.queue_high = 1.5;
+    cfg.autoscale.queue_low = 0.25;
+    cfg.autoscale.up_evals = 1;
+    cfg.autoscale.down_evals = 2;
+    cfg.autoscale.cooldown_evals = 1;
+    serialize_disagg(out, "disagg-autoscale-2p1d-hybrid",
+                     FleetSim(cfg).run());
   }
   return out;
 }

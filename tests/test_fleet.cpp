@@ -503,11 +503,138 @@ TEST(FleetCliTest, RejectsBadRoleNamesAndLinkRates) {
                std::invalid_argument);
 }
 
-TEST(FleetCliTest, RejectsRolesWithAutoscale) {
-  // The autoscaler's live-prefix mask could park whole role classes.
+TEST(FleetCliTest, ParsesRolesWithAutoscale) {
+  // --roles + --autoscale is legal: the role list sizes the pool (no
+  // --replicas needed) and the comma lists become per-tier bounds in
+  // role-first-appearance order.
+  const SchedulerCliOptions tiered = parse_scheduler_cli(
+      make_cli({"--autoscale=hybrid", "--roles=prefill,prefill,decode",
+                "--min-replicas=1,1", "--max-replicas=2,1"}));
+  EXPECT_TRUE(tiered.autoscale.enabled);
+  EXPECT_TRUE(tiered.disaggregated());
+  EXPECT_EQ(tiered.fleet_width(), 3u);
+  ASSERT_EQ(tiered.autoscale.tier_min.size(), 2u);
+  EXPECT_EQ(tiered.autoscale.tier_min[0], 1u);
+  EXPECT_EQ(tiered.autoscale.tier_max[0], 2u);
+  EXPECT_EQ(tiered.autoscale.tier_max[1], 1u);
+
+  // Bounds left unset stay as empty lists: FleetSim::validate fills the
+  // defaults (floor 1 per tier, ceiling = the tier's pool).
+  const SchedulerCliOptions defaulted = parse_scheduler_cli(
+      make_cli({"--autoscale=queue", "--roles=prefill,decode"}));
+  EXPECT_TRUE(defaulted.autoscale.tier_min.empty());
+  EXPECT_TRUE(defaulted.autoscale.tier_max.empty());
+  EXPECT_EQ(defaulted.fleet_width(), 2u);
+
+  // The legacy scalar spelling still works on a symmetric fleet.
+  const SchedulerCliOptions scalar = parse_scheduler_cli(
+      make_cli({"--autoscale=queue", "--min-replicas=2",
+                "--max-replicas=6"}));
+  EXPECT_EQ(scalar.autoscale.min_replicas, 2u);
+  EXPECT_EQ(scalar.autoscale.max_replicas, 6u);
+  EXPECT_TRUE(scalar.autoscale.tier_min.empty());
+}
+
+TEST(FleetCliTest, RejectsBadPerTierBoundSpecs) {
+  // Comma lists are per-tier bounds: meaningless without --roles.
   EXPECT_THROW(parse_scheduler_cli(
-                   make_cli({"--autoscale", "--roles=prefill,decode"})),
+                   make_cli({"--autoscale=queue", "--min-replicas=1,1"})),
                std::invalid_argument);
+  EXPECT_THROW(parse_scheduler_cli(
+                   make_cli({"--autoscale=queue", "--max-replicas=2,2"})),
+               std::invalid_argument);
+  // Zero, junk, and empty entries are rejected at parse time.
+  EXPECT_THROW(parse_scheduler_cli(
+                   make_cli({"--autoscale", "--roles=prefill,decode",
+                             "--min-replicas=0,1"})),
+               std::invalid_argument);
+  EXPECT_THROW(parse_scheduler_cli(
+                   make_cli({"--autoscale", "--roles=prefill,decode",
+                             "--max-replicas=two,1"})),
+               std::invalid_argument);
+  EXPECT_THROW(parse_scheduler_cli(
+                   make_cli({"--autoscale", "--roles=prefill,decode",
+                             "--min-replicas=1,,1"})),
+               std::invalid_argument);
+}
+
+TEST(FleetSimTest, ValidatesPerTierBounds) {
+  ServingConfig base = base_config();
+  const auto with = [&](auto mutate) {
+    FleetConfig cfg = FleetConfig::homogeneous(base, 3);
+    cfg.roles = {ReplicaRole::kPrefill, ReplicaRole::kPrefill,
+                 ReplicaRole::kDecode};
+    cfg.kv_link.bytes_per_cycle = 32.0;
+    cfg.autoscale.enabled = true;
+    cfg.autoscale.tier_min = {1, 1};
+    cfg.autoscale.tier_max = {2, 1};
+    mutate(cfg.autoscale);
+    return cfg;
+  };
+  EXPECT_NO_THROW(FleetSim{with([](AutoscalerConfig&) {})});
+  // Unset lists are normalized, not rejected.
+  EXPECT_NO_THROW(FleetSim{with([](AutoscalerConfig& a) {
+    a.tier_min.clear();
+    a.tier_max.clear();
+  })});
+  // A list must name every tier (two tiers here: prefill, decode).
+  EXPECT_THROW(FleetSim{with([](AutoscalerConfig& a) {
+                 a.tier_min = {1};
+               })},
+               std::invalid_argument);
+  EXPECT_THROW(FleetSim{with([](AutoscalerConfig& a) {
+                 a.tier_max = {2, 1, 1};
+               })},
+               std::invalid_argument);
+  // The ceiling is the tier's pool, exactly — same contract as the
+  // symmetric max_replicas == pool rule.
+  EXPECT_THROW(FleetSim{with([](AutoscalerConfig& a) {
+                 a.tier_max = {3, 1};
+               })},
+               std::invalid_argument);
+  EXPECT_THROW(FleetSim{with([](AutoscalerConfig& a) {
+                 a.tier_max = {1, 1};
+               })},
+               std::invalid_argument);
+  // Floors: >= 1, <= the tier ceiling.
+  EXPECT_THROW(FleetSim{with([](AutoscalerConfig& a) {
+                 a.tier_min = {0, 1};
+               })},
+               std::invalid_argument);
+  EXPECT_THROW(FleetSim{with([](AutoscalerConfig& a) {
+                 a.tier_min = {1, 2};
+               })},
+               std::invalid_argument);
+}
+
+/// Satellite regression: load_imbalance averages over routing-eligible
+/// replicas only. On a 1-prefill + 1-decode fleet every request routes to
+/// the single prefill replica, so its share of the *eligible* mean is
+/// exactly 1.0 — the old fleet-wide mean divided by 2 and reported 2.0.
+TEST(FleetSimTest, LoadImbalanceCountsRoutingEligibleOnly) {
+  ServingConfig base = base_config();
+  FleetConfig cfg = FleetConfig::homogeneous(base, 2);
+  cfg.roles = {ReplicaRole::kPrefill, ReplicaRole::kDecode};
+  cfg.kv_link.bytes_per_cycle = 32.0;
+  const FleetResult r = FleetSim(cfg).run();
+  ASSERT_EQ(r.routed.size(), 2u);
+  EXPECT_GT(r.routed[0], 0u);   // every request routes to the prefill
+  EXPECT_EQ(r.routed[1], 0u);   // the decode replica takes handoffs only
+  EXPECT_DOUBLE_EQ(r.load_imbalance, 1.0);
+  // The per-tier stats partition the pool one role class apiece.
+  ASSERT_EQ(r.tiers.size(), 2u);
+  EXPECT_EQ(r.tiers[0].role, ReplicaRole::kPrefill);
+  EXPECT_EQ(r.tiers[1].role, ReplicaRole::kDecode);
+  ASSERT_EQ(r.tiers[0].members.size(), 1u);
+  EXPECT_EQ(r.tiers[0].members[0], 0u);
+  ASSERT_EQ(r.tiers[1].members.size(), 1u);
+  EXPECT_EQ(r.tiers[1].members[0], 1u);
+  // A static fleet's tiers never flex, and one replica has no spread.
+  EXPECT_EQ(r.tiers[0].min_live, 1u);
+  EXPECT_EQ(r.tiers[0].peak_live, 1u);
+  EXPECT_DOUBLE_EQ(r.tiers[1].mean_live, 1.0);
+  EXPECT_DOUBLE_EQ(r.tiers[0].ttft_p99_spread_ms, 0.0);
+  EXPECT_DOUBLE_EQ(r.tiers[1].ttft_p99_spread_ms, 0.0);
 }
 
 TEST(FleetCliTest, RoleNamesRoundTrip) {

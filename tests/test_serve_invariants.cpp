@@ -77,6 +77,10 @@ struct MatrixPoint {
   /// Disaggregated prefill/decode roles (empty = symmetric fleet, no
   /// fabric). Size must equal `replicas`.
   std::vector<ReplicaRole> roles = {};
+  /// Per-tier autoscale bounds (disaggregated + autoscale points only;
+  /// empty = the per-tier defaults: floor 1, ceiling = tier pool).
+  std::vector<std::uint32_t> tier_min = {};
+  std::vector<std::uint32_t> tier_max = {};
 };
 
 /// The matrix: every batch policy, both preempt policies, every balancer,
@@ -185,6 +189,21 @@ std::vector<MatrixPoint> matrix() {
                     .prefix_cache = true,
                     .chat = true,
                     .roles = {ReplicaRole::kPrefill, ReplicaRole::kDecode}});
+  // Scales while migrating: per-tier autoscaling on a disaggregated
+  // fleet, so scale-down drains overlap in-flight KV migrations and the
+  // hand-off conservation terms must survive live-mask changes.
+  points.push_back({.name = "disagg-autoscale-2p1d",
+                    .policy = BatchPolicy::kPrefillPriority,
+                    .balancer = BalancerPolicy::kJoinShortestQueue,
+                    .replicas = 3,
+                    .bursty = true,
+                    .rate = 600.0,
+                    .autoscale = true,
+                    .scale_policy = ScalePolicy::kHybrid,
+                    .roles = {ReplicaRole::kPrefill, ReplicaRole::kPrefill,
+                              ReplicaRole::kDecode},
+                    .tier_min = {1, 1},
+                    .tier_max = {2, 1}});
   points.push_back({.name = "autoscale-hybrid-floor2",
                     .policy = BatchPolicy::kChunkedMixed,
                     .chunk_tokens = 24,
@@ -255,6 +274,8 @@ FleetConfig build_config(const MatrixPoint& p, std::uint64_t seed) {
     cfg.autoscale.policy = p.scale_policy;
     cfg.autoscale.min_replicas = p.min_replicas;
     cfg.autoscale.max_replicas = p.replicas;
+    cfg.autoscale.tier_min = p.tier_min;
+    cfg.autoscale.tier_max = p.tier_max;
     cfg.autoscale.eval_interval_ms = 2.0;
     cfg.autoscale.ttft_window_ms = 10.0;
     cfg.autoscale.queue_high = 1.5;
@@ -308,19 +329,49 @@ void check_invariants(const FleetConfig& cfg, const FleetResult& r,
 
   // ---- Per-record sanity ----
   ASSERT_EQ(fleet.requests.size(), fleet.offered);
-  const std::uint32_t live_floor =
-      cfg.autoscale.enabled ? cfg.autoscale.min_replicas : pool;
-  const std::uint32_t live_ceiling =
-      cfg.autoscale.enabled ? cfg.autoscale.max_replicas : pool;
+  // Tier bookkeeping (distinct roles in first-appearance order; a
+  // symmetric fleet is a single tier holding the whole pool).
+  std::vector<ReplicaRole> tier_roles;
+  std::vector<std::uint32_t> tier_pool;
+  for (const ReplicaRole role : cfg.roles) {
+    std::size_t t = 0;
+    while (t < tier_roles.size() && tier_roles[t] != role) ++t;
+    if (t == tier_roles.size()) {
+      tier_roles.push_back(role);
+      tier_pool.push_back(0);
+    }
+    ++tier_pool[t];
+  }
+  const auto ntiers = tier_roles.size();
+  // Under per-tier autoscaling `live_replicas` sums every tier's live
+  // prefix: the floor sums the tier floors, the ceiling is the pool.
+  std::uint32_t live_floor = pool, live_ceiling = pool;
+  if (cfg.autoscale.enabled) {
+    if (!cfg.disaggregated()) {
+      live_floor = cfg.autoscale.min_replicas;
+      live_ceiling = cfg.autoscale.max_replicas;
+    } else if (cfg.autoscale.tier_min.empty()) {
+      live_floor = static_cast<std::uint32_t>(ntiers);  // default: 1 per tier
+    } else {
+      live_floor = 0;
+      for (const std::uint32_t m : cfg.autoscale.tier_min) live_floor += m;
+    }
+  }
   for (std::size_t i = 0; i < fleet.requests.size(); ++i) {
     const RequestRecord& rec = fleet.requests[i];
     EXPECT_EQ(rec.id, i);  // id-sorted, gap-free == injection order
     EXPECT_LT(rec.replica, pool);
     EXPECT_GE(rec.live_replicas, live_floor);
     EXPECT_LE(rec.live_replicas, live_ceiling);
-    // The live set is the index prefix, so the serving replica was live
-    // when this request was routed.
-    EXPECT_LT(rec.replica, rec.live_replicas);
+    // On a symmetric fleet the live set is the index prefix, so the
+    // serving replica was live when this request was routed. A
+    // disaggregated fleet's live set is a prefix per tier, not a fleet
+    // index prefix — a request can finish on a high-index decode replica
+    // while low-index prefill slots are dark — so the inequality only
+    // binds without roles.
+    if (!cfg.disaggregated()) {
+      EXPECT_LT(rec.replica, rec.live_replicas);
+    }
     if (rec.rejected) continue;
     EXPECT_GE(rec.queue_wait_ms, 0.0);
     EXPECT_LE(rec.queue_wait_ms, rec.ttft_ms);
@@ -374,12 +425,13 @@ void check_invariants(const FleetConfig& cfg, const FleetResult& r,
     EXPECT_EQ(r.min_live_replicas, pool);
     EXPECT_EQ(r.peak_live_replicas, pool);
     EXPECT_DOUBLE_EQ(r.mean_live_replicas, static_cast<double>(pool));
-  } else {
+  } else if (!cfg.disaggregated()) {
     std::uint32_t live = cfg.autoscale.min_replicas;
     sim::Cycles last_at = 0;
     for (const ScaleEvent& e : r.scale_events) {
       EXPECT_GE(e.at, last_at);  // monotone fleet clock
       last_at = e.at;
+      EXPECT_EQ(e.tier, 0u);    // one tier: the whole fleet
       EXPECT_EQ(e.from, live);  // chained single-step transitions
       EXPECT_TRUE(e.to == e.from + 1 || e.to + 1 == e.from);
       EXPECT_GE(e.to, cfg.autoscale.min_replicas);
@@ -388,9 +440,59 @@ void check_invariants(const FleetConfig& cfg, const FleetResult& r,
     }
     EXPECT_GE(r.min_live_replicas, cfg.autoscale.min_replicas);
     EXPECT_LE(r.peak_live_replicas, cfg.autoscale.max_replicas);
+  } else {
+    // Per-tier chains: each tier's from -> to transitions chain from its
+    // own floor, step by one replica, and never leave [floor, tier pool].
+    std::vector<std::uint32_t> floors(ntiers, 1);
+    if (!cfg.autoscale.tier_min.empty()) {
+      ASSERT_EQ(cfg.autoscale.tier_min.size(), ntiers);
+      floors = cfg.autoscale.tier_min;
+    }
+    std::vector<std::uint32_t> live = floors;
+    sim::Cycles last_at = 0;
+    for (const ScaleEvent& e : r.scale_events) {
+      EXPECT_GE(e.at, last_at);  // monotone shared fleet clock
+      last_at = e.at;
+      ASSERT_LT(e.tier, ntiers);
+      EXPECT_EQ(e.from, live[e.tier]);
+      EXPECT_TRUE(e.to == e.from + 1 || e.to + 1 == e.from);
+      EXPECT_GE(e.to, floors[e.tier]);
+      EXPECT_LE(e.to, tier_pool[e.tier]);
+      live[e.tier] = e.to;
+    }
+    EXPECT_GE(r.min_live_replicas, live_floor);
+    EXPECT_LE(r.peak_live_replicas, pool);
   }
   EXPECT_GE(r.mean_live_replicas, static_cast<double>(r.min_live_replicas));
   EXPECT_LE(r.mean_live_replicas, static_cast<double>(r.peak_live_replicas));
+
+  // ---- Per-tier stats (disaggregated runs only) ----
+  if (cfg.disaggregated()) {
+    ASSERT_EQ(r.tiers.size(), ntiers);
+    std::uint64_t tier_cycles = 0;
+    std::size_t members = 0;
+    for (std::size_t t = 0; t < ntiers; ++t) {
+      const FleetResult::TierStats& tier = r.tiers[t];
+      EXPECT_EQ(tier.role, tier_roles[t]);
+      EXPECT_EQ(tier.members.size(), tier_pool[t]);
+      for (const std::uint32_t m : tier.members) {
+        ASSERT_LT(m, pool);
+        EXPECT_EQ(cfg.roles[m], tier.role);
+      }
+      EXPECT_LE(tier.min_live, tier.peak_live);
+      EXPECT_LE(tier.peak_live, tier_pool[t]);
+      EXPECT_GE(tier.mean_live, static_cast<double>(tier.min_live));
+      EXPECT_LE(tier.mean_live, static_cast<double>(tier.peak_live));
+      tier_cycles += tier.replica_cycles;
+      members += tier.members.size();
+    }
+    // The tiers partition the pool and their occupancy sums to the
+    // fleet's replica-cycle cost exactly.
+    EXPECT_EQ(members, pool);
+    EXPECT_EQ(tier_cycles, r.replica_cycles);
+  } else {
+    EXPECT_TRUE(r.tiers.empty());
+  }
 
   // ---- Cost accounting ----
   // Occupied replica-time is bounded by the whole pool running the whole

@@ -63,9 +63,10 @@ inline constexpr char kCacheSweepSha256[] =
     "$cache_hash";
 
 /// Canonical disaggregated prefill/decode sweep (role splits with KV
-/// migration and work stealing over the ring fabric); pins the migration
-/// counters, fabric byte totals and every request's migrated/stolen
-/// split (DESIGN.md §10).
+/// migration and work stealing over the ring fabric, plus a per-tier
+/// autoscaled point); pins the migration counters, fabric byte totals,
+/// every request's migrated/stolen split, the per-tier live stats and
+/// the tier-tagged scale log (DESIGN.md §10–§11).
 inline constexpr char kDisaggSweepSha256[] =
     "$disagg_hash";
 
